@@ -1,0 +1,62 @@
+//! Criterion benchmarks of one full CLAN generation under each
+//! configuration (real compute; simulated cluster time is free).
+
+use clan_core::{ClanDriver, ClanTopology};
+use clan_envs::Workload;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clan_generation_pop48");
+    for (name, topo, agents) in [
+        ("serial", ClanTopology::serial(), 1usize),
+        ("dcs", ClanTopology::dcs(), 4),
+        ("dds", ClanTopology::dds(), 4),
+        ("dda", ClanTopology::dda(4), 4),
+    ] {
+        group.bench_function(BenchmarkId::new("cartpole", name), |b| {
+            b.iter(|| {
+                let report = ClanDriver::builder(Workload::CartPole)
+                    .topology(topo)
+                    .agents(agents)
+                    .population_size(48)
+                    .seed(7)
+                    .build()
+                    .expect("valid config")
+                    .run(1)
+                    .expect("run");
+                black_box(report.best_fitness)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_runtime(c: &mut Criterion) {
+    use clan_core::runtime::EdgeCluster;
+    use clan_core::InferenceMode;
+    use clan_neat::{NeatConfig, Population};
+
+    let w = Workload::CartPole;
+    let cfg = NeatConfig::builder(w.obs_dim(), w.n_actions())
+        .population_size(48)
+        .build()
+        .unwrap();
+    let cluster = EdgeCluster::spawn(4, w, InferenceMode::MultiStep, cfg.clone());
+    c.bench_function("threaded_dcs_generation_pop48", |b| {
+        b.iter_batched(
+            || Population::new(cfg.clone(), 11),
+            |mut pop| {
+                cluster.step_dcs_generation(&mut pop).expect("step");
+                black_box(pop.generation())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation, bench_threaded_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks of the environment suite: per-step and
+//! per-episode throughput of each workload.
+
+use clan_envs::{run_episode, Workload};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_env_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_step");
+    for w in Workload::ALL {
+        group.bench_function(BenchmarkId::new("step", w.name()), |b| {
+            let mut env = w.make();
+            let mut remaining = 0u32;
+            b.iter(|| {
+                if remaining == 0 {
+                    env.reset(7);
+                    remaining = 64;
+                }
+                let s = env.step(0);
+                if s.done {
+                    remaining = 0;
+                } else {
+                    remaining -= 1;
+                }
+                black_box(s.reward)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("episode_200_steps");
+    for w in [Workload::CartPole, Workload::LunarLander, Workload::AirRaid] {
+        group.bench_function(BenchmarkId::new("episode", w.name()), |b| {
+            let mut env = w.make();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_episode(env.as_mut(), seed, 200, |obs| {
+                    usize::from(obs[0] > 0.5)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_env_step, bench_episode
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks of the NEAT primitives: the per-gene costs
+//! that the CLAN cost model abstracts as genes/second.
+
+use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Population};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(inputs: usize, outputs: usize) -> NeatConfig {
+    NeatConfig::builder(inputs, outputs).build().unwrap()
+}
+
+fn evolved_genome(cfg: &NeatConfig, seed: u64, mutations: u32) -> Genome {
+    let mut g = Genome::new_initial(cfg, GenomeId(0), &mut StdRng::seed_from_u64(seed));
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    for _ in 0..mutations {
+        g.mutate(cfg, &mut rng);
+    }
+    g
+}
+
+fn bench_network_activation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_activation");
+    for (name, inputs, outputs) in [("cartpole", 4, 2), ("lander", 8, 4), ("atari", 128, 18)] {
+        let cfg = cfg(inputs, outputs);
+        let genome = evolved_genome(&cfg, 7, 30);
+        let net = FeedForwardNetwork::compile(&genome, &cfg);
+        let obs = vec![0.5; inputs];
+        group.bench_function(BenchmarkId::new("activate", name), |b| {
+            b.iter(|| black_box(net.activate(black_box(&obs))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_genome_ops(c: &mut Criterion) {
+    let cfg = cfg(128, 18);
+    let a = evolved_genome(&cfg, 1, 30);
+    let b2 = evolved_genome(&cfg, 2, 30);
+    let mut group = c.benchmark_group("genome_ops");
+    group.bench_function("distance_atari", |b| {
+        b.iter(|| black_box(a.distance(black_box(&b2), &cfg)))
+    });
+    group.bench_function("crossover_atari", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(Genome::crossover(&a, &b2, GenomeId(9), &mut rng)))
+    });
+    group.bench_function("compile_atari", |b| {
+        b.iter(|| black_box(FeedForwardNetwork::compile(&a, &cfg)))
+    });
+    group.bench_function("mutate_atari", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter_batched(
+            || a.clone(),
+            |mut g| {
+                g.mutate(&cfg, &mut rng);
+                black_box(g)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_speciation(c: &mut Criterion) {
+    // Speciation + planning + reproduction at the paper's population size.
+    let cfg = NeatConfig::builder(8, 4).population_size(150).build().unwrap();
+    c.bench_function("full_evolution_phase_pop150", |b| {
+        b.iter_batched(
+            || {
+                let mut pop = Population::new(cfg.clone(), 5);
+                pop.evaluate(|_, g| (g.id().0 % 17) as f64);
+                pop
+            },
+            |mut pop| {
+                pop.advance_generation();
+                black_box(pop.generation())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_network_activation, bench_genome_ops, bench_speciation
+}
+criterion_main!(benches);

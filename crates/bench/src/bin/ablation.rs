@@ -1,0 +1,7 @@
+//! Runs the reproduction's ablation studies. See `clan_bench::ablation`.
+use clan_bench::{ablation, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    ablation::run(&sink)
+}

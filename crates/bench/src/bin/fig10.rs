@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig10. See `clan_bench::fig10`.
+use clan_bench::{fig10, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig10::run(&sink)
+}

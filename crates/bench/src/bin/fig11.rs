@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig11. See `clan_bench::fig11`.
+use clan_bench::{fig11, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig11::run(&sink)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig3. See `clan_bench::fig3`.
+use clan_bench::{fig3, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig3::run(&sink)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig4. See `clan_bench::fig4`.
+use clan_bench::{fig4, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig4::run(&sink)
+}

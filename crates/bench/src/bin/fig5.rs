@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig5. See `clan_bench::fig5`.
+use clan_bench::{fig5, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig5::run(&sink)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig6. See `clan_bench::fig6`.
+use clan_bench::{fig6, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig6::run(&sink)
+}

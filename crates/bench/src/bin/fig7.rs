@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig7. See `clan_bench::fig7`.
+use clan_bench::{fig7, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig7::run(&sink)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig8. See `clan_bench::fig8`.
+use clan_bench::{fig8, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig8::run(&sink)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig9. See `clan_bench::fig9`.
+use clan_bench::{fig9, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    fig9::run(&sink)
+}

@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the CLAN paper in one go,
+//! plus the reproduction's ablation studies.
+use clan_bench::{ablation, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table4, OutputSink};
+
+/// One experiment: display name plus its entry point.
+type Experiment = (&'static str, fn(&OutputSink) -> std::io::Result<()>);
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    let experiments: Vec<Experiment> = vec![
+        ("Table IV", table4::run),
+        ("Figure 3", fig3::run),
+        ("Figure 4", fig4::run),
+        ("Figure 5", fig5::run),
+        ("Figure 6", fig6::run),
+        ("Figure 7", fig7::run),
+        ("Figure 8", fig8::run),
+        ("Figure 9", fig9::run),
+        ("Figure 10", fig10::run),
+        ("Figure 11", fig11::run),
+        ("Ablations", ablation::run),
+    ];
+    for (name, run) in experiments {
+        eprintln!(">>> {name}");
+        run(&sink)?;
+    }
+    eprintln!(">>> done; CSVs in {}", sink.results_dir().display());
+    Ok(())
+}

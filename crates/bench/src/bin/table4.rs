@@ -1,0 +1,7 @@
+//! Regenerates the paper's table4. See `clan_bench::table4`.
+use clan_bench::{table4, OutputSink};
+
+fn main() -> std::io::Result<()> {
+    let sink = OutputSink::default_dir()?;
+    table4::run(&sink)
+}

@@ -1,0 +1,151 @@
+//! Figure 11 — performance per dollar: CLAN's Pi swarm vs. single
+//! higher-end platforms (Table IV).
+//!
+//! Paper headline: at 6 Pis ($240) the swarm matches the Jetson TX2
+//! ($600) on larger workloads — a 2.5x price-performance-product win —
+//! and at 15 Pis ($600) it rivals the HPC CPU ($1500), a 1.2x PPP win.
+//! GPU bars stay out of reach of the single-core Pi experiments.
+
+use crate::output::{fmt, OutputSink};
+use crate::{BENCH_SEED, POPULATION};
+use clan_core::{ClanDriver, ClanTopology};
+use clan_envs::Workload;
+use clan_hw::{Platform, PlatformKind};
+use std::io;
+
+const GENERATIONS: u64 = 3;
+const PI_SCALES: [usize; 6] = [1, 2, 4, 6, 10, 15];
+
+/// `(mean s/generation, mean J/generation)` for a single node of `platform`.
+fn serial_run(workload: Workload, platform: PlatformKind) -> (f64, f64) {
+    let r = ClanDriver::builder(workload)
+        .platform(platform)
+        .population_size(POPULATION)
+        .seed(BENCH_SEED)
+        .build()
+        .expect("valid driver config")
+        .run(GENERATIONS)
+        .expect("run");
+    (r.mean_generation_s(), r.mean_generation_energy_j())
+}
+
+fn serial_time(workload: Workload, platform: PlatformKind) -> f64 {
+    serial_run(workload, platform).0
+}
+
+/// `(mean s/generation, mean J/generation)` for a CLAN_DDA swarm of `n` Pis.
+fn swarm_run(workload: Workload, n: usize) -> (f64, f64) {
+    let topology = if n == 1 {
+        ClanTopology::serial()
+    } else {
+        ClanTopology::dda(n)
+    };
+    let r = ClanDriver::builder(workload)
+        .topology(topology)
+        .agents(n)
+        .population_size(POPULATION)
+        .seed(BENCH_SEED)
+        .build()
+        .expect("valid driver config")
+        .run(GENERATIONS)
+        .expect("run");
+    (r.mean_generation_s(), r.mean_generation_energy_j())
+}
+
+fn swarm_time(workload: Workload, n: usize) -> f64 {
+    swarm_run(workload, n).0
+}
+
+/// Runs the platform comparison on the paper's four panels.
+///
+/// # Errors
+///
+/// Propagates output failures.
+pub fn run(sink: &OutputSink) -> io::Result<()> {
+    let platforms = [
+        PlatformKind::HpcGpu,
+        PlatformKind::HpcCpu,
+        PlatformKind::JetsonGpu,
+        PlatformKind::JetsonCpu,
+    ];
+    let panels = [
+        Workload::CartPole,
+        Workload::MountainCar,
+        Workload::LunarLander,
+        Workload::AirRaid,
+    ];
+    let pi_price = Platform::raspberry_pi().price_usd;
+    let mut rows = Vec::new();
+    for workload in panels {
+        for p in platforms {
+            let (t, e) = serial_run(workload, p);
+            let price = Platform::new(p).price_usd;
+            rows.push(vec![
+                workload.name().to_string(),
+                p.to_string(),
+                format!("${price:.0}"),
+                fmt(t),
+                fmt(price * t),
+                fmt(e),
+            ]);
+        }
+        for n in PI_SCALES {
+            let (t, e) = swarm_run(workload, n);
+            let price = pi_price * n as f64;
+            rows.push(vec![
+                workload.name().to_string(),
+                format!("{n} pi"),
+                format!("${price:.0}"),
+                fmt(t),
+                fmt(price * t),
+                fmt(e),
+            ]);
+        }
+    }
+    sink.table(
+        "fig11_perf_per_dollar",
+        "Figure 11: average time per generation (s), price-performance product, energy",
+        &["workload", "platform", "price", "s/generation", "PPP ($*s)", "J/generation"],
+        &rows,
+    )?;
+
+    // Headline PPP claims on the large workload.
+    let jetson = serial_time(Workload::AirRaid, PlatformKind::JetsonCpu);
+    let hpc = serial_time(Workload::AirRaid, PlatformKind::HpcCpu);
+    let six_pi = swarm_time(Workload::AirRaid, 6);
+    let fifteen_pi = swarm_time(Workload::AirRaid, 15);
+    let ppp_vs_jetson = (600.0 * jetson) / (240.0 * six_pi);
+    let ppp_vs_hpc = (1500.0 * hpc) / (600.0 * fifteen_pi);
+    sink.note(&format!(
+        "Airraid: 6 Pis {six_pi:.1}s vs Jetson CPU {jetson:.1}s -> PPP benefit {ppp_vs_jetson:.1}x (paper: 2.5x)"
+    ));
+    sink.note(&format!(
+        "Airraid: 15 Pis {fifteen_pi:.1}s vs HPC CPU {hpc:.1}s -> PPP benefit {ppp_vs_hpc:.1}x (paper: 1.2x)"
+    ));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swarm_achieves_ppp_benefit_on_large_workload() {
+        let jetson = serial_time(Workload::AirRaid, PlatformKind::JetsonCpu);
+        let six_pi = swarm_time(Workload::AirRaid, 6);
+        let ppp = (600.0 * jetson) / (240.0 * six_pi);
+        assert!(ppp > 1.5, "6-Pi swarm should win on PPP: {ppp:.2}x");
+    }
+
+    #[test]
+    fn cartpole_swarm_not_competitive() {
+        // "Performance is not comparable for extremely small workloads."
+        let one = swarm_time(Workload::CartPole, 1);
+        let ten = swarm_time(Workload::CartPole, 10);
+        let speedup = one / ten;
+        assert!(
+            speedup < 8.0,
+            "communication should cap small-workload speedup: {speedup:.1}x"
+        );
+    }
+}

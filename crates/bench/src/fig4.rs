@@ -1,0 +1,122 @@
+//! Figure 4 — breakdown of communication cost (floats transferred per
+//! generation) for CLAN_DCS / CLAN_DDS / CLAN_DDA.
+//!
+//! The paper's counter-intuitive result: distributing reproduction (DDS)
+//! *increases* traffic — parent genomes and children ping-pong between
+//! agents and the center — while asynchronous speciation (DDA) pays for
+//! genomes once at initialization and then sends only fitness scalars.
+
+use crate::output::OutputSink;
+use crate::{BENCH_SEED, POPULATION};
+use clan_core::{ClanDriver, ClanTopology, RunReport};
+use clan_envs::Workload;
+use clan_netsim::MessageKind;
+use std::io;
+
+const AGENTS: usize = 2;
+const GENERATIONS: u64 = 4;
+
+fn run_config(workload: Workload, topology: ClanTopology) -> RunReport {
+    ClanDriver::builder(workload)
+        .topology(topology)
+        .agents(AGENTS)
+        .population_size(POPULATION)
+        .seed(BENCH_SEED)
+        .build()
+        .expect("valid driver config")
+        .run(GENERATIONS)
+        .expect("run")
+}
+
+/// Runs the communication breakdown for the paper's four panels.
+///
+/// # Errors
+///
+/// Propagates output failures.
+pub fn run(sink: &OutputSink) -> io::Result<()> {
+    let panels = [
+        Workload::CartPole,
+        Workload::MountainCar,
+        Workload::LunarLander,
+        Workload::AirRaid,
+    ];
+    let mut rows = Vec::new();
+    let mut totals: Vec<(String, String, u64)> = Vec::new();
+    for workload in panels {
+        for topology in [
+            ClanTopology::dcs(),
+            ClanTopology::dds(),
+            ClanTopology::dda(AGENTS),
+        ] {
+            let report = run_config(workload, topology);
+            let per_gen = |floats: u64| floats / GENERATIONS;
+            for (kind, entry) in report.ledger.rows() {
+                rows.push(vec![
+                    workload.name().to_string(),
+                    topology.name(),
+                    kind.to_string(),
+                    per_gen(entry.floats).to_string(),
+                ]);
+            }
+            totals.push((
+                workload.name().to_string(),
+                topology.name(),
+                per_gen(report.ledger.total_floats()),
+            ));
+        }
+    }
+    sink.table(
+        "fig4_comm_breakdown",
+        "Figure 4: floats transferred per generation, by message kind",
+        &["workload", "config", "message kind", "floats/generation"],
+        &rows,
+    )?;
+
+    // Shape checks matching the paper's reading of the figure.
+    let total = |w: &str, c: &str| -> u64 {
+        totals
+            .iter()
+            .find(|(tw, tc, _)| tw == w && tc == c)
+            .map(|&(_, _, t)| t)
+            .expect("config present")
+    };
+    let mut ok = true;
+    for w in panels {
+        let dcs = total(w.name(), "CLAN_DCS");
+        let dds = total(w.name(), "CLAN_DDS");
+        let dda = total(w.name(), "CLAN_DDA");
+        ok &= dds > dcs && dda < dcs / 2;
+        sink.note(&format!(
+            "{}: DCS {dcs} / DDS {dds} / DDA {dda} floats per generation (DDS/DDA = {:.0}x)",
+            w.name(),
+            dds as f64 / dda.max(1) as f64
+        ));
+    }
+    sink.note(if ok {
+        "PAPER CLAIM HOLDS: DDS > DCS >> DDA communication on every workload"
+    } else {
+        "WARNING: communication ordering deviates from the paper"
+    });
+
+    // DDA's traffic after initialization is fitness-only.
+    let report = run_config(Workload::CartPole, ClanTopology::dda(AGENTS));
+    let genome_floats = report.ledger.entry(MessageKind::SendGenomes).floats;
+    sink.note(&format!(
+        "DDA pays genome transfer only at initialization: {genome_floats} floats total across {GENERATIONS} generations"
+    ));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dds_exceeds_dcs_exceeds_dda() {
+        let dcs = run_config(Workload::CartPole, ClanTopology::dcs());
+        let dds = run_config(Workload::CartPole, ClanTopology::dds());
+        let dda = run_config(Workload::CartPole, ClanTopology::dda(AGENTS));
+        assert!(dds.ledger.total_floats() > dcs.ledger.total_floats());
+        assert!(dcs.ledger.total_floats() > dda.ledger.total_floats());
+    }
+}

@@ -1,0 +1,113 @@
+//! Output plumbing shared by the figure binaries: stdout tables + CSVs.
+
+use clan_core::report::text_table;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where experiment output goes: pretty tables to stdout, raw series to
+/// CSV files under a results directory.
+#[derive(Debug, Clone)]
+pub struct OutputSink {
+    results_dir: PathBuf,
+}
+
+impl OutputSink {
+    /// Creates a sink writing CSVs under `results_dir` (created if
+    /// missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new<P: AsRef<Path>>(results_dir: P) -> io::Result<OutputSink> {
+        fs::create_dir_all(&results_dir)?;
+        Ok(OutputSink {
+            results_dir: results_dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// Default sink: `results/` under the current directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn default_dir() -> io::Result<OutputSink> {
+        OutputSink::new("results")
+    }
+
+    /// The directory CSVs are written to.
+    pub fn results_dir(&self) -> &Path {
+        &self.results_dir
+    }
+
+    /// Prints a titled table to stdout and writes it as `name.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn table(
+        &self,
+        name: &str,
+        title: &str,
+        headers: &[&str],
+        rows: &[Vec<String>],
+    ) -> io::Result<()> {
+        println!("\n=== {title} ===");
+        print!("{}", text_table(headers, rows));
+        let mut csv = String::new();
+        csv.push_str(&headers.join(","));
+        csv.push('\n');
+        for row in rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        fs::write(self.results_dir.join(format!("{name}.csv")), csv)
+    }
+
+    /// Prints a free-form note to stdout.
+    pub fn note(&self, text: &str) {
+        println!("{text}");
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_writes_csv() {
+        let dir = std::env::temp_dir().join("clan-bench-test-sink");
+        let sink = OutputSink::new(&dir).unwrap();
+        sink.table(
+            "t",
+            "Test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let csv = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(csv, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.6), "1235");
+        assert_eq!(fmt(12.345), "12.35");
+        assert_eq!(fmt(0.01234), "0.0123");
+    }
+}

@@ -1,0 +1,52 @@
+//! Table IV — platform specifications and prices.
+
+use crate::output::{fmt, OutputSink};
+use clan_hw::{EnergyModel, Platform};
+use std::io;
+
+/// Prints the platform table with the calibrated model constants.
+///
+/// # Errors
+///
+/// Propagates output failures.
+pub fn run(sink: &OutputSink) -> io::Result<()> {
+    let rows: Vec<Vec<String>> = Platform::table_iv()
+        .iter()
+        .map(|p| {
+            let e = EnergyModel::for_kind(p.kind);
+            vec![
+                p.kind.to_string(),
+                format!("${:.0}", p.price_usd),
+                fmt(p.inference_genes_per_sec),
+                fmt(p.evolution_genes_per_sec),
+                fmt(e.active_watts),
+            ]
+        })
+        .collect();
+    sink.table(
+        "table4_platforms",
+        "Table IV: Platform Specifications (calibrated model)",
+        &[
+            "platform",
+            "price",
+            "inference genes/s",
+            "evolution genes/s",
+            "active W",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_writes() {
+        let dir = std::env::temp_dir().join("clan-bench-test-table4");
+        let sink = OutputSink::new(&dir).unwrap();
+        run(&sink).unwrap();
+        assert!(dir.join("table4_platforms.csv").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,432 @@
+//! High-level driver: configure a workload + topology + cluster, run it,
+//! get a [`RunReport`].
+//!
+//! This is the crate's main entry point:
+//!
+//! ```
+//! use clan_core::{ClanDriver, ClanTopology};
+//! use clan_envs::Workload;
+//!
+//! let report = ClanDriver::builder(Workload::CartPole)
+//!     .topology(ClanTopology::dcs())
+//!     .agents(4)
+//!     .population_size(24)
+//!     .seed(7)
+//!     .build()?
+//!     .run(3)?;
+//! assert_eq!(report.generations.len(), 3);
+//! assert!(report.ledger.total_messages() > 0);
+//! # Ok::<(), clan_core::ClanError>(())
+//! ```
+
+use crate::dcs::DcsOrchestrator;
+use crate::dda::DdaOrchestrator;
+use crate::dds::DdsOrchestrator;
+use crate::error::ClanError;
+use crate::evaluator::{Evaluator, InferenceMode};
+use crate::orchestra::{GenerationReport, Orchestrator};
+use crate::report::RunReport;
+use crate::serial::SerialOrchestrator;
+use crate::topology::{ClanTopology, SpeciationMode};
+use clan_distsim::Cluster;
+use clan_envs::Workload;
+use clan_hw::{Platform, PlatformKind};
+use clan_neat::{NeatConfig, Population};
+use clan_netsim::WifiModel;
+use serde::{Deserialize, Serialize};
+
+/// Resolved driver configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriverConfig {
+    /// Workload to evolve on.
+    pub workload: Workload,
+    /// CLAN configuration.
+    pub topology: ClanTopology,
+    /// Number of agents in the simulated cluster.
+    pub n_agents: usize,
+    /// Total population size.
+    pub population_size: usize,
+    /// Master seed (drives everything).
+    pub seed: u64,
+    /// Multi-step or single-step inference.
+    pub mode: InferenceMode,
+    /// Episodes averaged per genome evaluation.
+    pub episodes_per_eval: u32,
+    /// Platform of every cluster node.
+    pub platform: PlatformKind,
+    /// Wireless medium model.
+    pub net: WifiModel,
+    /// DDA-only: pool-and-redistribute period (global speciation).
+    pub resync_every: Option<u64>,
+}
+
+/// A configured, ready-to-run CLAN deployment.
+pub struct ClanDriver {
+    config: DriverConfig,
+    orchestrator: Box<dyn Orchestrator>,
+}
+
+impl std::fmt::Debug for ClanDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClanDriver")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClanDriver {
+    /// Starts building a driver for `workload`.
+    pub fn builder(workload: Workload) -> ClanDriverBuilder {
+        ClanDriverBuilder::new(workload)
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &DriverConfig {
+        &self.config
+    }
+
+    /// Runs `generations` generations and reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator failures ([`ClanError`]).
+    pub fn run(mut self, generations: u64) -> Result<RunReport, ClanError> {
+        let mut reports: Vec<GenerationReport> = Vec::with_capacity(generations as usize);
+        for _ in 0..generations {
+            reports.push(self.orchestrator.step_generation()?);
+        }
+        Ok(self.into_report(reports))
+    }
+
+    /// Runs until the workload's convergence score is reached or
+    /// `max_generations` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator failures ([`ClanError`]).
+    pub fn run_until_solved(mut self, max_generations: u64) -> Result<RunReport, ClanError> {
+        let threshold = self.config.workload.solved_at();
+        let mut reports = Vec::new();
+        for _ in 0..max_generations {
+            let r = self.orchestrator.step_generation()?;
+            let solved = r.best_fitness >= threshold;
+            reports.push(r);
+            if solved {
+                break;
+            }
+        }
+        Ok(self.into_report(reports))
+    }
+
+    fn into_report(self, generations: Vec<GenerationReport>) -> RunReport {
+        RunReport::from_parts(
+            self.config.workload,
+            self.config.topology.name(),
+            self.config.n_agents,
+            generations,
+            self.orchestrator.ledger().clone(),
+        )
+        .with_energy(clan_hw::EnergyModel::for_kind(self.config.platform))
+    }
+}
+
+/// Builder for [`ClanDriver`]; see [`ClanDriver::builder`].
+#[derive(Debug, Clone)]
+pub struct ClanDriverBuilder {
+    workload: Workload,
+    topology: ClanTopology,
+    n_agents: usize,
+    population_size: usize,
+    seed: u64,
+    mode: InferenceMode,
+    episodes_per_eval: u32,
+    platform: PlatformKind,
+    net: WifiModel,
+    resync_every: Option<u64>,
+    neat_config: Option<NeatConfig>,
+}
+
+impl ClanDriverBuilder {
+    /// Defaults: serial topology, 1 agent, the paper's population of 150,
+    /// multi-step inference on Raspberry Pis over the measured WiFi.
+    pub fn new(workload: Workload) -> ClanDriverBuilder {
+        ClanDriverBuilder {
+            workload,
+            topology: ClanTopology::serial(),
+            n_agents: 1,
+            population_size: 150,
+            seed: 0,
+            mode: InferenceMode::MultiStep,
+            episodes_per_eval: 1,
+            platform: PlatformKind::RaspberryPi,
+            net: WifiModel::default(),
+            resync_every: None,
+            neat_config: None,
+        }
+    }
+
+    /// Sets the CLAN configuration.
+    pub fn topology(mut self, topology: ClanTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the number of agents.
+    pub fn agents(mut self, n: usize) -> Self {
+        self.n_agents = n;
+        self
+    }
+
+    /// Sets the total population size.
+    pub fn population_size(mut self, n: usize) -> Self {
+        self.population_size = n;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches to single-step inference (Figures 8–10).
+    pub fn single_step(mut self) -> Self {
+        self.mode = InferenceMode::SingleStep;
+        self
+    }
+
+    /// Averages each genome's fitness over `n` episodes (default 1).
+    pub fn episodes_per_eval(mut self, n: u32) -> Self {
+        self.episodes_per_eval = n;
+        self
+    }
+
+    /// Sets the node platform (default Raspberry Pi).
+    pub fn platform(mut self, platform: PlatformKind) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the network model (default: the paper's measured WiFi).
+    pub fn net(mut self, net: WifiModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// DDA-only: enables periodic global speciation every `g` generations.
+    pub fn resync_every(mut self, g: u64) -> Self {
+        self.resync_every = Some(g);
+        self
+    }
+
+    /// Overrides the full NEAT configuration (I/O dims must match the
+    /// workload; population size is taken from this config).
+    pub fn neat_config(mut self, cfg: NeatConfig) -> Self {
+        self.population_size = cfg.population_size;
+        self.neat_config = Some(cfg);
+        self
+    }
+
+    /// Validates and constructs the driver.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] on inconsistent topology/agents, and
+    /// [`ClanError::Neat`] on invalid NEAT configuration.
+    pub fn build(self) -> Result<ClanDriver, ClanError> {
+        if self.n_agents == 0 {
+            return Err(ClanError::InvalidSetup {
+                reason: "at least one agent is required".into(),
+            });
+        }
+        if let SpeciationMode::Asynchronous { clans } = self.topology.speciation {
+            if clans != self.n_agents {
+                return Err(ClanError::InvalidSetup {
+                    reason: format!(
+                        "DDA runs one clan per agent: {clans} clans vs {} agents",
+                        self.n_agents
+                    ),
+                });
+            }
+        }
+        let cfg = match self.neat_config {
+            Some(cfg) => {
+                if cfg.num_inputs != self.workload.obs_dim()
+                    || cfg.num_outputs != self.workload.n_actions()
+                {
+                    return Err(ClanError::InvalidSetup {
+                        reason: format!(
+                            "NEAT dims {}x{} do not match workload {} ({}x{})",
+                            cfg.num_inputs,
+                            cfg.num_outputs,
+                            self.workload,
+                            self.workload.obs_dim(),
+                            self.workload.n_actions()
+                        ),
+                    });
+                }
+                cfg.validate().map_err(ClanError::from)?;
+                cfg
+            }
+            None => NeatConfig::builder(self.workload.obs_dim(), self.workload.n_actions())
+                .population_size(self.population_size)
+                .build()?,
+        };
+        if self.episodes_per_eval == 0 {
+            return Err(ClanError::InvalidSetup {
+                reason: "episodes_per_eval must be at least 1".into(),
+            });
+        }
+        let platform = Platform::new(self.platform);
+        let cluster = Cluster::homogeneous(platform, self.n_agents, self.net);
+        let evaluator = Evaluator::with_episodes(self.workload, self.mode, self.episodes_per_eval);
+
+        let orchestrator: Box<dyn Orchestrator> = match (
+            self.topology == ClanTopology::serial(),
+            self.topology.speciation,
+        ) {
+            (true, _) => Box::new(SerialOrchestrator::new(
+                Population::new(cfg.clone(), self.seed),
+                evaluator,
+                cluster,
+            )),
+            (false, SpeciationMode::Synchronous) => {
+                if self.topology == ClanTopology::dcs() {
+                    Box::new(DcsOrchestrator::new(
+                        Population::new(cfg.clone(), self.seed),
+                        evaluator,
+                        cluster,
+                    ))
+                } else if self.topology == ClanTopology::dds() {
+                    Box::new(DdsOrchestrator::new(
+                        Population::new(cfg.clone(), self.seed),
+                        evaluator,
+                        cluster,
+                    ))
+                } else {
+                    return Err(ClanError::InvalidSetup {
+                        reason: format!("unsupported topology {}", self.topology),
+                    });
+                }
+            }
+            (false, SpeciationMode::Asynchronous { .. }) => {
+                let mut dda = DdaOrchestrator::new(cfg.clone(), evaluator, cluster, self.seed)?;
+                if let Some(r) = self.resync_every {
+                    dda = dda.with_resync_every(r);
+                }
+                Box::new(dda)
+            }
+        };
+
+        Ok(ClanDriver {
+            config: DriverConfig {
+                workload: self.workload,
+                topology: self.topology,
+                n_agents: self.n_agents,
+                population_size: cfg.population_size,
+                seed: self.seed,
+                mode: self.mode,
+                episodes_per_eval: self.episodes_per_eval,
+                platform: self.platform,
+                net: self.net,
+                resync_every: self.resync_every,
+            },
+            orchestrator,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_paper_defaults() {
+        let d = ClanDriver::builder(Workload::CartPole)
+            .population_size(16)
+            .build()
+            .unwrap();
+        assert_eq!(d.config().n_agents, 1);
+        assert_eq!(d.config().topology, ClanTopology::serial());
+        assert_eq!(d.config().platform, PlatformKind::RaspberryPi);
+    }
+
+    #[test]
+    fn dda_clans_must_match_agents() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .topology(ClanTopology::dda(4))
+            .agents(3)
+            .population_size(16)
+            .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
+    }
+
+    #[test]
+    fn zero_agents_rejected() {
+        let err = ClanDriver::builder(Workload::CartPole).agents(0).build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
+    }
+
+    #[test]
+    fn mismatched_neat_dims_rejected() {
+        let cfg = NeatConfig::builder(2, 2).population_size(10).build().unwrap();
+        let err = ClanDriver::builder(Workload::CartPole).neat_config(cfg).build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
+    }
+
+    #[test]
+    fn run_produces_report() {
+        let report = ClanDriver::builder(Workload::CartPole)
+            .topology(ClanTopology::dcs())
+            .agents(3)
+            .population_size(12)
+            .seed(1)
+            .build()
+            .unwrap()
+            .run(2)
+            .unwrap();
+        assert_eq!(report.generations.len(), 2);
+        assert_eq!(report.topology_name, "CLAN_DCS");
+        assert!(report.total_timeline.total_s() > 0.0);
+    }
+
+    #[test]
+    fn run_until_solved_stops_early() {
+        // Single-step CartPole fitness is 1.0 < 195, so this must hit the cap;
+        // multi-step with a healthy population usually solves quickly.
+        let report = ClanDriver::builder(Workload::CartPole)
+            .population_size(64)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run_until_solved(30)
+            .unwrap();
+        if let Some(g) = report.solved_at_generation {
+            assert_eq!(report.generations.last().unwrap().generation, g);
+        } else {
+            assert_eq!(report.generations.len(), 30);
+        }
+    }
+
+    #[test]
+    fn all_topologies_build_and_step() {
+        for topo in [
+            ClanTopology::serial(),
+            ClanTopology::dcs(),
+            ClanTopology::dds(),
+            ClanTopology::dda(2),
+        ] {
+            let agents = topo.clan_count().max(2);
+            let report = ClanDriver::builder(Workload::MountainCar)
+                .topology(topo)
+                .agents(if topo == ClanTopology::serial() { 1 } else { agents })
+                .population_size(12)
+                .seed(4)
+                .build()
+                .unwrap()
+                .run(1)
+                .unwrap();
+            assert_eq!(report.generations.len(), 1, "{topo}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for CLAN orchestration.
+
+use clan_neat::NeatError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a CLAN deployment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClanError {
+    /// Underlying NEAT error (bad config, missing fitness, extinction).
+    Neat(NeatError),
+    /// A driver/topology configuration problem.
+    InvalidSetup {
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// The threaded runtime lost contact with a worker.
+    WorkerFailure {
+        /// Index of the failed agent.
+        agent: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClanError::Neat(e) => write!(f, "neat error: {e}"),
+            ClanError::InvalidSetup { reason } => write!(f, "invalid setup: {reason}"),
+            ClanError::WorkerFailure { agent, reason } => {
+                write!(f, "worker {agent} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ClanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClanError::Neat(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NeatError> for ClanError {
+    fn from(e: NeatError) -> Self {
+        ClanError::Neat(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neat_error_wraps_with_source() {
+        let e = ClanError::from(NeatError::Extinction);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("extinct"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClanError>();
+    }
+}

@@ -1,0 +1,202 @@
+//! Genome evaluation on workloads: the Inference block.
+//!
+//! Every CLAN configuration evaluates genomes the same way — compile the
+//! genome, drive the environment with the argmax policy, accumulate
+//! reward for up to 200 timesteps (the paper's cap). Figures 8–10 also
+//! use a *single-step* mode that activates each genome once per
+//! generation, modeling deployments (e.g. robotics) where repeated
+//! multi-step rollouts per generation are unavailable (§IV-D).
+
+use clan_envs::{run_episode, Environment, Workload};
+use clan_neat::population::Evaluation;
+use clan_neat::rng::{derive_seed, OpTag};
+use clan_neat::{FeedForwardNetwork, GenomeId};
+use serde::{Deserialize, Serialize};
+
+/// How many environment steps each genome gets per generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InferenceMode {
+    /// Full episodes capped at the workload's step limit (paper default).
+    MultiStep,
+    /// One activation per genome per generation (§IV-D's stress mode).
+    SingleStep,
+}
+
+impl InferenceMode {
+    /// The step cap this mode imposes for `workload`.
+    pub fn max_steps(self, workload: Workload) -> u64 {
+        match self {
+            InferenceMode::MultiStep => workload.max_steps(),
+            InferenceMode::SingleStep => 1,
+        }
+    }
+}
+
+/// Evaluates genomes on one workload, reusing a single environment
+/// instance.
+pub struct Evaluator {
+    workload: Workload,
+    mode: InferenceMode,
+    episodes: u32,
+    env: Box<dyn Environment>,
+}
+
+impl std::fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("workload", &self.workload)
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Evaluator {
+    /// Creates an evaluator for `workload` in `mode`, scoring each genome
+    /// on a single episode.
+    pub fn new(workload: Workload, mode: InferenceMode) -> Evaluator {
+        Evaluator::with_episodes(workload, mode, 1)
+    }
+
+    /// Creates an evaluator that scores each genome as the *mean* over
+    /// `episodes` episodes (distinct seeds). Averaging removes
+    /// single-episode luck, which matters for convergence studies like
+    /// the paper's Figure 7(b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `episodes` is zero.
+    pub fn with_episodes(workload: Workload, mode: InferenceMode, episodes: u32) -> Evaluator {
+        assert!(episodes > 0, "an evaluation needs at least one episode");
+        Evaluator {
+            workload,
+            mode,
+            episodes,
+            env: workload.make(),
+        }
+    }
+
+    /// Episodes averaged per evaluation.
+    pub fn episodes(&self) -> u32 {
+        self.episodes
+    }
+
+    /// The workload being evaluated.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The inference mode in force.
+    pub fn mode(&self) -> InferenceMode {
+        self.mode
+    }
+
+    /// Deterministic episode seed for a genome: derived from the run's
+    /// master seed, the generation, and the genome id — so the same
+    /// genome gets the same episode wherever it is evaluated.
+    pub fn episode_seed(master_seed: u64, generation: u64, genome: GenomeId) -> u64 {
+        derive_seed(master_seed, &[generation, genome.0, OpTag::Environment as u64])
+    }
+
+    /// Runs the configured number of episodes and returns the mean
+    /// fitness with the summed activation count.
+    pub fn evaluate(&mut self, net: &FeedForwardNetwork, episode_seed: u64) -> Evaluation {
+        let max_steps = self.mode.max_steps(self.workload);
+        let mut total_reward = 0.0;
+        let mut activations = 0;
+        for ep in 0..self.episodes {
+            let seed = if self.episodes == 1 {
+                episode_seed
+            } else {
+                derive_seed(episode_seed, &[ep as u64])
+            };
+            let outcome =
+                run_episode(self.env.as_mut(), seed, max_steps, |obs| net.act_argmax(obs));
+            total_reward += outcome.total_reward;
+            activations += outcome.steps;
+        }
+        Evaluation {
+            fitness: total_reward / self.episodes as f64,
+            activations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clan_neat::{Genome, NeatConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net_for(workload: Workload, seed: u64) -> (NeatConfig, FeedForwardNetwork) {
+        let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+            .build()
+            .unwrap();
+        let g = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(seed));
+        let net = FeedForwardNetwork::compile(&g, &cfg);
+        (cfg, net)
+    }
+
+    #[test]
+    fn multi_step_runs_up_to_cap() {
+        let (_, net) = net_for(Workload::CartPole, 1);
+        let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+        let e = ev.evaluate(&net, 42);
+        assert!(e.activations >= 1 && e.activations <= 200);
+        assert_eq!(e.fitness, e.activations as f64);
+    }
+
+    #[test]
+    fn single_step_is_one_activation() {
+        let (_, net) = net_for(Workload::AirRaid, 2);
+        let mut ev = Evaluator::new(Workload::AirRaid, InferenceMode::SingleStep);
+        let e = ev.evaluate(&net, 42);
+        assert_eq!(e.activations, 1);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let (_, net) = net_for(Workload::LunarLander, 3);
+        let mut a = Evaluator::new(Workload::LunarLander, InferenceMode::MultiStep);
+        let mut b = Evaluator::new(Workload::LunarLander, InferenceMode::MultiStep);
+        assert_eq!(a.evaluate(&net, 7), b.evaluate(&net, 7));
+    }
+
+    #[test]
+    fn episode_seed_varies_by_genome_and_generation() {
+        let s1 = Evaluator::episode_seed(1, 0, GenomeId(0));
+        let s2 = Evaluator::episode_seed(1, 0, GenomeId(1));
+        let s3 = Evaluator::episode_seed(1, 1, GenomeId(0));
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_eq!(s1, Evaluator::episode_seed(1, 0, GenomeId(0)));
+    }
+
+    #[test]
+    fn evaluator_reusable_across_genomes() {
+        let mut ev = Evaluator::new(Workload::MountainCar, InferenceMode::MultiStep);
+        for seed in 0..5 {
+            let (_, net) = net_for(Workload::MountainCar, seed);
+            let e = ev.evaluate(&net, seed);
+            assert!(e.fitness <= 0.0, "mountain car rewards are negative");
+        }
+    }
+
+    #[test]
+    fn multi_episode_mean_and_summed_activations() {
+        let (_, net) = net_for(Workload::CartPole, 4);
+        let mut one = Evaluator::with_episodes(Workload::CartPole, InferenceMode::MultiStep, 1);
+        let mut three = Evaluator::with_episodes(Workload::CartPole, InferenceMode::MultiStep, 3);
+        let e1 = one.evaluate(&net, 7);
+        let e3 = three.evaluate(&net, 7);
+        assert!(e3.activations >= e1.activations, "episodes accumulate steps");
+        // Mean fitness for CartPole equals mean episode length.
+        assert!((e3.fitness * 3.0 - e3.activations as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one episode")]
+    fn zero_episodes_rejected() {
+        Evaluator::with_episodes(Workload::CartPole, InferenceMode::MultiStep, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # clan-core — Collaborative Learning using Asynchronous Neuroevolution
+//!
+//! The paper's contribution: orchestrating NEAT across a cluster of edge
+//! devices under three distribution strategies, named `CLAN_<IRS>` for how
+//! **I**nference, **R**eproduction, and **S**peciation are placed:
+//!
+//! | Config | Inference | Reproduction | Speciation |
+//! |--------|-----------|--------------|------------|
+//! | Serial | central | central | synchronous |
+//! | `CLAN_DCS` | **distributed** | central | synchronous |
+//! | `CLAN_DDS` | **distributed** | **distributed** | synchronous |
+//! | `CLAN_DDA` | **distributed** | **distributed** | **asynchronous** (per-clan) |
+//!
+//! Every orchestrator runs the *real* NEAT algorithm (from `clan-neat`) on
+//! real environments (from `clan-envs`) while simultaneously accounting:
+//!
+//! - gene-level compute costs per block (paper Fig 3),
+//! - per-message-kind communication (Fig 4),
+//! - a simulated cluster timeline from the platform and WiFi models
+//!   (Figs 5–11).
+//!
+//! Serial, DCS, and DDS are *bit-identical* in their evolutionary
+//! trajectory for a given seed (order-independent RNG); DDA is a genuinely
+//! different algorithm — that's the paper's accuracy-vs-scalability
+//! trade-off (Fig 7b).
+//!
+//! Beyond the analytic cluster model, [`runtime`] provides a real
+//! multi-threaded edge cluster (one thread per agent, message passing via
+//! channels) demonstrating that the protocols execute, and [`continuous`]
+//! implements the paper's Figure-1 closed loop: deploy an expert, watch
+//! its fitness, re-learn when the environment shifts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod continuous;
+pub mod dcs;
+pub mod dda;
+pub mod dds;
+pub mod driver;
+pub mod error;
+pub mod evaluator;
+pub mod orchestra;
+pub mod report;
+pub mod runtime;
+pub mod serial;
+pub mod topology;
+
+pub use continuous::{ContinuousLearner, LearningEvent, MonitorConfig, TaskOutcome};
+pub use dcs::DcsOrchestrator;
+pub use dda::DdaOrchestrator;
+pub use dds::DdsOrchestrator;
+pub use driver::{ClanDriver, ClanDriverBuilder, DriverConfig};
+pub use error::ClanError;
+pub use evaluator::{Evaluator, InferenceMode};
+pub use orchestra::{GenerationReport, Orchestrator};
+pub use report::RunReport;
+pub use serial::SerialOrchestrator;
+pub use topology::{ClanTopology, Placement, SpeciationMode};

@@ -1,0 +1,299 @@
+//! The orchestrator interface and machinery shared by all CLAN
+//! configurations: partitioned evaluation with per-agent gene accounting,
+//! communication-phase bookkeeping, and central evolution.
+
+use crate::error::ClanError;
+use crate::evaluator::Evaluator;
+use crate::topology::ClanTopology;
+use clan_distsim::{Cluster, GenerationTimeline, TimelineRecorder};
+use clan_neat::counters::GenerationCosts;
+use clan_neat::{Genome, GenomeId, NeatError, Population};
+use clan_netsim::{CommLedger, MessageKind};
+use serde::{Deserialize, Serialize};
+
+/// Floats of framing (genome id + length) accompanying a genome transfer.
+pub(crate) const GENOME_HEADER_FLOATS: u64 = 2;
+/// Floats per fitness report entry (genome id + fitness).
+pub(crate) const FITNESS_ENTRY_FLOATS: u64 = 2;
+/// Floats per spawn-count entry (species id + count).
+pub(crate) const SPAWN_ENTRY_FLOATS: u64 = 2;
+/// Floats per child spec in a parent list (child id + two parent ids).
+pub(crate) const PARENT_LIST_ENTRY_FLOATS: u64 = 3;
+
+/// Summary of one generation under any orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationReport {
+    /// Generation index that was just evaluated and evolved.
+    pub generation: u64,
+    /// Best fitness observed in the evaluated population.
+    pub best_fitness: f64,
+    /// Species alive after speciation (summed over clans for DDA).
+    pub num_species: usize,
+    /// Simulated cluster timeline of the generation.
+    pub timeline: GenerationTimeline,
+    /// Gene-level compute costs of the generation.
+    pub costs: GenerationCosts,
+    /// Whether a population (or clan) went extinct and was re-seeded.
+    pub extinction: bool,
+}
+
+/// A CLAN configuration driving real NEAT evolution while accounting the
+/// simulated cluster's time and traffic.
+pub trait Orchestrator {
+    /// The configuration this orchestrator implements.
+    fn topology(&self) -> ClanTopology;
+
+    /// The simulated cluster.
+    fn cluster(&self) -> &Cluster;
+
+    /// Runs one full generation (inference + evolution + communication).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClanError`] on unrecoverable NEAT failures (extinction is
+    /// handled internally when `reset_on_extinction` is set).
+    fn step_generation(&mut self) -> Result<GenerationReport, ClanError>;
+
+    /// Best genome observed so far across the whole run.
+    fn best_ever(&self) -> Option<&Genome>;
+
+    /// Communication ledger for the run so far.
+    fn ledger(&self) -> &CommLedger;
+
+    /// Timeline recorder for the run so far.
+    fn recorder(&self) -> &TimelineRecorder;
+
+    /// Total genomes under evolution.
+    fn population_size(&self) -> usize;
+}
+
+/// Splits the ordered id list into contiguous per-agent chunks of the
+/// given sizes.
+pub(crate) fn chunk_ids(ids: &[GenomeId], counts: &[usize]) -> Vec<Vec<GenomeId>> {
+    debug_assert_eq!(counts.iter().sum::<usize>(), ids.len());
+    let mut chunks = Vec::with_capacity(counts.len());
+    let mut start = 0;
+    for &c in counts {
+        chunks.push(ids[start..start + c].to_vec());
+        start += c;
+    }
+    chunks
+}
+
+/// Communication bookkeeping: records every message in the ledger and
+/// returns the simulated time the shared medium was busy.
+#[derive(Debug, Default)]
+pub(crate) struct Comm {
+    ledger: CommLedger,
+}
+
+impl Comm {
+    pub(crate) fn new() -> Comm {
+        Comm::default()
+    }
+
+    pub(crate) fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// One communication phase: opens `channels` center↔agent channels
+    /// and sends one message per payload (in floats/genes). Returns the
+    /// phase's simulated duration.
+    pub(crate) fn phase<I>(
+        &mut self,
+        cluster: &Cluster,
+        kind: MessageKind,
+        channels: usize,
+        payload_floats: I,
+    ) -> f64
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut time = cluster.net().channel_setup_s * channels as f64;
+        for floats in payload_floats {
+            self.ledger.record(kind, floats);
+            time += cluster.net().gene_transfer_time_s(floats);
+        }
+        time
+    }
+}
+
+/// Evaluates the population with genomes partitioned into per-agent
+/// chunks; returns the inference genes processed by each agent.
+///
+/// Fitness is written back into the population and the population's cost
+/// counters are charged, so Figure-3 style accounting stays correct no
+/// matter which configuration ran the inference.
+pub(crate) fn evaluate_partitioned(
+    pop: &mut Population,
+    evaluator: &mut Evaluator,
+    counts: &[usize],
+) -> Vec<u64> {
+    let master = pop.master_seed();
+    let generation = pop.generation();
+    let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
+    let chunks = chunk_ids(&ids, counts);
+    let cfg = pop.config().clone();
+    let mut genes_per_agent = Vec::with_capacity(chunks.len());
+    for chunk in &chunks {
+        let mut agent_genes = 0u64;
+        for &id in chunk {
+            let genome = pop.genome(id).expect("chunk ids come from population");
+            let net = clan_neat::FeedForwardNetwork::compile(genome, &cfg);
+            let seed = Evaluator::episode_seed(master, generation, id);
+            let eval = evaluator.evaluate(&net, seed);
+            let genes = eval.activations * net.genes_per_activation();
+            agent_genes += genes;
+            pop.counters_mut().record_inference(genes);
+            pop.counters_mut().record_episode();
+            pop.set_fitness(id, eval.fitness)
+                .expect("id comes from population");
+        }
+        genes_per_agent.push(agent_genes);
+    }
+    genes_per_agent
+}
+
+/// Outcome of running speciation + planning + reproduction centrally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CentralEvolution {
+    pub speciation_genes: u64,
+    pub reproduction_genes: u64,
+    pub num_species: usize,
+    pub extinction: bool,
+}
+
+/// Runs the full central evolution path (serial and DCS): speciate, plan,
+/// reproduce, install. Handles extinction per the config.
+pub(crate) fn central_evolution(pop: &mut Population) -> Result<CentralEvolution, ClanError> {
+    let speciation = pop.speciate();
+    let repro_before = pop.counters().current().reproduction_genes;
+    let (num_species, extinction) = match pop.plan_generation() {
+        Ok(plan) => {
+            let children = pop.reproduce_centrally(&plan);
+            pop.install_next_generation(children);
+            (speciation.species_count, false)
+        }
+        Err(NeatError::Extinction) => {
+            if !pop.config().reset_on_extinction {
+                return Err(NeatError::Extinction.into());
+            }
+            pop.reset_population();
+            (0, true)
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let reproduction_genes = pop.counters().current().reproduction_genes - repro_before;
+    Ok(CentralEvolution {
+        speciation_genes: speciation.genes_processed,
+        reproduction_genes,
+        num_species,
+        extinction,
+    })
+}
+
+/// Helper shared by orchestrators: update the best-ever genome tracker
+/// from an evaluated population.
+pub(crate) fn track_best(best_ever: &mut Option<Genome>, pop: &Population) {
+    if let Some(best) = pop.best() {
+        let new_f = best.fitness().expect("best() implies fitness");
+        let cur_f = best_ever.as_ref().and_then(Genome::fitness);
+        if cur_f.is_none_or(|c| new_f > c) {
+            *best_ever = Some(best.clone());
+        }
+    }
+}
+
+/// Genome transfer payload in floats: its genes plus framing.
+pub(crate) fn genome_payload(genome: &Genome) -> u64 {
+    genome.num_genes() + GENOME_HEADER_FLOATS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::InferenceMode;
+    use clan_envs::Workload;
+    use clan_hw::Platform;
+    use clan_neat::NeatConfig;
+    use clan_netsim::WifiModel;
+
+    fn small_pop(n: usize, seed: u64) -> Population {
+        let cfg = NeatConfig::builder(4, 2).population_size(n).build().unwrap();
+        Population::new(cfg, seed)
+    }
+
+    #[test]
+    fn chunk_ids_contiguous() {
+        let ids: Vec<GenomeId> = (0..10).map(GenomeId).collect();
+        let chunks = chunk_ids(&ids, &[4, 3, 3]);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1][0], GenomeId(4));
+        assert_eq!(chunks[2][2], GenomeId(9));
+    }
+
+    #[test]
+    fn comm_phase_records_and_times() {
+        let cluster = Cluster::homogeneous(Platform::raspberry_pi(), 3, WifiModel::default());
+        let mut comm = Comm::new();
+        let t = comm.phase(&cluster, MessageKind::SendFitness, 3, vec![10, 10, 10]);
+        assert!(t > 3.0 * cluster.net().channel_setup_s);
+        assert_eq!(comm.ledger().entry(MessageKind::SendFitness).floats, 30);
+        assert_eq!(comm.ledger().entry(MessageKind::SendFitness).messages, 3);
+    }
+
+    #[test]
+    fn evaluate_partitioned_sets_all_fitness() {
+        let mut pop = small_pop(10, 1);
+        let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+        let genes = evaluate_partitioned(&mut pop, &mut ev, &[4, 3, 3]);
+        assert_eq!(genes.len(), 3);
+        assert!(genes.iter().all(|&g| g > 0));
+        assert!(pop.genomes().values().all(|g| g.fitness().is_some()));
+        assert_eq!(pop.counters().current().episodes, 10);
+    }
+
+    #[test]
+    fn evaluate_partitioned_identical_regardless_of_partition() {
+        let run = |counts: &[usize]| {
+            let mut pop = small_pop(12, 2);
+            let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+            evaluate_partitioned(&mut pop, &mut ev, counts);
+            pop.genomes()
+                .values()
+                .map(|g| g.fitness().unwrap())
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(&[12]), run(&[4, 4, 4]));
+        assert_eq!(run(&[12]), run(&[6, 3, 2, 1]));
+    }
+
+    #[test]
+    fn central_evolution_advances_population() {
+        let mut pop = small_pop(12, 3);
+        let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+        evaluate_partitioned(&mut pop, &mut ev, &[12]);
+        let out = central_evolution(&mut pop).unwrap();
+        assert!(out.num_species >= 1);
+        assert!(out.speciation_genes > 0);
+        assert!(out.reproduction_genes > 0);
+        assert!(!out.extinction);
+        assert_eq!(pop.generation(), 1);
+    }
+
+    #[test]
+    fn track_best_keeps_maximum() {
+        let mut pop = small_pop(5, 4);
+        let mut best = None;
+        let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+        evaluate_partitioned(&mut pop, &mut ev, &[5]);
+        track_best(&mut best, &pop);
+        let first = best.as_ref().unwrap().fitness().unwrap();
+        // A worse population later must not displace the best.
+        for id in pop.genomes().keys().copied().collect::<Vec<_>>() {
+            pop.set_fitness(id, -100.0).unwrap();
+        }
+        track_best(&mut best, &pop);
+        assert_eq!(best.unwrap().fitness().unwrap(), first);
+    }
+}

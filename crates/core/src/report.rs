@@ -1,0 +1,223 @@
+//! Run reports: everything a CLAN run produces, ready for the benches.
+
+use crate::orchestra::GenerationReport;
+use clan_distsim::GenerationTimeline;
+use clan_envs::Workload;
+use clan_netsim::CommLedger;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Complete record of one CLAN run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Workload evaluated.
+    pub workload: Workload,
+    /// Configuration name (`Serial`, `CLAN_DCS`, ...).
+    pub topology_name: String,
+    /// Agents in the simulated cluster.
+    pub n_agents: usize,
+    /// Per-generation reports, in order.
+    pub generations: Vec<GenerationReport>,
+    /// Communication ledger over the whole run.
+    pub ledger: CommLedger,
+    /// Sum of all generation timelines.
+    pub total_timeline: GenerationTimeline,
+    /// Mean generation timeline.
+    pub mean_timeline: GenerationTimeline,
+    /// Best fitness observed across the run.
+    pub best_fitness: f64,
+    /// First generation whose best fitness reached the workload's
+    /// convergence score, if any.
+    pub solved_at_generation: Option<u64>,
+    /// Estimated cluster energy over the run, joules (0 until
+    /// [`with_energy`](RunReport::with_energy) is applied — the driver
+    /// does this automatically).
+    pub total_energy_j: f64,
+}
+
+impl RunReport {
+    /// Assembles a report from a finished run's parts.
+    pub fn from_parts(
+        workload: Workload,
+        topology_name: String,
+        n_agents: usize,
+        generations: Vec<GenerationReport>,
+        ledger: CommLedger,
+    ) -> RunReport {
+        let total_timeline = generations
+            .iter()
+            .fold(GenerationTimeline::default(), |acc, g| acc + g.timeline);
+        let n = generations.len().max(1) as f64;
+        let mean_timeline = GenerationTimeline {
+            inference_s: total_timeline.inference_s / n,
+            evolution_s: total_timeline.evolution_s / n,
+            communication_s: total_timeline.communication_s / n,
+        };
+        let best_fitness = generations
+            .iter()
+            .map(|g| g.best_fitness)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let solved_at_generation = generations
+            .iter()
+            .find(|g| g.best_fitness >= workload.solved_at())
+            .map(|g| g.generation);
+        RunReport {
+            workload,
+            topology_name,
+            n_agents,
+            generations,
+            ledger,
+            total_timeline,
+            mean_timeline,
+            best_fitness,
+            solved_at_generation,
+            total_energy_j: 0.0,
+        }
+    }
+
+    /// Fills in the energy estimate: every node draws active power during
+    /// the compute phases (they work their partitions in parallel) and
+    /// idle power while the medium is busy.
+    pub fn with_energy(mut self, model: clan_hw::EnergyModel) -> RunReport {
+        let busy = self.total_timeline.inference_s + self.total_timeline.evolution_s;
+        let idle = self.total_timeline.communication_s;
+        self.total_energy_j = self.n_agents as f64 * model.energy_j(busy, idle);
+        self
+    }
+
+    /// Mean energy per generation, joules.
+    pub fn mean_generation_energy_j(&self) -> f64 {
+        self.total_energy_j / self.generations.len().max(1) as f64
+    }
+
+    /// Average seconds per generation (the paper's Fig 11 y-axis).
+    pub fn mean_generation_s(&self) -> f64 {
+        self.mean_timeline.total_s()
+    }
+
+    /// Human-readable run summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} on {} with {} agent(s): {} generations",
+            self.topology_name,
+            self.workload,
+            self.n_agents,
+            self.generations.len()
+        );
+        let _ = writeln!(
+            s,
+            "  best fitness {:.2} (solved at {:?})",
+            self.best_fitness, self.solved_at_generation
+        );
+        let _ = writeln!(
+            s,
+            "  mean generation: {:.3} s (inference {:.3}, evolution {:.3}, comm {:.3})",
+            self.mean_timeline.total_s(),
+            self.mean_timeline.inference_s,
+            self.mean_timeline.evolution_s,
+            self.mean_timeline.communication_s
+        );
+        let _ = writeln!(s, "  comm: {} floats in {} messages", self.ledger.total_floats(), self.ledger.total_messages());
+        s
+    }
+}
+
+/// Renders an ASCII table: header row plus data rows, columns padded.
+///
+/// Shared by the figure binaries so every experiment prints uniformly.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let _ = write!(line, "{:>width$}", c, width = widths[i]);
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clan_neat::counters::GenerationCosts;
+
+    fn gen_report(generation: u64, best: f64) -> GenerationReport {
+        GenerationReport {
+            generation,
+            best_fitness: best,
+            num_species: 2,
+            timeline: GenerationTimeline {
+                inference_s: 1.0,
+                evolution_s: 0.5,
+                communication_s: 0.25,
+            },
+            costs: GenerationCosts::default(),
+            extinction: false,
+        }
+    }
+
+    #[test]
+    fn from_parts_aggregates() {
+        let r = RunReport::from_parts(
+            Workload::CartPole,
+            "CLAN_DCS".into(),
+            4,
+            vec![gen_report(0, 10.0), gen_report(1, 200.0)],
+            CommLedger::new(),
+        );
+        assert_eq!(r.best_fitness, 200.0);
+        assert_eq!(r.solved_at_generation, Some(1));
+        assert!((r.total_timeline.total_s() - 3.5).abs() < 1e-12);
+        assert!((r.mean_generation_s() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsolved_run_has_no_convergence_generation() {
+        let r = RunReport::from_parts(
+            Workload::CartPole,
+            "Serial".into(),
+            1,
+            vec![gen_report(0, 10.0)],
+            CommLedger::new(),
+        );
+        assert_eq!(r.solved_at_generation, None);
+        assert!(r.summary().contains("Serial"));
+    }
+
+    #[test]
+    fn text_table_alignment() {
+        let t = text_table(
+            &["n", "time"],
+            &[
+                vec!["1".into(), "10.0".into()],
+                vec!["100".into(), "3.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n'));
+        assert!(lines[2].ends_with("10.0"));
+    }
+}

@@ -1,0 +1,428 @@
+//! A real multi-threaded edge cluster: one OS thread per agent,
+//! message-passing over channels.
+//!
+//! The analytic simulator (`clan-distsim`) models *time*; this runtime
+//! demonstrates that the CLAN protocols actually *execute* — genomes are
+//! shipped to workers, evaluated in true parallelism, children are built
+//! remotely from serialized [`ChildSpec`]s, and the deterministic RNG
+//! discipline makes the distributed result bit-identical to a serial run
+//! (asserted in tests).
+
+use crate::error::ClanError;
+use crate::evaluator::{Evaluator, InferenceMode};
+use clan_envs::Workload;
+use clan_neat::reproduction::{make_child, ChildSpec};
+use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Population};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+/// Work order sent to an agent.
+#[derive(Debug, Clone)]
+enum Request {
+    Evaluate {
+        genomes: Vec<Genome>,
+        generation: u64,
+        master_seed: u64,
+    },
+    BuildChildren {
+        specs: Vec<ChildSpec>,
+        parents: Vec<Genome>,
+        generation: u64,
+        master_seed: u64,
+    },
+    Shutdown,
+}
+
+/// Result returned by an agent.
+#[derive(Debug, Clone)]
+enum Response {
+    Fitness(Vec<(GenomeId, f64)>),
+    Children(Vec<Genome>),
+}
+
+struct Worker {
+    tx: Sender<Request>,
+    rx: Receiver<Response>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A live cluster of worker threads evaluating and reproducing genomes.
+///
+/// Use [`evaluate`](EdgeCluster::evaluate) and
+/// [`build_children`](EdgeCluster::build_children) as the distributed
+/// counterparts of `Population::evaluate` and
+/// `Population::reproduce_centrally`. Call
+/// [`shutdown`](EdgeCluster::shutdown) for an orderly stop; dropping the
+/// cluster also stops it.
+pub struct EdgeCluster {
+    workers: Vec<Worker>,
+    cfg: NeatConfig,
+}
+
+impl std::fmt::Debug for EdgeCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeCluster")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EdgeCluster {
+    /// Spawns `n_agents` worker threads for `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_agents` is zero.
+    pub fn spawn(
+        n_agents: usize,
+        workload: Workload,
+        mode: InferenceMode,
+        cfg: NeatConfig,
+    ) -> EdgeCluster {
+        assert!(n_agents > 0, "cluster needs at least one agent");
+        let workers = (0..n_agents)
+            .map(|i| {
+                let (req_tx, req_rx) = unbounded::<Request>();
+                let (resp_tx, resp_rx) = unbounded::<Response>();
+                let worker_cfg = cfg.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("clan-agent-{i}"))
+                    .spawn(move || worker_loop(req_rx, resp_tx, workload, mode, worker_cfg))
+                    .expect("spawning agent thread");
+                Worker {
+                    tx: req_tx,
+                    rx: resp_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        EdgeCluster { workers, cfg }
+    }
+
+    /// Number of live agents.
+    pub fn n_agents(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Distributed inference: scatters the population's genomes across
+    /// agents, gathers fitness, and writes it back — the runtime
+    /// equivalent of CLAN_DCS's inference phase.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::WorkerFailure`] if an agent disconnected.
+    pub fn evaluate(&self, pop: &mut Population) -> Result<(), ClanError> {
+        let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
+        let n = self.workers.len();
+        let master_seed = pop.master_seed();
+        let generation = pop.generation();
+        // Scatter contiguous chunks.
+        let per = ids.len().div_ceil(n);
+        let mut sent = 0usize;
+        for (w, chunk) in self.workers.iter().zip(ids.chunks(per.max(1))) {
+            let genomes = chunk
+                .iter()
+                .map(|id| pop.genome(*id).expect("id from population").clone())
+                .collect();
+            w.tx.send(Request::Evaluate {
+                genomes,
+                generation,
+                master_seed,
+            })
+            .map_err(|e| ClanError::WorkerFailure {
+                agent: sent,
+                reason: e.to_string(),
+            })?;
+            sent += 1;
+        }
+        // Gather.
+        for (i, w) in self.workers.iter().take(sent).enumerate() {
+            match w.rx.recv() {
+                Ok(Response::Fitness(pairs)) => {
+                    for (id, fitness) in pairs {
+                        pop.set_fitness(id, fitness)?;
+                    }
+                }
+                Ok(other) => {
+                    return Err(ClanError::WorkerFailure {
+                        agent: i,
+                        reason: format!("unexpected response {other:?}"),
+                    })
+                }
+                Err(e) => {
+                    return Err(ClanError::WorkerFailure {
+                        agent: i,
+                        reason: e.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Distributed reproduction: ships child specs plus the needed parent
+    /// genomes to agents and gathers the children — CLAN_DDS's
+    /// reproduction phase over real threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::WorkerFailure`] if an agent disconnected.
+    pub fn build_children(
+        &self,
+        pop: &Population,
+        plan: &clan_neat::GenerationPlan,
+    ) -> Result<Vec<Genome>, ClanError> {
+        let n = self.workers.len();
+        let per = plan.children.len().div_ceil(n);
+        let mut sent = 0usize;
+        for (w, chunk) in self.workers.iter().zip(plan.children.chunks(per.max(1))) {
+            // Only the parents this chunk needs travel to the agent.
+            let mut parents: BTreeMap<GenomeId, Genome> = BTreeMap::new();
+            for spec in chunk {
+                for pid in spec.parent_ids() {
+                    parents
+                        .entry(pid)
+                        .or_insert_with(|| pop.genome(pid).expect("parent resident").clone());
+                }
+            }
+            w.tx.send(Request::BuildChildren {
+                specs: chunk.to_vec(),
+                parents: parents.into_values().collect(),
+                generation: plan.generation,
+                master_seed: pop.master_seed(),
+            })
+            .map_err(|e| ClanError::WorkerFailure {
+                agent: sent,
+                reason: e.to_string(),
+            })?;
+            sent += 1;
+        }
+        let mut children = Vec::with_capacity(plan.children.len());
+        for (i, w) in self.workers.iter().take(sent).enumerate() {
+            match w.rx.recv() {
+                Ok(Response::Children(mut c)) => children.append(&mut c),
+                Ok(other) => {
+                    return Err(ClanError::WorkerFailure {
+                        agent: i,
+                        reason: format!("unexpected response {other:?}"),
+                    })
+                }
+                Err(e) => {
+                    return Err(ClanError::WorkerFailure {
+                        agent: i,
+                        reason: e.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(children)
+    }
+
+    /// Runs one full DCS-style generation over the real cluster:
+    /// distributed inference, then central evolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker and NEAT failures.
+    pub fn step_dcs_generation(&self, pop: &mut Population) -> Result<f64, ClanError> {
+        self.evaluate(pop)?;
+        let best = pop
+            .best()
+            .and_then(Genome::fitness)
+            .expect("population was just evaluated");
+        crate::orchestra::central_evolution(pop)?;
+        Ok(best)
+    }
+
+    /// Runs one full DDS-style generation: distributed inference,
+    /// central speciation/planning, distributed reproduction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker and NEAT failures.
+    pub fn step_dds_generation(&self, pop: &mut Population) -> Result<f64, ClanError> {
+        self.evaluate(pop)?;
+        let best = pop
+            .best()
+            .and_then(Genome::fitness)
+            .expect("population was just evaluated");
+        pop.speciate();
+        match pop.plan_generation() {
+            Ok(plan) => {
+                let children = self.build_children(pop, &plan)?;
+                for child in &children {
+                    pop.counters_mut().record_reproduction(child.num_genes());
+                }
+                pop.install_next_generation(children);
+            }
+            Err(clan_neat::NeatError::Extinction) => pop.reset_population(),
+            Err(e) => return Err(e.into()),
+        }
+        Ok(best)
+    }
+
+    /// Stops all agents and joins their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(Request::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+        self.workers.clear();
+    }
+
+    /// The NEAT configuration workers compile genomes with.
+    pub fn neat_config(&self) -> &NeatConfig {
+        &self.cfg
+    }
+}
+
+impl Drop for EdgeCluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Request>,
+    tx: Sender<Response>,
+    workload: Workload,
+    mode: InferenceMode,
+    cfg: NeatConfig,
+) {
+    let mut evaluator = Evaluator::new(workload, mode);
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Evaluate {
+                genomes,
+                generation,
+                master_seed,
+            } => {
+                let results = genomes
+                    .iter()
+                    .map(|g| {
+                        let net = FeedForwardNetwork::compile(g, &cfg);
+                        let seed = Evaluator::episode_seed(master_seed, generation, g.id());
+                        let eval = evaluator.evaluate(&net, seed);
+                        (g.id(), eval.fitness)
+                    })
+                    .collect();
+                if tx.send(Response::Fitness(results)).is_err() {
+                    return;
+                }
+            }
+            Request::BuildChildren {
+                specs,
+                parents,
+                generation,
+                master_seed,
+            } => {
+                let lookup: BTreeMap<GenomeId, Genome> =
+                    parents.into_iter().map(|g| (g.id(), g)).collect();
+                let children = specs
+                    .iter()
+                    .map(|spec| {
+                        let pids = spec.parent_ids();
+                        let p1 = &lookup[&pids[0]];
+                        let p2 = pids.get(1).map(|id| &lookup[id]);
+                        make_child(&cfg, spec, (p1, p2), master_seed, generation)
+                    })
+                    .collect();
+                if tx.send(Response::Children(children)).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pop: usize) -> NeatConfig {
+        let w = Workload::CartPole;
+        NeatConfig::builder(w.obs_dim(), w.n_actions())
+            .population_size(pop)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn distributed_evaluation_matches_serial() {
+        let cfg = cfg(16);
+        let cluster = EdgeCluster::spawn(4, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let mut distributed = Population::new(cfg.clone(), 11);
+        cluster.evaluate(&mut distributed).unwrap();
+
+        let mut serial = Population::new(cfg.clone(), 11);
+        let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+        crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[16]);
+
+        for (a, b) in distributed.genomes().values().zip(serial.genomes().values()) {
+            assert_eq!(a.fitness(), b.fitness());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn real_dcs_generations_match_serial_evolution() {
+        let cfg = cfg(12);
+        let cluster = EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let mut real = Population::new(cfg.clone(), 5);
+        let mut serial = Population::new(cfg.clone(), 5);
+        let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+        for _ in 0..3 {
+            let real_best = cluster.step_dcs_generation(&mut real).unwrap();
+            crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[12]);
+            let serial_best = serial.best().and_then(Genome::fitness).unwrap();
+            crate::orchestra::central_evolution(&mut serial).unwrap();
+            assert_eq!(real_best, serial_best);
+        }
+        assert_eq!(real.genomes(), serial.genomes());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn real_dds_generations_match_serial_evolution() {
+        let cfg = cfg(12);
+        let cluster = EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let mut real = Population::new(cfg.clone(), 6);
+        let mut serial = Population::new(cfg.clone(), 6);
+        let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+        for _ in 0..3 {
+            cluster.step_dds_generation(&mut real).unwrap();
+            crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[12]);
+            crate::orchestra::central_evolution(&mut serial).unwrap();
+        }
+        assert_eq!(real.genomes(), serial.genomes());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let cfg = cfg(4);
+        let cluster = EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::SingleStep, cfg);
+        assert_eq!(cluster.n_agents(), 2);
+        drop(cluster); // must not hang or panic
+    }
+
+    #[test]
+    fn more_agents_than_genomes_is_fine() {
+        let cfg = cfg(3);
+        let cluster = EdgeCluster::spawn(8, Workload::CartPole, InferenceMode::SingleStep, cfg.clone());
+        let mut pop = Population::new(cfg, 1);
+        cluster.evaluate(&mut pop).unwrap();
+        assert!(pop.genomes().values().all(|g| g.fitness().is_some()));
+        cluster.shutdown();
+    }
+}

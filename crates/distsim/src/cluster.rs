@@ -1,0 +1,169 @@
+//! Cluster description: one center, N agents, a shared wireless medium.
+
+use clan_hw::Platform;
+use clan_netsim::WifiModel;
+use serde::{Deserialize, Serialize};
+
+/// A CLAN deployment: a central coordinator plus worker agents.
+///
+/// In the paper's testbed every node is a Raspberry Pi and one of them
+/// doubles as the center; [`Cluster::homogeneous`] models exactly that.
+/// Heterogeneous clusters (e.g. systolic-accelerated agents, Fig 10c) use
+/// [`Cluster::new`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    center: Platform,
+    agents: Vec<Platform>,
+    net: WifiModel,
+}
+
+impl Cluster {
+    /// Builds a cluster from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty.
+    pub fn new(center: Platform, agents: Vec<Platform>, net: WifiModel) -> Cluster {
+        assert!(!agents.is_empty(), "a cluster needs at least one agent");
+        Cluster {
+            center,
+            agents,
+            net,
+        }
+    }
+
+    /// A cluster of `n_agents` identical nodes (the paper's Pi testbed);
+    /// the center runs on the same platform kind.
+    pub fn homogeneous(platform: Platform, n_agents: usize, net: WifiModel) -> Cluster {
+        Cluster::new(platform, vec![platform; n_agents], net)
+    }
+
+    /// The central coordinator's platform.
+    pub fn center(&self) -> &Platform {
+        &self.center
+    }
+
+    /// Worker agents.
+    pub fn agents(&self) -> &[Platform] {
+        &self.agents
+    }
+
+    /// Number of worker agents.
+    pub fn n_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The wireless medium model.
+    pub fn net(&self) -> &WifiModel {
+        &self.net
+    }
+
+    /// Replaces the network model (Figure 10's what-if links).
+    pub fn with_net(mut self, net: WifiModel) -> Cluster {
+        self.net = net;
+        self
+    }
+
+    /// Splits `items` work units across agents as evenly as possible;
+    /// returns per-agent counts (earlier agents get the remainder).
+    pub fn partition(&self, items: usize) -> Vec<usize> {
+        let n = self.agents.len();
+        let base = items / n;
+        let rem = items % n;
+        (0..n).map(|i| base + usize::from(i < rem)).collect()
+    }
+
+    /// Barrier-synchronized parallel inference: the phase costs the
+    /// slowest agent's time.
+    pub fn parallel_inference_time_s(&self, genes_per_agent: &[u64]) -> f64 {
+        assert_eq!(genes_per_agent.len(), self.agents.len());
+        self.agents
+            .iter()
+            .zip(genes_per_agent)
+            .map(|(p, &g)| p.inference_time_s(g))
+            .fold(0.0, f64::max)
+    }
+
+    /// Barrier-synchronized parallel evolution work.
+    pub fn parallel_evolution_time_s(&self, genes_per_agent: &[u64]) -> f64 {
+        assert_eq!(genes_per_agent.len(), self.agents.len());
+        self.agents
+            .iter()
+            .zip(genes_per_agent)
+            .map(|(p, &g)| p.evolution_time_s(g))
+            .fold(0.0, f64::max)
+    }
+
+    /// Serialized communication: each message of `genes_per_message`
+    /// genes occupies the shared medium in turn.
+    pub fn serialized_comm_time_s<I>(&self, genes_per_message: I) -> f64
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        genes_per_message
+            .into_iter()
+            .map(|g| self.net.gene_transfer_time_s(g))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clan_hw::PlatformKind;
+
+    fn pi_cluster(n: usize) -> Cluster {
+        Cluster::homogeneous(Platform::raspberry_pi(), n, WifiModel::default())
+    }
+
+    #[test]
+    fn partition_balanced() {
+        let c = pi_cluster(4);
+        assert_eq!(c.partition(150), vec![38, 38, 37, 37]);
+        assert_eq!(c.partition(4), vec![1, 1, 1, 1]);
+        assert_eq!(c.partition(2), vec![1, 1, 0, 0]);
+        assert_eq!(c.partition(0), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn partition_sums_to_items() {
+        for n in 1..20 {
+            let c = pi_cluster(n);
+            for items in [0usize, 1, 7, 150, 151] {
+                assert_eq!(c.partition(items).iter().sum::<usize>(), items);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_time_is_max() {
+        let c = pi_cluster(3);
+        let t = c.parallel_inference_time_s(&[10_000, 30_000, 20_000]);
+        let slowest = Platform::raspberry_pi().inference_time_s(30_000);
+        assert_eq!(t, slowest);
+    }
+
+    #[test]
+    fn serialized_comm_is_sum() {
+        let c = pi_cluster(2);
+        let t = c.serialized_comm_time_s([100, 100, 100]);
+        let one = WifiModel::default().gene_transfer_time_s(100);
+        assert!((t - 3.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_uses_each_platform() {
+        let fast = Platform::new(PlatformKind::Systolic32x32);
+        let slow = Platform::raspberry_pi();
+        let c = Cluster::new(slow, vec![fast, slow], WifiModel::default());
+        let t = c.parallel_inference_time_s(&[1_000_000, 10_000]);
+        // The Pi's 10k genes (1 s) outlast the accelerator's 1M genes (1 s at 1e6 g/s).
+        assert!(t <= slow.inference_time_s(10_000) + 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn empty_cluster_rejected() {
+        Cluster::new(Platform::raspberry_pi(), vec![], WifiModel::default());
+    }
+}

@@ -1,0 +1,112 @@
+//! Episode runner: the fitness-evaluation loop shared by every CLAN
+//! configuration.
+//!
+//! The paper limits every environment to 200 timesteps per inference pass
+//! (§III-B), terminating early on success or failure; fitness is the total
+//! accumulated reward. Figures 8–10 additionally use a *single-step* mode
+//! (`max_steps = 1`) that evaluates each genome for one timestep only,
+//! modeling real-world deployments where repeated multi-step inference
+//! per generation is not available.
+
+use crate::Environment;
+
+/// Result of running one episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeOutcome {
+    /// Total accumulated reward (the genome's fitness).
+    pub total_reward: f64,
+    /// Timesteps executed (= network activations performed).
+    pub steps: u64,
+    /// Whether the environment terminated on its own (vs. the step cap).
+    pub terminated: bool,
+}
+
+/// Runs one episode of `env` under `policy`, capped at `max_steps`.
+///
+/// The policy maps an observation to a discrete action index.
+///
+/// # Panics
+///
+/// Panics if `max_steps` is zero or the policy returns an out-of-range
+/// action (the environment enforces the latter).
+pub fn run_episode<F>(
+    env: &mut dyn Environment,
+    seed: u64,
+    max_steps: u64,
+    mut policy: F,
+) -> EpisodeOutcome
+where
+    F: FnMut(&[f64]) -> usize,
+{
+    assert!(max_steps > 0, "an episode needs at least one step");
+    let mut obs = env.reset(seed);
+    let mut total_reward = 0.0;
+    let mut steps = 0;
+    let mut terminated = false;
+    while steps < max_steps {
+        let action = policy(&obs);
+        let step = env.step(action);
+        total_reward += step.reward;
+        steps += 1;
+        obs = step.obs;
+        if step.done {
+            terminated = true;
+            break;
+        }
+    }
+    EpisodeOutcome {
+        total_reward,
+        steps,
+        terminated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cartpole::CartPole;
+    use crate::mountain_car::MountainCar;
+
+    #[test]
+    fn cap_enforced() {
+        let mut env = CartPole::new();
+        let out = run_episode(&mut env, 1, 10, |obs| usize::from(obs[2] > 0.0));
+        assert!(out.steps <= 10);
+    }
+
+    #[test]
+    fn early_termination_reported() {
+        let mut env = CartPole::new();
+        let out = run_episode(&mut env, 2, 500, |_| 1);
+        assert!(out.terminated, "constant push must topple early");
+        assert!(out.steps < 500);
+        assert_eq!(out.total_reward, out.steps as f64);
+    }
+
+    #[test]
+    fn single_step_mode() {
+        let mut env = MountainCar::new();
+        let out = run_episode(&mut env, 3, 1, |_| 1);
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.total_reward, -1.0);
+    }
+
+    #[test]
+    fn policy_sees_fresh_observations() {
+        let mut env = CartPole::new();
+        let mut seen = Vec::new();
+        run_episode(&mut env, 4, 5, |obs| {
+            seen.push(obs.to_vec());
+            0
+        });
+        assert_eq!(seen.len(), 5);
+        assert_ne!(seen[0], seen[4], "state must evolve");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let mut env = CartPole::new();
+        run_episode(&mut env, 5, 0, |_| 0);
+    }
+}

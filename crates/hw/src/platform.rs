@@ -1,0 +1,206 @@
+//! Compute platforms and their calibrated throughputs (paper Table IV).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The platforms evaluated by the paper, plus the custom accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Raspberry Pi 3 — ARM Cortex-A53, $40 (the CLAN edge node).
+    RaspberryPi,
+    /// Jetson TX2 CPU — ARM Cortex-A57, $600.
+    JetsonCpu,
+    /// Jetson TX2 GPU — Pascal, $600.
+    JetsonGpu,
+    /// HPC CPU — 6th-gen Intel i7, $1500.
+    HpcCpu,
+    /// HPC GPU — Nvidia GTX 1080, $1500.
+    HpcGpu,
+    /// Hypothetical 32x32 systolic-array edge accelerator (Fig 10c),
+    /// attached to a Pi host that still runs the evolution blocks.
+    Systolic32x32,
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlatformKind::RaspberryPi => "Raspberry Pi",
+            PlatformKind::JetsonCpu => "Jetson TX2 CPU",
+            PlatformKind::JetsonGpu => "Jetson TX2 GPU",
+            PlatformKind::HpcCpu => "HPC CPU",
+            PlatformKind::HpcGpu => "HPC GPU",
+            PlatformKind::Systolic32x32 => "Systolic 32x32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compute platform: identity, price, and calibrated throughputs.
+///
+/// `inference_genes_per_sec` covers the inference block (network
+/// activations driving an environment); `evolution_genes_per_sec` covers
+/// the memory-bound evolution blocks (distance computations, gene
+/// copying). `phase_overhead_s` is a fixed cost charged once per compute
+/// phase (interpreter dispatch, task wakeup).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Which platform this is.
+    pub kind: PlatformKind,
+    /// Unit price in dollars (Table IV), for the Fig 11 PPP metric.
+    pub price_usd: f64,
+    /// Calibrated throughput of the inference block, genes/second.
+    pub inference_genes_per_sec: f64,
+    /// Calibrated throughput of the evolution blocks, genes/second.
+    pub evolution_genes_per_sec: f64,
+    /// Fixed per-phase overhead in seconds.
+    pub phase_overhead_s: f64,
+}
+
+/// Calibration anchor: a single Pi runs interpreted NEAT at roughly this
+/// many inference genes per second (chosen so one Cartpole generation
+/// lands in the paper's ~15 s and one Atari generation in the ~3000 s
+/// ballpark; see `DESIGN.md` §5).
+const PI_INFERENCE_GENES_PER_SEC: f64 = 1.0e4;
+/// Evolution ops (distance compares, gene copies) are tight local memory
+/// operations with none of the per-step environment overhead that the
+/// inference path pays, making them roughly an order of magnitude faster
+/// per gene. This ratio is what puts the Figure 8 evolution shares in
+/// the paper's band.
+const PI_EVOLUTION_GENES_PER_SEC: f64 = 2.0e5;
+
+impl Platform {
+    /// Builds the model for `kind` with the calibrated constants.
+    pub fn new(kind: PlatformKind) -> Platform {
+        // Speedups relative to the Pi, from the paper's Fig 11 ordering:
+        // Jetson CPU ~3.5x, Jetson GPU ~8x, HPC CPU ~12x, HPC GPU ~30x.
+        let (price, inf_mult, evo_mult) = match kind {
+            PlatformKind::RaspberryPi => (40.0, 1.0, 1.0),
+            PlatformKind::JetsonCpu => (600.0, 3.5, 3.5),
+            PlatformKind::JetsonGpu => (600.0, 8.0, 4.0),
+            PlatformKind::HpcCpu => (1500.0, 12.0, 12.0),
+            PlatformKind::HpcGpu => (1500.0, 30.0, 14.0),
+            // The systolic array (32x32 MACs at 200 MHz, ~2e11 MAC/s)
+            // accelerates inference ~1000x over interpreted Pi execution,
+            // but evolution still runs on the Pi host CPU — that asymmetry
+            // is the point of Fig 10(c).
+            PlatformKind::Systolic32x32 => (40.0 + 25.0, 1000.0, 1.0),
+        };
+        Platform {
+            kind,
+            price_usd: price,
+            inference_genes_per_sec: PI_INFERENCE_GENES_PER_SEC * inf_mult,
+            evolution_genes_per_sec: PI_EVOLUTION_GENES_PER_SEC * evo_mult,
+            phase_overhead_s: 2e-3,
+        }
+    }
+
+    /// Shorthand for the Raspberry Pi model.
+    pub fn raspberry_pi() -> Platform {
+        Platform::new(PlatformKind::RaspberryPi)
+    }
+
+    /// All Table IV platforms (excluding the hypothetical accelerator).
+    pub fn table_iv() -> [Platform; 5] {
+        [
+            Platform::new(PlatformKind::HpcCpu),
+            Platform::new(PlatformKind::HpcGpu),
+            Platform::new(PlatformKind::JetsonCpu),
+            Platform::new(PlatformKind::JetsonGpu),
+            Platform::new(PlatformKind::RaspberryPi),
+        ]
+    }
+
+    /// Time to process `genes` through the inference block.
+    pub fn inference_time_s(&self, genes: u64) -> f64 {
+        if genes == 0 {
+            return 0.0;
+        }
+        self.phase_overhead_s + genes as f64 / self.inference_genes_per_sec
+    }
+
+    /// Time to process `genes` through an evolution block.
+    pub fn evolution_time_s(&self, genes: u64) -> f64 {
+        if genes == 0 {
+            return 0.0;
+        }
+        self.phase_overhead_s + genes as f64 / self.evolution_genes_per_sec
+    }
+
+    /// Price-performance product helper: dollars × seconds (lower is
+    /// better), the metric behind the paper's Fig 11 discussion.
+    pub fn ppp(&self, units: usize, seconds_per_generation: f64) -> f64 {
+        self.price_usd * units as f64 * seconds_per_generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let pi = Platform::raspberry_pi();
+        let jc = Platform::new(PlatformKind::JetsonCpu);
+        let jg = Platform::new(PlatformKind::JetsonGpu);
+        let hc = Platform::new(PlatformKind::HpcCpu);
+        let hg = Platform::new(PlatformKind::HpcGpu);
+        assert!(pi.inference_genes_per_sec < jc.inference_genes_per_sec);
+        assert!(jc.inference_genes_per_sec < jg.inference_genes_per_sec);
+        assert!(jg.inference_genes_per_sec < hc.inference_genes_per_sec);
+        assert!(hc.inference_genes_per_sec < hg.inference_genes_per_sec);
+    }
+
+    #[test]
+    fn prices_match_table_iv() {
+        assert_eq!(Platform::raspberry_pi().price_usd, 40.0);
+        assert_eq!(Platform::new(PlatformKind::JetsonCpu).price_usd, 600.0);
+        assert_eq!(Platform::new(PlatformKind::HpcGpu).price_usd, 1500.0);
+    }
+
+    #[test]
+    fn price_ratios_match_paper_text() {
+        // "The price of HPC machine and Jetson is comparable to 40x and
+        // 15x to the cost of a RPi respectively."
+        let pi = Platform::raspberry_pi().price_usd;
+        assert_eq!(Platform::new(PlatformKind::HpcCpu).price_usd / pi, 37.5);
+        assert_eq!(Platform::new(PlatformKind::JetsonCpu).price_usd / pi, 15.0);
+    }
+
+    #[test]
+    fn time_scales_linearly_beyond_overhead() {
+        let pi = Platform::raspberry_pi();
+        let t1 = pi.inference_time_s(10_000);
+        let t2 = pi.inference_time_s(20_000);
+        let marginal = t2 - t1;
+        assert!((marginal - 1.0).abs() < 1e-9, "10k genes = 1 s on a Pi");
+    }
+
+    #[test]
+    fn zero_genes_costs_nothing() {
+        let pi = Platform::raspberry_pi();
+        assert_eq!(pi.inference_time_s(0), 0.0);
+        assert_eq!(pi.evolution_time_s(0), 0.0);
+    }
+
+    #[test]
+    fn cartpole_generation_in_paper_ballpark() {
+        // ~150 genomes x ~40 surviving steps x ~10 genes/activation.
+        let genes = 150 * 40 * 10;
+        let t = Platform::raspberry_pi().inference_time_s(genes);
+        assert!((2.0..40.0).contains(&t), "got {t} s");
+    }
+
+    #[test]
+    fn systolic_accelerates_inference_only() {
+        let sys = Platform::new(PlatformKind::Systolic32x32);
+        let pi = Platform::raspberry_pi();
+        assert!(sys.inference_genes_per_sec >= 50.0 * pi.inference_genes_per_sec);
+        assert_eq!(sys.evolution_genes_per_sec, pi.evolution_genes_per_sec);
+    }
+
+    #[test]
+    fn ppp_monotonic_in_units() {
+        let pi = Platform::raspberry_pi();
+        assert!(pi.ppp(2, 10.0) > pi.ppp(1, 10.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! First-order timing model of a 32x32 systolic-array DNN accelerator.
+//!
+//! The paper's Figure 10(c) asks: what if each edge node had a custom
+//! inference accelerator instead of a Pi CPU? It answers with SCALE-sim
+//! (a cycle-accurate systolic-array simulator) configured as a 32x32
+//! array. For the reproduction we implement the standard first-order
+//! output-stationary runtime estimate that SCALE-sim's analytical mode
+//! computes: a layer multiplying an `n_in` vector into `n_out` outputs is
+//! tiled over the array and costs roughly
+//! `(rows + cols + n_in - 1)` cycles per `rows x cols` tile of the
+//! weight matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// A weight-stationary/output-stationary systolic array model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystolicArray {
+    /// Processing-element rows.
+    pub rows: usize,
+    /// Processing-element columns.
+    pub cols: usize,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+}
+
+impl Default for SystolicArray {
+    /// The paper's configuration: 32x32 at an edge-class 200 MHz clock.
+    fn default() -> Self {
+        SystolicArray {
+            rows: 32,
+            cols: 32,
+            freq_hz: 200e6,
+        }
+    }
+}
+
+impl SystolicArray {
+    /// Creates an array model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the frequency is zero.
+    pub fn new(rows: usize, cols: usize, freq_hz: f64) -> SystolicArray {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        SystolicArray {
+            rows,
+            cols,
+            freq_hz,
+        }
+    }
+
+    /// Cycles to compute one fully-connected layer (`n_in -> n_out`)
+    /// in output-stationary dataflow.
+    pub fn layer_cycles(&self, n_in: usize, n_out: usize) -> u64 {
+        if n_in == 0 || n_out == 0 {
+            return 0;
+        }
+        let row_tiles = n_in.div_ceil(self.rows) as u64;
+        let col_tiles = n_out.div_ceil(self.cols) as u64;
+        // Per tile: fill (rows) + drain (cols) + streaming (n_in within tile).
+        let per_tile = (self.rows + self.cols) as u64 + self.rows.min(n_in) as u64;
+        row_tiles * col_tiles * per_tile
+    }
+
+    /// Seconds to run one activation of a network described by its layer
+    /// widths (e.g. `[(128, 20), (20, 18)]`).
+    pub fn activation_time_s(&self, layers: &[(usize, usize)]) -> f64 {
+        let cycles: u64 = layers.iter().map(|&(i, o)| self.layer_cycles(i, o)).sum();
+        cycles as f64 / self.freq_hz
+    }
+
+    /// Effective genes-per-second throughput for a reference network,
+    /// where the gene count of a layer is `n_in * n_out` connections plus
+    /// `n_out` nodes (matching the NEAT cost metric).
+    ///
+    /// Used to slot the accelerator into the [`Platform`] cost model.
+    ///
+    /// [`Platform`]: crate::Platform
+    pub fn effective_genes_per_sec(&self, layers: &[(usize, usize)]) -> f64 {
+        let genes: u64 = layers.iter().map(|&(i, o)| (i * o + o) as u64).sum();
+        let t = self.activation_time_s(layers);
+        if t == 0.0 {
+            return 0.0;
+        }
+        genes as f64 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_layer_one_tile() {
+        let a = SystolicArray::default();
+        // 32x32 fits in one tile: 32+32+32 = 96 cycles.
+        assert_eq!(a.layer_cycles(32, 32), 96);
+    }
+
+    #[test]
+    fn tiling_scales_cycles() {
+        let a = SystolicArray::default();
+        let one = a.layer_cycles(32, 32);
+        assert_eq!(a.layer_cycles(64, 32), 2 * one);
+        assert_eq!(a.layer_cycles(64, 64), 4 * one);
+    }
+
+    #[test]
+    fn empty_layer_free() {
+        let a = SystolicArray::default();
+        assert_eq!(a.layer_cycles(0, 10), 0);
+        assert_eq!(a.layer_cycles(10, 0), 0);
+    }
+
+    #[test]
+    fn atari_reference_network_is_fast() {
+        // 128 -> 20 -> 18: a typical evolved Atari genome shape.
+        let a = SystolicArray::default();
+        let t = a.activation_time_s(&[(128, 20), (20, 18)]);
+        assert!(t < 1e-5, "one activation should take microseconds: {t}");
+    }
+
+    #[test]
+    fn effective_throughput_far_exceeds_pi() {
+        let a = SystolicArray::default();
+        let gps = a.effective_genes_per_sec(&[(128, 20), (20, 18)]);
+        // The Pi model is 1e4 genes/s; the array should be >= 100x that.
+        assert!(gps > 1e6, "got {gps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        SystolicArray::new(0, 32, 1e6);
+    }
+}

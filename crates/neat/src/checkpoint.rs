@@ -1,0 +1,258 @@
+//! Checkpointing: persist and restore genomes and whole populations.
+//!
+//! The CLAN vision (paper Fig 1) starts with "a trained model/expert is
+//! deployed onto the edge" — which requires experts to be serializable
+//! artifacts. This module provides a stable JSON representation for
+//! single genomes (deployable experts) and complete populations
+//! (resumable learning state), with a format version for forward
+//! compatibility.
+
+use crate::error::NeatError;
+use crate::genome::Genome;
+use crate::population::Population;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Format version embedded in every checkpoint.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors produced by checkpoint I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed or incompatible checkpoint data.
+    Format(String),
+    /// The checkpoint is valid but violates NEAT invariants.
+    Neat(NeatError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+            CheckpointError::Neat(e) => write!(f, "checkpoint contains invalid state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Neat(e) => Some(e),
+            CheckpointError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct GenomeCheckpoint {
+    version: u32,
+    genome: Genome,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PopulationCheckpoint {
+    version: u32,
+    population: Population,
+}
+
+/// Serializes a genome (a deployable expert) to JSON.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] if serialization fails (it cannot
+/// for well-formed genomes).
+pub fn genome_to_json(genome: &Genome) -> Result<String, CheckpointError> {
+    serde_json::to_string_pretty(&GenomeCheckpoint {
+        version: CHECKPOINT_VERSION,
+        genome: genome.clone(),
+    })
+    .map_err(|e| CheckpointError::Format(e.to_string()))
+}
+
+/// Restores a genome from JSON produced by [`genome_to_json`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] on malformed input or a version
+/// mismatch.
+pub fn genome_from_json(json: &str) -> Result<Genome, CheckpointError> {
+    let cp: GenomeCheckpoint =
+        serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    if cp.version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+            cp.version
+        )));
+    }
+    Ok(cp.genome)
+}
+
+/// Writes a genome checkpoint to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save_genome<P: AsRef<Path>>(genome: &Genome, path: P) -> Result<(), CheckpointError> {
+    fs::write(path, genome_to_json(genome)?)?;
+    Ok(())
+}
+
+/// Reads a genome checkpoint from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem and format failures.
+pub fn load_genome<P: AsRef<Path>>(path: P) -> Result<Genome, CheckpointError> {
+    genome_from_json(&fs::read_to_string(path)?)
+}
+
+/// Serializes a full population (resumable learning state) to JSON.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] if serialization fails.
+pub fn population_to_json(pop: &Population) -> Result<String, CheckpointError> {
+    serde_json::to_string(&PopulationCheckpoint {
+        version: CHECKPOINT_VERSION,
+        population: pop.clone(),
+    })
+    .map_err(|e| CheckpointError::Format(e.to_string()))
+}
+
+/// Restores a population from JSON produced by [`population_to_json`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] on malformed input or version
+/// mismatch, and [`CheckpointError::Neat`] if the restored configuration
+/// fails validation.
+pub fn population_from_json(json: &str) -> Result<Population, CheckpointError> {
+    let cp: PopulationCheckpoint =
+        serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    if cp.version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+            cp.version
+        )));
+    }
+    cp.population
+        .config()
+        .validate()
+        .map_err(CheckpointError::Neat)?;
+    Ok(cp.population)
+}
+
+/// Writes a population checkpoint to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save_population<P: AsRef<Path>>(pop: &Population, path: P) -> Result<(), CheckpointError> {
+    fs::write(path, population_to_json(pop)?)?;
+    Ok(())
+}
+
+/// Reads a population checkpoint from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem and format failures.
+pub fn load_population<P: AsRef<Path>>(path: P) -> Result<Population, CheckpointError> {
+    population_from_json(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NeatConfig;
+    use crate::gene::GenomeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_genome() -> (NeatConfig, Genome) {
+        let cfg = NeatConfig::builder(3, 2).build().unwrap();
+        let mut g = Genome::new_initial(&cfg, GenomeId(7), &mut StdRng::seed_from_u64(1));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            g.mutate(&cfg, &mut rng);
+        }
+        g.set_fitness(123.5);
+        (cfg, g)
+    }
+
+    #[test]
+    fn genome_round_trip_is_lossless() {
+        let (_, g) = sample_genome();
+        let json = genome_to_json(&g).unwrap();
+        let restored = genome_from_json(&json).unwrap();
+        assert_eq!(g, restored);
+    }
+
+    #[test]
+    fn population_round_trip_continues_identically() {
+        let cfg = NeatConfig::builder(2, 1).population_size(12).build().unwrap();
+        let mut pop = Population::new(cfg, 5);
+        pop.evaluate(|net, _| net.activate(&[0.5, -0.5])[0]);
+        pop.advance_generation();
+
+        let json = population_to_json(&pop).unwrap();
+        let mut restored = population_from_json(&json).unwrap();
+
+        // Both copies must evolve identically from here.
+        let advance = |p: &mut Population| {
+            p.evaluate(|net, _| net.activate(&[0.5, -0.5])[0]);
+            p.advance_generation();
+            p.genomes().clone()
+        };
+        assert_eq!(advance(&mut pop), advance(&mut restored));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let (_, g) = sample_genome();
+        let json = genome_to_json(&g).unwrap().replace("\"version\": 1", "\"version\": 99");
+        let err = genome_from_json(&json);
+        assert!(matches!(err, Err(CheckpointError::Format(_))), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            genome_from_json("{not json"),
+            Err(CheckpointError::Format(_))
+        ));
+        assert!(matches!(
+            population_from_json("[]"),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (_, g) = sample_genome();
+        let path = std::env::temp_dir().join("clan-neat-checkpoint-test.json");
+        save_genome(&g, &path).unwrap();
+        let restored = load_genome(&path).unwrap();
+        assert_eq!(g, restored);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_genome("/nonexistent/dir/genome.json");
+        assert!(matches!(err, Err(CheckpointError::Io(_))));
+    }
+}

@@ -1,0 +1,723 @@
+//! Genomes: collections of node and connection genes describing one
+//! network topology, plus the genetic operators that evolve them.
+//!
+//! Operator semantics follow `neat-python` (the implementation the CLAN
+//! paper modified): attribute-wise crossover from the fitter parent,
+//! independent structural mutation probabilities, and a compatibility
+//! distance normalized by the larger genome's gene count.
+
+use crate::config::NeatConfig;
+use crate::gene::{ConnGene, ConnKey, GenomeId, NodeGene, NodeId};
+use rand::seq::IteratorRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One member of a NEAT population.
+///
+/// A genome owns its node genes (outputs + hidden; inputs are implicit,
+/// following `neat-python`) and connection genes keyed by endpoint pair.
+/// The genome's *size in genes* — nodes plus connections — is the unit of
+/// both compute and communication cost throughout the CLAN reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Genome {
+    id: GenomeId,
+    #[serde(
+        serialize_with = "crate::serde_util::map_as_pairs",
+        deserialize_with = "crate::serde_util::pairs_as_map"
+    )]
+    nodes: BTreeMap<NodeId, NodeGene>,
+    #[serde(
+        serialize_with = "crate::serde_util::map_as_pairs",
+        deserialize_with = "crate::serde_util::pairs_as_map"
+    )]
+    conns: BTreeMap<ConnKey, ConnGene>,
+    fitness: Option<f64>,
+}
+
+impl Genome {
+    /// Creates an initial genome: one node gene per output, wired to the
+    /// inputs according to `cfg.initial_connection`.
+    pub fn new_initial<R: Rng + ?Sized>(cfg: &NeatConfig, id: GenomeId, rng: &mut R) -> Genome {
+        let mut nodes = BTreeMap::new();
+        for o in 0..cfg.num_outputs {
+            nodes.insert(NodeId::output(o), Self::new_node(cfg, rng));
+        }
+        let mut conns = BTreeMap::new();
+        use crate::config::InitialConnection as Ic;
+        let include = |rng: &mut R, p: f64| -> bool { rng.gen::<f64>() < p };
+        match cfg.initial_connection {
+            Ic::Unconnected => {}
+            Ic::Full => {
+                for i in 0..cfg.num_inputs {
+                    for o in 0..cfg.num_outputs {
+                        let key = ConnKey::new(NodeId::input(i), NodeId::output(o));
+                        conns.insert(
+                            key,
+                            ConnGene {
+                                weight: cfg.weight.init(rng),
+                                enabled: true,
+                            },
+                        );
+                    }
+                }
+            }
+            Ic::Partial(p) => {
+                for i in 0..cfg.num_inputs {
+                    for o in 0..cfg.num_outputs {
+                        if include(rng, p) {
+                            let key = ConnKey::new(NodeId::input(i), NodeId::output(o));
+                            conns.insert(
+                                key,
+                                ConnGene {
+                                    weight: cfg.weight.init(rng),
+                                    enabled: true,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Genome {
+            id,
+            nodes,
+            conns,
+            fitness: None,
+        }
+    }
+
+    fn new_node<R: Rng + ?Sized>(cfg: &NeatConfig, rng: &mut R) -> NodeGene {
+        NodeGene {
+            bias: cfg.bias.init(rng),
+            response: cfg.response.init(rng),
+            activation: Default::default(),
+            aggregation: Default::default(),
+        }
+    }
+
+    /// This genome's identifier.
+    pub fn id(&self) -> GenomeId {
+        self.id
+    }
+
+    /// Reassigns the identifier (used when cloning elites into the next
+    /// generation).
+    pub fn set_id(&mut self, id: GenomeId) {
+        self.id = id;
+    }
+
+    /// Last assigned fitness, if any.
+    pub fn fitness(&self) -> Option<f64> {
+        self.fitness
+    }
+
+    /// Assigns fitness (higher is better).
+    pub fn set_fitness(&mut self, fitness: f64) {
+        self.fitness = Some(fitness);
+    }
+
+    /// Clears fitness (done when a genome enters a new generation).
+    pub fn clear_fitness(&mut self) {
+        self.fitness = None;
+    }
+
+    /// Node genes (outputs + hidden), keyed by id.
+    pub fn nodes(&self) -> &BTreeMap<NodeId, NodeGene> {
+        &self.nodes
+    }
+
+    /// Connection genes keyed by endpoint pair.
+    pub fn conns(&self) -> &BTreeMap<ConnKey, ConnGene> {
+        &self.conns
+    }
+
+    /// Total gene count: node genes + connection genes.
+    ///
+    /// This is the paper's cost unit — a gene is one 32-bit datum, so this
+    /// is also the float count transferred when the genome is communicated.
+    pub fn num_genes(&self) -> u64 {
+        (self.nodes.len() + self.conns.len()) as u64
+    }
+
+    /// Number of enabled connections (the genes inference touches each
+    /// activation).
+    pub fn num_enabled_conns(&self) -> u64 {
+        self.conns.values().filter(|c| c.enabled).count() as u64
+    }
+
+    /// `(hidden_nodes, connections)` — NEAT's usual complexity measure.
+    pub fn complexity(&self, cfg: &NeatConfig) -> (usize, usize) {
+        let hidden = self
+            .nodes
+            .keys()
+            .filter(|n| !n.is_output(cfg.num_outputs))
+            .count();
+        (hidden, self.conns.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Compatibility distance
+    // ------------------------------------------------------------------
+
+    /// Genomic compatibility distance (`neat-python` formula): node-gene
+    /// distance plus connection-gene distance, each being
+    /// `(disjoint_coefficient * disjoint + weight_coefficient * Σ attr_dist) / max_gene_count`.
+    pub fn distance(&self, other: &Genome, cfg: &NeatConfig) -> f64 {
+        // Linear merge over the sorted gene maps (distance computations
+        // dominate speciation, the second-costliest compute block).
+        fn merged<K: Ord + Copy, G>(
+            a: &BTreeMap<K, G>,
+            b: &BTreeMap<K, G>,
+            attr_dist: impl Fn(&G, &G) -> f64,
+            disjoint_coef: f64,
+            weight_coef: f64,
+        ) -> f64 {
+            let mut disjoint = 0usize;
+            let mut matching = 0.0f64;
+            let mut ia = a.iter().peekable();
+            let mut ib = b.iter().peekable();
+            loop {
+                match (ia.peek(), ib.peek()) {
+                    (Some((ka, ga)), Some((kb, gb))) => match ka.cmp(kb) {
+                        std::cmp::Ordering::Equal => {
+                            matching += attr_dist(ga, gb) * weight_coef;
+                            ia.next();
+                            ib.next();
+                        }
+                        std::cmp::Ordering::Less => {
+                            disjoint += 1;
+                            ia.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            disjoint += 1;
+                            ib.next();
+                        }
+                    },
+                    (Some(_), None) => {
+                        disjoint += 1;
+                        ia.next();
+                    }
+                    (None, Some(_)) => {
+                        disjoint += 1;
+                        ib.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+            let max_len = a.len().max(b.len()).max(1) as f64;
+            (disjoint_coef * disjoint as f64 + matching) / max_len
+        }
+        let node_d = merged(
+            &self.nodes,
+            &other.nodes,
+            NodeGene::distance,
+            cfg.compatibility_disjoint_coefficient,
+            cfg.compatibility_weight_coefficient,
+        );
+        let conn_d = merged(
+            &self.conns,
+            &other.conns,
+            ConnGene::distance,
+            cfg.compatibility_disjoint_coefficient,
+            cfg.compatibility_weight_coefficient,
+        );
+        node_d + conn_d
+    }
+
+    // ------------------------------------------------------------------
+    // Crossover
+    // ------------------------------------------------------------------
+
+    /// Produces a child by crossover.
+    ///
+    /// `fitter` contributes all disjoint/excess genes; matching genes pick
+    /// each attribute from either parent with probability 0.5. Callers must
+    /// pass the higher-fitness parent first (ties broken deterministically
+    /// by the caller).
+    pub fn crossover<R: Rng + ?Sized>(
+        fitter: &Genome,
+        other: &Genome,
+        child_id: GenomeId,
+        rng: &mut R,
+    ) -> Genome {
+        let mut nodes = BTreeMap::new();
+        for (k, g1) in &fitter.nodes {
+            let gene = match other.nodes.get(k) {
+                Some(g2) => NodeGene {
+                    bias: if rng.gen::<bool>() { g1.bias } else { g2.bias },
+                    response: if rng.gen::<bool>() { g1.response } else { g2.response },
+                    activation: if rng.gen::<bool>() { g1.activation } else { g2.activation },
+                    aggregation: if rng.gen::<bool>() { g1.aggregation } else { g2.aggregation },
+                },
+                None => *g1,
+            };
+            nodes.insert(*k, gene);
+        }
+        let mut conns = BTreeMap::new();
+        for (k, g1) in &fitter.conns {
+            let gene = match other.conns.get(k) {
+                Some(g2) => ConnGene {
+                    weight: if rng.gen::<bool>() { g1.weight } else { g2.weight },
+                    enabled: if rng.gen::<bool>() { g1.enabled } else { g2.enabled },
+                },
+                None => *g1,
+            };
+            conns.insert(*k, gene);
+        }
+        Genome {
+            id: child_id,
+            nodes,
+            conns,
+            fitness: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Applies one full mutation pass: structural mutations (each with its
+    /// configured probability) followed by attribute mutation of every
+    /// gene. Feed-forward validity (acyclicity) is preserved.
+    pub fn mutate<R: Rng + ?Sized>(&mut self, cfg: &NeatConfig, rng: &mut R) {
+        if rng.gen::<f64>() < cfg.node_add_prob {
+            self.mutate_add_node(cfg, rng);
+        }
+        if rng.gen::<f64>() < cfg.node_delete_prob {
+            self.mutate_delete_node(cfg, rng);
+        }
+        if rng.gen::<f64>() < cfg.conn_add_prob {
+            self.mutate_add_connection(cfg, rng);
+        }
+        if rng.gen::<f64>() < cfg.conn_delete_prob {
+            self.mutate_delete_connection(rng);
+        }
+        self.mutate_attributes(cfg, rng);
+    }
+
+    /// Splits a random enabled connection: disables it and inserts a new
+    /// hidden node with two fresh connections (1.0 into the node, the old
+    /// weight out of it).
+    pub fn mutate_add_node<R: Rng + ?Sized>(&mut self, cfg: &NeatConfig, rng: &mut R) {
+        let Some((&key, _)) = self.conns.iter().filter(|(_, c)| c.enabled).choose(rng) else {
+            return;
+        };
+        // Derive a collision-free node id for this split.
+        let mut occurrence = 0u32;
+        let new_id = loop {
+            let cand = NodeId::derived_from_split(key, occurrence);
+            if !self.nodes.contains_key(&cand) {
+                break cand;
+            }
+            occurrence += 1;
+        };
+        let old_weight = self.conns.get_mut(&key).map(|c| {
+            c.enabled = false;
+            c.weight
+        });
+        let Some(old_weight) = old_weight else { return };
+        self.nodes.insert(new_id, Self::new_node(cfg, rng));
+        self.conns.insert(
+            ConnKey::new(key.input, new_id),
+            ConnGene {
+                weight: 1.0,
+                enabled: true,
+            },
+        );
+        self.conns.insert(
+            ConnKey::new(new_id, key.output),
+            ConnGene {
+                weight: old_weight,
+                enabled: true,
+            },
+        );
+    }
+
+    /// Removes a random hidden node and all connections incident to it.
+    /// Output nodes are never removed.
+    pub fn mutate_delete_node<R: Rng + ?Sized>(&mut self, cfg: &NeatConfig, rng: &mut R) {
+        let Some(&victim) = self
+            .nodes
+            .keys()
+            .filter(|n| !n.is_output(cfg.num_outputs))
+            .choose(rng)
+        else {
+            return;
+        };
+        self.nodes.remove(&victim);
+        self.conns
+            .retain(|k, _| k.input != victim && k.output != victim);
+    }
+
+    /// Adds a connection between a random source (input or node) and a
+    /// random non-input destination. If the pair already exists the gene is
+    /// re-enabled; pairs that would create a cycle are rejected.
+    pub fn mutate_add_connection<R: Rng + ?Sized>(&mut self, cfg: &NeatConfig, rng: &mut R) {
+        let sources: Vec<NodeId> = (0..cfg.num_inputs)
+            .map(NodeId::input)
+            .chain(self.nodes.keys().copied())
+            .collect();
+        let dests: Vec<NodeId> = self.nodes.keys().copied().collect();
+        if sources.is_empty() || dests.is_empty() {
+            return;
+        }
+        let input = sources[rng.gen_range(0..sources.len())];
+        let output = dests[rng.gen_range(0..dests.len())];
+        let key = ConnKey::new(input, output);
+        if let Some(existing) = self.conns.get_mut(&key) {
+            existing.enabled = true;
+            return;
+        }
+        if input == output || Self::creates_cycle(self.conns.keys(), input, output) {
+            return;
+        }
+        self.conns.insert(
+            key,
+            ConnGene {
+                weight: cfg.weight.init(rng),
+                enabled: true,
+            },
+        );
+    }
+
+    /// Removes a random connection gene.
+    pub fn mutate_delete_connection<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if let Some(&key) = self.conns.keys().choose(rng) {
+            self.conns.remove(&key);
+        }
+    }
+
+    /// Mutates every gene's float attributes and (rarely) transfer
+    /// functions and enabled flags, per the configured rates.
+    pub fn mutate_attributes<R: Rng + ?Sized>(&mut self, cfg: &NeatConfig, rng: &mut R) {
+        for gene in self.conns.values_mut() {
+            gene.weight = cfg.weight.mutate(gene.weight, rng);
+            if rng.gen::<f64>() < cfg.enabled_mutate_rate {
+                gene.enabled = !gene.enabled;
+            }
+        }
+        for gene in self.nodes.values_mut() {
+            gene.bias = cfg.bias.mutate(gene.bias, rng);
+            gene.response = cfg.response.mutate(gene.response, rng);
+            if cfg.activation_mutate_rate > 0.0 && rng.gen::<f64>() < cfg.activation_mutate_rate {
+                gene.activation =
+                    crate::Activation::ALL[rng.gen_range(0..crate::Activation::ALL.len())];
+            }
+            if cfg.aggregation_mutate_rate > 0.0 && rng.gen::<f64>() < cfg.aggregation_mutate_rate
+            {
+                gene.aggregation =
+                    crate::Aggregation::ALL[rng.gen_range(0..crate::Aggregation::ALL.len())];
+            }
+        }
+    }
+
+    /// Returns true if adding `input -> output` would create a directed
+    /// cycle given the existing connection keys (enabled or not —
+    /// disabled genes may be re-enabled later, so they count).
+    pub fn creates_cycle<'a, I>(existing: I, input: NodeId, output: NodeId) -> bool
+    where
+        I: IntoIterator<Item = &'a ConnKey>,
+    {
+        if input == output {
+            return true;
+        }
+        // Cycle iff a path output -> ... -> input already exists.
+        let mut adjacency: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for k in existing {
+            adjacency.entry(k.input).or_default().push(k.output);
+        }
+        let mut visited = BTreeSet::new();
+        let mut queue = VecDeque::from([output]);
+        while let Some(n) = queue.pop_front() {
+            if n == input {
+                return true;
+            }
+            if visited.insert(n) {
+                if let Some(nexts) = adjacency.get(&n) {
+                    queue.extend(nexts.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    ///
+    /// Verifies that all `num_outputs` output node genes exist, connection
+    /// endpoints reference existing nodes (or inputs), no connection ends
+    /// at an input, and the graph is acyclic.
+    pub fn check_invariants(&self, cfg: &NeatConfig) -> Result<(), String> {
+        for o in 0..cfg.num_outputs {
+            if !self.nodes.contains_key(&NodeId::output(o)) {
+                return Err(format!("missing output node {o}"));
+            }
+        }
+        for key in self.conns.keys() {
+            if key.output.is_input() {
+                return Err(format!("connection {key} ends at an input"));
+            }
+            if !key.input.is_input() && !self.nodes.contains_key(&key.input) {
+                return Err(format!("connection {key} has dangling source"));
+            }
+            if !self.nodes.contains_key(&key.output) {
+                return Err(format!("connection {key} has dangling destination"));
+            }
+            if key.input.is_input() && (key.input.0 < -(cfg.num_inputs as i64)) {
+                return Err(format!("connection {key} references input out of range"));
+            }
+        }
+        // Acyclicity via Kahn's algorithm over all connection keys.
+        let mut indeg: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut all: BTreeSet<NodeId> = self.nodes.keys().copied().collect();
+        for key in self.conns.keys() {
+            all.insert(key.input);
+            all.insert(key.output);
+            *indeg.entry(key.output).or_insert(0) += 1;
+            adj.entry(key.input).or_default().push(key.output);
+        }
+        let mut queue: VecDeque<NodeId> = all
+            .iter()
+            .copied()
+            .filter(|n| indeg.get(n).copied().unwrap_or(0) == 0)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(n) = queue.pop_front() {
+            seen += 1;
+            if let Some(nexts) = adj.get(&n) {
+                for &m in nexts {
+                    let d = indeg.get_mut(&m).expect("edge target has indegree");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        if seen != all.len() {
+            return Err("connection graph contains a cycle".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InitialConnection;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(inputs: usize, outputs: usize) -> NeatConfig {
+        NeatConfig::builder(inputs, outputs).build().unwrap()
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn initial_genome_full_wiring() {
+        let cfg = cfg(3, 2);
+        let g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(1));
+        assert_eq!(g.nodes().len(), 2);
+        assert_eq!(g.conns().len(), 6);
+        assert_eq!(g.num_genes(), 8);
+        g.check_invariants(&cfg).unwrap();
+    }
+
+    #[test]
+    fn initial_genome_unconnected() {
+        let cfg = NeatConfig::builder(3, 2)
+            .initial_connection(InitialConnection::Unconnected)
+            .build()
+            .unwrap();
+        let g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(1));
+        assert_eq!(g.conns().len(), 0);
+        assert_eq!(g.nodes().len(), 2);
+    }
+
+    #[test]
+    fn initial_genome_partial_between_bounds() {
+        let cfg = NeatConfig::builder(10, 10)
+            .initial_connection(InitialConnection::Partial(0.5))
+            .build()
+            .unwrap();
+        let g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(7));
+        assert!(g.conns().len() < 100);
+        assert!(!g.conns().is_empty());
+    }
+
+    #[test]
+    fn distance_self_is_zero() {
+        let cfg = cfg(4, 2);
+        let g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(2));
+        assert_eq!(g.distance(&g, &cfg), 0.0);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let cfg = cfg(4, 2);
+        let a = Genome::new_initial(&cfg, GenomeId(0), &mut rng(3));
+        let mut b = Genome::new_initial(&cfg, GenomeId(1), &mut rng(4));
+        b.mutate_add_node(&cfg, &mut rng(5));
+        let d1 = a.distance(&b, &cfg);
+        let d2 = b.distance(&a, &cfg);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn add_node_splits_connection() {
+        let cfg = cfg(2, 1);
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(6));
+        let conns_before = g.conns().len();
+        let disabled_before = g.conns().values().filter(|c| !c.enabled).count();
+        g.mutate_add_node(&cfg, &mut rng(7));
+        assert_eq!(g.conns().len(), conns_before + 2);
+        assert_eq!(
+            g.conns().values().filter(|c| !c.enabled).count(),
+            disabled_before + 1
+        );
+        assert_eq!(g.nodes().len(), 2);
+        g.check_invariants(&cfg).unwrap();
+    }
+
+    #[test]
+    fn add_node_twice_distinct_ids() {
+        let cfg = cfg(1, 1);
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(8));
+        for s in 0..10 {
+            g.mutate_add_node(&cfg, &mut rng(100 + s));
+            g.check_invariants(&cfg).unwrap();
+        }
+        assert!(g.nodes().len() >= 3, "hidden nodes should accumulate");
+    }
+
+    #[test]
+    fn delete_node_never_removes_outputs() {
+        let cfg = cfg(2, 2);
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(9));
+        for s in 0..20 {
+            g.mutate_delete_node(&cfg, &mut rng(200 + s));
+        }
+        assert_eq!(g.nodes().len(), 2, "outputs must survive");
+        g.check_invariants(&cfg).unwrap();
+    }
+
+    #[test]
+    fn delete_node_removes_incident_connections() {
+        let cfg = cfg(1, 1);
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(10));
+        g.mutate_add_node(&cfg, &mut rng(11));
+        assert_eq!(g.nodes().len(), 2);
+        // Repeated deletion attempts eventually hit the hidden node.
+        for s in 0..50 {
+            g.mutate_delete_node(&cfg, &mut rng(300 + s));
+            g.check_invariants(&cfg).unwrap();
+        }
+        assert_eq!(g.nodes().len(), 1);
+        for key in g.conns().keys() {
+            assert!(key.input.is_input() || g.nodes().contains_key(&key.input));
+        }
+    }
+
+    #[test]
+    fn add_connection_no_cycles_ever() {
+        let cfg = cfg(3, 2);
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(12));
+        for s in 0..200 {
+            let mut r = rng(400 + s);
+            g.mutate_add_node(&cfg, &mut r);
+            g.mutate_add_connection(&cfg, &mut r);
+            g.check_invariants(&cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn creates_cycle_detects_two_edge_loop() {
+        let a = NodeId::output(0);
+        let b = NodeId(5);
+        let existing = [ConnKey::new(a, b)];
+        assert!(Genome::creates_cycle(existing.iter(), b, a));
+        assert!(!Genome::creates_cycle(existing.iter(), a, b));
+        assert!(Genome::creates_cycle(existing.iter(), a, a));
+    }
+
+    #[test]
+    fn crossover_child_keys_subset_of_fitter() {
+        let cfg = cfg(3, 1);
+        let mut a = Genome::new_initial(&cfg, GenomeId(0), &mut rng(13));
+        let mut b = Genome::new_initial(&cfg, GenomeId(1), &mut rng(14));
+        a.mutate_add_node(&cfg, &mut rng(15));
+        b.mutate_add_connection(&cfg, &mut rng(16));
+        let child = Genome::crossover(&a, &b, GenomeId(2), &mut rng(17));
+        for k in child.conns().keys() {
+            assert!(a.conns().contains_key(k), "child conn {k} not in fitter");
+        }
+        for k in child.nodes().keys() {
+            assert!(a.nodes().contains_key(k), "child node {k} not in fitter");
+        }
+        assert_eq!(child.id(), GenomeId(2));
+        child.check_invariants(&cfg).unwrap();
+    }
+
+    #[test]
+    fn crossover_matching_attrs_from_either_parent() {
+        let cfg = cfg(2, 1);
+        let mut a = Genome::new_initial(&cfg, GenomeId(0), &mut rng(18));
+        let mut b = a.clone();
+        b.set_id(GenomeId(1));
+        for c in a.conns.values_mut() {
+            c.weight = 1.0;
+        }
+        for c in b.conns.values_mut() {
+            c.weight = -1.0;
+        }
+        let child = Genome::crossover(&a, &b, GenomeId(2), &mut rng(19));
+        for c in child.conns().values() {
+            assert!(c.weight == 1.0 || c.weight == -1.0);
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_invariants_over_many_generations() {
+        let cfg = cfg(4, 2);
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(20));
+        for s in 0..300 {
+            g.mutate(&cfg, &mut rng(1000 + s));
+            g.check_invariants(&cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_mutation_same_seed() {
+        let cfg = cfg(4, 2);
+        let mut a = Genome::new_initial(&cfg, GenomeId(0), &mut rng(21));
+        let mut b = a.clone();
+        a.mutate(&cfg, &mut rng(22));
+        b.mutate(&cfg, &mut rng(22));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fitness_lifecycle() {
+        let cfg = cfg(1, 1);
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(23));
+        assert_eq!(g.fitness(), None);
+        g.set_fitness(3.5);
+        assert_eq!(g.fitness(), Some(3.5));
+        g.clear_fitness();
+        assert_eq!(g.fitness(), None);
+    }
+
+    #[test]
+    fn enabled_conn_count() {
+        let cfg = cfg(2, 2);
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(24));
+        assert_eq!(g.num_enabled_conns(), 4);
+        g.mutate_add_node(&cfg, &mut rng(25));
+        assert_eq!(g.num_enabled_conns(), 5, "split disables one, adds two");
+    }
+}

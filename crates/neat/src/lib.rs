@@ -1,0 +1,71 @@
+//! # clan-neat — NeuroEvolution of Augmenting Topologies, from scratch
+//!
+//! A complete, deterministic implementation of the NEAT algorithm
+//! (Stanley & Miikkulainen, 2002) as used by the CLAN paper
+//! (Mannan et al., ISPASS 2020). The semantics mirror the `neat-python`
+//! library the paper built on: genomes hold node genes and connection
+//! genes, populations are partitioned into species by a compatibility
+//! distance, fitness is shared within species, and new generations are
+//! produced by crossover plus five kinds of structural/weight mutation.
+//!
+//! Two properties distinguish this implementation from a textbook NEAT:
+//!
+//! 1. **Order-independent determinism.** Every stochastic decision derives
+//!    its RNG stream from `(master_seed, generation, entity_id, op)` via a
+//!    splitmix64 mixer ([`rng`]). Reproducing child #37 on agent A yields
+//!    bit-identical results to reproducing it on agent B, which is what
+//!    makes the distributed CLAN configurations (`DCS`/`DDS`) provably
+//!    equivalent to a serial run.
+//! 2. **Gene-level cost accounting.** The CLAN paper measures compute and
+//!    communication in *genes processed* (a gene is a 32-bit datum). The
+//!    [`counters::CostCounters`] type records exactly how many genes each
+//!    compute block (Inference, Speciation, Reproduction) touches.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use clan_neat::{NeatConfig, Population};
+//!
+//! // Evolve a genome that outputs a constant 0.5 from one input.
+//! let cfg = NeatConfig::builder(1, 1).population_size(40).build().unwrap();
+//! let mut pop = Population::new(cfg, 42);
+//! for _ in 0..5 {
+//!     pop.evaluate(|net, _genome| {
+//!         let out = net.activate(&[1.0])[0];
+//!         1.0 - (out - 0.5).abs()
+//!     });
+//!     pop.advance_generation();
+//! }
+//! assert!(pop.best_ever().unwrap().fitness().unwrap() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod checkpoint;
+pub mod config;
+pub mod counters;
+pub mod error;
+pub mod gene;
+pub mod genome;
+pub mod network;
+pub mod population;
+pub mod reproduction;
+pub mod rng;
+pub mod serde_util;
+pub mod species;
+pub mod stagnation;
+pub mod visualize;
+
+pub use activation::{Activation, Aggregation};
+pub use config::{NeatConfig, NeatConfigBuilder};
+pub use counters::{CostCounters, GenerationCosts};
+pub use error::NeatError;
+pub use gene::{ConnGene, ConnKey, GenomeId, NodeGene, NodeId, SpeciesId};
+pub use genome::Genome;
+pub use network::FeedForwardNetwork;
+pub use population::{FitnessStats, Population};
+pub use reproduction::{ChildSpec, GenerationPlan};
+pub use species::{Species, SpeciesSet};
+pub use visualize::genome_to_dot;

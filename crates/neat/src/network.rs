@@ -1,0 +1,348 @@
+//! Phenotype: a feed-forward network compiled from a [`Genome`].
+//!
+//! Compilation resolves the genome's gene graph into an indexed,
+//! topologically ordered evaluation plan once, so that the (many) per-step
+//! activations during an episode are cheap. Only nodes *required* for the
+//! outputs are evaluated, mirroring `neat-python`.
+
+use crate::activation::{Activation, Aggregation};
+use crate::config::NeatConfig;
+use crate::gene::{GenomeId, NodeId};
+use crate::genome::Genome;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One node's compiled evaluation plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EvalNode {
+    bias: f64,
+    response: f64,
+    activation: Activation,
+    aggregation: Aggregation,
+    /// `(value_slot, weight)` pairs for incoming enabled connections.
+    incoming: Vec<(usize, f64)>,
+}
+
+/// A compiled feed-forward network.
+///
+/// ```
+/// use clan_neat::{Genome, GenomeId, NeatConfig, FeedForwardNetwork};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let cfg = NeatConfig::builder(2, 1).build()?;
+/// let genome = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(7));
+/// let net = FeedForwardNetwork::compile(&genome, &cfg);
+/// let out = net.activate(&[0.5, -0.5]);
+/// assert_eq!(out.len(), 1);
+/// # Ok::<(), clan_neat::NeatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedForwardNetwork {
+    genome_id: GenomeId,
+    num_inputs: usize,
+    num_outputs: usize,
+    /// Evaluation plan in topological order; slot `num_inputs + i` holds
+    /// the value of `nodes[i]`.
+    nodes: Vec<EvalNode>,
+    /// Value slot of each network output.
+    output_slots: Vec<usize>,
+    /// Genes touched per activation (enabled connections + evaluated
+    /// nodes) — the paper's inference cost unit.
+    genes_per_activation: u64,
+}
+
+impl FeedForwardNetwork {
+    /// Compiles `genome` into an evaluation plan.
+    ///
+    /// Nodes not on any path to an output are pruned; an output with no
+    /// incoming connections still produces `activation(bias)`.
+    pub fn compile(genome: &Genome, cfg: &NeatConfig) -> FeedForwardNetwork {
+        let outputs: BTreeSet<NodeId> = (0..cfg.num_outputs).map(NodeId::output).collect();
+
+        // Required nodes: reachable *backwards* from outputs over enabled
+        // connections, plus the outputs themselves.
+        let mut rev: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for (key, gene) in genome.conns() {
+            if gene.enabled {
+                rev.entry(key.output).or_default().push(key.input);
+            }
+        }
+        let mut required: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue: VecDeque<NodeId> = outputs.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            if n.is_input() || !required.insert(n) {
+                continue;
+            }
+            if let Some(srcs) = rev.get(&n) {
+                queue.extend(srcs.iter().copied());
+            }
+        }
+
+        // Topological order of the required subgraph (Kahn).
+        let mut indeg: BTreeMap<NodeId, usize> = required.iter().map(|&n| (n, 0)).collect();
+        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut conn_count = 0u64;
+        for (key, gene) in genome.conns() {
+            if !gene.enabled || !required.contains(&key.output) {
+                continue;
+            }
+            if !key.input.is_input() && !required.contains(&key.input) {
+                continue;
+            }
+            conn_count += 1;
+            if !key.input.is_input() {
+                *indeg.get_mut(&key.output).expect("required node") += 1;
+                adj.entry(key.input).or_default().push(key.output);
+            }
+        }
+        let mut order: Vec<NodeId> = Vec::with_capacity(required.len());
+        let mut ready: VecDeque<NodeId> = indeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        while let Some(n) = ready.pop_front() {
+            order.push(n);
+            if let Some(nexts) = adj.get(&n) {
+                for &m in nexts {
+                    let d = indeg.get_mut(&m).expect("required node");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push_back(m);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), required.len(), "genome graph must be acyclic");
+
+        // Slot assignment: inputs first, then nodes in topological order.
+        let slot_of = |n: NodeId, node_slots: &BTreeMap<NodeId, usize>| -> usize {
+            if n.is_input() {
+                (-n.0 - 1) as usize
+            } else {
+                node_slots[&n]
+            }
+        };
+        let mut node_slots: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (i, &n) in order.iter().enumerate() {
+            node_slots.insert(n, cfg.num_inputs + i);
+        }
+        // Group enabled connections by destination once (compile is on the
+        // inference hot path: every genome recompiles every generation).
+        let mut incoming_of: BTreeMap<NodeId, Vec<(usize, f64)>> = BTreeMap::new();
+        for (key, cg) in genome.conns() {
+            if cg.enabled
+                && required.contains(&key.output)
+                && (key.input.is_input() || required.contains(&key.input))
+            {
+                incoming_of
+                    .entry(key.output)
+                    .or_default()
+                    .push((slot_of(key.input, &node_slots), cg.weight));
+            }
+        }
+        let mut nodes = Vec::with_capacity(order.len());
+        for &n in &order {
+            let gene = genome.nodes()[&n];
+            nodes.push(EvalNode {
+                bias: gene.bias,
+                response: gene.response,
+                activation: gene.activation,
+                aggregation: gene.aggregation,
+                incoming: incoming_of.remove(&n).unwrap_or_default(),
+            });
+        }
+        let output_slots = (0..cfg.num_outputs)
+            .map(|o| node_slots[&NodeId::output(o)])
+            .collect();
+        FeedForwardNetwork {
+            genome_id: genome.id(),
+            num_inputs: cfg.num_inputs,
+            num_outputs: cfg.num_outputs,
+            genes_per_activation: conn_count + order.len() as u64,
+            nodes,
+            output_slots,
+        }
+    }
+
+    /// Id of the genome this network was compiled from.
+    pub fn genome_id(&self) -> GenomeId {
+        self.genome_id
+    }
+
+    /// Number of expected inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of outputs produced by [`activate`](Self::activate).
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Genes touched per activation — the paper's inference cost unit
+    /// (enabled connections plus evaluated nodes).
+    pub fn genes_per_activation(&self) -> u64 {
+        self.genes_per_activation
+    }
+
+    /// Runs one forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`num_inputs`](Self::num_inputs).
+    pub fn activate(&self, inputs: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs,
+            "expected {} inputs, got {}",
+            self.num_inputs,
+            inputs.len()
+        );
+        let mut values = vec![0.0f64; self.num_inputs + self.nodes.len()];
+        values[..self.num_inputs].copy_from_slice(inputs);
+        let mut weighted = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            weighted.clear();
+            weighted.extend(node.incoming.iter().map(|&(slot, w)| values[slot] * w));
+            let agg = node.aggregation.apply(&weighted);
+            values[self.num_inputs + i] = node
+                .activation
+                .apply(node.bias + node.response * agg);
+        }
+        self.output_slots.iter().map(|&s| values[s]).collect()
+    }
+
+    /// Index of the maximum output — the usual discrete-action policy.
+    pub fn act_argmax(&self, inputs: &[f64]) -> usize {
+        let out = self.activate(inputs);
+        out.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(i: usize, o: usize) -> NeatConfig {
+        NeatConfig::builder(i, o).build().unwrap()
+    }
+
+    fn genome(cfg: &NeatConfig, seed: u64) -> Genome {
+        Genome::new_initial(cfg, GenomeId(0), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn outputs_have_expected_arity() {
+        let cfg = cfg(3, 2);
+        let net = FeedForwardNetwork::compile(&genome(&cfg, 1), &cfg);
+        let out = net.activate(&[0.1, 0.2, 0.3]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 inputs")]
+    fn wrong_input_arity_panics() {
+        let cfg = cfg(3, 1);
+        let net = FeedForwardNetwork::compile(&genome(&cfg, 1), &cfg);
+        net.activate(&[0.0]);
+    }
+
+    #[test]
+    fn unconnected_output_is_activation_of_bias() {
+        let cfg = crate::NeatConfig::builder(1, 1)
+            .initial_connection(crate::config::InitialConnection::Unconnected)
+            .build()
+            .unwrap();
+        let g = genome(&cfg, 2);
+        let bias = g.nodes()[&NodeId::output(0)].bias;
+        let net = FeedForwardNetwork::compile(&g, &cfg);
+        let out = net.activate(&[123.0]);
+        let expected = Activation::Sigmoid.apply(bias);
+        assert!((out[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_connections_ignored() {
+        // An add-node split disables the original connection; the compiled
+        // network must route through the new hidden node only.
+        let cfg = cfg(1, 1);
+        let mut g = genome(&cfg, 3);
+        g.mutate_add_node(&cfg, &mut StdRng::seed_from_u64(4));
+        let net = FeedForwardNetwork::compile(&g, &cfg);
+        // Path is input -> hidden -> output: 2 enabled conns + 2 nodes.
+        assert_eq!(net.genes_per_activation(), 4);
+        assert!(net.activate(&[1.0])[0].is_finite());
+    }
+
+    #[test]
+    fn genes_per_activation_counts_enabled_required_only() {
+        let cfg = cfg(2, 1);
+        let g = genome(&cfg, 5);
+        let net = FeedForwardNetwork::compile(&g, &cfg);
+        // 2 enabled connections + 1 output node.
+        assert_eq!(net.genes_per_activation(), 3);
+    }
+
+    #[test]
+    fn argmax_policy_in_range() {
+        let cfg = cfg(4, 3);
+        let net = FeedForwardNetwork::compile(&genome(&cfg, 6), &cfg);
+        for i in 0..20 {
+            let x = i as f64 / 10.0;
+            let a = net.act_argmax(&[x, -x, x * 0.5, 1.0]);
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn deeper_topologies_stay_finite() {
+        let cfg = cfg(4, 2);
+        let mut g = genome(&cfg, 7);
+        let mut r = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            g.mutate(&cfg, &mut r);
+        }
+        g.check_invariants(&cfg).unwrap();
+        let net = FeedForwardNetwork::compile(&g, &cfg);
+        let out = net.activate(&[0.9, -0.9, 0.1, 0.0]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn genome_with_all_connections_deleted_still_works() {
+        // Heavy deletion can strand outputs entirely; the network must
+        // degrade to activation(bias), never panic.
+        let cfg = cfg(3, 2);
+        let mut g = genome(&cfg, 11);
+        let mut r = StdRng::seed_from_u64(12);
+        for _ in 0..200 {
+            g.mutate_delete_connection(&mut r);
+        }
+        assert_eq!(g.conns().len(), 0);
+        let net = FeedForwardNetwork::compile(&g, &cfg);
+        let out = net.activate(&[1.0, 2.0, 3.0]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.is_finite()));
+        // Only the two output nodes are touched.
+        assert_eq!(net.genes_per_activation(), 2);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let cfg = cfg(3, 2);
+        let g = genome(&cfg, 9);
+        let a = FeedForwardNetwork::compile(&g, &cfg);
+        let b = FeedForwardNetwork::compile(&g, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.activate(&[0.1, 0.2, 0.3]), b.activate(&[0.1, 0.2, 0.3]));
+    }
+}

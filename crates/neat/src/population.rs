@@ -1,0 +1,671 @@
+//! Population: the per-generation NEAT loop, exposed both as a one-call
+//! serial driver ([`Population::advance_generation`]) and as individual
+//! phases (speciate / plan / reproduce / install) so the CLAN
+//! orchestrators can distribute each compute block independently.
+
+use crate::config::NeatConfig;
+use crate::counters::{CostCounters, GenerationCosts};
+use crate::error::NeatError;
+use crate::gene::GenomeId;
+use crate::genome::Genome;
+use crate::network::FeedForwardNetwork;
+use crate::reproduction::{compute_plan, make_child, ChildSpec, GenerationPlan};
+use crate::rng::{op_rng, OpTag};
+use crate::species::{SpeciationOutcome, SpeciesSet};
+use crate::stagnation::cull_stagnant_species;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Result of evaluating one genome on a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Fitness achieved (higher is better).
+    pub fitness: f64,
+    /// Number of network activations performed (timesteps), used for
+    /// gene-level inference cost accounting.
+    pub activations: u64,
+}
+
+impl From<f64> for Evaluation {
+    /// Treats a bare fitness as a single-activation evaluation.
+    fn from(fitness: f64) -> Self {
+        Evaluation {
+            fitness,
+            activations: 1,
+        }
+    }
+}
+
+/// Distribution statistics of a population's fitness values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitnessStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Maximum (the generation's best).
+    pub best: f64,
+    /// Minimum.
+    pub worst: f64,
+}
+
+/// Summary of one completed generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationSummary {
+    /// Index of the generation that just finished (0-based).
+    pub generation: u64,
+    /// Species count after speciation.
+    pub num_species: usize,
+    /// Best fitness in the evaluated population.
+    pub best_fitness: f64,
+    /// Gene-level costs incurred by this generation.
+    pub costs: GenerationCosts,
+    /// Whether the population went extinct and was re-seeded.
+    pub extinction: bool,
+}
+
+/// A NEAT population with deterministic, distribution-friendly phases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Population {
+    cfg: NeatConfig,
+    #[serde(
+        serialize_with = "crate::serde_util::map_as_pairs",
+        deserialize_with = "crate::serde_util::pairs_as_map"
+    )]
+    genomes: BTreeMap<GenomeId, Genome>,
+    species: SpeciesSet,
+    generation: u64,
+    next_genome_id: u64,
+    master_seed: u64,
+    counters: CostCounters,
+    best_ever: Option<Genome>,
+    extinctions: u32,
+}
+
+impl Population {
+    /// Creates a population of `cfg.population_size` initial genomes.
+    ///
+    /// Genome `i` is built from the RNG stream
+    /// `(seed, generation 0, i, InitGenome)`, so two populations with the
+    /// same config and seed are identical.
+    pub fn new(cfg: NeatConfig, seed: u64) -> Population {
+        let mut genomes = BTreeMap::new();
+        for i in 0..cfg.population_size {
+            let id = GenomeId(i as u64);
+            let mut rng = op_rng(seed, 0, id.0, OpTag::InitGenome);
+            genomes.insert(id, Genome::new_initial(&cfg, id, &mut rng));
+        }
+        Population {
+            next_genome_id: cfg.population_size as u64,
+            cfg,
+            genomes,
+            species: SpeciesSet::new(),
+            generation: 0,
+            master_seed: seed,
+            counters: CostCounters::new(),
+            best_ever: None,
+            extinctions: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NeatConfig {
+        &self.cfg
+    }
+
+    /// Current generation index (0 before any [`advance_generation`]).
+    ///
+    /// [`advance_generation`]: Self::advance_generation
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The master seed the population was created with.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Number of times the population went extinct and was re-seeded.
+    pub fn extinctions(&self) -> u32 {
+        self.extinctions
+    }
+
+    /// Current genomes, keyed by id.
+    pub fn genomes(&self) -> &BTreeMap<GenomeId, Genome> {
+        &self.genomes
+    }
+
+    /// Looks up a genome.
+    pub fn genome(&self, id: GenomeId) -> Option<&Genome> {
+        self.genomes.get(&id)
+    }
+
+    /// Number of genomes (always `population_size` between phases).
+    pub fn len(&self) -> usize {
+        self.genomes.len()
+    }
+
+    /// Whether the population is empty (never true in normal operation).
+    pub fn is_empty(&self) -> bool {
+        self.genomes.is_empty()
+    }
+
+    /// Current species set.
+    pub fn species(&self) -> &SpeciesSet {
+        &self.species
+    }
+
+    /// Cost counters (inference/speciation/reproduction genes).
+    pub fn counters(&self) -> &CostCounters {
+        &self.counters
+    }
+
+    /// Mutable cost counters, for orchestrators that account externally
+    /// performed work (e.g. distributed inference).
+    pub fn counters_mut(&mut self) -> &mut CostCounters {
+        &mut self.counters
+    }
+
+    /// Assigns fitness to one genome (used by distributed evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeatError::UnknownGenome`] if `id` is not present.
+    pub fn set_fitness(&mut self, id: GenomeId, fitness: f64) -> Result<(), NeatError> {
+        match self.genomes.get_mut(&id) {
+            Some(g) => {
+                g.set_fitness(fitness);
+                Ok(())
+            }
+            None => Err(NeatError::UnknownGenome { genome: id.0 }),
+        }
+    }
+
+    /// Evaluates every genome with `evaluator` (phase `I`).
+    ///
+    /// The evaluator receives the compiled network and the genome and
+    /// returns anything convertible to [`Evaluation`] (a bare `f64` counts
+    /// as one activation). Inference cost is charged as
+    /// `activations x genes_per_activation`.
+    pub fn evaluate<F, E>(&mut self, mut evaluator: F)
+    where
+        F: FnMut(&FeedForwardNetwork, &Genome) -> E,
+        E: Into<Evaluation>,
+    {
+        let ids: Vec<GenomeId> = self.genomes.keys().copied().collect();
+        for id in ids {
+            let genome = &self.genomes[&id];
+            let net = FeedForwardNetwork::compile(genome, &self.cfg);
+            let eval: Evaluation = evaluator(&net, genome).into();
+            self.counters
+                .record_inference(eval.activations * net.genes_per_activation());
+            self.counters.record_episode();
+            self.genomes
+                .get_mut(&id)
+                .expect("id enumerated above")
+                .set_fitness(eval.fitness);
+        }
+    }
+
+    /// Best genome of the current (evaluated) population.
+    pub fn best(&self) -> Option<&Genome> {
+        self.genomes
+            .values()
+            .filter(|g| g.fitness().is_some())
+            .max_by(|a, b| {
+                a.fitness()
+                    .partial_cmp(&b.fitness())
+                    .expect("finite fitness")
+                    .then(b.id().cmp(&a.id()))
+            })
+    }
+
+    /// Best genome seen in any generation so far.
+    pub fn best_ever(&self) -> Option<&Genome> {
+        self.best_ever.as_ref()
+    }
+
+    /// Fitness distribution of the current population, or `None` if any
+    /// genome is unevaluated.
+    pub fn fitness_stats(&self) -> Option<FitnessStats> {
+        let fits: Option<Vec<f64>> = self.genomes.values().map(Genome::fitness).collect();
+        let fits = fits?;
+        if fits.is_empty() {
+            return None;
+        }
+        let n = fits.len() as f64;
+        let mean = fits.iter().sum::<f64>() / n;
+        let var = fits.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / n;
+        Some(FitnessStats {
+            mean,
+            stddev: var.sqrt(),
+            best: fits.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            worst: fits.iter().copied().fold(f64::INFINITY, f64::min),
+        })
+    }
+
+    /// Phase `S`: assigns every genome to a species.
+    pub fn speciate(&mut self) -> SpeciationOutcome {
+        self.species
+            .speciate(&self.genomes, &self.cfg, self.generation, &mut self.counters)
+    }
+
+    /// Phase `GP`: stagnation culling, fitness sharing, spawn counts, and
+    /// parent selection.
+    ///
+    /// # Errors
+    ///
+    /// - [`NeatError::MissingFitness`] if any genome is unevaluated.
+    /// - [`NeatError::Extinction`] if every species stagnated; callers
+    ///   should then invoke [`reset_population`](Self::reset_population)
+    ///   (which [`advance_generation`](Self::advance_generation) does
+    ///   automatically when `reset_on_extinction` is set).
+    pub fn plan_generation(&mut self) -> Result<GenerationPlan, NeatError> {
+        for (id, g) in &self.genomes {
+            if g.fitness().is_none() {
+                return Err(NeatError::MissingFitness { genome: id.0 });
+            }
+        }
+        // Track the best genome before the population is replaced.
+        if let Some(best) = self.best() {
+            if self
+                .best_ever
+                .as_ref()
+                .and_then(Genome::fitness)
+                .is_none_or(|b| best.fitness().expect("checked above") > b)
+            {
+                self.best_ever = Some(best.clone());
+            }
+        }
+        cull_stagnant_species(&mut self.species, &self.genomes, &self.cfg, self.generation);
+        if self.species.is_empty() {
+            return Err(NeatError::Extinction);
+        }
+        Ok(compute_plan(
+            &mut self.species,
+            &self.genomes,
+            &self.cfg,
+            self.generation,
+            self.master_seed,
+            &mut self.next_genome_id,
+        ))
+    }
+
+    /// Builds one child of `plan` from genomes resident in this
+    /// population, charging reproduction cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's parents are not in the population.
+    pub fn build_child(&mut self, spec: &ChildSpec) -> Genome {
+        let parents = spec.parent_ids();
+        let p1 = &self.genomes[&parents[0]];
+        let p2 = parents.get(1).map(|id| &self.genomes[id]);
+        let child = make_child(&self.cfg, spec, (p1, p2), self.master_seed, self.generation);
+        self.counters.record_reproduction(child.num_genes());
+        child
+    }
+
+    /// Phase `R` performed centrally: builds every child in `plan`.
+    pub fn reproduce_centrally(&mut self, plan: &GenerationPlan) -> Vec<Genome> {
+        plan.children
+            .iter()
+            .map(|spec| self.build_child(spec))
+            .collect()
+    }
+
+    /// Installs the next generation's genomes and advances the generation
+    /// counter. Children keep whatever ids their specs assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty or contains duplicate ids.
+    pub fn install_next_generation(&mut self, children: Vec<Genome>) {
+        assert!(!children.is_empty(), "next generation cannot be empty");
+        let mut map = BTreeMap::new();
+        for child in children {
+            let prev = map.insert(child.id(), child);
+            assert!(prev.is_none(), "duplicate child id");
+        }
+        self.genomes = map;
+        self.generation += 1;
+    }
+
+    /// Replaces the current genomes without advancing the generation
+    /// counter.
+    ///
+    /// Used by migration/resynchronization schemes (e.g. CLAN_DDA's
+    /// periodic global speciation) that shuffle genomes between
+    /// subpopulations mid-generation. Species assignments are left to the
+    /// next [`speciate`](Self::speciate) call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genomes` is empty or contains duplicate ids.
+    pub fn replace_genomes(&mut self, genomes: Vec<Genome>) {
+        assert!(!genomes.is_empty(), "population cannot be empty");
+        let mut map = BTreeMap::new();
+        for g in genomes {
+            self.next_genome_id = self.next_genome_id.max(g.id().0 + 1);
+            let prev = map.insert(g.id(), g);
+            assert!(prev.is_none(), "duplicate genome id");
+        }
+        self.genomes = map;
+    }
+
+    /// Re-seeds a fresh random population after total extinction.
+    pub fn reset_population(&mut self) {
+        self.extinctions += 1;
+        let mut genomes = BTreeMap::new();
+        for _ in 0..self.cfg.population_size {
+            let id = GenomeId(self.next_genome_id);
+            self.next_genome_id += 1;
+            let mut rng = op_rng(self.master_seed, self.generation + 1, id.0, OpTag::InitGenome);
+            genomes.insert(id, Genome::new_initial(&self.cfg, id, &mut rng));
+        }
+        self.genomes = genomes;
+        self.species = SpeciesSet::new();
+        self.generation += 1;
+    }
+
+    /// Runs one full evolution step (phases `S`, `GP`, `R`) after the
+    /// population has been evaluated, exactly as a serial (non-CLAN)
+    /// deployment would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any genome lacks fitness, or on extinction when
+    /// `reset_on_extinction` is disabled.
+    pub fn advance_generation(&mut self) -> GenerationSummary {
+        let speciation = self.speciate();
+        let best_fitness = self
+            .best()
+            .and_then(Genome::fitness)
+            .expect("advance_generation requires an evaluated population");
+        let gen = self.generation;
+        match self.plan_generation() {
+            Ok(plan) => {
+                let children = self.reproduce_centrally(&plan);
+                self.install_next_generation(children);
+                GenerationSummary {
+                    generation: gen,
+                    num_species: speciation.species_count,
+                    best_fitness,
+                    costs: self.counters.finish_generation(),
+                    extinction: false,
+                }
+            }
+            Err(NeatError::Extinction) => {
+                assert!(
+                    self.cfg.reset_on_extinction,
+                    "population went extinct with reset_on_extinction disabled"
+                );
+                self.reset_population();
+                GenerationSummary {
+                    generation: gen,
+                    num_species: 0,
+                    best_fitness,
+                    costs: self.counters.finish_generation(),
+                    extinction: true,
+                }
+            }
+            Err(e) => panic!("generation planning failed: {e}"),
+        }
+    }
+
+    /// Convenience driver: evaluate + advance for `generations` rounds,
+    /// stopping early when `fitness_threshold` is reached.
+    ///
+    /// Returns the per-generation summaries.
+    pub fn run<F, E>(
+        &mut self,
+        mut evaluator: F,
+        generations: u64,
+        fitness_threshold: Option<f64>,
+    ) -> Vec<GenerationSummary>
+    where
+        F: FnMut(&FeedForwardNetwork, &Genome) -> E,
+        E: Into<Evaluation>,
+    {
+        let mut summaries = Vec::new();
+        for _ in 0..generations {
+            self.evaluate(&mut evaluator);
+            let summary = self.advance_generation();
+            let reached = fitness_threshold.is_some_and(|t| summary.best_fitness >= t);
+            summaries.push(summary);
+            if reached {
+                break;
+            }
+        }
+        summaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pop: usize) -> NeatConfig {
+        NeatConfig::builder(2, 1).population_size(pop).build().unwrap()
+    }
+
+    #[test]
+    fn new_population_has_configured_size() {
+        let pop = Population::new(cfg(30), 1);
+        assert_eq!(pop.len(), 30);
+        assert_eq!(pop.generation(), 0);
+        assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_population() {
+        let a = Population::new(cfg(20), 5);
+        let b = Population::new(cfg(20), 5);
+        assert_eq!(a.genomes(), b.genomes());
+        let c = Population::new(cfg(20), 6);
+        assert_ne!(a.genomes(), c.genomes());
+    }
+
+    #[test]
+    fn evaluate_sets_all_fitness_and_counts() {
+        let mut pop = Population::new(cfg(10), 2);
+        pop.evaluate(|_net, _| Evaluation {
+            fitness: 1.0,
+            activations: 200,
+        });
+        assert!(pop.genomes().values().all(|g| g.fitness() == Some(1.0)));
+        let costs = pop.counters().current();
+        assert_eq!(costs.episodes, 10);
+        assert_eq!(costs.activations, 10);
+        // 2 inputs -> 1 output full wiring: 2 conns + 1 node = 3 genes/activation.
+        assert_eq!(costs.inference_genes, 10 * 200 * 3);
+    }
+
+    #[test]
+    fn advance_generation_replaces_population() {
+        let mut pop = Population::new(cfg(12), 3);
+        pop.evaluate(|_, g| g.id().0 as f64);
+        let old_ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
+        let summary = pop.advance_generation();
+        assert_eq!(pop.generation(), 1);
+        assert_eq!(pop.len(), 12);
+        assert_eq!(summary.best_fitness, 11.0);
+        assert!(summary.num_species >= 1);
+        let new_ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
+        assert!(new_ids.iter().all(|id| !old_ids.contains(id)));
+        assert!(pop.genomes().values().all(|g| g.fitness().is_none()));
+    }
+
+    #[test]
+    fn plan_generation_requires_fitness() {
+        let mut pop = Population::new(cfg(10), 4);
+        let err = pop.plan_generation();
+        assert!(matches!(err, Err(NeatError::MissingFitness { .. })));
+    }
+
+    #[test]
+    fn set_fitness_unknown_genome_errors() {
+        let mut pop = Population::new(cfg(5), 5);
+        assert!(matches!(
+            pop.set_fitness(GenomeId(999), 1.0),
+            Err(NeatError::UnknownGenome { genome: 999 })
+        ));
+        assert!(pop.set_fitness(GenomeId(0), 1.0).is_ok());
+    }
+
+    #[test]
+    fn best_ever_tracks_across_generations() {
+        let mut pop = Population::new(cfg(15), 6);
+        for gen in 0..4 {
+            pop.evaluate(|_, g| (g.id().0 % 7) as f64 + gen as f64);
+            pop.advance_generation();
+        }
+        let be = pop.best_ever().unwrap();
+        assert!(be.fitness().unwrap() >= 3.0);
+    }
+
+    #[test]
+    fn fitness_improves_on_trivial_task() {
+        // Maximize output for input 1.0 — easy gradient for evolution.
+        let cfg = NeatConfig::builder(1, 1).population_size(50).build().unwrap();
+        let mut pop = Population::new(cfg, 7);
+        let mut first_best = None;
+        let mut last_best = 0.0;
+        for _ in 0..15 {
+            pop.evaluate(|net, _| net.activate(&[1.0])[0]);
+            let s = pop.advance_generation();
+            first_best.get_or_insert(s.best_fitness);
+            last_best = s.best_fitness;
+        }
+        assert!(
+            last_best >= first_best.unwrap(),
+            "evolution should not regress on a static task: {first_best:?} -> {last_best}"
+        );
+        assert!(last_best > 0.9, "sigmoid output should approach 1.0");
+    }
+
+    #[test]
+    fn run_stops_at_threshold() {
+        let cfg = NeatConfig::builder(1, 1).population_size(40).build().unwrap();
+        let mut pop = Population::new(cfg, 8);
+        let summaries = pop.run(|net, _| net.activate(&[1.0])[0], 50, Some(0.9));
+        assert!(summaries.len() < 50, "should converge early");
+        assert!(summaries.last().unwrap().best_fitness >= 0.9);
+    }
+
+    #[test]
+    fn generation_cost_history_accumulates() {
+        let mut pop = Population::new(cfg(10), 9);
+        for _ in 0..3 {
+            pop.evaluate(|_, _| 1.0);
+            pop.advance_generation();
+        }
+        assert_eq!(pop.counters().history().len(), 3);
+        for g in pop.counters().history() {
+            assert!(g.inference_genes > 0);
+            assert!(g.speciation_genes > 0);
+            assert!(g.reproduction_genes > 0);
+        }
+    }
+
+    #[test]
+    fn fitness_stats_computed_over_population() {
+        let mut pop = Population::new(cfg(4), 20);
+        assert!(pop.fitness_stats().is_none(), "unevaluated population");
+        let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
+        for (i, id) in ids.iter().enumerate() {
+            pop.set_fitness(*id, i as f64).unwrap();
+        }
+        let stats = pop.fitness_stats().unwrap();
+        assert_eq!(stats.mean, 1.5);
+        assert_eq!(stats.best, 3.0);
+        assert_eq!(stats.worst, 0.0);
+        assert!((stats.stddev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn replace_genomes_keeps_generation_and_tracks_ids() {
+        let mut pop = Population::new(cfg(6), 10);
+        let gen_before = pop.generation();
+        let replacement: Vec<Genome> = pop
+            .genomes()
+            .values()
+            .take(4)
+            .cloned()
+            .enumerate()
+            .map(|(i, mut g)| {
+                g.set_id(GenomeId(500 + i as u64));
+                g
+            })
+            .collect();
+        pop.replace_genomes(replacement);
+        assert_eq!(pop.generation(), gen_before);
+        assert_eq!(pop.len(), 4);
+        // Fresh ids must continue above the replaced range.
+        pop.evaluate(|_, _| 1.0);
+        pop.advance_generation();
+        assert!(pop.genomes().keys().all(|id| id.0 >= 504));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate genome id")]
+    fn replace_genomes_rejects_duplicates() {
+        let mut pop = Population::new(cfg(4), 11);
+        let g = pop.genomes().values().next().unwrap().clone();
+        pop.replace_genomes(vec![g.clone(), g]);
+    }
+
+    #[test]
+    fn extinction_resets_population_when_configured() {
+        // max_stagnation 0 + species_elitism 0: any non-improving species
+        // is culled at generation >= 1, forcing total extinction.
+        let cfg = NeatConfig::builder(2, 1)
+            .population_size(12)
+            .max_stagnation(0)
+            .species_elitism(0)
+            .reset_on_extinction(true)
+            .build()
+            .unwrap();
+        let mut pop = Population::new(cfg, 12);
+        let mut saw_extinction = false;
+        for _ in 0..4 {
+            pop.evaluate(|_, _| 1.0); // constant fitness: never improves
+            let summary = pop.advance_generation();
+            saw_extinction |= summary.extinction;
+            assert_eq!(pop.len(), 12, "reset must restore population size");
+        }
+        assert!(saw_extinction, "constant fitness must trigger extinction");
+        assert!(pop.extinctions() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reset_on_extinction disabled")]
+    fn extinction_panics_when_reset_disabled() {
+        let cfg = NeatConfig::builder(2, 1)
+            .population_size(8)
+            .max_stagnation(0)
+            .species_elitism(0)
+            .reset_on_extinction(false)
+            .build()
+            .unwrap();
+        let mut pop = Population::new(cfg, 13);
+        for _ in 0..4 {
+            pop.evaluate(|_, _| 1.0);
+            pop.advance_generation();
+        }
+    }
+
+    #[test]
+    fn serial_two_runs_bit_identical() {
+        let run = |seed: u64| {
+            let mut pop = Population::new(cfg(20), seed);
+            for _ in 0..5 {
+                pop.evaluate(|net, _| net.activate(&[0.3, -0.7])[0]);
+                pop.advance_generation();
+            }
+            pop.genomes().clone()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,56 @@
+//! Serde helpers: encode id-keyed maps as `(key, value)` pair lists so
+//! checkpoints serialize to JSON (whose object keys must be strings).
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::BTreeMap;
+
+/// Serializes a `BTreeMap` as a sequence of `(K, V)` pairs.
+///
+/// # Errors
+///
+/// Propagates serializer errors.
+pub fn map_as_pairs<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+where
+    K: Serialize,
+    V: Serialize,
+    S: Serializer,
+{
+    serializer.collect_seq(map.iter())
+}
+
+/// Deserializes a sequence of `(K, V)` pairs into a `BTreeMap`.
+///
+/// # Errors
+///
+/// Propagates deserializer errors.
+pub fn pairs_as_map<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+    Ok(pairs.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Holder {
+        #[serde(serialize_with = "map_as_pairs", deserialize_with = "pairs_as_map")]
+        map: BTreeMap<(i64, i64), f64>,
+    }
+
+    #[test]
+    fn struct_keys_round_trip_through_json() {
+        let mut map = BTreeMap::new();
+        map.insert((-1, 0), 1.5);
+        map.insert((7, 3), -2.5);
+        let h = Holder { map };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

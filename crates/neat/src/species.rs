@@ -1,0 +1,461 @@
+//! Speciation: partitioning a population into species by compatibility
+//! distance (the paper's `S` compute block).
+//!
+//! NEAT speciates to protect structural innovation: a genome that just
+//! grew a new node competes only within its species until the structure
+//! has had time to optimize. The CLAN paper's key observation is that this
+//! step is *synchronous* — it needs every genome's structure — which is
+//! exactly what CLAN_DDA relaxes by speciating small "clans" independently.
+
+use crate::config::NeatConfig;
+use crate::counters::CostCounters;
+use crate::gene::{GenomeId, SpeciesId};
+use crate::genome::Genome;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One species: a set of structurally similar genomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Species {
+    id: SpeciesId,
+    created_generation: u64,
+    last_improved_generation: u64,
+    representative: Genome,
+    members: Vec<GenomeId>,
+    /// Mean member fitness for the current generation, set during planning.
+    fitness: Option<f64>,
+    /// Adjusted (shared) fitness, set during planning.
+    adjusted_fitness: Option<f64>,
+    /// Best species fitness seen so far (for stagnation tracking).
+    best_fitness: Option<f64>,
+}
+
+impl Species {
+    pub(crate) fn new(id: SpeciesId, representative: Genome, generation: u64) -> Species {
+        Species {
+            id,
+            created_generation: generation,
+            last_improved_generation: generation,
+            representative,
+            members: Vec::new(),
+            fitness: None,
+            adjusted_fitness: None,
+            best_fitness: None,
+        }
+    }
+
+    /// Species identifier.
+    pub fn id(&self) -> SpeciesId {
+        self.id
+    }
+
+    /// Generation in which the species was created.
+    pub fn created_generation(&self) -> u64 {
+        self.created_generation
+    }
+
+    /// Last generation in which the species' fitness improved.
+    pub fn last_improved_generation(&self) -> u64 {
+        self.last_improved_generation
+    }
+
+    /// The genome representing this species for distance comparisons.
+    pub fn representative(&self) -> &Genome {
+        &self.representative
+    }
+
+    /// Member genome ids for the current generation.
+    pub fn members(&self) -> &[GenomeId] {
+        &self.members
+    }
+
+    /// Mean member fitness (set during generation planning).
+    pub fn fitness(&self) -> Option<f64> {
+        self.fitness
+    }
+
+    /// Adjusted (fitness-shared) fitness (set during generation planning).
+    pub fn adjusted_fitness(&self) -> Option<f64> {
+        self.adjusted_fitness
+    }
+
+    pub(crate) fn set_representative(&mut self, rep: Genome) {
+        self.representative = rep;
+    }
+
+    pub(crate) fn clear_members(&mut self) {
+        self.members.clear();
+    }
+
+    pub(crate) fn push_member(&mut self, id: GenomeId) {
+        self.members.push(id);
+    }
+
+    pub(crate) fn record_fitness(&mut self, mean: f64, max: f64, generation: u64) {
+        self.fitness = Some(mean);
+        if self.best_fitness.is_none_or(|b| max > b) {
+            self.best_fitness = Some(max);
+            self.last_improved_generation = generation;
+        }
+    }
+
+    pub(crate) fn set_adjusted_fitness(&mut self, af: f64) {
+        self.adjusted_fitness = Some(af);
+    }
+
+    /// Generations since the species last improved.
+    pub fn stagnation(&self, generation: u64) -> u64 {
+        generation.saturating_sub(self.last_improved_generation)
+    }
+}
+
+/// The set of all living species plus the speciation procedure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpeciesSet {
+    #[serde(
+        serialize_with = "crate::serde_util::map_as_pairs",
+        deserialize_with = "crate::serde_util::pairs_as_map"
+    )]
+    species: BTreeMap<SpeciesId, Species>,
+    next_id: u32,
+    /// Live compatibility threshold (dynamic thresholding state);
+    /// initialized from the config on first use.
+    threshold: Option<f64>,
+    /// Consecutive generations with fewer species than the target band
+    /// (hysteresis state for the dynamic threshold controller).
+    below_band_streak: u32,
+}
+
+/// Result summary of one speciation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeciationOutcome {
+    /// Number of species after the pass.
+    pub species_count: usize,
+    /// Number of genome-pair distance evaluations performed.
+    pub distance_evals: u64,
+    /// Genes processed by those evaluations (the paper's cost unit).
+    pub genes_processed: u64,
+}
+
+impl SpeciesSet {
+    /// Creates an empty species set.
+    pub fn new() -> SpeciesSet {
+        SpeciesSet::default()
+    }
+
+    /// Living species, keyed by id.
+    pub fn species(&self) -> &BTreeMap<SpeciesId, Species> {
+        &self.species
+    }
+
+    /// Mutable access for planning (crate-internal).
+    pub(crate) fn species_mut(&mut self) -> &mut BTreeMap<SpeciesId, Species> {
+        &mut self.species
+    }
+
+    /// Number of living species.
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// True if no species exist (fresh or post-extinction state).
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Removes a species (stagnation culling).
+    pub(crate) fn remove(&mut self, id: SpeciesId) -> Option<Species> {
+        self.species.remove(&id)
+    }
+
+    /// The compatibility threshold currently in force.
+    pub fn current_threshold(&self, cfg: &NeatConfig) -> f64 {
+        self.threshold.unwrap_or(cfg.compatibility_threshold)
+    }
+
+    /// Assigns every genome to a species, following `neat-python`:
+    ///
+    /// 1. Each existing species adopts as its new representative the
+    ///    unassigned genome closest to its previous representative.
+    /// 2. Every remaining genome joins the species with the nearest
+    ///    representative if that distance is below the live
+    ///    compatibility threshold, otherwise it founds a new species.
+    ///
+    /// When `cfg.dynamic_compatibility` is set, the live threshold is
+    /// then nudged ±10% to steer the species count into the target band
+    /// (scaled down for small populations/clans), taking effect next
+    /// generation.
+    ///
+    /// Every distance evaluation is charged to `counters` (genes of both
+    /// genomes), which is how the paper's Figure 3 speciation cost series
+    /// is produced.
+    pub fn speciate(
+        &mut self,
+        genomes: &BTreeMap<GenomeId, Genome>,
+        cfg: &NeatConfig,
+        generation: u64,
+        counters: &mut CostCounters,
+    ) -> SpeciationOutcome {
+        let mut distance_evals = 0u64;
+        let mut genes_processed = 0u64;
+        let mut dist = |a: &Genome, b: &Genome, counters: &mut CostCounters| -> f64 {
+            let d = a.distance(b, cfg);
+            let genes = a.num_genes() + b.num_genes();
+            counters.record_distance(genes);
+            distance_evals += 1;
+            genes_processed += genes;
+            d
+        };
+
+        let mut unassigned: BTreeMap<GenomeId, &Genome> =
+            genomes.iter().map(|(&id, g)| (id, g)).collect();
+
+        // Phase 1: re-anchor each surviving species on the closest genome.
+        let sids: Vec<SpeciesId> = self.species.keys().copied().collect();
+        let mut adopted: Vec<(SpeciesId, GenomeId)> = Vec::new();
+        for sid in sids {
+            let rep = self.species[&sid].representative().clone();
+            let mut best: Option<(f64, GenomeId)> = None;
+            for (&gid, g) in &unassigned {
+                let d = dist(&rep, g, counters);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, gid));
+                }
+            }
+            match best {
+                Some((_, gid)) => {
+                    unassigned.remove(&gid);
+                    adopted.push((sid, gid));
+                }
+                None => {
+                    // More species than genomes: species keeps its old
+                    // representative and simply gets no members this round.
+                    adopted.push((sid, GenomeId(u64::MAX)));
+                }
+            }
+        }
+        for s in self.species.values_mut() {
+            s.clear_members();
+        }
+        for (sid, gid) in adopted {
+            if gid == GenomeId(u64::MAX) {
+                continue;
+            }
+            let genome = genomes[&gid].clone();
+            let s = self.species.get_mut(&sid).expect("species exists");
+            s.set_representative(genome);
+            s.push_member(gid);
+        }
+
+        // Phase 2: assign the rest to the nearest compatible species.
+        let threshold = *self
+            .threshold
+            .get_or_insert(cfg.compatibility_threshold);
+        let remaining: Vec<GenomeId> = unassigned.keys().copied().collect();
+        for gid in remaining {
+            let genome = &genomes[&gid];
+            let mut best: Option<(f64, SpeciesId)> = None;
+            for (sid, s) in &self.species {
+                let d = dist(s.representative(), genome, counters);
+                if d < threshold && best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, *sid));
+                }
+            }
+            match best {
+                Some((_, sid)) => {
+                    self.species
+                        .get_mut(&sid)
+                        .expect("species exists")
+                        .push_member(gid);
+                }
+                None => {
+                    let sid = SpeciesId(self.next_id);
+                    self.next_id += 1;
+                    let mut sp = Species::new(sid, genome.clone(), generation);
+                    sp.push_member(gid);
+                    self.species.insert(sid, sp);
+                }
+            }
+        }
+
+        // Drop species that ended up with no members (they would otherwise
+        // linger forever with a stale representative).
+        self.species.retain(|_, s| !s.members().is_empty());
+
+        // Dynamic threshold control: steer the species count toward the
+        // target band, scaled for small populations (a 9-genome clan
+        // cannot sustain 6 species). Over-fragmentation is corrected
+        // immediately (it destroys selection pressure at once), but the
+        // threshold only shrinks after a sustained streak below the band
+        // — young populations are legitimately homogeneous, and reacting
+        // to them over-fragments small-genome tasks (see the `ablation`
+        // bench).
+        if cfg.dynamic_compatibility {
+            let pop = genomes.len();
+            let lo = cfg.target_species_min.min((pop / 10).max(1));
+            let hi = cfg
+                .target_species_max
+                .min((pop / 4).max(2))
+                .max(lo);
+            let count = self.species.len();
+            if count < lo {
+                self.below_band_streak += 1;
+            } else {
+                self.below_band_streak = 0;
+            }
+            let t = self
+                .threshold
+                .as_mut()
+                .expect("initialized above");
+            if count > hi {
+                *t = (*t * 1.05).min(8.0);
+            } else if self.below_band_streak >= 4 {
+                *t = (*t * 0.95).max(0.4);
+            }
+        }
+
+        SpeciationOutcome {
+            species_count: self.species.len(),
+            distance_evals,
+            genes_processed,
+        }
+    }
+
+    /// Species id containing `genome`, if any.
+    pub fn species_of(&self, genome: GenomeId) -> Option<SpeciesId> {
+        self.species
+            .iter()
+            .find(|(_, s)| s.members().contains(&genome))
+            .map(|(&sid, _)| sid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> NeatConfig {
+        NeatConfig::builder(3, 1).build().unwrap()
+    }
+
+    fn make_genomes(cfg: &NeatConfig, n: usize, seed: u64) -> BTreeMap<GenomeId, Genome> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let id = GenomeId(i as u64);
+                (id, Genome::new_initial(cfg, id, &mut rng))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_genomes_assigned_exactly_once() {
+        let cfg = cfg();
+        let genomes = make_genomes(&cfg, 20, 1);
+        let mut set = SpeciesSet::new();
+        let mut counters = CostCounters::new();
+        set.speciate(&genomes, &cfg, 0, &mut counters);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in set.species().values() {
+            for &m in s.members() {
+                assert!(seen.insert(m), "genome {m} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn similar_genomes_share_one_species() {
+        let cfg = cfg();
+        // Identical initial genomes (same seed per genome) are distance 0.
+        let mut genomes = BTreeMap::new();
+        let proto = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(2));
+        for i in 0..10 {
+            let mut g = proto.clone();
+            g.set_id(GenomeId(i));
+            genomes.insert(GenomeId(i), g);
+        }
+        let mut set = SpeciesSet::new();
+        let mut counters = CostCounters::new();
+        let out = set.speciate(&genomes, &cfg, 0, &mut counters);
+        assert_eq!(out.species_count, 1);
+    }
+
+    #[test]
+    fn divergent_genomes_split_species() {
+        let cfg = NeatConfig::builder(3, 1)
+            .compatibility_threshold(0.5)
+            .build()
+            .unwrap();
+        let mut genomes = make_genomes(&cfg, 8, 3);
+        // Heavily mutate half the population to force divergence.
+        let ids: Vec<GenomeId> = genomes.keys().copied().collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                let g = genomes.get_mut(id).unwrap();
+                let mut rng = StdRng::seed_from_u64(100 + i as u64);
+                for _ in 0..30 {
+                    g.mutate(&cfg, &mut rng);
+                }
+            }
+        }
+        let mut set = SpeciesSet::new();
+        let mut counters = CostCounters::new();
+        let out = set.speciate(&genomes, &cfg, 0, &mut counters);
+        assert!(out.species_count >= 2, "expected divergence to split");
+    }
+
+    #[test]
+    fn representatives_persist_across_rounds() {
+        let cfg = cfg();
+        let genomes = make_genomes(&cfg, 12, 4);
+        let mut set = SpeciesSet::new();
+        let mut counters = CostCounters::new();
+        set.speciate(&genomes, &cfg, 0, &mut counters);
+        let count1 = set.len();
+        // Same genomes again: structure identical, species must not churn.
+        set.speciate(&genomes, &cfg, 1, &mut counters);
+        assert_eq!(set.len(), count1);
+    }
+
+    #[test]
+    fn cost_accounting_nonzero() {
+        let cfg = cfg();
+        let genomes = make_genomes(&cfg, 10, 5);
+        let mut set = SpeciesSet::new();
+        let mut counters = CostCounters::new();
+        let out = set.speciate(&genomes, &cfg, 0, &mut counters);
+        assert!(out.distance_evals > 0);
+        assert!(out.genes_processed >= out.distance_evals * 8);
+        assert_eq!(counters.current().speciation_genes, out.genes_processed);
+    }
+
+    #[test]
+    fn species_of_finds_member() {
+        let cfg = cfg();
+        let genomes = make_genomes(&cfg, 6, 6);
+        let mut set = SpeciesSet::new();
+        let mut counters = CostCounters::new();
+        set.speciate(&genomes, &cfg, 0, &mut counters);
+        for &gid in genomes.keys() {
+            assert!(set.species_of(gid).is_some());
+        }
+        assert!(set.species_of(GenomeId(999)).is_none());
+    }
+
+    #[test]
+    fn stagnation_counter_tracks_improvement() {
+        let cfg = cfg();
+        let g = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(7));
+        let mut s = Species::new(SpeciesId(0), g, 0);
+        s.record_fitness(1.0, 1.0, 0);
+        assert_eq!(s.stagnation(5), 5);
+        s.record_fitness(2.0, 2.0, 5);
+        assert_eq!(s.stagnation(5), 0);
+        // No improvement: last_improved stays.
+        s.record_fitness(1.5, 1.5, 9);
+        assert_eq!(s.stagnation(9), 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-message-kind communication accounting (paper Figure 4).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The message categories of the paper's Figure 4 legend.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MessageKind {
+    /// Center → agents: whole genomes for distributed inference (DCS) or
+    /// the one-time clan distribution (DDA initialization).
+    SendGenomes,
+    /// Agents → center: fitness scalars after inference.
+    SendFitness,
+    /// Center → agents: per-species spawn counts (DDS planning).
+    SendSpawnCount,
+    /// Center → agents: child specs / parent index lists (DDS planning).
+    SendParentList,
+    /// Center → agents: parent genomes needed for reproduction (DDS).
+    SendParentGenomes,
+    /// Agents → center: formed children for synchronous speciation (DDS).
+    SendChildren,
+}
+
+impl MessageKind {
+    /// All kinds, in the paper's legend order.
+    pub const ALL: [MessageKind; 6] = [
+        MessageKind::SendGenomes,
+        MessageKind::SendFitness,
+        MessageKind::SendSpawnCount,
+        MessageKind::SendParentList,
+        MessageKind::SendParentGenomes,
+        MessageKind::SendChildren,
+    ];
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageKind::SendGenomes => "Sending Genomes",
+            MessageKind::SendFitness => "Sending Fitness",
+            MessageKind::SendSpawnCount => "Sending Spawn Count",
+            MessageKind::SendParentList => "Sending Parent List",
+            MessageKind::SendParentGenomes => "Sending Parent Genomes",
+            MessageKind::SendChildren => "Sending Children",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated traffic for one message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Number of messages sent.
+    pub messages: u64,
+    /// Total 32-bit values (genes/floats) carried.
+    pub floats: u64,
+}
+
+/// Records every message of a run, by kind.
+///
+/// The ledger is the source of both Figure 4 (floats transferred by kind)
+/// and, combined with a [`WifiModel`], the communication-time component of
+/// the execution timelines.
+///
+/// [`WifiModel`]: crate::WifiModel
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommLedger {
+    entries: BTreeMap<MessageKind, LedgerEntry>,
+}
+
+impl CommLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> CommLedger {
+        CommLedger::default()
+    }
+
+    /// Records one message of `kind` carrying `floats` 32-bit values.
+    pub fn record(&mut self, kind: MessageKind, floats: u64) {
+        let e = self.entries.entry(kind).or_default();
+        e.messages += 1;
+        e.floats += floats;
+    }
+
+    /// Accumulated entry for `kind`.
+    pub fn entry(&self, kind: MessageKind) -> LedgerEntry {
+        self.entries.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Total floats transferred across all kinds.
+    pub fn total_floats(&self) -> u64 {
+        self.entries.values().map(|e| e.floats).sum()
+    }
+
+    /// Total messages sent across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.entries.values().map(|e| e.messages).sum()
+    }
+
+    /// `(kind, entry)` rows in legend order, including zero rows.
+    pub fn rows(&self) -> Vec<(MessageKind, LedgerEntry)> {
+        MessageKind::ALL
+            .iter()
+            .map(|&k| (k, self.entry(k)))
+            .collect()
+    }
+
+    /// Folds another ledger into this one.
+    pub fn merge(&mut self, other: &CommLedger) {
+        for (&kind, e) in &other.entries {
+            let mine = self.entries.entry(kind).or_default();
+            mine.messages += e.messages;
+            mine.floats += e.floats;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut l = CommLedger::new();
+        l.record(MessageKind::SendGenomes, 100);
+        l.record(MessageKind::SendGenomes, 50);
+        l.record(MessageKind::SendFitness, 1);
+        assert_eq!(
+            l.entry(MessageKind::SendGenomes),
+            LedgerEntry {
+                messages: 2,
+                floats: 150
+            }
+        );
+        assert_eq!(l.total_floats(), 151);
+        assert_eq!(l.total_messages(), 3);
+    }
+
+    #[test]
+    fn rows_in_legend_order_with_zeros() {
+        let mut l = CommLedger::new();
+        l.record(MessageKind::SendChildren, 7);
+        let rows = l.rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].0, MessageKind::SendGenomes);
+        assert_eq!(rows[0].1.floats, 0);
+        assert_eq!(rows[5].1.floats, 7);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = CommLedger::new();
+        let mut b = CommLedger::new();
+        a.record(MessageKind::SendFitness, 10);
+        b.record(MessageKind::SendFitness, 5);
+        b.record(MessageKind::SendSpawnCount, 3);
+        a.merge(&b);
+        assert_eq!(a.entry(MessageKind::SendFitness).floats, 15);
+        assert_eq!(a.entry(MessageKind::SendSpawnCount).messages, 1);
+    }
+
+    #[test]
+    fn display_matches_legend() {
+        assert_eq!(MessageKind::SendSpawnCount.to_string(), "Sending Spawn Count");
+        assert_eq!(MessageKind::SendParentGenomes.to_string(), "Sending Parent Genomes");
+    }
+}

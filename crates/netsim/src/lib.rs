@@ -1,0 +1,21 @@
+//! # clan-netsim — the WiFi cost model and communication ledger
+//!
+//! CLAN's testbed is "15 Raspberry Pi agents, talking over a 62.24 Mbps
+//! client-to-client local WiFi network" with "peer-to-peer latency of
+//! 8.83 ms for 64 B transfers" (§IV-A). [`WifiModel`] turns message sizes
+//! into transfer times with exactly those constants; [`CommLedger`]
+//! records every message by [`MessageKind`], producing the
+//! floats-transferred breakdown of the paper's Figure 4 and the
+//! communication-time series of Figures 5–10.
+//!
+//! A *gene* is a 32-bit datum (one float), so genome transfers are
+//! measured in genes and converted at [`GENE_BYTES`] bytes each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ledger;
+pub mod wifi;
+
+pub use ledger::{CommLedger, LedgerEntry, MessageKind};
+pub use wifi::{WifiModel, GENE_BYTES};

@@ -1,0 +1,137 @@
+//! Transfer-time model of the testbed's WiFi link.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per gene: the paper defines a gene as a 32-bit datastructure.
+pub const GENE_BYTES: u64 = 4;
+
+/// Point-to-point WiFi link model.
+///
+/// Transfer time of an `n`-byte message is
+/// `base_latency_s + n * 8 / bandwidth_bps`. The defaults are the paper's
+/// measured constants; [`WifiModel::scaled`] derives the hypothetical
+/// better-technology links of Figure 10(a, b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WifiModel {
+    /// Client-to-client bandwidth, bits per second.
+    pub bandwidth_bps: f64,
+    /// Per-message setup latency, seconds.
+    pub base_latency_s: f64,
+    /// Fixed cost of opening a communication channel between the center
+    /// and one agent for one phase (connection establishment plus
+    /// serialization dispatch). The paper singles this out: "the constant
+    /// cost of invoking the communication channels also kills this design"
+    /// (§IV-D). Charged once per (phase, agent) pair.
+    pub channel_setup_s: f64,
+}
+
+impl Default for WifiModel {
+    /// The paper's measured testbed: 62.24 Mbps, 8.83 ms per message,
+    /// with a 150 ms per-phase channel-invocation overhead calibrated to
+    /// Figure 5(b)'s communication growth and Figure 9's serial-crossover
+    /// points.
+    fn default() -> Self {
+        WifiModel {
+            bandwidth_bps: 62.24e6,
+            base_latency_s: 8.83e-3,
+            channel_setup_s: 0.15,
+        }
+    }
+}
+
+impl WifiModel {
+    /// Creates a link model with the default channel-invocation overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not positive or latency is negative.
+    pub fn new(bandwidth_bps: f64, base_latency_s: f64) -> WifiModel {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(base_latency_s >= 0.0, "latency cannot be negative");
+        WifiModel {
+            bandwidth_bps,
+            base_latency_s,
+            channel_setup_s: WifiModel::default().channel_setup_s,
+        }
+    }
+
+    /// A hypothetical improved link: bandwidth multiplied by
+    /// `bandwidth_factor`, latency and channel setup divided by
+    /// `latency_factor`.
+    ///
+    /// Figure 10(a, b) halves the communication cost, i.e.
+    /// `scaled(2.0, 2.0)`.
+    pub fn scaled(&self, bandwidth_factor: f64, latency_factor: f64) -> WifiModel {
+        WifiModel {
+            bandwidth_bps: self.bandwidth_bps * bandwidth_factor,
+            base_latency_s: self.base_latency_s / latency_factor,
+            channel_setup_s: self.channel_setup_s / latency_factor,
+        }
+    }
+
+    /// Transfer time for a message of `bytes` bytes.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.base_latency_s + (bytes * 8) as f64 / self.bandwidth_bps
+    }
+
+    /// Transfer time for a message carrying `genes` genes (4 B each).
+    pub fn gene_transfer_time_s(&self, genes: u64) -> f64 {
+        self.transfer_time_s(genes * GENE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let w = WifiModel::default();
+        assert_eq!(w.bandwidth_bps, 62.24e6);
+        assert_eq!(w.base_latency_s, 8.83e-3);
+    }
+
+    #[test]
+    fn sixty_four_byte_transfer_near_measured_latency() {
+        // The paper quotes 8.83 ms for 64 B; the payload adds ~8 µs.
+        let t = WifiModel::default().transfer_time_s(64);
+        assert!((t - 8.83e-3).abs() < 1e-4, "got {t}");
+    }
+
+    #[test]
+    fn latency_dominates_small_payloads() {
+        let w = WifiModel::default();
+        let small = w.transfer_time_s(4);
+        let medium = w.transfer_time_s(4_000);
+        assert!(medium < 2.0 * small, "setup cost should dominate");
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_payloads() {
+        let w = WifiModel::default();
+        let mb = w.transfer_time_s(1_000_000);
+        assert!(mb > 0.1, "1 MB at 62 Mbps is > 100 ms, got {mb}");
+    }
+
+    #[test]
+    fn scaled_halves_cost() {
+        let w = WifiModel::default();
+        let better = w.scaled(2.0, 2.0);
+        let t = w.transfer_time_s(10_000);
+        let t2 = better.transfer_time_s(10_000);
+        assert!((t2 - t / 2.0).abs() < 1e-9);
+        assert!((better.channel_setup_s - w.channel_setup_s / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gene_transfer_uses_four_bytes() {
+        let w = WifiModel::default();
+        assert_eq!(w.gene_transfer_time_s(16), w.transfer_time_s(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        WifiModel::new(0.0, 0.001);
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's Figure-1 closed loop, end to end: an agent is deployed
+//! with a CartPole expert, the physics shift underneath it (longer and
+//! heavier pole, weaker actuator), the fitness monitor notices the
+//! degradation, and the edge swarm re-learns a new expert — with zero
+//! cloud interaction.
+//!
+//! ```text
+//! cargo run --release --example continuous_learning
+//! ```
+
+use clan::core::{ContinuousLearner, MonitorConfig};
+use clan::envs::cartpole::{CartPole, CartPoleParams};
+use clan::neat::NeatConfig;
+
+const FITNESS_THRESHOLD: f64 = 120.0;
+
+fn main() {
+    let cfg = NeatConfig::builder(4, 2)
+        .population_size(96)
+        .build()
+        .expect("valid NEAT config");
+    let mut learner = ContinuousLearner::new(
+        cfg,
+        MonitorConfig {
+            probe_episodes: 5,
+            max_steps: 200,
+            max_learning_generations: 30,
+        },
+        2024,
+    );
+
+    // The deployment scenarios the agent will encounter, in order.
+    let scenarios: Vec<(&str, CartPoleParams)> = vec![
+        ("factory default", CartPoleParams::default()),
+        ("same environment, revisited", CartPoleParams::default()),
+        (
+            "field conditions: long heavy pole, weak motor",
+            CartPoleParams {
+                gravity: 12.0,
+                pole_half_length: 2.2,
+                force_mag: 4.0,
+            },
+        ),
+        (
+            "low-gravity deployment",
+            CartPoleParams {
+                gravity: 3.5,
+                pole_half_length: 0.5,
+                force_mag: 10.0,
+            },
+        ),
+    ];
+
+    println!("== Continuous learning on the edge (paper Fig 1) ==\n");
+    for (label, params) in scenarios {
+        let mut env = CartPole::with_params(params);
+        let outcome = learner
+            .encounter_task(&mut env, FITNESS_THRESHOLD)
+            .expect("learning phase");
+        println!("scenario: {label}");
+        match outcome.initial_fitness {
+            Some(f) => println!("  expert fitness on arrival: {f:.1}"),
+            None => println!("  no expert deployed yet"),
+        }
+        if outcome.triggered_learning {
+            println!(
+                "  fitness below threshold {FITNESS_THRESHOLD} -> learning invoked: {} generation(s)",
+                outcome.learning_generations
+            );
+        } else {
+            println!("  expert still healthy, no learning needed");
+        }
+        println!(
+            "  deployed fitness now {:.1} ({})\n",
+            outcome.final_fitness,
+            if outcome.recovered { "recovered" } else { "budget exhausted" }
+        );
+    }
+
+    println!("learning phases run: {}", learner.events().len());
+    for e in learner.events() {
+        let first = e.best_per_generation.first().copied().unwrap_or(0.0);
+        let last = e.best_per_generation.last().copied().unwrap_or(0.0);
+        println!(
+            "  {}: best fitness {first:.1} -> {last:.1} over {} generation(s)",
+            e.task,
+            e.best_per_generation.len()
+        );
+    }
+
+    // Persist the final expert — the artifact a real deployment would
+    // flash onto the next batch of agents.
+    if let Some(expert) = learner.expert() {
+        let dir = std::env::temp_dir();
+        let json = dir.join("clan_expert.json");
+        let dot = dir.join("clan_expert.dot");
+        clan::neat::checkpoint::save_genome(expert, &json).expect("write checkpoint");
+        let cfg = NeatConfig::builder(4, 2).build().expect("valid config");
+        std::fs::write(&dot, clan::neat::genome_to_dot(expert, &cfg)).expect("write dot");
+        println!(
+            "\nexpert persisted to {} and {} (render with `dot -Tpng`)",
+            json.display(),
+            dot.display()
+        );
+    }
+}

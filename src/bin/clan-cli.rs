@@ -1,0 +1,214 @@
+//! `clan-cli` — run CLAN deployments from the command line.
+//!
+//! ```text
+//! clan-cli run --workload lunarlander --topology dda --agents 8 --generations 10
+//! clan-cli solve --workload cartpole --topology dcs --agents 4 --max-generations 40
+//! clan-cli export-champion --workload cartpole --out champion.dot
+//! clan-cli list
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every flag has a
+//! sensible default so `clan-cli run` alone works.
+
+use clan::core::{ClanDriver, ClanDriverBuilder, ClanTopology, RunReport};
+use clan::envs::Workload;
+use clan::hw::PlatformKind;
+use clan::neat::{genome_to_dot, FeedForwardNetwork, NeatConfig, Population};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args[1..], false),
+        "solve" => cmd_run(&args[1..], true),
+        "export-champion" => cmd_export(&args[1..]),
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+clan-cli — CLAN: collaborative neuroevolution on simulated edge clusters
+
+USAGE:
+  clan-cli run   [--workload W] [--topology T] [--agents N] [--generations N]
+                 [--population N] [--seed N] [--platform P] [--single-step]
+                 [--episodes N]
+  clan-cli solve [same flags; runs until the workload's solved score or
+                 --max-generations N]
+  clan-cli export-champion [--workload W] [--generations N] [--seed N]
+                 [--out FILE.dot]
+  clan-cli list  (available workloads, topologies, platforms)
+
+DEFAULTS: workload=cartpole topology=serial agents=1 generations=5
+          population=150 seed=0 platform=pi";
+
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for {name}")),
+        }
+    }
+}
+
+fn parse_workload(s: &str) -> Result<Workload, String> {
+    let lower = s.to_lowercase();
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.name().to_lowercase().contains(&lower))
+        .ok_or_else(|| format!("unknown workload `{s}` (try `clan-cli list`)"))
+}
+
+fn parse_platform(s: &str) -> Result<PlatformKind, String> {
+    match s.to_lowercase().as_str() {
+        "pi" | "raspberrypi" | "rpi" => Ok(PlatformKind::RaspberryPi),
+        "jetson" | "jetson-cpu" => Ok(PlatformKind::JetsonCpu),
+        "jetson-gpu" => Ok(PlatformKind::JetsonGpu),
+        "hpc" | "hpc-cpu" => Ok(PlatformKind::HpcCpu),
+        "hpc-gpu" => Ok(PlatformKind::HpcGpu),
+        "systolic" | "accelerator" => Ok(PlatformKind::Systolic32x32),
+        other => Err(format!("unknown platform `{other}`")),
+    }
+}
+
+fn build_driver(flags: &Flags) -> Result<(ClanDriverBuilder, Workload), String> {
+    let workload = parse_workload(flags.get("--workload").unwrap_or("cartpole"))?;
+    let agents: usize = flags.parse("--agents", 1)?;
+    let topology = match flags.get("--topology").unwrap_or("serial") {
+        "serial" => ClanTopology::serial(),
+        "dcs" => ClanTopology::dcs(),
+        "dds" => ClanTopology::dds(),
+        "dda" => ClanTopology::dda(agents.max(1)),
+        other => return Err(format!("unknown topology `{other}`")),
+    };
+    let mut builder = ClanDriver::builder(workload)
+        .topology(topology)
+        .agents(agents)
+        .population_size(flags.parse("--population", 150)?)
+        .seed(flags.parse("--seed", 0)?)
+        .episodes_per_eval(flags.parse("--episodes", 1)?)
+        .platform(parse_platform(flags.get("--platform").unwrap_or("pi"))?);
+    if flags.has("--single-step") {
+        builder = builder.single_step();
+    }
+    Ok((builder, workload))
+}
+
+fn print_report(report: &RunReport) {
+    print!("{}", report.summary());
+    println!("  energy: {:.0} J total", report.total_energy_j);
+    println!("\n  gen   best     species  sim-total(s)");
+    for g in &report.generations {
+        println!(
+            "  {:>3}   {:>8.1}  {:>6}  {:>10.2}",
+            g.generation,
+            g.best_fitness,
+            g.num_species,
+            g.timeline.total_s()
+        );
+    }
+}
+
+fn cmd_run(args: &[String], until_solved: bool) -> Result<(), String> {
+    let flags = Flags(args.to_vec());
+    let (builder, _) = build_driver(&flags)?;
+    let driver = builder.build().map_err(|e| e.to_string())?;
+    let report = if until_solved {
+        let max = flags.parse("--max-generations", 50u64)?;
+        driver.run_until_solved(max).map_err(|e| e.to_string())?
+    } else {
+        let gens = flags.parse("--generations", 5u64)?;
+        driver.run(gens).map_err(|e| e.to_string())?
+    };
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args.to_vec());
+    let workload = parse_workload(flags.get("--workload").unwrap_or("cartpole"))?;
+    let generations: u64 = flags.parse("--generations", 10)?;
+    let seed: u64 = flags.parse("--seed", 0)?;
+    let out = flags.get("--out").unwrap_or("champion.dot");
+
+    let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+        .population_size(flags.parse("--population", 96)?)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut pop = Population::new(cfg.clone(), seed);
+    let mut env = workload.make();
+    for _ in 0..generations {
+        pop.evaluate(|net: &FeedForwardNetwork, genome| {
+            let outcome = clan::envs::run_episode(env.as_mut(), genome.id().0, 200, |obs| {
+                net.act_argmax(obs)
+            });
+            clan::neat::population::Evaluation {
+                fitness: outcome.total_reward,
+                activations: outcome.steps,
+            }
+        });
+        pop.advance_generation();
+    }
+    let champion = pop
+        .best_ever()
+        .ok_or("no champion evolved (zero generations?)")?;
+    std::fs::write(out, genome_to_dot(champion, &cfg)).map_err(|e| e.to_string())?;
+    let json_path = format!("{out}.json");
+    clan::neat::checkpoint::save_genome(champion, &json_path).map_err(|e| e.to_string())?;
+    println!(
+        "champion (fitness {:.1}) written to {out} (render with `dot -Tpng`) and {json_path}",
+        champion.fitness().unwrap_or(f64::NAN)
+    );
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("workloads:");
+    for w in Workload::ALL {
+        println!(
+            "  {:<18} {:>4} obs, {:>2} actions, solved at {:>6}, class {}",
+            w.name(),
+            w.obs_dim(),
+            w.n_actions(),
+            w.solved_at(),
+            w.class()
+        );
+    }
+    println!("\ntopologies: serial, dcs, dds, dda");
+    println!("platforms: pi, jetson, jetson-gpu, hpc, hpc-gpu, systolic");
+}

@@ -1,0 +1,93 @@
+//! The deployment workflow of the paper's Figure 1, end to end:
+//! evolve → persist the expert → restore it on a "different device" →
+//! verify identical behaviour → resume learning from a population
+//! checkpoint.
+
+use clan::envs::{run_episode, Workload};
+use clan::neat::checkpoint::{
+    genome_from_json, genome_to_json, population_from_json, population_to_json,
+};
+use clan::neat::population::Evaluation;
+use clan::neat::{genome_to_dot, FeedForwardNetwork, NeatConfig, Population};
+
+fn evolve(generations: u64) -> (NeatConfig, Population) {
+    let w = Workload::CartPole;
+    let cfg = NeatConfig::builder(w.obs_dim(), w.n_actions())
+        .population_size(48)
+        .build()
+        .expect("config");
+    let mut pop = Population::new(cfg.clone(), 77);
+    let mut env = w.make();
+    for _ in 0..generations {
+        pop.evaluate(|net, genome| {
+            let out = run_episode(env.as_mut(), genome.id().0, 200, |obs| net.act_argmax(obs));
+            Evaluation {
+                fitness: out.total_reward,
+                activations: out.steps,
+            }
+        });
+        pop.advance_generation();
+    }
+    (cfg, pop)
+}
+
+#[test]
+fn deployed_expert_behaves_identically_after_restore() {
+    let (cfg, pop) = evolve(6);
+    let expert = pop.best_ever().expect("evolved champion");
+
+    let json = genome_to_json(expert).expect("serialize");
+    let restored = genome_from_json(&json).expect("deserialize");
+    assert_eq!(*expert, restored);
+
+    // Same behaviour on a fresh environment, step by step.
+    let original_net = FeedForwardNetwork::compile(expert, &cfg);
+    let restored_net = FeedForwardNetwork::compile(&restored, &cfg);
+    let mut env_a = Workload::CartPole.make();
+    let mut env_b = Workload::CartPole.make();
+    let out_a = run_episode(env_a.as_mut(), 5, 200, |obs| original_net.act_argmax(obs));
+    let out_b = run_episode(env_b.as_mut(), 5, 200, |obs| restored_net.act_argmax(obs));
+    assert_eq!(out_a, out_b);
+}
+
+#[test]
+fn learning_resumes_identically_from_population_checkpoint() {
+    let (_, mut original) = evolve(3);
+    let snapshot = population_to_json(&original).expect("serialize");
+    let mut resumed = population_from_json(&snapshot).expect("deserialize");
+
+    let mut env_a = Workload::CartPole.make();
+    let mut env_b = Workload::CartPole.make();
+    for _ in 0..3 {
+        original.evaluate(|net, g| {
+            let out = run_episode(env_a.as_mut(), g.id().0, 200, |obs| net.act_argmax(obs));
+            Evaluation {
+                fitness: out.total_reward,
+                activations: out.steps,
+            }
+        });
+        original.advance_generation();
+        resumed.evaluate(|net, g| {
+            let out = run_episode(env_b.as_mut(), g.id().0, 200, |obs| net.act_argmax(obs));
+            Evaluation {
+                fitness: out.total_reward,
+                activations: out.steps,
+            }
+        });
+        resumed.advance_generation();
+    }
+    assert_eq!(
+        original.genomes(),
+        resumed.genomes(),
+        "resumed evolution must be bit-identical"
+    );
+}
+
+#[test]
+fn champion_exports_to_dot() {
+    let (cfg, pop) = evolve(4);
+    let expert = pop.best_ever().expect("champion");
+    let dot = genome_to_dot(expert, &cfg);
+    assert!(dot.contains("digraph"));
+    assert!(dot.matches(" -> ").count() >= 1);
+}

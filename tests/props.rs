@@ -1,0 +1,198 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the CLAN stack.
+
+use clan::envs::Workload;
+use clan::hw::Platform;
+use clan::neat::genome::Genome;
+use clan::neat::rng::{derive_seed, op_rng, OpTag};
+use clan::neat::{ConnKey, GenomeId, NeatConfig, NodeId, Population};
+use clan::netsim::WifiModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_cfg() -> impl Strategy<Value = NeatConfig> {
+    (1usize..6, 1usize..4).prop_map(|(inputs, outputs)| {
+        NeatConfig::builder(inputs, outputs)
+            .population_size(10)
+            .build()
+            .expect("valid config")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- NEAT genome invariants ----------------
+
+    #[test]
+    fn mutation_streams_preserve_genome_invariants(
+        cfg in arb_cfg(),
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(0u8..4, 0..40),
+    ) {
+        let mut g = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
+        for op in ops {
+            match op {
+                0 => g.mutate_add_node(&cfg, &mut rng),
+                1 => g.mutate_delete_node(&cfg, &mut rng),
+                2 => g.mutate_add_connection(&cfg, &mut rng),
+                _ => g.mutate_delete_connection(&mut rng),
+            }
+            prop_assert!(g.check_invariants(&cfg).is_ok(),
+                "invariant broken after op {op}: {:?}", g.check_invariants(&cfg));
+        }
+    }
+
+    #[test]
+    fn distance_is_a_semimetric(
+        cfg in arb_cfg(),
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+        n1 in 0u32..15,
+        n2 in 0u32..15,
+    ) {
+        let mut a = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(s1));
+        let mut b = Genome::new_initial(&cfg, GenomeId(1), &mut StdRng::seed_from_u64(s2));
+        let mut ra = StdRng::seed_from_u64(s1 ^ 1);
+        let mut rb = StdRng::seed_from_u64(s2 ^ 2);
+        for _ in 0..n1 { a.mutate(&cfg, &mut ra); }
+        for _ in 0..n2 { b.mutate(&cfg, &mut rb); }
+        let dab = a.distance(&b, &cfg);
+        let dba = b.distance(&a, &cfg);
+        prop_assert!((dab - dba).abs() < 1e-9, "symmetry: {dab} vs {dba}");
+        prop_assert!(dab >= 0.0);
+        prop_assert_eq!(a.distance(&a, &cfg), 0.0);
+    }
+
+    #[test]
+    fn crossover_never_invents_genes(
+        cfg in arb_cfg(),
+        s in any::<u64>(),
+        muts in 0u32..10,
+    ) {
+        let mut p1 = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(s));
+        let mut p2 = Genome::new_initial(&cfg, GenomeId(1), &mut StdRng::seed_from_u64(s ^ 9));
+        let mut r = StdRng::seed_from_u64(s ^ 3);
+        for _ in 0..muts {
+            p1.mutate(&cfg, &mut r);
+            p2.mutate(&cfg, &mut r);
+        }
+        let child = Genome::crossover(&p1, &p2, GenomeId(2), &mut StdRng::seed_from_u64(s ^ 4));
+        for k in child.conns().keys() {
+            prop_assert!(p1.conns().contains_key(k));
+        }
+        for k in child.nodes().keys() {
+            prop_assert!(p1.nodes().contains_key(k));
+        }
+        prop_assert!(child.check_invariants(&cfg).is_ok());
+    }
+
+    #[test]
+    fn derived_node_ids_never_collide_with_io(
+        input in -100i64..0,
+        output in 0i64..100,
+        occurrence in 0u32..50,
+    ) {
+        let key = ConnKey::new(NodeId(input), NodeId(output));
+        let id = NodeId::derived_from_split(key, occurrence);
+        prop_assert!(id.0 >= NodeId::DERIVED_FLOOR);
+    }
+
+    // ---------------- deterministic RNG derivation ----------------
+
+    #[test]
+    fn derive_seed_is_pure(master in any::<u64>(), tags in proptest::collection::vec(any::<u64>(), 0..6)) {
+        prop_assert_eq!(derive_seed(master, &tags), derive_seed(master, &tags));
+    }
+
+    #[test]
+    fn op_rng_streams_differ_by_entity(master in any::<u64>(), gen in any::<u64>(), e1 in any::<u64>(), e2 in any::<u64>()) {
+        prop_assume!(e1 != e2);
+        use rand::Rng;
+        let a = op_rng(master, gen, e1, OpTag::Mutation).gen::<u128>();
+        let b = op_rng(master, gen, e2, OpTag::Mutation).gen::<u128>();
+        prop_assert_ne!(a, b);
+    }
+
+    // ---------------- population-level invariants ----------------
+
+    #[test]
+    fn population_size_is_conserved(seed in any::<u64>(), gens in 1u32..5) {
+        let cfg = NeatConfig::builder(3, 2).population_size(14).build().expect("config");
+        let mut pop = Population::new(cfg, seed);
+        for _ in 0..gens {
+            pop.evaluate(|net, _| net.activate(&[0.1, 0.2, 0.3])[0]);
+            pop.advance_generation();
+            prop_assert_eq!(pop.len(), 14);
+        }
+    }
+
+    #[test]
+    fn genome_ids_strictly_increase_across_generations(seed in any::<u64>()) {
+        let cfg = NeatConfig::builder(2, 1).population_size(10).build().expect("config");
+        let mut pop = Population::new(cfg, seed);
+        let mut prev_max = pop.genomes().keys().max().copied().expect("nonempty");
+        for _ in 0..3 {
+            pop.evaluate(|_, g| (g.id().0 % 5) as f64);
+            pop.advance_generation();
+            let min = pop.genomes().keys().min().copied().expect("nonempty");
+            prop_assert!(min > prev_max, "ids must be fresh each generation");
+            prev_max = pop.genomes().keys().max().copied().expect("nonempty");
+        }
+    }
+
+    // ---------------- environment invariants ----------------
+
+    #[test]
+    fn environments_are_deterministic_and_bounded(
+        seed in any::<u64>(),
+        actions in proptest::collection::vec(0usize..2, 1..50),
+    ) {
+        for w in [Workload::CartPole, Workload::MountainCar, Workload::LunarLander] {
+            let mut a = w.make();
+            let mut b = w.make();
+            prop_assert_eq!(a.reset(seed), b.reset(seed));
+            for &act in &actions {
+                let act = act % w.n_actions();
+                let sa = a.step(act);
+                let sb = b.step(act);
+                prop_assert_eq!(&sa, &sb);
+                prop_assert!(sa.obs.iter().all(|v| v.is_finite()));
+                prop_assert!(sa.reward.is_finite());
+                if sa.done { break; }
+            }
+        }
+    }
+
+    #[test]
+    fn ram_observations_stay_normalized(seed in any::<u64>(), steps in 1usize..60) {
+        let mut env = Workload::AirRaid.make();
+        env.reset(seed);
+        for t in 0..steps {
+            let s = env.step(t % env.n_actions());
+            prop_assert_eq!(s.obs.len(), 128);
+            prop_assert!(s.obs.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            if s.done { break; }
+        }
+    }
+
+    // ---------------- cost model invariants ----------------
+
+    #[test]
+    fn wifi_transfer_time_is_monotone(bytes1 in 0u64..1_000_000, extra in 0u64..1_000_000) {
+        let w = WifiModel::default();
+        prop_assert!(w.transfer_time_s(bytes1 + extra) >= w.transfer_time_s(bytes1));
+    }
+
+    #[test]
+    fn platform_time_is_monotone_and_positive(genes in 1u64..100_000_000) {
+        let p = Platform::raspberry_pi();
+        let t = p.inference_time_s(genes);
+        prop_assert!(t > 0.0);
+        prop_assert!(p.inference_time_s(genes + 1) >= t);
+        prop_assert!(p.evolution_time_s(genes) <= t,
+            "evolution ops are modeled faster per gene than inference");
+    }
+}
