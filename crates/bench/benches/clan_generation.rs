@@ -31,6 +31,68 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_activation_tiers(c: &mut Criterion) {
+    use clan_neat::network::Scratch;
+    use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut group = c.benchmark_group("activation_tiers");
+    for (name, inputs, outputs) in [("cartpole", 4usize, 2usize), ("atari", 128, 18)] {
+        let cfg = NeatConfig::builder(inputs, outputs).build().unwrap();
+        let mut genome = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(7));
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            genome.mutate(&cfg, &mut rng);
+        }
+        let net = FeedForwardNetwork::compile(&genome, &cfg);
+        let obs = vec![0.5; inputs];
+        group.bench_function(BenchmarkId::new("activate", name), |b| {
+            b.iter(|| black_box(net.activate(black_box(&obs))))
+        });
+        group.bench_function(BenchmarkId::new("activate_into", name), |b| {
+            let mut scratch = Scratch::new();
+            b.iter(|| black_box(net.activate_into(black_box(&obs), &mut scratch)[0]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_thread_scaling(c: &mut Criterion) {
+    use clan_core::{Evaluator, InferenceMode, Orchestrator, SerialOrchestrator};
+    use clan_distsim::Cluster;
+    use clan_hw::Platform;
+    use clan_neat::{NeatConfig, Population};
+    use clan_netsim::WifiModel;
+
+    // Full-generation throughput at 1/2/4/8 evaluation threads: the
+    // trajectories are bit-identical (asserted in tests/equivalence.rs),
+    // so this measures pure wall-clock scaling of the Inference block.
+    // The orchestrator (and therefore the persistent worker pool) is
+    // built *outside* the timed loop: spawn/join cost must not be
+    // charged to the per-generation numbers.
+    let w = Workload::CartPole;
+    let cfg = NeatConfig::builder(w.obs_dim(), w.n_actions())
+        .population_size(96)
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("generation_pop96_threads");
+    for threads in [1usize, 2, 4, 8] {
+        let mut orchestrator = SerialOrchestrator::new(
+            Population::new(cfg.clone(), 7),
+            Evaluator::with_threads(w, InferenceMode::MultiStep, 1, threads),
+            Cluster::homogeneous(Platform::raspberry_pi(), 1, WifiModel::default()),
+        );
+        group.bench_function(BenchmarkId::new("cartpole", threads), |b| {
+            b.iter(|| {
+                let report = orchestrator.step_generation().expect("generation");
+                black_box(report.best_fitness)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_threaded_runtime(c: &mut Criterion) {
     use clan_core::runtime::EdgeCluster;
     use clan_core::InferenceMode;
@@ -57,6 +119,7 @@ fn bench_threaded_runtime(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_generation, bench_threaded_runtime
+    targets = bench_generation, bench_activation_tiers, bench_eval_thread_scaling,
+        bench_threaded_runtime
 }
 criterion_main!(benches);

@@ -64,7 +64,10 @@ fn bench_genome_ops(c: &mut Criterion) {
 
 fn bench_speciation(c: &mut Criterion) {
     // Speciation + planning + reproduction at the paper's population size.
-    let cfg = NeatConfig::builder(8, 4).population_size(150).build().unwrap();
+    let cfg = NeatConfig::builder(8, 4)
+        .population_size(150)
+        .build()
+        .unwrap();
     c.bench_function("full_evolution_phase_pop150", |b| {
         b.iter_batched(
             || {

@@ -68,7 +68,11 @@ fn resync_ablation(sink: &OutputSink) -> io::Result<()> {
     sink.table(
         "ablation_resync",
         "Ablation: periodic global speciation (paper future work), LunarLander, 8 clans",
-        &["resync period", "generations to converge", "floats/generation"],
+        &[
+            "resync period",
+            "generations to converge",
+            "floats/generation",
+        ],
         &rows,
     )?;
     sink.note("Trade-off: more frequent resync buys back convergence speed at the cost of genome traffic.");
@@ -177,7 +181,9 @@ fn channel_cost_ablation(sink: &OutputSink) -> io::Result<()> {
         &["channel setup", "crossover (units)", "serial total (s)"],
         &rows,
     )?;
-    sink.note("Cheaper channel invocation pushes the crossover out — the technology lever of Figure 10.");
+    sink.note(
+        "Cheaper channel invocation pushes the crossover out — the technology lever of Figure 10.",
+    );
     Ok(())
 }
 
@@ -195,7 +201,14 @@ mod tests {
         let csv = std::fs::read_to_string(dir.join("ablation_dynamic_threshold.csv")).unwrap();
         let lines: Vec<&str> = csv.lines().collect();
         let solved = |line: &str| -> u64 {
-            line.split(',').nth(1).unwrap().split('/').next().unwrap().parse().unwrap()
+            line.split(',')
+                .nth(1)
+                .unwrap()
+                .split('/')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         assert!(
             solved(lines[1]) >= solved(lines[3]),

@@ -1,0 +1,38 @@
+//! Emits `BENCH_eval.json`: evaluation-engine throughput (genomes/sec,
+//! steps/sec, activation ns) serially and at 2/4/8 threads, tracked
+//! across PRs.
+
+fn main() -> std::io::Result<()> {
+    let report = clan_bench::eval_perf::run_and_write("BENCH_eval.json")?;
+    println!("host cpus: {}", report.host_cpus);
+    println!(
+        "activation: {:.0} ns seed-baseline | {:.0} ns activate | {:.0} ns activate_into ({:.2}x vs seed)",
+        report.activation.seed_baseline_ns,
+        report.activation.activate_ns,
+        report.activation.activate_into_ns,
+        report.activation.speedup_vs_seed
+    );
+    println!(
+        "compile: {:.0} ns seed-baseline | {:.0} ns indexed ({:.2}x vs seed)",
+        report.compile.seed_baseline_ns, report.compile.compile_ns, report.compile.speedup_vs_seed
+    );
+    println!(
+        "evaluation-only throughput ({} episodes/genome):",
+        report.episodes_per_eval
+    );
+    for t in &report.evaluation {
+        println!(
+            "  {} thread(s): {:>9.0} genomes/s {:>12.0} steps/s ({:.2}x)",
+            t.threads, t.genomes_per_s, t.steps_per_s, t.speedup
+        );
+    }
+    println!("full-generation throughput:");
+    for t in &report.generation {
+        println!(
+            "  {} thread(s): {:>9.0} genomes/s {:>12.0} inference-genes/s ({:.2}x)",
+            t.threads, t.genomes_per_s, t.inference_genes_per_s, t.speedup
+        );
+    }
+    println!("wrote BENCH_eval.json");
+    Ok(())
+}

@@ -1,6 +1,8 @@
 //! Regenerates every table and figure of the CLAN paper in one go,
 //! plus the reproduction's ablation studies.
-use clan_bench::{ablation, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table4, OutputSink};
+use clan_bench::{
+    ablation, fig10, fig11, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table4, OutputSink,
+};
 
 /// One experiment: display name plus its entry point.
 type Experiment = (&'static str, fn(&OutputSink) -> std::io::Result<()>);

@@ -1,0 +1,521 @@
+//! Evaluation-engine throughput tracking: measures the inference hot
+//! path against a reconstruction of the seed implementation, serially
+//! and at several thread counts, and emits `BENCH_eval.json` so the
+//! performance trajectory is comparable across PRs.
+//!
+//! Three measurements:
+//!
+//! 1. **Activation micro** — ns per forward pass: the seed-style path
+//!    (three heap allocations per step, see [`seed_baseline`]), the
+//!    compatibility tier (`activate`), and the zero-allocation tier
+//!    (`activate_into`).
+//! 2. **Compile micro** — ns per genome compilation: seed-style
+//!    `BTreeMap` plumbing vs. the indexed-`Vec` passes.
+//! 3. **Throughput** — evaluation-only and full-generation genomes/sec
+//!    and env-steps/sec at 1/2/4/8 worker threads. Thread counts above
+//!    `host_cpus` cannot speed anything up (the report records the host
+//!    so cross-PR numbers are interpreted correctly); results are
+//!    bit-identical at every thread count regardless.
+
+use clan_core::{Evaluator, InferenceMode, Orchestrator, ParallelEvaluator, SerialOrchestrator};
+use clan_distsim::Cluster;
+use clan_envs::Workload;
+use clan_hw::Platform;
+use clan_neat::network::Scratch;
+use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Population};
+use clan_netsim::WifiModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Faithful reconstruction of the seed's inference hot path, kept as the
+/// measurement baseline: `BTreeMap`-based compilation and an activation
+/// that heap-allocates its value, staging, and output buffers on every
+/// step. Never used outside benchmarking.
+pub mod seed_baseline {
+    use clan_neat::activation::{Activation, Aggregation};
+    use clan_neat::{Genome, NeatConfig, NodeId};
+    use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+    struct EvalNode {
+        bias: f64,
+        response: f64,
+        activation: Activation,
+        aggregation: Aggregation,
+        incoming: Vec<(usize, f64)>,
+    }
+
+    /// Seed-style compiled network (benchmark baseline only).
+    pub struct BaselineNetwork {
+        num_inputs: usize,
+        nodes: Vec<EvalNode>,
+        output_slots: Vec<usize>,
+    }
+
+    impl BaselineNetwork {
+        /// The seed's map-based compile pass.
+        pub fn compile(genome: &Genome, cfg: &NeatConfig) -> BaselineNetwork {
+            let outputs: BTreeSet<NodeId> = (0..cfg.num_outputs).map(NodeId::output).collect();
+            let mut rev: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+            for (key, gene) in genome.conns() {
+                if gene.enabled {
+                    rev.entry(key.output).or_default().push(key.input);
+                }
+            }
+            let mut required: BTreeSet<NodeId> = BTreeSet::new();
+            let mut queue: VecDeque<NodeId> = outputs.iter().copied().collect();
+            while let Some(n) = queue.pop_front() {
+                if n.is_input() || !required.insert(n) {
+                    continue;
+                }
+                if let Some(srcs) = rev.get(&n) {
+                    queue.extend(srcs.iter().copied());
+                }
+            }
+            let mut indeg: BTreeMap<NodeId, usize> = required.iter().map(|&n| (n, 0)).collect();
+            let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+            for (key, gene) in genome.conns() {
+                if !gene.enabled || !required.contains(&key.output) {
+                    continue;
+                }
+                if !key.input.is_input() && !required.contains(&key.input) {
+                    continue;
+                }
+                if !key.input.is_input() {
+                    *indeg.get_mut(&key.output).expect("required node") += 1;
+                    adj.entry(key.input).or_default().push(key.output);
+                }
+            }
+            let mut order: Vec<NodeId> = Vec::with_capacity(required.len());
+            let mut ready: VecDeque<NodeId> = indeg
+                .iter()
+                .filter(|&(_, &d)| d == 0)
+                .map(|(&n, _)| n)
+                .collect();
+            while let Some(n) = ready.pop_front() {
+                order.push(n);
+                if let Some(nexts) = adj.get(&n) {
+                    for &m in nexts {
+                        let d = indeg.get_mut(&m).expect("required node");
+                        *d -= 1;
+                        if *d == 0 {
+                            ready.push_back(m);
+                        }
+                    }
+                }
+            }
+            let slot_of = |n: NodeId, node_slots: &BTreeMap<NodeId, usize>| -> usize {
+                if n.is_input() {
+                    (-n.0 - 1) as usize
+                } else {
+                    node_slots[&n]
+                }
+            };
+            let mut node_slots: BTreeMap<NodeId, usize> = BTreeMap::new();
+            for (i, &n) in order.iter().enumerate() {
+                node_slots.insert(n, cfg.num_inputs + i);
+            }
+            let mut incoming_of: BTreeMap<NodeId, Vec<(usize, f64)>> = BTreeMap::new();
+            for (key, cg) in genome.conns() {
+                if cg.enabled
+                    && required.contains(&key.output)
+                    && (key.input.is_input() || required.contains(&key.input))
+                {
+                    incoming_of
+                        .entry(key.output)
+                        .or_default()
+                        .push((slot_of(key.input, &node_slots), cg.weight));
+                }
+            }
+            let mut nodes = Vec::with_capacity(order.len());
+            for &n in &order {
+                let gene = genome.nodes()[&n];
+                nodes.push(EvalNode {
+                    bias: gene.bias,
+                    response: gene.response,
+                    activation: gene.activation,
+                    aggregation: gene.aggregation,
+                    incoming: incoming_of.remove(&n).unwrap_or_default(),
+                });
+            }
+            let output_slots = (0..cfg.num_outputs)
+                .map(|o| node_slots[&NodeId::output(o)])
+                .collect();
+            BaselineNetwork {
+                num_inputs: cfg.num_inputs,
+                nodes,
+                output_slots,
+            }
+        }
+
+        /// The seed's activation: three heap allocations per call.
+        pub fn activate(&self, inputs: &[f64]) -> Vec<f64> {
+            let mut values = vec![0.0f64; self.num_inputs + self.nodes.len()];
+            values[..self.num_inputs].copy_from_slice(inputs);
+            let mut weighted = Vec::new();
+            for (i, node) in self.nodes.iter().enumerate() {
+                weighted.clear();
+                weighted.extend(node.incoming.iter().map(|&(slot, w)| values[slot] * w));
+                let agg = node.aggregation.apply(&weighted);
+                values[self.num_inputs + i] =
+                    node.activation.apply(node.bias + node.response * agg);
+            }
+            self.output_slots.iter().map(|&s| values[s]).collect()
+        }
+    }
+}
+
+/// Throughput at one thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadedThroughput {
+    /// Worker threads used (1 = serial engine).
+    pub threads: usize,
+    /// Genome evaluations per wall-clock second.
+    pub genomes_per_s: f64,
+    /// Environment steps (network activations) per wall-clock second.
+    pub steps_per_s: f64,
+    /// Speedup over the single-thread row.
+    pub speedup: f64,
+}
+
+/// Full-generation throughput at one thread count. Distinct from
+/// [`ThreadedThroughput`] because the per-work unit here is *inference
+/// genes* (the paper's exact cost metric), not env steps — the two must
+/// never be compared under one field name.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationThroughput {
+    /// Worker threads used (1 = serial engine).
+    pub threads: usize,
+    /// Genome evaluations per wall-clock second.
+    pub genomes_per_s: f64,
+    /// Inference genes processed per wall-clock second.
+    pub inference_genes_per_s: f64,
+    /// Speedup over the single-thread row.
+    pub speedup: f64,
+}
+
+/// Per-step activation cost across the three implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivationMicro {
+    /// Seed-style path: three heap allocations per step.
+    pub seed_baseline_ns: f64,
+    /// Compatibility tier (`activate`): thread-local scratch plus one
+    /// output `Vec`.
+    pub activate_ns: f64,
+    /// Zero-allocation tier (`activate_into`).
+    pub activate_into_ns: f64,
+    /// `seed_baseline_ns / activate_into_ns` — the hot-path win this
+    /// overhaul delivers.
+    pub speedup_vs_seed: f64,
+}
+
+/// Per-genome compilation cost, seed-style maps vs. indexed Vec passes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompileMicro {
+    /// Seed-style `BTreeMap` compile.
+    pub seed_baseline_ns: f64,
+    /// Indexed-`Vec` compile.
+    pub compile_ns: f64,
+    /// `seed_baseline_ns / compile_ns`.
+    pub speedup_vs_seed: f64,
+}
+
+/// The full evaluation-performance report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalPerfReport {
+    /// Workload measured.
+    pub workload: String,
+    /// CPUs available to this process — thread counts beyond this cannot
+    /// speed anything up, so cross-PR comparisons must hold it fixed.
+    pub host_cpus: usize,
+    /// Population size per measurement.
+    pub population: usize,
+    /// Episodes per genome in the evaluation-throughput measurement.
+    pub episodes_per_eval: u32,
+    /// Activation microbenchmark on an evolved mid-size genome.
+    pub activation: ActivationMicro,
+    /// Compilation microbenchmark on the same genome.
+    pub compile: CompileMicro,
+    /// Evaluation-only throughput (exact step counts) per thread count.
+    pub evaluation: Vec<ThreadedThroughput>,
+    /// Full-generation throughput (inference + evolution) per thread
+    /// count, in inference-genes/sec.
+    pub generation: Vec<GenerationThroughput>,
+}
+
+fn evolved_genome(inputs: usize, outputs: usize, mutations: u32) -> (NeatConfig, Genome) {
+    let cfg = NeatConfig::builder(inputs, outputs)
+        .build()
+        .expect("valid config");
+    let mut genome = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(7));
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..mutations {
+        genome.mutate(&cfg, &mut rng);
+    }
+    (cfg, genome)
+}
+
+fn activation_micro(iters: u32) -> ActivationMicro {
+    let (cfg, genome) = evolved_genome(8, 4, 60);
+    let net = FeedForwardNetwork::compile(&genome, &cfg);
+    let baseline = seed_baseline::BaselineNetwork::compile(&genome, &cfg);
+    let inputs = [0.4, -0.2, 0.9, 0.0, 0.5, -0.7, 0.1, 1.0];
+    let mut sink = 0.0f64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink += baseline.activate(std::hint::black_box(&inputs))[0];
+    }
+    let seed_baseline_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink += net.activate(std::hint::black_box(&inputs))[0];
+    }
+    let activate_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    let mut scratch = Scratch::new();
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink += net.activate_into(std::hint::black_box(&inputs), &mut scratch)[0];
+    }
+    let activate_into_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    std::hint::black_box(sink);
+
+    ActivationMicro {
+        seed_baseline_ns,
+        activate_ns,
+        activate_into_ns,
+        speedup_vs_seed: seed_baseline_ns / activate_into_ns.max(1e-9),
+    }
+}
+
+fn compile_micro(iters: u32) -> CompileMicro {
+    let (cfg, genome) = evolved_genome(8, 4, 60);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(seed_baseline::BaselineNetwork::compile(
+            std::hint::black_box(&genome),
+            &cfg,
+        ));
+    }
+    let seed_baseline_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(FeedForwardNetwork::compile(
+            std::hint::black_box(&genome),
+            &cfg,
+        ));
+    }
+    let compile_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    CompileMicro {
+        seed_baseline_ns,
+        compile_ns,
+        speedup_vs_seed: seed_baseline_ns / compile_ns.max(1e-9),
+    }
+}
+
+/// Evaluation-only throughput: every genome of a fixed population, with
+/// exact step counts from the per-genome evaluations.
+fn evaluation_throughput(
+    workload: Workload,
+    population: usize,
+    episodes: u32,
+    rounds: u32,
+    threads: usize,
+) -> (f64, f64) {
+    let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+        .population_size(population)
+        .build()
+        .expect("valid config");
+    let pop = Population::new(cfg, 7);
+    let mut steps = 0u64;
+    let secs = if threads <= 1 {
+        let mut evaluator = Evaluator::with_episodes(workload, InferenceMode::MultiStep, episodes);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for genome in pop.genomes().values() {
+                let net = FeedForwardNetwork::compile(genome, pop.config());
+                let seed =
+                    Evaluator::episode_seed(pop.master_seed(), pop.generation(), genome.id());
+                steps += evaluator.evaluate(&net, seed).activations;
+            }
+        }
+        start.elapsed().as_secs_f64()
+    } else {
+        let pool = ParallelEvaluator::spawn(workload, InferenceMode::MultiStep, episodes, threads);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for (_, eval, _) in pool.evaluate_population(&pop) {
+                steps += eval.activations;
+            }
+        }
+        start.elapsed().as_secs_f64()
+    }
+    .max(1e-9);
+    (
+        (population as u32 * rounds) as f64 / secs,
+        steps as f64 / secs,
+    )
+}
+
+/// Full-generation throughput (inference + speciation + reproduction).
+fn generation_throughput(
+    workload: Workload,
+    population: usize,
+    generations: u64,
+    threads: usize,
+) -> (f64, f64) {
+    let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+        .population_size(population)
+        .build()
+        .expect("valid config");
+    let mut orchestrator = SerialOrchestrator::new(
+        Population::new(cfg, 7),
+        Evaluator::with_threads(workload, InferenceMode::MultiStep, 1, threads),
+        Cluster::homogeneous(Platform::raspberry_pi(), 1, WifiModel::default()),
+    );
+    let start = Instant::now();
+    let mut genes = 0u64;
+    for _ in 0..generations {
+        let report = orchestrator.step_generation().expect("generation");
+        genes += report.costs.inference_genes;
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (
+        (population as u64 * generations) as f64 / secs,
+        genes as f64 / secs,
+    )
+}
+
+/// Runs `one(threads)` for 1/2/4/8 threads, turning the `(genomes/s,
+/// per-work-unit/s)` pairs into rows via `make_row`.
+fn scaling_rows<R>(
+    mut one: impl FnMut(usize) -> (f64, f64),
+    make_row: impl Fn(usize, f64, f64, f64) -> R,
+) -> Vec<R> {
+    let mut rows = Vec::new();
+    let mut serial = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let (genomes_per_s, units_per_s) = one(threads);
+        if threads == 1 {
+            serial = genomes_per_s;
+        }
+        rows.push(make_row(
+            threads,
+            genomes_per_s,
+            units_per_s,
+            genomes_per_s / serial.max(1e-9),
+        ));
+    }
+    rows
+}
+
+/// Runs the full measurement suite.
+pub fn measure(
+    workload: Workload,
+    population: usize,
+    micro_iters: u32,
+    eval_rounds: u32,
+    generations: u64,
+) -> EvalPerfReport {
+    let episodes_per_eval = 5;
+    EvalPerfReport {
+        workload: workload.name().to_string(),
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        population,
+        episodes_per_eval,
+        activation: activation_micro(micro_iters),
+        compile: compile_micro(micro_iters / 10),
+        evaluation: scaling_rows(
+            |threads| {
+                evaluation_throughput(
+                    workload,
+                    population,
+                    episodes_per_eval,
+                    eval_rounds,
+                    threads,
+                )
+            },
+            |threads, genomes_per_s, steps_per_s, speedup| ThreadedThroughput {
+                threads,
+                genomes_per_s,
+                steps_per_s,
+                speedup,
+            },
+        ),
+        generation: scaling_rows(
+            |threads| generation_throughput(workload, population, generations, threads),
+            |threads, genomes_per_s, inference_genes_per_s, speedup| GenerationThroughput {
+                threads,
+                genomes_per_s,
+                inference_genes_per_s,
+                speedup,
+            },
+        ),
+    }
+}
+
+/// Measures with the tracking defaults (CartPole, pop 150) and writes
+/// `BENCH_eval.json` to `path`.
+///
+/// # Errors
+///
+/// Propagates file-write failures.
+pub fn run_and_write(path: &str) -> std::io::Result<EvalPerfReport> {
+    let report = measure(Workload::CartPole, 150, 200_000, 30, 20);
+    let json = serde_json::to_string_pretty(&report).expect("report serialization cannot fail");
+    std::fs::write(path, json)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_produces_sane_numbers() {
+        let report = measure(Workload::CartPole, 12, 500, 2, 2);
+        assert_eq!(report.evaluation.len(), 4);
+        assert_eq!(report.generation.len(), 4);
+        assert_eq!(report.evaluation[0].threads, 1);
+        assert!((report.evaluation[0].speedup - 1.0).abs() < 1e-9);
+        for t in &report.evaluation {
+            assert!(t.genomes_per_s > 0.0);
+            assert!(
+                t.steps_per_s >= t.genomes_per_s,
+                "every genome steps at least once"
+            );
+        }
+        assert!(report.activation.seed_baseline_ns > 0.0);
+        assert!(report.activation.activate_into_ns > 0.0);
+        assert!(report.compile.compile_ns > 0.0);
+        assert!(report.host_cpus >= 1);
+    }
+
+    #[test]
+    fn seed_baseline_reproduces_current_outputs() {
+        // The baseline is only a fair yardstick if it computes the same
+        // function as the optimized network.
+        let (cfg, genome) = evolved_genome(6, 3, 40);
+        let net = FeedForwardNetwork::compile(&genome, &cfg);
+        let baseline = seed_baseline::BaselineNetwork::compile(&genome, &cfg);
+        for step in 0..25 {
+            let x = step as f64 / 9.0;
+            let inputs = [x, -x, 0.3 * x, 1.0 - x, x * x, 0.5];
+            assert_eq!(net.activate(&inputs), baseline.activate(&inputs));
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = measure(Workload::MountainCar, 6, 200, 1, 1);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: EvalPerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

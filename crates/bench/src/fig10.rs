@@ -18,12 +18,7 @@ use std::io;
 
 const GENERATIONS: u64 = 3;
 
-fn total_time(
-    agents: usize,
-    mode: InferenceMode,
-    net: WifiModel,
-    platform: PlatformKind,
-) -> f64 {
+fn total_time(agents: usize, mode: InferenceMode, net: WifiModel, platform: PlatformKind) -> f64 {
     let topology = if agents == 1 {
         ClanTopology::serial()
     } else {
@@ -70,11 +65,26 @@ pub fn run(sink: &OutputSink) -> io::Result<()> {
     let scales_a = [1usize, 8, 12, 18, 40, 70];
     let mut rows = Vec::new();
     for &n in &scales_a {
-        let dcs_topo = if n == 1 { ClanTopology::serial() } else { ClanTopology::dcs() };
+        let dcs_topo = if n == 1 {
+            ClanTopology::serial()
+        } else {
+            ClanTopology::dcs()
+        };
         rows.push(vec![
             n.to_string(),
-            fmt(total_time_with(dcs_topo, n, InferenceMode::SingleStep, better, PlatformKind::RaspberryPi)),
-            fmt(total_time(n, InferenceMode::SingleStep, better, PlatformKind::RaspberryPi)),
+            fmt(total_time_with(
+                dcs_topo,
+                n,
+                InferenceMode::SingleStep,
+                better,
+                PlatformKind::RaspberryPi,
+            )),
+            fmt(total_time(
+                n,
+                InferenceMode::SingleStep,
+                better,
+                PlatformKind::RaspberryPi,
+            )),
         ]);
     }
     sink.table(
@@ -88,11 +98,26 @@ pub fn run(sink: &OutputSink) -> io::Result<()> {
     let scales_b = [1usize, 8, 18, 40, 70];
     let mut rows_b = Vec::new();
     for &n in &scales_b {
-        let dcs_topo = if n == 1 { ClanTopology::serial() } else { ClanTopology::dcs() };
+        let dcs_topo = if n == 1 {
+            ClanTopology::serial()
+        } else {
+            ClanTopology::dcs()
+        };
         rows_b.push(vec![
             n.to_string(),
-            fmt(total_time_with(dcs_topo, n, InferenceMode::MultiStep, better, PlatformKind::RaspberryPi)),
-            fmt(total_time(n, InferenceMode::MultiStep, better, PlatformKind::RaspberryPi)),
+            fmt(total_time_with(
+                dcs_topo,
+                n,
+                InferenceMode::MultiStep,
+                better,
+                PlatformKind::RaspberryPi,
+            )),
+            fmt(total_time(
+                n,
+                InferenceMode::MultiStep,
+                better,
+                PlatformKind::RaspberryPi,
+            )),
         ]);
     }
     sink.table(
@@ -107,9 +132,24 @@ pub fn run(sink: &OutputSink) -> io::Result<()> {
     let mut rows_c = Vec::new();
     let mut dda_best = (1usize, f64::INFINITY);
     for &n in &scales_c {
-        let dcs_topo = if n == 1 { ClanTopology::serial() } else { ClanTopology::dcs() };
-        let dcs = total_time_with(dcs_topo, n, InferenceMode::MultiStep, base, PlatformKind::Systolic32x32);
-        let dda = total_time(n, InferenceMode::MultiStep, base, PlatformKind::Systolic32x32);
+        let dcs_topo = if n == 1 {
+            ClanTopology::serial()
+        } else {
+            ClanTopology::dcs()
+        };
+        let dcs = total_time_with(
+            dcs_topo,
+            n,
+            InferenceMode::MultiStep,
+            base,
+            PlatformKind::Systolic32x32,
+        );
+        let dda = total_time(
+            n,
+            InferenceMode::MultiStep,
+            base,
+            PlatformKind::Systolic32x32,
+        );
         if dda < dda_best.1 {
             dda_best = (n, dda);
         }
@@ -136,8 +176,18 @@ mod tests {
     fn better_network_extends_scaling() {
         let base = WifiModel::default();
         let better = base.scaled(2.0, 2.0);
-        let t_base = total_time(40, InferenceMode::MultiStep, base, PlatformKind::RaspberryPi);
-        let t_better = total_time(40, InferenceMode::MultiStep, better, PlatformKind::RaspberryPi);
+        let t_base = total_time(
+            40,
+            InferenceMode::MultiStep,
+            base,
+            PlatformKind::RaspberryPi,
+        );
+        let t_better = total_time(
+            40,
+            InferenceMode::MultiStep,
+            better,
+            PlatformKind::RaspberryPi,
+        );
         assert!(t_better < t_base);
     }
 
@@ -146,9 +196,24 @@ mod tests {
         // With 100x faster inference, a few accelerator nodes beat one,
         // but scaling dies quickly (paper: ~7 nodes max for DDA).
         let base = WifiModel::default();
-        let t1 = total_time(1, InferenceMode::MultiStep, base, PlatformKind::Systolic32x32);
-        let t4 = total_time(4, InferenceMode::MultiStep, base, PlatformKind::Systolic32x32);
-        let t70 = total_time(70, InferenceMode::MultiStep, base, PlatformKind::Systolic32x32);
+        let t1 = total_time(
+            1,
+            InferenceMode::MultiStep,
+            base,
+            PlatformKind::Systolic32x32,
+        );
+        let t4 = total_time(
+            4,
+            InferenceMode::MultiStep,
+            base,
+            PlatformKind::Systolic32x32,
+        );
+        let t70 = total_time(
+            70,
+            InferenceMode::MultiStep,
+            base,
+            PlatformKind::Systolic32x32,
+        );
         assert!(t4 < t1, "small clusters still help: {t4:.2} vs {t1:.2}");
         assert!(t70 > t4, "scaling must die at large node counts");
     }

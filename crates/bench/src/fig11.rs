@@ -105,7 +105,14 @@ pub fn run(sink: &OutputSink) -> io::Result<()> {
     sink.table(
         "fig11_perf_per_dollar",
         "Figure 11: average time per generation (s), price-performance product, energy",
-        &["workload", "platform", "price", "s/generation", "PPP ($*s)", "J/generation"],
+        &[
+            "workload",
+            "platform",
+            "price",
+            "s/generation",
+            "PPP ($*s)",
+            "J/generation",
+        ],
         &rows,
     )?;
 

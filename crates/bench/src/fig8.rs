@@ -59,7 +59,13 @@ pub fn run(sink: &OutputSink) -> io::Result<()> {
     sink.table(
         "fig8_compute_share",
         "Figure 8: compute share (%) with single-step inference, 2 nodes",
-        &["workload", "config", "evolution %", "inference %", "communication %"],
+        &[
+            "workload",
+            "config",
+            "evolution %",
+            "inference %",
+            "communication %",
+        ],
         &rows,
     )?;
 

@@ -34,7 +34,10 @@ fn run_at(topology: ClanTopology, agents: usize, mode: InferenceMode) -> RunRepo
     if mode == InferenceMode::SingleStep {
         b = b.single_step();
     }
-    b.build().expect("valid driver config").run(GENERATIONS).expect("run")
+    b.build()
+        .expect("valid driver config")
+        .run(GENERATIONS)
+        .expect("run")
 }
 
 fn topo_for(kind: &str, agents: usize) -> ClanTopology {

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod eval_perf;
 pub mod fig10;
 pub mod fig11;
 pub mod fig3;

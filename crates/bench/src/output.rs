@@ -91,13 +91,8 @@ mod tests {
     fn sink_writes_csv() {
         let dir = std::env::temp_dir().join("clan-bench-test-sink");
         let sink = OutputSink::new(&dir).unwrap();
-        sink.table(
-            "t",
-            "Test",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        )
-        .unwrap();
+        sink.table("t", "Test", &["a", "b"], &[vec!["1".into(), "2".into()]])
+            .unwrap();
         let csv = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(csv, "a,b\n1,2\n");
         let _ = std::fs::remove_dir_all(dir);

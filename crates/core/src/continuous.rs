@@ -113,9 +113,7 @@ impl ContinuousLearner {
         let mut total = 0.0;
         for ep in 0..self.monitor.probe_episodes {
             let seed = derive_seed(self.seed, &[0xBEEF, self.encounters, ep as u64]);
-            let outcome = run_episode(env, seed, self.monitor.max_steps, |obs| {
-                net.act_argmax(obs)
-            });
+            let outcome = run_episode(env, seed, self.monitor.max_steps, |obs| net.act_argmax(obs));
             total += outcome.total_reward;
         }
         Some(total / self.monitor.probe_episodes as f64)
@@ -180,10 +178,8 @@ impl ContinuousLearner {
             let max_steps = self.monitor.max_steps;
             let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
             for id in ids {
-                let net = FeedForwardNetwork::compile(
-                    pop.genome(id).expect("id from population"),
-                    &cfg,
-                );
+                let net =
+                    FeedForwardNetwork::compile(pop.genome(id).expect("id from population"), &cfg);
                 let seed = derive_seed(master, &[generation, id.0, OpTag::Environment as u64]);
                 let outcome = run_episode(env, seed, max_steps, |obs| net.act_argmax(obs));
                 pop.counters_mut()
@@ -231,10 +227,12 @@ impl ContinuousLearner {
 mod tests {
     use super::*;
     use clan_envs::cartpole::{CartPole, CartPoleParams};
-    
 
     fn learner(pop: usize) -> ContinuousLearner {
-        let cfg = NeatConfig::builder(4, 2).population_size(pop).build().unwrap();
+        let cfg = NeatConfig::builder(4, 2)
+            .population_size(pop)
+            .build()
+            .unwrap();
         ContinuousLearner::new(
             cfg,
             MonitorConfig {

@@ -168,10 +168,7 @@ mod tests {
         };
         let t1 = t(1);
         let t5 = t(5);
-        assert!(
-            t5 < t1 * 0.5,
-            "5 agents should beat 1 by >2x: {t1} vs {t5}"
-        );
+        assert!(t5 < t1 * 0.5, "5 agents should beat 1 by >2x: {t1} vs {t5}");
     }
 
     #[test]

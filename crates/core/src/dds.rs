@@ -183,8 +183,10 @@ impl Orchestrator for DdsOrchestrator {
             next += count;
             repro_genes_per_agent.push(agent_genes);
         }
-        self.recorder
-            .add_evolution(self.cluster.parallel_evolution_time_s(&repro_genes_per_agent));
+        self.recorder.add_evolution(
+            self.cluster
+                .parallel_evolution_time_s(&repro_genes_per_agent),
+        );
 
         // COMM — children stream back for the next synchronous speciation.
         let t = self.comm.phase(
@@ -270,7 +272,10 @@ mod tests {
         let mut dds = make(20, 4, 2);
         let mut dcs = crate::dcs::DcsOrchestrator::new(
             Population::new(
-                NeatConfig::builder(4, 2).population_size(20).build().unwrap(),
+                NeatConfig::builder(4, 2)
+                    .population_size(20)
+                    .build()
+                    .unwrap(),
                 2,
             ),
             Evaluator::new(Workload::CartPole, InferenceMode::MultiStep),
@@ -324,6 +329,9 @@ mod tests {
             o.step_generation().unwrap();
             o.step_generation().unwrap().timeline.evolution_s
         };
-        assert!(four < one, "reproduction should parallelize: {four} vs {one}");
+        assert!(
+            four < one,
+            "reproduction should parallelize: {four} vs {one}"
+        );
     }
 }

@@ -52,6 +52,9 @@ pub struct DriverConfig {
     pub mode: InferenceMode,
     /// Episodes averaged per genome evaluation.
     pub episodes_per_eval: u32,
+    /// Host threads evaluating genomes in parallel (1 = serial).
+    /// Bit-identical results at any value; only wall-clock time changes.
+    pub eval_threads: usize,
     /// Platform of every cluster node.
     pub platform: PlatformKind,
     /// Wireless medium model.
@@ -140,6 +143,7 @@ pub struct ClanDriverBuilder {
     seed: u64,
     mode: InferenceMode,
     episodes_per_eval: u32,
+    eval_threads: usize,
     platform: PlatformKind,
     net: WifiModel,
     resync_every: Option<u64>,
@@ -158,6 +162,7 @@ impl ClanDriverBuilder {
             seed: 0,
             mode: InferenceMode::MultiStep,
             episodes_per_eval: 1,
+            eval_threads: 1,
             platform: PlatformKind::RaspberryPi,
             net: WifiModel::default(),
             resync_every: None,
@@ -198,6 +203,17 @@ impl ClanDriverBuilder {
     /// Averages each genome's fitness over `n` episodes (default 1).
     pub fn episodes_per_eval(mut self, n: u32) -> Self {
         self.episodes_per_eval = n;
+        self
+    }
+
+    /// Evaluates genomes across `n` host threads (default 1 = serial).
+    ///
+    /// Evolutionary results are bit-identical at any thread count — the
+    /// order-independent RNG scheme ties every episode seed to the
+    /// genome, not to execution order — so this only changes wall-clock
+    /// time. `0` is treated as 1.
+    pub fn eval_threads(mut self, n: usize) -> Self {
+        self.eval_threads = n.max(1);
         self
     }
 
@@ -279,7 +295,12 @@ impl ClanDriverBuilder {
         }
         let platform = Platform::new(self.platform);
         let cluster = Cluster::homogeneous(platform, self.n_agents, self.net);
-        let evaluator = Evaluator::with_episodes(self.workload, self.mode, self.episodes_per_eval);
+        let evaluator = Evaluator::with_threads(
+            self.workload,
+            self.mode,
+            self.episodes_per_eval,
+            self.eval_threads,
+        );
 
         let orchestrator: Box<dyn Orchestrator> = match (
             self.topology == ClanTopology::serial(),
@@ -327,6 +348,7 @@ impl ClanDriverBuilder {
                 seed: self.seed,
                 mode: self.mode,
                 episodes_per_eval: self.episodes_per_eval,
+                eval_threads: self.eval_threads,
                 platform: self.platform,
                 net: self.net,
                 resync_every: self.resync_every,
@@ -369,8 +391,13 @@ mod tests {
 
     #[test]
     fn mismatched_neat_dims_rejected() {
-        let cfg = NeatConfig::builder(2, 2).population_size(10).build().unwrap();
-        let err = ClanDriver::builder(Workload::CartPole).neat_config(cfg).build();
+        let cfg = NeatConfig::builder(2, 2)
+            .population_size(10)
+            .build()
+            .unwrap();
+        let err = ClanDriver::builder(Workload::CartPole)
+            .neat_config(cfg)
+            .build();
         assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
     }
 
@@ -419,7 +446,11 @@ mod tests {
             let agents = topo.clan_count().max(2);
             let report = ClanDriver::builder(Workload::MountainCar)
                 .topology(topo)
-                .agents(if topo == ClanTopology::serial() { 1 } else { agents })
+                .agents(if topo == ClanTopology::serial() {
+                    1
+                } else {
+                    agents
+                })
                 .population_size(12)
                 .seed(4)
                 .build()

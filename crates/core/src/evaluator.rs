@@ -7,10 +7,11 @@
 //! generation, modeling deployments (e.g. robotics) where repeated
 //! multi-step rollouts per generation are unavailable (§IV-D).
 
+use crate::parallel::ParallelEvaluator;
 use clan_envs::{run_episode, Environment, Workload};
 use clan_neat::population::Evaluation;
 use clan_neat::rng::{derive_seed, OpTag};
-use clan_neat::{FeedForwardNetwork, GenomeId};
+use clan_neat::{FeedForwardNetwork, GenomeId, Scratch};
 use serde::{Deserialize, Serialize};
 
 /// How many environment steps each genome gets per generation.
@@ -33,12 +34,21 @@ impl InferenceMode {
 }
 
 /// Evaluates genomes on one workload, reusing a single environment
-/// instance.
+/// instance and a single set of [`Scratch`] buffers (the per-step hot
+/// loop performs no heap allocation).
+///
+/// Constructed with [`with_threads`](Evaluator::with_threads), the
+/// evaluator additionally carries a persistent
+/// [`ParallelEvaluator`] pool; the orchestrators' partitioned
+/// evaluation then fans inference out across those workers while staying
+/// bit-identical to the serial path (see [`crate::parallel`]).
 pub struct Evaluator {
     workload: Workload,
     mode: InferenceMode,
     episodes: u32,
     env: Box<dyn Environment>,
+    scratch: Scratch,
+    pool: Option<ParallelEvaluator>,
 }
 
 impl std::fmt::Debug for Evaluator {
@@ -46,6 +56,7 @@ impl std::fmt::Debug for Evaluator {
         f.debug_struct("Evaluator")
             .field("workload", &self.workload)
             .field("mode", &self.mode)
+            .field("eval_threads", &self.eval_threads())
             .finish_non_exhaustive()
     }
 }
@@ -72,7 +83,40 @@ impl Evaluator {
             mode,
             episodes,
             env: workload.make(),
+            scratch: Scratch::new(),
+            pool: None,
         }
+    }
+
+    /// Creates an evaluator backed by `threads` persistent worker
+    /// threads. Results are bit-identical to the serial evaluator at any
+    /// thread count; `threads <= 1` keeps everything on the caller's
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `episodes` is zero.
+    pub fn with_threads(
+        workload: Workload,
+        mode: InferenceMode,
+        episodes: u32,
+        threads: usize,
+    ) -> Evaluator {
+        let mut evaluator = Evaluator::with_episodes(workload, mode, episodes);
+        if threads > 1 {
+            evaluator.pool = Some(ParallelEvaluator::spawn(workload, mode, episodes, threads));
+        }
+        evaluator
+    }
+
+    /// Worker threads evaluating in parallel (1 = serial).
+    pub fn eval_threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, ParallelEvaluator::n_threads)
+    }
+
+    /// The parallel worker pool, when one was requested.
+    pub(crate) fn pool(&self) -> Option<&ParallelEvaluator> {
+        self.pool.as_ref()
     }
 
     /// Episodes averaged per evaluation.
@@ -94,7 +138,10 @@ impl Evaluator {
     /// master seed, the generation, and the genome id — so the same
     /// genome gets the same episode wherever it is evaluated.
     pub fn episode_seed(master_seed: u64, generation: u64, genome: GenomeId) -> u64 {
-        derive_seed(master_seed, &[generation, genome.0, OpTag::Environment as u64])
+        derive_seed(
+            master_seed,
+            &[generation, genome.0, OpTag::Environment as u64],
+        )
     }
 
     /// Runs the configured number of episodes and returns the mean
@@ -103,19 +150,25 @@ impl Evaluator {
         let max_steps = self.mode.max_steps(self.workload);
         let mut total_reward = 0.0;
         let mut activations = 0;
-        for ep in 0..self.episodes {
-            let seed = if self.episodes == 1 {
+        let episodes = self.episodes;
+        // Split borrows: the policy closure reuses this evaluator's
+        // scratch buffers while the environment steps — zero allocations
+        // per timestep.
+        let Evaluator { env, scratch, .. } = self;
+        for ep in 0..episodes {
+            let seed = if episodes == 1 {
                 episode_seed
             } else {
                 derive_seed(episode_seed, &[ep as u64])
             };
-            let outcome =
-                run_episode(self.env.as_mut(), seed, max_steps, |obs| net.act_argmax(obs));
+            let outcome = run_episode(env.as_mut(), seed, max_steps, |obs| {
+                net.act_argmax_with(obs, scratch)
+            });
             total_reward += outcome.total_reward;
             activations += outcome.steps;
         }
         Evaluation {
-            fitness: total_reward / self.episodes as f64,
+            fitness: total_reward / episodes as f64,
             activations,
         }
     }
@@ -189,7 +242,10 @@ mod tests {
         let mut three = Evaluator::with_episodes(Workload::CartPole, InferenceMode::MultiStep, 3);
         let e1 = one.evaluate(&net, 7);
         let e3 = three.evaluate(&net, 7);
-        assert!(e3.activations >= e1.activations, "episodes accumulate steps");
+        assert!(
+            e3.activations >= e1.activations,
+            "episodes accumulate steps"
+        );
         // Mean fitness for CartPole equals mean episode length.
         assert!((e3.fitness * 3.0 - e3.activations as f64).abs() < 1e-9);
     }

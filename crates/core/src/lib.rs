@@ -29,6 +29,14 @@
 //! channels) demonstrating that the protocols execute, and [`continuous`]
 //! implements the paper's Figure-1 closed loop: deploy an expert, watch
 //! its fitness, re-learn when the environment shifts.
+//!
+//! Inference — the dominant compute block — can additionally be fanned
+//! out across host threads via [`parallel::ParallelEvaluator`]
+//! (enabled with [`ClanDriverBuilder::eval_threads`] or
+//! `clan-cli --eval-threads N`); the order-independent RNG discipline
+//! makes the parallel evaluation bit-identical to the serial path, so
+//! the simulated study results are unchanged while wall-clock time drops
+//! near-linearly with cores.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +49,7 @@ pub mod driver;
 pub mod error;
 pub mod evaluator;
 pub mod orchestra;
+pub mod parallel;
 pub mod report;
 pub mod runtime;
 pub mod serial;
@@ -54,6 +63,7 @@ pub use driver::{ClanDriver, ClanDriverBuilder, DriverConfig};
 pub use error::ClanError;
 pub use evaluator::{Evaluator, InferenceMode};
 pub use orchestra::{GenerationReport, Orchestrator};
+pub use parallel::ParallelEvaluator;
 pub use report::RunReport;
 pub use serial::SerialOrchestrator;
 pub use topology::{ClanTopology, Placement, SpeciationMode};

@@ -124,6 +124,12 @@ impl Comm {
 /// Fitness is written back into the population and the population's cost
 /// counters are charged, so Figure-3 style accounting stays correct no
 /// matter which configuration ran the inference.
+///
+/// When the evaluator carries a [`crate::parallel::ParallelEvaluator`]
+/// pool, the per-genome evaluations are computed across its workers
+/// first; the accounting below then replays them in genome-id order, so
+/// fitness, `CostCounters`, and the per-agent gene totals are
+/// bit-identical to the serial path at any thread count.
 pub(crate) fn evaluate_partitioned(
     pop: &mut Population,
     evaluator: &mut Evaluator,
@@ -134,15 +140,29 @@ pub(crate) fn evaluate_partitioned(
     let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
     let chunks = chunk_ids(&ids, counts);
     let cfg = pop.config().clone();
+    // Parallel path: compute every evaluation first (id-ordered), leaving
+    // all bookkeeping to the deterministic loop below.
+    let mut precomputed = evaluator
+        .pool()
+        .map(|pool| pool.evaluate_population(pop).into_iter());
     let mut genes_per_agent = Vec::with_capacity(chunks.len());
     for chunk in &chunks {
         let mut agent_genes = 0u64;
         for &id in chunk {
-            let genome = pop.genome(id).expect("chunk ids come from population");
-            let net = clan_neat::FeedForwardNetwork::compile(genome, &cfg);
-            let seed = Evaluator::episode_seed(master, generation, id);
-            let eval = evaluator.evaluate(&net, seed);
-            let genes = eval.activations * net.genes_per_activation();
+            let (eval, genes_per_activation) = match precomputed.as_mut() {
+                Some(results) => {
+                    let (rid, eval, gpa) = results.next().expect("one pooled result per genome");
+                    debug_assert_eq!(rid, id, "pooled results must be id-ordered");
+                    (eval, gpa)
+                }
+                None => {
+                    let genome = pop.genome(id).expect("chunk ids come from population");
+                    let net = clan_neat::FeedForwardNetwork::compile(genome, &cfg);
+                    let seed = Evaluator::episode_seed(master, generation, id);
+                    (evaluator.evaluate(&net, seed), net.genes_per_activation())
+                }
+            };
+            let genes = eval.activations * genes_per_activation;
             agent_genes += genes;
             pop.counters_mut().record_inference(genes);
             pop.counters_mut().record_episode();
@@ -219,7 +239,10 @@ mod tests {
     use clan_netsim::WifiModel;
 
     fn small_pop(n: usize, seed: u64) -> Population {
-        let cfg = NeatConfig::builder(4, 2).population_size(n).build().unwrap();
+        let cfg = NeatConfig::builder(4, 2)
+            .population_size(n)
+            .build()
+            .unwrap();
         Population::new(cfg, seed)
     }
 

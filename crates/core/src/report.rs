@@ -119,7 +119,12 @@ impl RunReport {
             self.mean_timeline.evolution_s,
             self.mean_timeline.communication_s
         );
-        let _ = writeln!(s, "  comm: {} floats in {} messages", self.ledger.total_floats(), self.ledger.total_messages());
+        let _ = writeln!(
+            s,
+            "  comm: {} floats in {} messages",
+            self.ledger.total_floats(),
+            self.ledger.total_messages()
+        );
         s
     }
 }

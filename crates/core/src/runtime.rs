@@ -13,8 +13,8 @@ use crate::evaluator::{Evaluator, InferenceMode};
 use clan_envs::Workload;
 use clan_neat::reproduction::{make_child, ChildSpec};
 use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Population};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 /// Work order sent to an agent.
@@ -83,8 +83,8 @@ impl EdgeCluster {
         assert!(n_agents > 0, "cluster needs at least one agent");
         let workers = (0..n_agents)
             .map(|i| {
-                let (req_tx, req_rx) = unbounded::<Request>();
-                let (resp_tx, resp_rx) = unbounded::<Response>();
+                let (req_tx, req_rx) = channel::<Request>();
+                let (resp_tx, resp_rx) = channel::<Response>();
                 let worker_cfg = cfg.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("clan-agent-{i}"))
@@ -360,7 +360,8 @@ mod tests {
     #[test]
     fn distributed_evaluation_matches_serial() {
         let cfg = cfg(16);
-        let cluster = EdgeCluster::spawn(4, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let cluster =
+            EdgeCluster::spawn(4, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
         let mut distributed = Population::new(cfg.clone(), 11);
         cluster.evaluate(&mut distributed).unwrap();
 
@@ -368,7 +369,11 @@ mod tests {
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
         crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[16]);
 
-        for (a, b) in distributed.genomes().values().zip(serial.genomes().values()) {
+        for (a, b) in distributed
+            .genomes()
+            .values()
+            .zip(serial.genomes().values())
+        {
             assert_eq!(a.fitness(), b.fitness());
         }
         cluster.shutdown();
@@ -377,7 +382,8 @@ mod tests {
     #[test]
     fn real_dcs_generations_match_serial_evolution() {
         let cfg = cfg(12);
-        let cluster = EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let cluster =
+            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
         let mut real = Population::new(cfg.clone(), 5);
         let mut serial = Population::new(cfg.clone(), 5);
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
@@ -395,7 +401,8 @@ mod tests {
     #[test]
     fn real_dds_generations_match_serial_evolution() {
         let cfg = cfg(12);
-        let cluster = EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let cluster =
+            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
         let mut real = Population::new(cfg.clone(), 6);
         let mut serial = Population::new(cfg.clone(), 6);
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
@@ -419,7 +426,12 @@ mod tests {
     #[test]
     fn more_agents_than_genomes_is_fine() {
         let cfg = cfg(3);
-        let cluster = EdgeCluster::spawn(8, Workload::CartPole, InferenceMode::SingleStep, cfg.clone());
+        let cluster = EdgeCluster::spawn(
+            8,
+            Workload::CartPole,
+            InferenceMode::SingleStep,
+            cfg.clone(),
+        );
         let mut pop = Population::new(cfg, 1);
         cluster.evaluate(&mut pop).unwrap();
         assert!(pop.genomes().values().all(|g| g.fitness().is_some()));

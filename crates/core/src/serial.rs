@@ -60,7 +60,8 @@ impl Orchestrator for SerialOrchestrator {
         // Phase I — all inference on the center.
         let pop_len = self.pop.len();
         let genes = evaluate_partitioned(&mut self.pop, &mut self.evaluator, &[pop_len]);
-        self.recorder.add_inference(center.inference_time_s(genes[0]));
+        self.recorder
+            .add_inference(center.inference_time_s(genes[0]));
 
         let best_fitness = self
             .pop

@@ -109,9 +109,7 @@ impl AlienGame {
     }
 
     fn open(&self, x: i32, y: i32) -> bool {
-        (0..COLS).contains(&x)
-            && (0..ROWS).contains(&y)
-            && !self.walls[y as usize][x as usize]
+        (0..COLS).contains(&x) && (0..ROWS).contains(&y) && !self.walls[y as usize][x as usize]
     }
 
     /// Moves `(x, y)` by `(dx, dy)` with wall sliding: diagonals degrade

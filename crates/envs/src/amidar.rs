@@ -190,11 +190,7 @@ impl RamGame for Amidar {
         }
 
         // Contact: lose a life, respawn at the origin corner.
-        if self
-            .enemies
-            .iter()
-            .any(|e| (e.x, e.y) == self.player)
-        {
+        if self.enemies.iter().any(|e| (e.x, e.y) == self.player) {
             self.lives = self.lives.saturating_sub(1);
             self.player = (0, 0);
             self.freezes_left = FREEZES_PER_LIFE;

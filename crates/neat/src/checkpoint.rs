@@ -203,7 +203,10 @@ mod tests {
 
     #[test]
     fn population_round_trip_continues_identically() {
-        let cfg = NeatConfig::builder(2, 1).population_size(12).build().unwrap();
+        let cfg = NeatConfig::builder(2, 1)
+            .population_size(12)
+            .build()
+            .unwrap();
         let mut pop = Population::new(cfg, 5);
         pop.evaluate(|net, _| net.activate(&[0.5, -0.5])[0]);
         pop.advance_generation();
@@ -223,7 +226,9 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let (_, g) = sample_genome();
-        let json = genome_to_json(&g).unwrap().replace("\"version\": 1", "\"version\": 99");
+        let json = genome_to_json(&g)
+            .unwrap()
+            .replace("\"version\": 1", "\"version\": 99");
         let err = genome_from_json(&json);
         assert!(matches!(err, Err(CheckpointError::Format(_))), "{err:?}");
     }

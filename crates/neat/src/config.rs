@@ -511,5 +511,4 @@ mod tests {
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
-
 }

@@ -246,9 +246,21 @@ impl Genome {
             let gene = match other.nodes.get(k) {
                 Some(g2) => NodeGene {
                     bias: if rng.gen::<bool>() { g1.bias } else { g2.bias },
-                    response: if rng.gen::<bool>() { g1.response } else { g2.response },
-                    activation: if rng.gen::<bool>() { g1.activation } else { g2.activation },
-                    aggregation: if rng.gen::<bool>() { g1.aggregation } else { g2.aggregation },
+                    response: if rng.gen::<bool>() {
+                        g1.response
+                    } else {
+                        g2.response
+                    },
+                    activation: if rng.gen::<bool>() {
+                        g1.activation
+                    } else {
+                        g2.activation
+                    },
+                    aggregation: if rng.gen::<bool>() {
+                        g1.aggregation
+                    } else {
+                        g2.aggregation
+                    },
                 },
                 None => *g1,
             };
@@ -258,8 +270,16 @@ impl Genome {
         for (k, g1) in &fitter.conns {
             let gene = match other.conns.get(k) {
                 Some(g2) => ConnGene {
-                    weight: if rng.gen::<bool>() { g1.weight } else { g2.weight },
-                    enabled: if rng.gen::<bool>() { g1.enabled } else { g2.enabled },
+                    weight: if rng.gen::<bool>() {
+                        g1.weight
+                    } else {
+                        g2.weight
+                    },
+                    enabled: if rng.gen::<bool>() {
+                        g1.enabled
+                    } else {
+                        g2.enabled
+                    },
                 },
                 None => *g1,
             };
@@ -404,8 +424,7 @@ impl Genome {
                 gene.activation =
                     crate::Activation::ALL[rng.gen_range(0..crate::Activation::ALL.len())];
             }
-            if cfg.aggregation_mutate_rate > 0.0 && rng.gen::<f64>() < cfg.aggregation_mutate_rate
-            {
+            if cfg.aggregation_mutate_rate > 0.0 && rng.gen::<f64>() < cfg.aggregation_mutate_rate {
                 gene.aggregation =
                     crate::Aggregation::ALL[rng.gen_range(0..crate::Aggregation::ALL.len())];
             }

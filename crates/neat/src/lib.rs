@@ -21,6 +21,49 @@
 //!    [`counters::CostCounters`] type records exactly how many genes each
 //!    compute block (Inference, Speciation, Reproduction) touches.
 //!
+//! ## The inference hot path: scratch buffers
+//!
+//! Inference dominates a generation's compute (paper Fig. 3), and one
+//! episode activates a network hundreds of times. The hot tier of the
+//! activation API is allocation-free: callers own a
+//! [`Scratch`](network::Scratch) whose buffers are reused across steps,
+//! episodes, and networks —
+//!
+//! ```
+//! use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Scratch};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let cfg = NeatConfig::builder(2, 1).build()?;
+//! let genome = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(7));
+//! let net = FeedForwardNetwork::compile(&genome, &cfg);
+//! let mut scratch = Scratch::new();
+//! for step in 0..200 {
+//!     let x = step as f64 / 200.0;
+//!     // Zero heap allocations per call once the buffers have grown.
+//!     let action = net.act_argmax_with(&[x, -x], &mut scratch);
+//!     assert!(action < 1);
+//! }
+//! # Ok::<(), clan_neat::NeatError>(())
+//! ```
+//!
+//! [`FeedForwardNetwork::activate`] and
+//! [`FeedForwardNetwork::act_argmax`] remain as compatibility wrappers
+//! over a thread-local scratch; results are bit-identical across tiers.
+//!
+//! ## Parallel evaluation: the determinism contract
+//!
+//! Because every episode seed derives from
+//! `(master_seed, generation, genome_id)` — never from execution order —
+//! evaluation parallelizes without changing a single bit of the
+//! trajectory. [`Population::evaluate_parallel`] shards the population
+//! across worker threads (each worker gets its own evaluator state via a
+//! factory) and merges results back in genome-id order;
+//! [`Population::evaluate_batch`] applies externally computed
+//! evaluations under the same ordering rule. Fitness,
+//! [`CostCounters`], and `best_ever` are identical at any thread count —
+//! the property the CLAN configurations rely on, asserted end-to-end in
+//! `tests/equivalence.rs`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -64,7 +107,7 @@ pub use counters::{CostCounters, GenerationCosts};
 pub use error::NeatError;
 pub use gene::{ConnGene, ConnKey, GenomeId, NodeGene, NodeId, SpeciesId};
 pub use genome::Genome;
-pub use network::FeedForwardNetwork;
+pub use network::{FeedForwardNetwork, Scratch};
 pub use population::{FitnessStats, Population};
 pub use reproduction::{ChildSpec, GenerationPlan};
 pub use species::{Species, SpeciesSet};

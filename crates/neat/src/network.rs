@@ -4,13 +4,34 @@
 //! topologically ordered evaluation plan once, so that the (many) per-step
 //! activations during an episode are cheap. Only nodes *required* for the
 //! outputs are evaluated, mirroring `neat-python`.
+//!
+//! # The inference hot path
+//!
+//! Evaluation is the dominant compute block of a CLAN generation (the
+//! paper's Figure 3), and a 200-step episode calls the network 200 times.
+//! Two API tiers serve that loop:
+//!
+//! - [`activate`](FeedForwardNetwork::activate) /
+//!   [`act_argmax`](FeedForwardNetwork::act_argmax) — convenient,
+//!   allocation-per-call-free *internally* (they reuse a thread-local
+//!   [`Scratch`]), `activate` still returns an owned `Vec`.
+//! - [`activate_into`](FeedForwardNetwork::activate_into) /
+//!   [`act_argmax_with`](FeedForwardNetwork::act_argmax_with) — the
+//!   zero-allocation tier: the caller owns a [`Scratch`] whose buffers are
+//!   reused across steps, episodes, and networks. After the buffers have
+//!   grown to a network's size once, no heap allocation happens per step.
+//!
+//! Compilation itself is also on the per-generation hot path (every
+//! genome recompiles every generation), so it runs entirely on indexed
+//! `Vec` passes over the genome's sorted gene maps — no intermediate
+//! `BTreeMap`/`BTreeSet` traffic.
 
 use crate::activation::{Activation, Aggregation};
 use crate::config::NeatConfig;
 use crate::gene::{GenomeId, NodeId};
 use crate::genome::Genome;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::cell::RefCell;
 
 /// One node's compiled evaluation plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,17 +44,62 @@ struct EvalNode {
     incoming: Vec<(usize, f64)>,
 }
 
+/// Caller-owned, reusable buffers for allocation-free activation.
+///
+/// A `Scratch` grows to the largest network it has served and then stays
+/// at that size, so a per-worker (or per-episode-loop) instance makes
+/// every subsequent [`FeedForwardNetwork::activate_into`] call free of
+/// heap allocation. Buffers are wiped per call; no state leaks between
+/// activations, so one `Scratch` may serve many different networks.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Value slots: inputs first, then nodes in topological order.
+    values: Vec<f64>,
+    /// Per-node weighted-input staging (non-`Sum` aggregations only).
+    weighted: Vec<f64>,
+    /// Output values of the last activation.
+    outputs: Vec<f64>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Output slice of the most recent
+    /// [`activate_into`](FeedForwardNetwork::activate_into) call.
+    pub fn outputs(&self) -> &[f64] {
+        &self.outputs
+    }
+}
+
+thread_local! {
+    /// Scratch backing the legacy convenience API, so `activate` /
+    /// `act_argmax` stop allocating per step too (beyond `activate`'s
+    /// returned `Vec`, which its signature requires).
+    static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
 /// A compiled feed-forward network.
 ///
 /// ```
 /// use clan_neat::{Genome, GenomeId, NeatConfig, FeedForwardNetwork};
+/// use clan_neat::network::Scratch;
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// let cfg = NeatConfig::builder(2, 1).build()?;
 /// let genome = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(7));
 /// let net = FeedForwardNetwork::compile(&genome, &cfg);
+///
+/// // Convenience tier: returns an owned Vec.
 /// let out = net.activate(&[0.5, -0.5]);
 /// assert_eq!(out.len(), 1);
+///
+/// // Zero-allocation tier: caller-owned buffers, reused across steps.
+/// let mut scratch = Scratch::new();
+/// let out2 = net.activate_into(&[0.5, -0.5], &mut scratch);
+/// assert_eq!(out2, out.as_slice());
 /// # Ok::<(), clan_neat::NeatError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,108 +122,180 @@ impl FeedForwardNetwork {
     ///
     /// Nodes not on any path to an output are pruned; an output with no
     /// incoming connections still produces `activation(bias)`.
+    ///
+    /// The whole pass is index-based: node ids are resolved once into
+    /// positions within the genome's sorted node list, and the
+    /// reachability/topological/grouping passes run over flat `Vec`s.
     pub fn compile(genome: &Genome, cfg: &NeatConfig) -> FeedForwardNetwork {
-        let outputs: BTreeSet<NodeId> = (0..cfg.num_outputs).map(NodeId::output).collect();
+        let num_inputs = cfg.num_inputs;
+        let node_ids: Vec<NodeId> = genome.nodes().keys().copied().collect();
+        let n_nodes = node_ids.len();
+        // Sorted id list → binary search replaces BTreeMap lookups.
+        let idx_of = |id: NodeId| -> Option<usize> { node_ids.binary_search(&id).ok() };
+
+        // Single pass over the sorted connection genes: resolve endpoints
+        // to indices. `src` is `usize::MAX - slot` for network inputs.
+        // Dangling endpoints (possible only for genomes bypassing the
+        // invariant checks) are skipped, as before.
+        const INPUT_BASE: usize = usize::MAX;
+        struct Edge {
+            src: usize,
+            dst: usize,
+            weight: f64,
+        }
+        let mut edges: Vec<Edge> = Vec::with_capacity(genome.conns().len());
+        for (key, gene) in genome.conns() {
+            if !gene.enabled {
+                continue;
+            }
+            let Some(dst) = idx_of(key.output) else {
+                continue;
+            };
+            let src = if key.input.is_input() {
+                INPUT_BASE - (-key.input.0 - 1) as usize
+            } else {
+                match idx_of(key.input) {
+                    Some(i) => i,
+                    None => continue,
+                }
+            };
+            edges.push(Edge {
+                src,
+                dst,
+                weight: gene.weight,
+            });
+        }
+        let is_input_src = |src: usize| src > n_nodes;
 
         // Required nodes: reachable *backwards* from outputs over enabled
-        // connections, plus the outputs themselves.
-        let mut rev: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        for (key, gene) in genome.conns() {
-            if gene.enabled {
-                rev.entry(key.output).or_default().push(key.input);
+        // connections, plus the outputs themselves. Reverse adjacency in
+        // CSR form (counts → offsets → fill), node-to-node edges only.
+        let mut rev_deg = vec![0u32; n_nodes];
+        for e in &edges {
+            if !is_input_src(e.src) {
+                rev_deg[e.dst] += 1;
             }
         }
-        let mut required: BTreeSet<NodeId> = BTreeSet::new();
-        let mut queue: VecDeque<NodeId> = outputs.iter().copied().collect();
-        while let Some(n) = queue.pop_front() {
-            if n.is_input() || !required.insert(n) {
-                continue;
-            }
-            if let Some(srcs) = rev.get(&n) {
-                queue.extend(srcs.iter().copied());
+        let mut rev_off = vec![0usize; n_nodes + 1];
+        for i in 0..n_nodes {
+            rev_off[i + 1] = rev_off[i] + rev_deg[i] as usize;
+        }
+        let mut rev_adj = vec![0u32; rev_off[n_nodes]];
+        let mut rev_fill = rev_off.clone();
+        for e in &edges {
+            if !is_input_src(e.src) {
+                rev_adj[rev_fill[e.dst]] = e.src as u32;
+                rev_fill[e.dst] += 1;
             }
         }
-
-        // Topological order of the required subgraph (Kahn).
-        let mut indeg: BTreeMap<NodeId, usize> = required.iter().map(|&n| (n, 0)).collect();
-        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        let mut conn_count = 0u64;
-        for (key, gene) in genome.conns() {
-            if !gene.enabled || !required.contains(&key.output) {
-                continue;
-            }
-            if !key.input.is_input() && !required.contains(&key.input) {
-                continue;
-            }
-            conn_count += 1;
-            if !key.input.is_input() {
-                *indeg.get_mut(&key.output).expect("required node") += 1;
-                adj.entry(key.input).or_default().push(key.output);
-            }
-        }
-        let mut order: Vec<NodeId> = Vec::with_capacity(required.len());
-        let mut ready: VecDeque<NodeId> = indeg
-            .iter()
-            .filter(|&(_, &d)| d == 0)
-            .map(|(&n, _)| n)
+        let mut required = vec![false; n_nodes];
+        let mut queue: Vec<u32> = (0..cfg.num_outputs)
+            .map(|o| {
+                idx_of(NodeId::output(o)).expect("genome invariant: output node genes exist") as u32
+            })
             .collect();
-        while let Some(n) = ready.pop_front() {
+        let mut head = 0;
+        while head < queue.len() {
+            let n = queue[head] as usize;
+            head += 1;
+            if required[n] {
+                continue;
+            }
+            required[n] = true;
+            queue.extend_from_slice(&rev_adj[rev_off[n]..rev_off[n + 1]]);
+        }
+        // (A required node may have been queued twice before its flag was
+        // set; the `continue` above deduplicates, exactly like the old
+        // BTreeSet insert.)
+
+        // Topological order of the required subgraph (Kahn), forward
+        // adjacency in CSR form over required-to-required edges.
+        let mut indeg = vec![0u32; n_nodes];
+        let mut fwd_deg = vec![0u32; n_nodes];
+        let mut conn_count = 0u64;
+        for e in &edges {
+            if !required[e.dst] {
+                continue;
+            }
+            if is_input_src(e.src) {
+                conn_count += 1;
+            } else if required[e.src] {
+                conn_count += 1;
+                indeg[e.dst] += 1;
+                fwd_deg[e.src] += 1;
+            }
+        }
+        let mut fwd_off = vec![0usize; n_nodes + 1];
+        for i in 0..n_nodes {
+            fwd_off[i + 1] = fwd_off[i] + fwd_deg[i] as usize;
+        }
+        let mut fwd_adj = vec![0u32; fwd_off[n_nodes]];
+        let mut fwd_fill = fwd_off.clone();
+        for e in &edges {
+            if !is_input_src(e.src) && required[e.src] && required[e.dst] {
+                fwd_adj[fwd_fill[e.src]] = e.dst as u32;
+                fwd_fill[e.src] += 1;
+            }
+        }
+        let n_required = required.iter().filter(|&&r| r).count();
+        let mut order: Vec<u32> = Vec::with_capacity(n_required);
+        // Seed with indegree-zero required nodes in sorted-id order, then
+        // process FIFO — identical order to the previous map-based Kahn.
+        let mut ready: Vec<u32> = (0..n_nodes as u32)
+            .filter(|&i| required[i as usize] && indeg[i as usize] == 0)
+            .collect();
+        let mut ready_head = 0;
+        while ready_head < ready.len() {
+            let n = ready[ready_head];
+            ready_head += 1;
             order.push(n);
-            if let Some(nexts) = adj.get(&n) {
-                for &m in nexts {
-                    let d = indeg.get_mut(&m).expect("required node");
-                    *d -= 1;
-                    if *d == 0 {
-                        ready.push_back(m);
-                    }
+            for &m in &fwd_adj[fwd_off[n as usize]..fwd_off[n as usize + 1]] {
+                indeg[m as usize] -= 1;
+                if indeg[m as usize] == 0 {
+                    ready.push(m);
                 }
             }
         }
-        debug_assert_eq!(order.len(), required.len(), "genome graph must be acyclic");
+        debug_assert_eq!(order.len(), n_required, "genome graph must be acyclic");
 
         // Slot assignment: inputs first, then nodes in topological order.
-        let slot_of = |n: NodeId, node_slots: &BTreeMap<NodeId, usize>| -> usize {
-            if n.is_input() {
-                (-n.0 - 1) as usize
+        let mut slot_of_node = vec![usize::MAX; n_nodes];
+        for (i, &n) in order.iter().enumerate() {
+            slot_of_node[n as usize] = num_inputs + i;
+        }
+        let slot_of_src = |src: usize| -> usize {
+            if is_input_src(src) {
+                INPUT_BASE - src // the input's observation index
             } else {
-                node_slots[&n]
+                slot_of_node[src]
             }
         };
-        let mut node_slots: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for (i, &n) in order.iter().enumerate() {
-            node_slots.insert(n, cfg.num_inputs + i);
-        }
-        // Group enabled connections by destination once (compile is on the
-        // inference hot path: every genome recompiles every generation).
-        let mut incoming_of: BTreeMap<NodeId, Vec<(usize, f64)>> = BTreeMap::new();
-        for (key, cg) in genome.conns() {
-            if cg.enabled
-                && required.contains(&key.output)
-                && (key.input.is_input() || required.contains(&key.input))
-            {
-                incoming_of
-                    .entry(key.output)
-                    .or_default()
-                    .push((slot_of(key.input, &node_slots), cg.weight));
+        // Group enabled connections by destination in one pass; the edge
+        // list preserves the sorted connection-gene order, so each node's
+        // incoming list is ordered by source id exactly as before.
+        let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_nodes];
+        for e in &edges {
+            if required[e.dst] && (is_input_src(e.src) || required[e.src]) {
+                incoming[e.dst].push((slot_of_src(e.src), e.weight));
             }
         }
         let mut nodes = Vec::with_capacity(order.len());
         for &n in &order {
-            let gene = genome.nodes()[&n];
+            let gene = genome.nodes()[&node_ids[n as usize]];
             nodes.push(EvalNode {
                 bias: gene.bias,
                 response: gene.response,
                 activation: gene.activation,
                 aggregation: gene.aggregation,
-                incoming: incoming_of.remove(&n).unwrap_or_default(),
+                incoming: std::mem::take(&mut incoming[n as usize]),
             });
         }
         let output_slots = (0..cfg.num_outputs)
-            .map(|o| node_slots[&NodeId::output(o)])
+            .map(|o| slot_of_node[idx_of(NodeId::output(o)).expect("output exists")])
             .collect();
         FeedForwardNetwork {
             genome_id: genome.id(),
-            num_inputs: cfg.num_inputs,
+            num_inputs,
             num_outputs: cfg.num_outputs,
             genes_per_activation: conn_count + order.len() as u64,
             nodes,
@@ -186,12 +324,17 @@ impl FeedForwardNetwork {
         self.genes_per_activation
     }
 
-    /// Runs one forward pass.
+    /// Runs one forward pass into caller-owned buffers and returns the
+    /// output slice (also available as [`Scratch::outputs`]).
+    ///
+    /// This is the zero-allocation hot path: once `scratch` has grown to
+    /// this network's size, no heap allocation occurs. Results are
+    /// bit-identical to [`activate`](Self::activate).
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from [`num_inputs`](Self::num_inputs).
-    pub fn activate(&self, inputs: &[f64]) -> Vec<f64> {
+    pub fn activate_into<'s>(&self, inputs: &[f64], scratch: &'s mut Scratch) -> &'s [f64] {
         assert_eq!(
             inputs.len(),
             self.num_inputs,
@@ -199,28 +342,81 @@ impl FeedForwardNetwork {
             self.num_inputs,
             inputs.len()
         );
-        let mut values = vec![0.0f64; self.num_inputs + self.nodes.len()];
+        let Scratch {
+            values,
+            weighted,
+            outputs,
+        } = scratch;
+        values.clear();
+        values.resize(self.num_inputs + self.nodes.len(), 0.0);
         values[..self.num_inputs].copy_from_slice(inputs);
-        let mut weighted = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            weighted.clear();
-            weighted.extend(node.incoming.iter().map(|&(slot, w)| values[slot] * w));
-            let agg = node.aggregation.apply(&weighted);
-            values[self.num_inputs + i] = node
-                .activation
-                .apply(node.bias + node.response * agg);
+            let agg = match node.aggregation {
+                // Sum (the overwhelmingly common case) needs no staging
+                // buffer; the fold matches `Aggregation::apply`'s
+                // `iter().sum()` term order bit-for-bit.
+                Aggregation::Sum => node
+                    .incoming
+                    .iter()
+                    .map(|&(slot, w)| values[slot] * w)
+                    .sum(),
+                _ => {
+                    weighted.clear();
+                    weighted.extend(node.incoming.iter().map(|&(slot, w)| values[slot] * w));
+                    node.aggregation.apply(weighted)
+                }
+            };
+            values[self.num_inputs + i] = node.activation.apply(node.bias + node.response * agg);
         }
-        self.output_slots.iter().map(|&s| values[s]).collect()
+        outputs.clear();
+        outputs.extend(self.output_slots.iter().map(|&s| values[s]));
+        outputs
+    }
+
+    /// Runs one forward pass, returning a freshly allocated output vector.
+    ///
+    /// Compatibility wrapper over [`activate_into`](Self::activate_into)
+    /// using a thread-local [`Scratch`]; per-step cost is one output-sized
+    /// `Vec` allocation. Hot loops should hold their own `Scratch` and
+    /// call `activate_into` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`num_inputs`](Self::num_inputs).
+    pub fn activate(&self, inputs: &[f64]) -> Vec<f64> {
+        LOCAL_SCRATCH.with(|s| self.activate_into(inputs, &mut s.borrow_mut()).to_vec())
     }
 
     /// Index of the maximum output — the usual discrete-action policy.
+    ///
+    /// Allocation-free: computes the argmax directly from the
+    /// thread-local scratch's output slice.
     pub fn act_argmax(&self, inputs: &[f64]) -> usize {
-        let out = self.activate(inputs);
-        out.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        LOCAL_SCRATCH.with(|s| self.act_argmax_with(inputs, &mut s.borrow_mut()))
+    }
+
+    /// [`act_argmax`](Self::act_argmax) over caller-owned buffers — the
+    /// zero-allocation policy step used by the evaluation engines.
+    ///
+    /// Tie-breaking matches the historical `max_by` semantics exactly:
+    /// the *last* maximal output wins (exact ties are realistic — e.g.
+    /// `Relu` outputs are exactly `0.0` for all negative
+    /// pre-activations), so policies are bit-compatible with the
+    /// allocating implementation this replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`num_inputs`](Self::num_inputs),
+    /// or if outputs are incomparable (NaN).
+    pub fn act_argmax_with(&self, inputs: &[f64], scratch: &mut Scratch) -> usize {
+        let out = self.activate_into(inputs, scratch);
+        let mut best = 0;
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            if v.partial_cmp(&out[best]).expect("finite outputs").is_ge() {
+                best = i;
+            }
+        }
+        best
     }
 }
 
@@ -253,6 +449,15 @@ mod tests {
         let cfg = cfg(3, 1);
         let net = FeedForwardNetwork::compile(&genome(&cfg, 1), &cfg);
         net.activate(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 inputs")]
+    fn wrong_input_arity_panics_in_scratch_path() {
+        let cfg = cfg(2, 1);
+        let net = FeedForwardNetwork::compile(&genome(&cfg, 1), &cfg);
+        let mut scratch = Scratch::new();
+        net.activate_into(&[0.0], &mut scratch);
     }
 
     #[test]
@@ -344,5 +549,137 @@ mod tests {
         let b = FeedForwardNetwork::compile(&g, &cfg);
         assert_eq!(a, b);
         assert_eq!(a.activate(&[0.1, 0.2, 0.3]), b.activate(&[0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn activate_into_matches_activate_bit_for_bit() {
+        // Across shallow and heavily mutated topologies (which exercise
+        // non-Sum aggregations once mutation enables them), the scratch
+        // path must agree exactly with the legacy path.
+        let cfg = crate::NeatConfig::builder(5, 3)
+            .activation_mutate_rate(0.3)
+            .aggregation_mutate_rate(0.3)
+            .build()
+            .unwrap();
+        let mut scratch = Scratch::new();
+        for seed in 0..10 {
+            let mut g = genome(&cfg, 100 + seed);
+            let mut r = StdRng::seed_from_u64(200 + seed);
+            for _ in 0..60 {
+                g.mutate(&cfg, &mut r);
+            }
+            let net = FeedForwardNetwork::compile(&g, &cfg);
+            for step in 0..20 {
+                let x = step as f64 / 7.0;
+                let inputs = [x, -x, 0.5 * x, 1.0 - x, x * x];
+                let legacy = net.activate(&inputs);
+                let fast = net.activate_into(&inputs, &mut scratch);
+                assert_eq!(legacy.as_slice(), fast, "seed {seed} step {step}");
+                assert_eq!(
+                    net.act_argmax(&inputs),
+                    net.act_argmax_with(&inputs, &mut scratch),
+                    "argmax mismatch at seed {seed} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn argmax_ties_keep_last_max() {
+        // Two unconnected outputs with identical biases produce exactly
+        // tied outputs; the historical `max_by` semantics (last maximal
+        // index wins) must be preserved so trajectories stay
+        // bit-compatible with the allocating implementation.
+        let json = r#"{
+            "version": 1,
+            "genome": {
+                "id": 0,
+                "nodes": [
+                    [0, {"bias": 0.25, "response": 1.0,
+                         "activation": "Sigmoid", "aggregation": "Sum"}],
+                    [1, {"bias": 0.25, "response": 1.0,
+                         "activation": "Sigmoid", "aggregation": "Sum"}],
+                    [2, {"bias": 0.75, "response": 1.0,
+                         "activation": "Sigmoid", "aggregation": "Sum"}]
+                ],
+                "conns": [],
+                "fitness": null
+            }
+        }"#;
+        let g = crate::checkpoint::genome_from_json(json).unwrap();
+        let three_out = cfg(1, 3);
+        let net = FeedForwardNetwork::compile(&g, &three_out);
+        let out = net.activate(&[0.0]);
+        assert_eq!(out[0], out[1], "outputs 0 and 1 must tie exactly");
+        assert!(out[2] > out[0]);
+        // Unique max still wins...
+        assert_eq!(net.act_argmax(&[0.0]), 2);
+        // ...and among exact ties the last index wins, as max_by did.
+        let tied = r#"{
+            "version": 1,
+            "genome": {
+                "id": 0,
+                "nodes": [
+                    [0, {"bias": 0.5, "response": 1.0,
+                         "activation": "Sigmoid", "aggregation": "Sum"}],
+                    [1, {"bias": 0.5, "response": 1.0,
+                         "activation": "Sigmoid", "aggregation": "Sum"}]
+                ],
+                "conns": [],
+                "fitness": null
+            }
+        }"#;
+        let g = crate::checkpoint::genome_from_json(tied).unwrap();
+        let two_out = cfg(1, 2);
+        let net = FeedForwardNetwork::compile(&g, &two_out);
+        assert_eq!(net.act_argmax(&[0.0]), 1);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_networks_of_different_sizes() {
+        let mut scratch = Scratch::new();
+        let big_cfg = cfg(64, 8);
+        let small_cfg = cfg(2, 1);
+        let big = FeedForwardNetwork::compile(&genome(&big_cfg, 1), &big_cfg);
+        let small = FeedForwardNetwork::compile(&genome(&small_cfg, 2), &small_cfg);
+        let big_in = vec![0.25; 64];
+        let a = big.activate_into(&big_in, &mut scratch).to_vec();
+        let b = small.activate_into(&[0.1, 0.9], &mut scratch).to_vec();
+        // Shrinking back to the big network must reproduce its output.
+        let a2 = big.activate_into(&big_in, &mut scratch).to_vec();
+        assert_eq!(a, a2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(scratch.outputs().len(), 8);
+    }
+
+    #[test]
+    fn scratch_buffers_do_not_grow_after_first_use() {
+        let cfg = cfg(8, 4);
+        let mut g = genome(&cfg, 3);
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            g.mutate(&cfg, &mut r);
+        }
+        let net = FeedForwardNetwork::compile(&g, &cfg);
+        let mut scratch = Scratch::new();
+        let inputs = [0.5; 8];
+        net.activate_into(&inputs, &mut scratch);
+        let caps = (
+            scratch.values.capacity(),
+            scratch.weighted.capacity(),
+            scratch.outputs.capacity(),
+        );
+        for _ in 0..100 {
+            net.activate_into(&inputs, &mut scratch);
+        }
+        assert_eq!(
+            caps,
+            (
+                scratch.values.capacity(),
+                scratch.weighted.capacity(),
+                scratch.outputs.capacity(),
+            ),
+            "steady-state activation must not reallocate"
+        );
     }
 }

@@ -207,6 +207,95 @@ impl Population {
         }
     }
 
+    /// Applies a batch of pre-computed evaluations (phase `I` performed
+    /// externally), charging inference cost exactly as
+    /// [`evaluate`](Self::evaluate) does.
+    ///
+    /// Each item is `(genome, evaluation, genes_per_activation)`; the
+    /// batch is applied in genome-id order regardless of input order, so
+    /// any evaluation engine — serial, threaded, or remote — produces
+    /// bit-identical [`CostCounters`] and fitness state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a result references a genome not in the population.
+    pub fn evaluate_batch<I>(&mut self, results: I)
+    where
+        I: IntoIterator<Item = (GenomeId, Evaluation, u64)>,
+    {
+        let mut results: Vec<(GenomeId, Evaluation, u64)> = results.into_iter().collect();
+        results.sort_by_key(|&(id, _, _)| id);
+        for (id, eval, genes_per_activation) in results {
+            self.counters
+                .record_inference(eval.activations * genes_per_activation);
+            self.counters.record_episode();
+            self.genomes
+                .get_mut(&id)
+                .expect("evaluation batch references unknown genome")
+                .set_fitness(eval.fitness);
+        }
+    }
+
+    /// Evaluates every genome across `threads` worker threads (phase `I`
+    /// parallelized), bit-identical to [`evaluate`](Self::evaluate).
+    ///
+    /// `factory` is invoked once per worker to build that worker's
+    /// evaluator closure, so per-worker state (an environment instance, a
+    /// [`Scratch`](crate::network::Scratch) buffer) never crosses
+    /// threads. Determinism comes from the population's order-independent
+    /// seeding discipline: a genome's evaluation depends only on the
+    /// genome itself, never on which worker ran it or in what order, and
+    /// results are merged back in genome-id order.
+    ///
+    /// `threads <= 1` degrades to the serial path.
+    ///
+    /// This is the borrowed/scoped-thread counterpart of
+    /// `clan_core::ParallelEvaluator` (a persistent pool for the CLAN
+    /// orchestrators); both share the contiguous-shard,
+    /// merge-in-id-order contract, pinned by the cross-crate
+    /// equivalence tests.
+    pub fn evaluate_parallel<Fac, F, E>(&mut self, threads: usize, factory: Fac)
+    where
+        Fac: Fn() -> F + Sync,
+        F: FnMut(&FeedForwardNetwork, &Genome) -> E,
+        E: Into<Evaluation>,
+    {
+        if threads <= 1 {
+            let mut evaluator = factory();
+            self.evaluate(move |net, genome| evaluator(net, genome));
+            return;
+        }
+        let ids: Vec<GenomeId> = self.genomes.keys().copied().collect();
+        let shard_len = ids.len().div_ceil(threads).max(1);
+        let cfg = &self.cfg;
+        let genomes = &self.genomes;
+        let mut results: Vec<(GenomeId, Evaluation, u64)> = Vec::with_capacity(ids.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(shard_len)
+                .map(|shard| {
+                    let factory = &factory;
+                    scope.spawn(move || {
+                        let mut evaluator = factory();
+                        shard
+                            .iter()
+                            .map(|id| {
+                                let genome = &genomes[id];
+                                let net = FeedForwardNetwork::compile(genome, cfg);
+                                let eval: Evaluation = evaluator(&net, genome).into();
+                                (*id, eval, net.genes_per_activation())
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("evaluation worker panicked"));
+            }
+        });
+        self.evaluate_batch(results);
+    }
+
     /// Best genome of the current (evaluated) population.
     pub fn best(&self) -> Option<&Genome> {
         self.genomes
@@ -246,8 +335,12 @@ impl Population {
 
     /// Phase `S`: assigns every genome to a species.
     pub fn speciate(&mut self) -> SpeciationOutcome {
-        self.species
-            .speciate(&self.genomes, &self.cfg, self.generation, &mut self.counters)
+        self.species.speciate(
+            &self.genomes,
+            &self.cfg,
+            self.generation,
+            &mut self.counters,
+        )
     }
 
     /// Phase `GP`: stagnation culling, fitness sharing, spawn counts, and
@@ -360,7 +453,12 @@ impl Population {
         for _ in 0..self.cfg.population_size {
             let id = GenomeId(self.next_genome_id);
             self.next_genome_id += 1;
-            let mut rng = op_rng(self.master_seed, self.generation + 1, id.0, OpTag::InitGenome);
+            let mut rng = op_rng(
+                self.master_seed,
+                self.generation + 1,
+                id.0,
+                OpTag::InitGenome,
+            );
             genomes.insert(id, Genome::new_initial(&self.cfg, id, &mut rng));
         }
         self.genomes = genomes;
@@ -446,7 +544,10 @@ mod tests {
     use super::*;
 
     fn cfg(pop: usize) -> NeatConfig {
-        NeatConfig::builder(2, 1).population_size(pop).build().unwrap()
+        NeatConfig::builder(2, 1)
+            .population_size(pop)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -527,7 +628,10 @@ mod tests {
     #[test]
     fn fitness_improves_on_trivial_task() {
         // Maximize output for input 1.0 — easy gradient for evolution.
-        let cfg = NeatConfig::builder(1, 1).population_size(50).build().unwrap();
+        let cfg = NeatConfig::builder(1, 1)
+            .population_size(50)
+            .build()
+            .unwrap();
         let mut pop = Population::new(cfg, 7);
         let mut first_best = None;
         let mut last_best = 0.0;
@@ -546,7 +650,10 @@ mod tests {
 
     #[test]
     fn run_stops_at_threshold() {
-        let cfg = NeatConfig::builder(1, 1).population_size(40).build().unwrap();
+        let cfg = NeatConfig::builder(1, 1)
+            .population_size(40)
+            .build()
+            .unwrap();
         let mut pop = Population::new(cfg, 8);
         let summaries = pop.run(|net, _| net.activate(&[1.0])[0], 50, Some(0.9));
         assert!(summaries.len() < 50, "should converge early");
@@ -653,6 +760,63 @@ mod tests {
             pop.evaluate(|_, _| 1.0);
             pop.advance_generation();
         }
+    }
+
+    #[test]
+    fn evaluate_parallel_matches_serial_exactly() {
+        let make = || Population::new(cfg(23), 77);
+        let evaluator = |net: &FeedForwardNetwork, g: &Genome| Evaluation {
+            fitness: net.activate(&[0.4, -0.2])[0] + (g.id().0 % 3) as f64,
+            activations: 1 + g.id().0 % 5,
+        };
+        let mut serial = make();
+        serial.evaluate(evaluator);
+        for threads in [1, 2, 4, 8] {
+            let mut parallel = make();
+            parallel.evaluate_parallel(threads, || evaluator);
+            assert_eq!(
+                serial.genomes(),
+                parallel.genomes(),
+                "{threads}-thread fitness must be bit-identical"
+            );
+            assert_eq!(
+                serial.counters().current(),
+                parallel.counters().current(),
+                "{threads}-thread counters must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_applies_out_of_order_results() {
+        let mut pop = Population::new(cfg(4), 14);
+        let mut results: Vec<(GenomeId, Evaluation, u64)> = pop
+            .genomes()
+            .keys()
+            .map(|&id| {
+                (
+                    id,
+                    Evaluation {
+                        fitness: id.0 as f64,
+                        activations: 2,
+                    },
+                    3,
+                )
+            })
+            .collect();
+        results.reverse();
+        pop.evaluate_batch(results);
+        assert!(pop.genomes().values().all(|g| g.fitness().is_some()));
+        let costs = pop.counters().current();
+        assert_eq!(costs.episodes, 4);
+        assert_eq!(costs.inference_genes, 4 * 2 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown genome")]
+    fn evaluate_batch_rejects_unknown_ids() {
+        let mut pop = Population::new(cfg(4), 15);
+        pop.evaluate_batch([(GenomeId(9999), Evaluation::from(1.0), 1)]);
     }
 
     #[test]

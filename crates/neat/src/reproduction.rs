@@ -95,10 +95,7 @@ impl GenerationPlan {
     /// genomes"), since the chosen parents are not necessarily resident on
     /// the agent that builds the child.
     pub fn parent_ids(&self) -> BTreeSet<GenomeId> {
-        self.children
-            .iter()
-            .flat_map(|c| c.parent_ids())
-            .collect()
+        self.children.iter().flat_map(|c| c.parent_ids()).collect()
     }
 
     /// `(species, spawn)` pairs — the paper's "sending spawn count" payload.
@@ -153,12 +150,8 @@ pub fn compute_plan(
     let mut adjusted: Vec<(SpeciesId, f64)> = Vec::with_capacity(sids.len());
     for &sid in &sids {
         let s = &species.species()[&sid];
-        let mean = s
-            .members()
-            .iter()
-            .map(|&m| fitness_of(m))
-            .sum::<f64>()
-            / s.members().len() as f64;
+        let mean =
+            s.members().iter().map(|&m| fitness_of(m)).sum::<f64>() / s.members().len() as f64;
         let af = (mean - min_f) / range;
         adjusted.push((sid, af));
     }
@@ -505,8 +498,20 @@ mod tests {
                 parent2: GenomeId(8),
             },
         };
-        let a = make_child(&cfg, &spec, (&genomes[&GenomeId(9)], Some(&genomes[&GenomeId(8)])), 7, 0);
-        let b = make_child(&cfg, &spec, (&genomes[&GenomeId(9)], Some(&genomes[&GenomeId(8)])), 7, 0);
+        let a = make_child(
+            &cfg,
+            &spec,
+            (&genomes[&GenomeId(9)], Some(&genomes[&GenomeId(8)])),
+            7,
+            0,
+        );
+        let b = make_child(
+            &cfg,
+            &spec,
+            (&genomes[&GenomeId(9)], Some(&genomes[&GenomeId(8)])),
+            7,
+            0,
+        );
         assert_eq!(a, b, "same spec + seed must be bit-identical anywhere");
     }
 
@@ -547,8 +552,9 @@ mod tests {
 
     #[test]
     fn allocate_spawn_more_species_than_budget() {
-        let adj: Vec<(SpeciesId, f64)> =
-            (0..10).map(|i| (SpeciesId(i), 1.0 / (i + 1) as f64)).collect();
+        let adj: Vec<(SpeciesId, f64)> = (0..10)
+            .map(|i| (SpeciesId(i), 1.0 / (i + 1) as f64))
+            .collect();
         let alloc = allocate_spawn(&adj, 5, 2);
         assert_eq!(alloc.iter().sum::<usize>(), 5);
     }

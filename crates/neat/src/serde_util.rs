@@ -1,36 +1,45 @@
 //! Serde helpers: encode id-keyed maps as `(key, value)` pair lists so
 //! checkpoints serialize to JSON (whose object keys must be strings).
+//!
+//! The vendored serde shim (see `shims/serde`) routes
+//! `#[serde(serialize_with = "...")]` through `&T -> Value` functions and
+//! `#[serde(deserialize_with = "...")]` through
+//! `&Value -> Result<T, Error>` functions; these two helpers implement
+//! that contract for `BTreeMap`s with structured keys.
 
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Serializes a `BTreeMap` as a sequence of `(K, V)` pairs.
-///
-/// # Errors
-///
-/// Propagates serializer errors.
-pub fn map_as_pairs<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+pub fn map_as_pairs<K, V>(map: &BTreeMap<K, V>) -> Value
 where
     K: Serialize,
     V: Serialize,
-    S: Serializer,
 {
-    serializer.collect_seq(map.iter())
+    Value::Seq(
+        map.iter()
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
 }
 
 /// Deserializes a sequence of `(K, V)` pairs into a `BTreeMap`.
 ///
 /// # Errors
 ///
-/// Propagates deserializer errors.
-pub fn pairs_as_map<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+/// Propagates element-level deserialization errors and rejects
+/// non-sequence values.
+pub fn pairs_as_map<K, V>(value: &Value) -> Result<BTreeMap<K, V>, Error>
 where
-    K: Deserialize<'de> + Ord,
-    V: Deserialize<'de>,
-    D: Deserializer<'de>,
+    K: Deserialize + Ord,
+    V: Deserialize,
 {
-    let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
-    Ok(pairs.into_iter().collect())
+    value
+        .as_seq()
+        .ok_or_else(|| Error::custom(format!("expected pair sequence, got {}", value.kind())))?
+        .iter()
+        .map(<(K, V)>::from_value)
+        .collect()
 }
 
 #[cfg(test)]

@@ -64,7 +64,11 @@ pub fn cull_stagnant_species(
             (sid, f)
         })
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite fitness")
+            .then(a.0.cmp(&b.0))
+    });
     let protected: Vec<SpeciesId> = ranked
         .iter()
         .take(cfg.species_elitism)

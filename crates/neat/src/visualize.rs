@@ -21,7 +21,10 @@ pub fn genome_to_dot(genome: &Genome, cfg: &NeatConfig) -> String {
     let _ = writeln!(out, "  node [fontsize=10];");
 
     // Inputs.
-    let _ = writeln!(out, "  subgraph cluster_inputs {{ label=\"inputs\"; color=gray;");
+    let _ = writeln!(
+        out,
+        "  subgraph cluster_inputs {{ label=\"inputs\"; color=gray;"
+    );
     for i in 0..cfg.num_inputs {
         let id = NodeId::input(i);
         let _ = writeln!(out, "    \"{}\" [shape=box, label=\"in{}\"];", id, i);
@@ -46,7 +49,11 @@ pub fn genome_to_dot(genome: &Genome, cfg: &NeatConfig) -> String {
     // Connections.
     for (key, gene) in genome.conns() {
         let style = if gene.enabled { "solid" } else { "dashed" };
-        let color = if gene.weight >= 0.0 { "forestgreen" } else { "crimson" };
+        let color = if gene.weight >= 0.0 {
+            "forestgreen"
+        } else {
+            "crimson"
+        };
         let width = (gene.weight.abs() / 3.0).clamp(0.3, 3.0);
         let _ = writeln!(
             out,

@@ -5,9 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// The message categories of the paper's Figure 4 legend.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MessageKind {
     /// Center → agents: whole genomes for distributed inference (DCS) or
     /// the one-time clan distribution (DDA initialization).
@@ -163,7 +161,13 @@ mod tests {
 
     #[test]
     fn display_matches_legend() {
-        assert_eq!(MessageKind::SendSpawnCount.to_string(), "Sending Spawn Count");
-        assert_eq!(MessageKind::SendParentGenomes.to_string(), "Sending Parent Genomes");
+        assert_eq!(
+            MessageKind::SendSpawnCount.to_string(),
+            "Sending Spawn Count"
+        );
+        assert_eq!(
+            MessageKind::SendParentGenomes.to_string(),
+            "Sending Parent Genomes"
+        );
     }
 }

@@ -73,7 +73,11 @@ fn main() {
         println!(
             "  deployed fitness now {:.1} ({})\n",
             outcome.final_fitness,
-            if outcome.recovered { "recovered" } else { "budget exhausted" }
+            if outcome.recovered {
+                "recovered"
+            } else {
+                "budget exhausted"
+            }
         );
     }
 

@@ -37,7 +37,10 @@ fn main() {
         .build()
         .expect("valid NEAT config");
 
-    println!("== Threaded edge cluster: {agents} agents, {} ==\n", w.name());
+    println!(
+        "== Threaded edge cluster: {agents} agents, {} ==\n",
+        w.name()
+    );
 
     // Distributed run over real threads.
     let cluster = EdgeCluster::spawn(agents, w, InferenceMode::MultiStep, cfg.clone());
@@ -61,9 +64,8 @@ fn main() {
         let generation = serial.generation();
         serial.evaluate(|net, genome| {
             let seed = clan::core::Evaluator::episode_seed(master, generation, genome.id());
-            let outcome = clan::envs::run_episode(env.as_mut(), seed, 200, |obs| {
-                net.act_argmax(obs)
-            });
+            let outcome =
+                clan::envs::run_episode(env.as_mut(), seed, 200, |obs| net.act_argmax(obs));
             clan::neat::population::Evaluation {
                 fitness: outcome.total_reward,
                 activations: outcome.steps,
@@ -80,8 +82,6 @@ fn main() {
         "speedup: {:.2}x",
         t_serial.as_secs_f64() / t_dist.as_secs_f64()
     );
-    println!(
-        "populations bit-identical after {GENERATIONS} generations: {identical}"
-    );
+    println!("populations bit-identical after {GENERATIONS} generations: {identical}");
     assert!(identical, "order-independent RNG must make these equal");
 }

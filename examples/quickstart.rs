@@ -36,7 +36,10 @@ fn main() {
     }
     match report.solved_at_generation {
         Some(g) => println!("solved (score >= 195) at generation {g}"),
-        None => println!("not solved within the budget (best {:.1})", report.best_fitness),
+        None => println!(
+            "not solved within the budget (best {:.1})",
+            report.best_fitness
+        ),
     }
 
     // --- Level 2: the raw NEAT API, for custom fitness functions. -------
@@ -49,9 +52,7 @@ fn main() {
     let mut env = w.make();
     for _ in 0..10 {
         pop.evaluate(|net, genome| {
-            let outcome = run_episode(env.as_mut(), genome.id().0, 200, |obs| {
-                net.act_argmax(obs)
-            });
+            let outcome = run_episode(env.as_mut(), genome.id().0, 200, |obs| net.act_argmax(obs));
             clan::neat::population::Evaluation {
                 fitness: outcome.total_reward,
                 activations: outcome.steps,
@@ -62,9 +63,15 @@ fn main() {
     let champion = pop.best_ever().expect("evaluated population");
     let net = FeedForwardNetwork::compile(champion, &cfg);
     let (hidden, conns) = champion.complexity(&cfg);
-    println!("\nchampion genome: fitness {:.1}", champion.fitness().unwrap());
+    println!(
+        "\nchampion genome: fitness {:.1}",
+        champion.fitness().unwrap()
+    );
     println!("  {hidden} hidden node(s), {conns} connection gene(s)");
-    println!("  {} genes touched per activation", net.genes_per_activation());
+    println!(
+        "  {} genes touched per activation",
+        net.genes_per_activation()
+    );
     println!(
         "  total genes processed so far: {}",
         pop.counters().cumulative().total_genes()

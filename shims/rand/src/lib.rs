@@ -1,0 +1,288 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, deterministic implementation of the API surface it
+//! actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] extension methods (`gen`, `gen_range`), and
+//! [`seq::IteratorRandom::choose`].
+//!
+//! Determinism is the only contract: the same seed produces the same
+//! stream on every platform and every run. The stream is **not** the same
+//! as upstream `rand`'s `StdRng` (ChaCha12); all seeded expectations in
+//! this repository are self-consistent against this implementation.
+//!
+//! The generator is a splitmix64 counter (Steele et al., "Fast
+//! Splittable Pseudorandom Number Generators"), which passes BigCrush in
+//! its 64-bit output and is more than adequate for evolutionary search.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled uniformly from the generator's raw stream.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as `gen_range` endpoints.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo reduction; span is tiny relative to 2^64 in all
+                // workspace uses, so the bias is negligible (and the only
+                // contract is determinism).
+                let r = (rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u8, i64, i32);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Random-number generator interface (the subset this workspace uses).
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` (`f64` in `[0,1)`, `bool`, `u32`,
+    /// `u64`, `u128`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from the half-open `range`.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`: a splitmix64
+    /// counter. Same seed ⇒ same stream, on every platform.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // Counter-mode splitmix64: increment, then mix.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix so nearby seeds start in unrelated regions of the
+            // counter sequence.
+            StdRng {
+                state: splitmix64(seed ^ 0x5DEE_CE66_D5A7_F9CA),
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Iterator extension: uniformly choose one element.
+    pub trait IteratorRandom: Iterator + Sized {
+        /// Reservoir-samples a single element, consuming one `gen_range`
+        /// per element past the first. Deterministic given the RNG state.
+        fn choose<R: Rng + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+            let mut chosen = None;
+            for (i, item) in self.enumerate() {
+                if i == 0 || rng.gen_range(0..i + 1) == 0 {
+                    chosen = Some(item);
+                }
+            }
+            chosen
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::IteratorRandom;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn choose_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut counts = [0u32; 5];
+        for _ in 0..5000 {
+            let x = (0..5).choose(&mut r).unwrap();
+            counts[x] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = StdRng::seed_from_u64(7);
+        assert_eq!(std::iter::empty::<u8>().choose(&mut r), None);
+    }
+
+    #[test]
+    fn bool_and_wide_ints_sample() {
+        let mut r = StdRng::seed_from_u64(8);
+        let _: bool = r.gen();
+        let _: u32 = r.gen();
+        let a: u128 = r.gen();
+        let b: u128 = r.gen();
+        assert_ne!(a, b);
+    }
+}

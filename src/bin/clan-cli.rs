@@ -51,7 +51,7 @@ clan-cli — CLAN: collaborative neuroevolution on simulated edge clusters
 USAGE:
   clan-cli run   [--workload W] [--topology T] [--agents N] [--generations N]
                  [--population N] [--seed N] [--platform P] [--single-step]
-                 [--episodes N]
+                 [--episodes N] [--eval-threads N]
   clan-cli solve [same flags; runs until the workload's solved score or
                  --max-generations N]
   clan-cli export-champion [--workload W] [--generations N] [--seed N]
@@ -59,7 +59,10 @@ USAGE:
   clan-cli list  (available workloads, topologies, platforms)
 
 DEFAULTS: workload=cartpole topology=serial agents=1 generations=5
-          population=150 seed=0 platform=pi";
+          population=150 seed=0 platform=pi eval-threads=1
+
+--eval-threads N runs genome evaluation across N host threads;
+results are bit-identical to serial, only wall-clock time changes.";
 
 struct Flags(Vec<String>);
 
@@ -122,6 +125,7 @@ fn build_driver(flags: &Flags) -> Result<(ClanDriverBuilder, Workload), String> 
         .population_size(flags.parse("--population", 150)?)
         .seed(flags.parse("--seed", 0)?)
         .episodes_per_eval(flags.parse("--episodes", 1)?)
+        .eval_threads(flags.parse("--eval-threads", 1usize)?)
         .platform(parse_platform(flags.get("--platform").unwrap_or("pi"))?);
     if flags.has("--single-step") {
         builder = builder.single_step();

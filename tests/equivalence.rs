@@ -33,6 +33,96 @@ fn cluster(agents: usize) -> Cluster {
 }
 
 #[test]
+fn parallel_evaluation_is_bit_identical_to_serial() {
+    // The tentpole determinism contract: evaluating the population across
+    // N worker threads must not change anything — fitness trajectory,
+    // gene-level cost counters, or the best genome ever seen — because
+    // every episode seed derives from (master_seed, generation,
+    // genome_id), never from execution order. Ten generations on both a
+    // small and a medium workload, at 1/2/4/8 threads.
+    for workload in [Workload::CartPole, Workload::LunarLander] {
+        let run = |threads: usize| {
+            let mut orchestrator = SerialOrchestrator::new(
+                Population::new(neat_cfg(workload), SEED),
+                Evaluator::with_threads(workload, InferenceMode::MultiStep, 1, threads),
+                cluster(1),
+            );
+            let reports: Vec<_> = (0..10)
+                .map(|_| orchestrator.step_generation().expect("generation"))
+                .collect();
+            (
+                reports,
+                orchestrator.population().genomes().clone(),
+                orchestrator.best_ever().cloned(),
+            )
+        };
+        let (serial_reports, serial_genomes, serial_best) = run(1);
+        for threads in [2, 4, 8] {
+            let (reports, genomes, best) = run(threads);
+            for (a, b) in serial_reports.iter().zip(reports.iter()) {
+                assert_eq!(
+                    a.best_fitness, b.best_fitness,
+                    "{workload}: fitness diverged at {threads} threads, gen {}",
+                    a.generation
+                );
+                assert_eq!(
+                    a.costs, b.costs,
+                    "{workload}: cost counters diverged at {threads} threads, gen {}",
+                    a.generation
+                );
+                assert_eq!(a.num_species, b.num_species, "{workload}@{threads}");
+            }
+            assert_eq!(
+                serial_genomes, genomes,
+                "{workload}: populations diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial_best, best,
+                "{workload}: best-ever diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_evaluation_matches_across_all_topologies() {
+    // eval_threads is orthogonal to the CLAN configuration: every
+    // orchestrator runs inference through the same engine, so threading
+    // must leave each topology's trajectory untouched (including DDA,
+    // whose clans evaluate independently).
+    for topo in [
+        ClanTopology::serial(),
+        ClanTopology::dcs(),
+        ClanTopology::dds(),
+        ClanTopology::dda(3),
+    ] {
+        let agents = if topo == ClanTopology::serial() { 1 } else { 3 };
+        let run = |threads: usize| {
+            ClanDriver::builder(Workload::CartPole)
+                .topology(topo)
+                .agents(agents)
+                .population_size(POP)
+                .seed(SEED)
+                .eval_threads(threads)
+                .build()
+                .expect("config")
+                .run(GENS)
+                .expect("run")
+        };
+        let serial = run(1);
+        let threaded = run(4);
+        for (a, b) in serial.generations.iter().zip(threaded.generations.iter()) {
+            assert_eq!(
+                a.best_fitness, b.best_fitness,
+                "{topo} gen {}",
+                a.generation
+            );
+            assert_eq!(a.costs, b.costs, "{topo} gen {}", a.generation);
+        }
+    }
+}
+
+#[test]
 fn serial_dcs_dds_produce_identical_populations() {
     let w = Workload::CartPole;
     let cfg = neat_cfg(w);
