@@ -1,9 +1,17 @@
 //! Emits `BENCH_eval.json`: evaluation-engine throughput (genomes/sec,
 //! steps/sec, activation ns) serially and at 2/4/8 threads, tracked
 //! across PRs.
+//!
+//! `--smoke` runs a seconds-long reduced profile (CI uses it to keep the
+//! bench pipeline and artifact upload exercised on every push; the
+//! numbers are not comparable to full runs).
 
 fn main() -> std::io::Result<()> {
-    let report = clan_bench::eval_perf::run_and_write("BENCH_eval.json")?;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        println!("bench_eval --smoke: reduced CI profile, numbers not comparable to full runs");
+    }
+    let report = clan_bench::eval_perf::run_and_write_profile("BENCH_eval.json", smoke)?;
     println!("host cpus: {}", report.host_cpus);
     println!(
         "activation: {:.0} ns seed-baseline | {:.0} ns activate | {:.0} ns activate_into ({:.2}x vs seed)",

@@ -467,7 +467,24 @@ pub fn measure(
 ///
 /// Propagates file-write failures.
 pub fn run_and_write(path: &str) -> std::io::Result<EvalPerfReport> {
-    let report = measure(Workload::CartPole, 150, 200_000, 30, 20);
+    run_and_write_profile(path, false)
+}
+
+/// [`run_and_write`] with a profile switch: `smoke` trades measurement
+/// quality for seconds of wall-clock, so CI can exercise the full bench
+/// pipeline (and archive a `BENCH_eval.json` artifact) on every push
+/// without stalling the queue. Smoke numbers are for plumbing, not for
+/// the ROADMAP performance table.
+///
+/// # Errors
+///
+/// Propagates file-write failures.
+pub fn run_and_write_profile(path: &str, smoke: bool) -> std::io::Result<EvalPerfReport> {
+    let report = if smoke {
+        measure(Workload::CartPole, 24, 2_000, 2, 3)
+    } else {
+        measure(Workload::CartPole, 150, 200_000, 30, 20)
+    };
     let json = serde_json::to_string_pretty(&report).expect("report serialization cannot fail");
     std::fs::write(path, json)?;
     Ok(report)

@@ -72,7 +72,7 @@ impl Orchestrator for DcsOrchestrator {
         self.recorder.add_communication(t);
 
         // I — distributed inference, barrier-synchronized.
-        let genes = evaluate_partitioned(&mut self.pop, &mut self.evaluator, &counts);
+        let genes = evaluate_partitioned(&mut self.pop, &mut self.evaluator, &counts)?;
         self.recorder
             .add_inference(self.cluster.parallel_inference_time_s(&genes));
 
@@ -114,6 +114,10 @@ impl Orchestrator for DcsOrchestrator {
 
     fn ledger(&self) -> &CommLedger {
         self.comm.ledger()
+    }
+
+    fn transport_ledger(&self) -> Option<&CommLedger> {
+        self.evaluator.remote_ledger()
     }
 
     fn recorder(&self) -> &TimelineRecorder {

@@ -183,7 +183,7 @@ impl Orchestrator for DdaOrchestrator {
         let mut costs = GenerationCosts::default();
         for clan in &mut self.clans {
             let size = clan.len();
-            let genes = evaluate_partitioned(clan, &mut self.evaluator, &[size]);
+            let genes = evaluate_partitioned(clan, &mut self.evaluator, &[size])?;
             inference_genes.push(genes[0]);
             if let Some(f) = clan.best().and_then(Genome::fitness) {
                 best_fitness = best_fitness.max(f);
@@ -235,6 +235,10 @@ impl Orchestrator for DdaOrchestrator {
 
     fn ledger(&self) -> &CommLedger {
         self.comm.ledger()
+    }
+
+    fn transport_ledger(&self) -> Option<&CommLedger> {
+        self.evaluator.remote_ledger()
     }
 
     fn recorder(&self) -> &TimelineRecorder {

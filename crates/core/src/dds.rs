@@ -78,7 +78,7 @@ impl Orchestrator for DdsOrchestrator {
         }
 
         // I — distributed inference on resident genomes.
-        let genes = evaluate_partitioned(&mut self.pop, &mut self.evaluator, &counts);
+        let genes = evaluate_partitioned(&mut self.pop, &mut self.evaluator, &counts)?;
         self.recorder
             .add_inference(self.cluster.parallel_inference_time_s(&genes));
 
@@ -215,6 +215,10 @@ impl Orchestrator for DdsOrchestrator {
 
     fn ledger(&self) -> &CommLedger {
         self.comm.ledger()
+    }
+
+    fn transport_ledger(&self) -> Option<&CommLedger> {
+        self.evaluator.remote_ledger()
     }
 
     fn recorder(&self) -> &TimelineRecorder {

@@ -129,6 +129,7 @@ impl ClanDriver {
             generations,
             self.orchestrator.ledger().clone(),
         )
+        .with_transport(self.orchestrator.transport_ledger().cloned())
         .with_energy(clan_hw::EnergyModel::for_kind(self.config.platform))
     }
 }
@@ -148,6 +149,19 @@ pub struct ClanDriverBuilder {
     net: WifiModel,
     resync_every: Option<u64>,
     neat_config: Option<NeatConfig>,
+    remote: RemoteBackend,
+}
+
+/// Where genome evaluation physically runs.
+#[derive(Debug, Clone, Default)]
+enum RemoteBackend {
+    /// On the calling thread (or a local thread pool).
+    #[default]
+    Local,
+    /// Over loopback TCP agents spawned in this process.
+    Loopback(usize),
+    /// Over already-running `clan-cli agent` processes.
+    Agents(Vec<String>),
 }
 
 impl ClanDriverBuilder {
@@ -167,6 +181,7 @@ impl ClanDriverBuilder {
             net: WifiModel::default(),
             resync_every: None,
             neat_config: None,
+            remote: RemoteBackend::Local,
         }
     }
 
@@ -243,6 +258,22 @@ impl ClanDriverBuilder {
         self
     }
 
+    /// Runs inference over `n` loopback TCP agents spawned in this
+    /// process — the full networked stack on `127.0.0.1` ephemeral
+    /// ports. Results stay bit-identical to a local run.
+    pub fn loopback_agents(mut self, n: usize) -> Self {
+        self.remote = RemoteBackend::Loopback(n);
+        self
+    }
+
+    /// Runs inference over already-listening `clan-cli agent` processes
+    /// at `addrs` (`host:port`). The session configuration (workload,
+    /// NEAT config, episodes) is pushed to each agent over the wire.
+    pub fn remote_agents(mut self, addrs: Vec<String>) -> Self {
+        self.remote = RemoteBackend::Agents(addrs);
+        self
+    }
+
     /// Validates and constructs the driver.
     ///
     /// # Errors
@@ -295,12 +326,39 @@ impl ClanDriverBuilder {
         }
         let platform = Platform::new(self.platform);
         let cluster = Cluster::homogeneous(platform, self.n_agents, self.net);
-        let evaluator = Evaluator::with_threads(
-            self.workload,
-            self.mode,
-            self.episodes_per_eval,
-            self.eval_threads,
-        );
+        // A remote cluster takes precedence over a local thread pool, so
+        // only spawn pool workers when evaluation actually stays local.
+        let mut evaluator = match &self.remote {
+            RemoteBackend::Local => Evaluator::with_threads(
+                self.workload,
+                self.mode,
+                self.episodes_per_eval,
+                self.eval_threads,
+            ),
+            _ => Evaluator::with_episodes(self.workload, self.mode, self.episodes_per_eval),
+        };
+        match &self.remote {
+            RemoteBackend::Local => {}
+            RemoteBackend::Loopback(n) => {
+                if *n == 0 {
+                    return Err(ClanError::InvalidSetup {
+                        reason: "loopback cluster needs at least one agent".into(),
+                    });
+                }
+                let spec =
+                    crate::transport::ClusterSpec::new(self.workload, self.mode, cfg.clone())
+                        .with_episodes(self.episodes_per_eval);
+                evaluator =
+                    evaluator.with_remote(crate::runtime::EdgeCluster::spawn_local_spec(*n, spec)?);
+            }
+            RemoteBackend::Agents(addrs) => {
+                let spec =
+                    crate::transport::ClusterSpec::new(self.workload, self.mode, cfg.clone())
+                        .with_episodes(self.episodes_per_eval);
+                evaluator =
+                    evaluator.with_remote(crate::runtime::EdgeCluster::connect(addrs, spec)?);
+            }
+        }
 
         let orchestrator: Box<dyn Orchestrator> = match (
             self.topology == ClanTopology::serial(),
@@ -433,6 +491,44 @@ mod tests {
         } else {
             assert_eq!(report.generations.len(), 30);
         }
+    }
+
+    #[test]
+    fn loopback_driver_matches_local_driver() {
+        let run = |builder: ClanDriverBuilder| {
+            builder
+                .topology(ClanTopology::dcs())
+                .agents(3)
+                .population_size(12)
+                .seed(8)
+                .build()
+                .unwrap()
+                .run(2)
+                .unwrap()
+        };
+        let local = run(ClanDriver::builder(Workload::CartPole));
+        let networked = run(ClanDriver::builder(Workload::CartPole).loopback_agents(2));
+        assert_eq!(local.best_fitness, networked.best_fitness);
+        assert_eq!(
+            local.generations.last().unwrap().costs,
+            networked.generations.last().unwrap().costs
+        );
+        assert!(local.transport.is_none());
+        let wire = networked
+            .transport
+            .as_ref()
+            .expect("loopback run measures traffic");
+        assert!(wire.total_wire_bytes() > 0);
+        assert!(networked.summary().contains("wire (measured)"));
+    }
+
+    #[test]
+    fn zero_loopback_agents_rejected() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .population_size(8)
+            .loopback_agents(0)
+            .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
     }
 
     #[test]

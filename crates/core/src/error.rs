@@ -22,7 +22,77 @@ pub enum ClanError {
         /// What went wrong.
         reason: String,
     },
+    /// A transport-level failure: connect/accept refused, socket closed
+    /// mid-exchange, or an I/O error while moving frames.
+    Transport {
+        /// The peer (address or transport label) involved.
+        peer: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A frame arrived but could not be decoded into a protocol message.
+    Frame(FrameError),
+    /// The peer sent a well-formed frame that violates the session
+    /// protocol (e.g. a fitness report when children were expected).
+    Protocol {
+        /// The peer (address or transport label) involved.
+        peer: String,
+        /// Description of the violation.
+        reason: String,
+    },
 }
+
+/// Why a wire frame failed to decode. Every variant is a *typed* error —
+/// malformed or hostile input must never panic or hang the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The frame ended before the announced structure was complete.
+    Truncated {
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes that remained in the frame.
+        remaining: usize,
+    },
+    /// A length prefix exceeded [`MAX_FRAME_BYTES`](crate::transport::MAX_FRAME_BYTES).
+    Oversized {
+        /// The announced length.
+        announced: u64,
+        /// The enforced maximum.
+        max: u64,
+    },
+    /// The frame did not start with the `CLAN` magic bytes.
+    BadMagic,
+    /// The protocol version byte is unknown to this build.
+    BadVersion(u8),
+    /// The message tag byte does not name a known message.
+    BadTag(u8),
+    /// A field held a value outside its domain (e.g. an activation
+    /// function index past the table).
+    BadValue(&'static str),
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { needed, remaining } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {remaining}")
+            }
+            FrameError::Oversized { announced, max } => {
+                write!(f, "oversized frame: announced {announced} bytes, max {max}")
+            }
+            FrameError::BadMagic => write!(f, "frame does not start with CLAN magic"),
+            FrameError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            FrameError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            FrameError::BadValue(what) => write!(f, "field out of domain: {what}"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl Error for FrameError {}
 
 impl fmt::Display for ClanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -32,6 +102,13 @@ impl fmt::Display for ClanError {
             ClanError::WorkerFailure { agent, reason } => {
                 write!(f, "worker {agent} failed: {reason}")
             }
+            ClanError::Transport { peer, reason } => {
+                write!(f, "transport failure with {peer}: {reason}")
+            }
+            ClanError::Frame(e) => write!(f, "frame error: {e}"),
+            ClanError::Protocol { peer, reason } => {
+                write!(f, "protocol violation from {peer}: {reason}")
+            }
         }
     }
 }
@@ -40,6 +117,7 @@ impl Error for ClanError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ClanError::Neat(e) => Some(e),
+            ClanError::Frame(e) => Some(e),
             _ => None,
         }
     }
@@ -48,6 +126,12 @@ impl Error for ClanError {
 impl From<NeatError> for ClanError {
     fn from(e: NeatError) -> Self {
         ClanError::Neat(e)
+    }
+}
+
+impl From<FrameError> for ClanError {
+    fn from(e: FrameError) -> Self {
+        ClanError::Frame(e)
     }
 }
 
@@ -66,5 +150,14 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ClanError>();
+        assert_send_sync::<FrameError>();
+    }
+
+    #[test]
+    fn frame_error_wraps_with_source() {
+        let e = ClanError::from(FrameError::BadMagic);
+        assert!(matches!(e, ClanError::Frame(FrameError::BadMagic)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("magic"));
     }
 }

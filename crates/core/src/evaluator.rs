@@ -8,10 +8,11 @@
 //! multi-step rollouts per generation are unavailable (§IV-D).
 
 use crate::parallel::ParallelEvaluator;
+use crate::runtime::EdgeCluster;
 use clan_envs::{run_episode, Environment, Workload};
 use clan_neat::population::Evaluation;
 use clan_neat::rng::{derive_seed, OpTag};
-use clan_neat::{FeedForwardNetwork, GenomeId, Scratch};
+use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Scratch};
 use serde::{Deserialize, Serialize};
 
 /// How many environment steps each genome gets per generation.
@@ -42,6 +43,13 @@ impl InferenceMode {
 /// [`ParallelEvaluator`] pool; the orchestrators' partitioned
 /// evaluation then fans inference out across those workers while staying
 /// bit-identical to the serial path (see [`crate::parallel`]).
+///
+/// Attached to an [`EdgeCluster`] with
+/// [`with_remote`](Evaluator::with_remote), the evaluator instead ships
+/// genomes to real agents (threads, loopback TCP sockets, or remote
+/// devices) and replays the results locally — still bit-identical,
+/// because episode seeds derive from `(master_seed, generation,
+/// genome_id)` no matter where inference runs.
 pub struct Evaluator {
     workload: Workload,
     mode: InferenceMode,
@@ -49,6 +57,7 @@ pub struct Evaluator {
     env: Box<dyn Environment>,
     scratch: Scratch,
     pool: Option<ParallelEvaluator>,
+    remote: Option<EdgeCluster>,
 }
 
 impl std::fmt::Debug for Evaluator {
@@ -85,6 +94,7 @@ impl Evaluator {
             env: workload.make(),
             scratch: Scratch::new(),
             pool: None,
+            remote: None,
         }
     }
 
@@ -109,6 +119,16 @@ impl Evaluator {
         evaluator
     }
 
+    /// Attaches a real agent cluster: all partitioned evaluation runs
+    /// over its transport instead of locally. Results stay bit-identical
+    /// to the serial path — only where the episodes execute changes.
+    ///
+    /// A remote cluster takes precedence over a local thread pool.
+    pub fn with_remote(mut self, cluster: EdgeCluster) -> Evaluator {
+        self.remote = Some(cluster);
+        self
+    }
+
     /// Worker threads evaluating in parallel (1 = serial).
     pub fn eval_threads(&self) -> usize {
         self.pool.as_ref().map_or(1, ParallelEvaluator::n_threads)
@@ -117,6 +137,22 @@ impl Evaluator {
     /// The parallel worker pool, when one was requested.
     pub(crate) fn pool(&self) -> Option<&ParallelEvaluator> {
         self.pool.as_ref()
+    }
+
+    /// The attached agent cluster, when one was requested.
+    pub(crate) fn remote_mut(&mut self) -> Option<&mut EdgeCluster> {
+        self.remote.as_mut()
+    }
+
+    /// The attached cluster's transport ledger (measured wire traffic),
+    /// when a cluster is attached.
+    pub fn remote_ledger(&self) -> Option<&clan_netsim::CommLedger> {
+        self.remote.as_ref().map(EdgeCluster::ledger)
+    }
+
+    /// Agents in the attached cluster (0 = local evaluation).
+    pub fn remote_agents(&self) -> usize {
+        self.remote.as_ref().map_or(0, EdgeCluster::n_agents)
     }
 
     /// Episodes averaged per evaluation.
@@ -142,6 +178,33 @@ impl Evaluator {
             master_seed,
             &[generation, genome.0, OpTag::Environment as u64],
         )
+    }
+
+    /// Evaluates a batch of genomes exactly as the serial path would:
+    /// compile, derive the episode seed from `(master_seed, generation,
+    /// genome_id)`, run the episodes, and report the compiled network's
+    /// per-activation gene cost. Every distributed surface — agent
+    /// sessions and thread-pool workers alike — routes through this, so
+    /// the determinism contract lives in one piece of code.
+    pub fn evaluate_genomes(
+        &mut self,
+        genomes: &[Genome],
+        cfg: &NeatConfig,
+        master_seed: u64,
+        generation: u64,
+    ) -> Vec<(GenomeId, Evaluation, u64)> {
+        genomes
+            .iter()
+            .map(|g| {
+                let net = FeedForwardNetwork::compile(g, cfg);
+                let seed = Evaluator::episode_seed(master_seed, generation, g.id());
+                (
+                    g.id(),
+                    self.evaluate(&net, seed),
+                    net.genes_per_activation(),
+                )
+            })
+            .collect()
     }
 
     /// Runs the configured number of episodes and returns the mean

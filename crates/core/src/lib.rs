@@ -25,8 +25,7 @@
 //! trade-off (Fig 7b).
 //!
 //! Beyond the analytic cluster model, [`runtime`] provides a real
-//! multi-threaded edge cluster (one thread per agent, message passing via
-//! channels) demonstrating that the protocols execute, and [`continuous`]
+//! edge cluster over pluggable transports, and [`continuous`]
 //! implements the paper's Figure-1 closed loop: deploy an expert, watch
 //! its fitness, re-learn when the environment shifts.
 //!
@@ -37,6 +36,46 @@
 //! makes the parallel evaluation bit-identical to the serial path, so
 //! the simulated study results are unchanged while wall-clock time drops
 //! near-linearly with cores.
+//!
+//! # Distributed runtime
+//!
+//! [`transport`] + [`runtime`] turn the simulated protocols into a real
+//! networked deployment:
+//!
+//! - **Wire format** — one binary frame per protocol message
+//!   (`"CLAN"` magic, version, tag, payload; see [`transport::codec`]),
+//!   moved by a [`transport::Transport`]: in-process byte channels
+//!   ([`runtime::EdgeCluster::spawn`]), loopback TCP sockets on
+//!   ephemeral ports ([`runtime::EdgeCluster::spawn_local`]), or remote
+//!   agent processes started with `clan-cli agent --listen ADDR`
+//!   ([`runtime::EdgeCluster::connect`]). A coordinator configures
+//!   agents over the wire (`Configure` carries workload + NEAT config),
+//!   then drives `Evaluate`/`Fitness` and `BuildChildren`/`Children`
+//!   rounds.
+//! - **Determinism contract** — every episode and reproduction RNG
+//!   stream derives from `(master_seed, generation, genome_id)`, never
+//!   from placement or arrival order, and genome attributes travel as
+//!   exact `f64` bits; a TCP cluster run is therefore *bit-identical*
+//!   to a serial run on all four topologies (`tests/net_equivalence.rs`
+//!   asserts fitness, cost counters, and best-ever genomes at 1/2/4
+//!   agents).
+//! - **Measured vs modeled traffic** — the runtime records each
+//!   message's real bytes-on-the-wire next to the analytic float
+//!   accounting in a [`CommLedger`](clan_netsim::CommLedger);
+//!   `CommLedger::framing_overhead` quantifies how much a practical
+//!   wire format (f64 attributes, gene keys, length prefixes) exceeds
+//!   the paper's 4-bytes-per-gene model.
+//! - **From CI smoke to real devices** — the loopback cluster CI runs
+//!   (`net-smoke` job: 2 agents, 3 CartPole generations, plus the
+//!   equivalence suite) exercises the exact code path of a multi-device
+//!   deployment; only the socket addresses change: start
+//!   `clan-cli agent --listen 0.0.0.0:PORT` on each device and point
+//!   `clan-cli coordinate --agents HOST:PORT,...` at them.
+//!
+//! Errors are typed end-to-end: malformed frames surface as
+//! [`error::FrameError`] (never a panic), disconnects as
+//! [`ClanError::Transport`], protocol violations as
+//! [`ClanError::Protocol`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,16 +93,19 @@ pub mod report;
 pub mod runtime;
 pub mod serial;
 pub mod topology;
+pub mod transport;
 
 pub use continuous::{ContinuousLearner, LearningEvent, MonitorConfig, TaskOutcome};
 pub use dcs::DcsOrchestrator;
 pub use dda::DdaOrchestrator;
 pub use dds::DdsOrchestrator;
 pub use driver::{ClanDriver, ClanDriverBuilder, DriverConfig};
-pub use error::ClanError;
+pub use error::{ClanError, FrameError};
 pub use evaluator::{Evaluator, InferenceMode};
 pub use orchestra::{GenerationReport, Orchestrator};
 pub use parallel::ParallelEvaluator;
 pub use report::RunReport;
+pub use runtime::EdgeCluster;
 pub use serial::SerialOrchestrator;
 pub use topology::{ClanTopology, Placement, SpeciationMode};
+pub use transport::{ClusterSpec, Transport};

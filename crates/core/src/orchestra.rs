@@ -60,6 +60,14 @@ pub trait Orchestrator {
     /// Communication ledger for the run so far.
     fn ledger(&self) -> &CommLedger;
 
+    /// Measured wire traffic of the attached real transport, when the
+    /// orchestrator's evaluator runs inference over an
+    /// [`EdgeCluster`](crate::runtime::EdgeCluster) (threads, loopback
+    /// TCP, or remote devices). `None` for purely simulated runs.
+    fn transport_ledger(&self) -> Option<&CommLedger> {
+        None
+    }
+
     /// Timeline recorder for the run so far.
     fn recorder(&self) -> &TimelineRecorder;
 
@@ -126,25 +134,30 @@ impl Comm {
 /// matter which configuration ran the inference.
 ///
 /// When the evaluator carries a [`crate::parallel::ParallelEvaluator`]
-/// pool, the per-genome evaluations are computed across its workers
-/// first; the accounting below then replays them in genome-id order, so
-/// fitness, `CostCounters`, and the per-agent gene totals are
-/// bit-identical to the serial path at any thread count.
+/// pool — or a real agent cluster attached with
+/// [`Evaluator::with_remote`](crate::Evaluator::with_remote) — the
+/// per-genome evaluations are computed across those workers first; the
+/// accounting below then replays them in genome-id order, so fitness,
+/// `CostCounters`, and the per-agent gene totals are bit-identical to
+/// the serial path at any thread count and over any transport.
 pub(crate) fn evaluate_partitioned(
     pop: &mut Population,
     evaluator: &mut Evaluator,
     counts: &[usize],
-) -> Vec<u64> {
+) -> Result<Vec<u64>, ClanError> {
     let master = pop.master_seed();
     let generation = pop.generation();
     let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
     let chunks = chunk_ids(&ids, counts);
     let cfg = pop.config().clone();
-    // Parallel path: compute every evaluation first (id-ordered), leaving
-    // all bookkeeping to the deterministic loop below.
-    let mut precomputed = evaluator
-        .pool()
-        .map(|pool| pool.evaluate_population(pop).into_iter());
+    // Remote/parallel path: compute every evaluation first (id-ordered),
+    // leaving all bookkeeping to the deterministic loop below.
+    let mut precomputed = match evaluator.remote_mut() {
+        Some(cluster) => Some(cluster.evaluate_collect(pop)?.into_iter()),
+        None => evaluator
+            .pool()
+            .map(|pool| pool.evaluate_population(pop).into_iter()),
+    };
     let mut genes_per_agent = Vec::with_capacity(chunks.len());
     for chunk in &chunks {
         let mut agent_genes = 0u64;
@@ -171,7 +184,7 @@ pub(crate) fn evaluate_partitioned(
         }
         genes_per_agent.push(agent_genes);
     }
-    genes_per_agent
+    Ok(genes_per_agent)
 }
 
 /// Outcome of running speciation + planning + reproduction centrally.
@@ -269,7 +282,7 @@ mod tests {
     fn evaluate_partitioned_sets_all_fitness() {
         let mut pop = small_pop(10, 1);
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
-        let genes = evaluate_partitioned(&mut pop, &mut ev, &[4, 3, 3]);
+        let genes = evaluate_partitioned(&mut pop, &mut ev, &[4, 3, 3]).unwrap();
         assert_eq!(genes.len(), 3);
         assert!(genes.iter().all(|&g| g > 0));
         assert!(pop.genomes().values().all(|g| g.fitness().is_some()));
@@ -281,7 +294,7 @@ mod tests {
         let run = |counts: &[usize]| {
             let mut pop = small_pop(12, 2);
             let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
-            evaluate_partitioned(&mut pop, &mut ev, counts);
+            evaluate_partitioned(&mut pop, &mut ev, counts).unwrap();
             pop.genomes()
                 .values()
                 .map(|g| g.fitness().unwrap())
@@ -295,7 +308,7 @@ mod tests {
     fn central_evolution_advances_population() {
         let mut pop = small_pop(12, 3);
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
-        evaluate_partitioned(&mut pop, &mut ev, &[12]);
+        evaluate_partitioned(&mut pop, &mut ev, &[12]).unwrap();
         let out = central_evolution(&mut pop).unwrap();
         assert!(out.num_species >= 1);
         assert!(out.speciation_genes > 0);
@@ -309,7 +322,7 @@ mod tests {
         let mut pop = small_pop(5, 4);
         let mut best = None;
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
-        evaluate_partitioned(&mut pop, &mut ev, &[5]);
+        evaluate_partitioned(&mut pop, &mut ev, &[5]).unwrap();
         track_best(&mut best, &pop);
         let first = best.as_ref().unwrap().fitness().unwrap();
         // A worse population later must not displace the best.

@@ -7,7 +7,7 @@
 //! A genome's evaluation depends only on `(genome, master_seed,
 //! generation)`: the episode seed is derived exactly as
 //! [`Evaluator::episode_seed`] derives it on the serial path, every
-//! worker owns a private [`Environment`] reset from that seed, and
+//! worker owns a private [`Environment`](clan_envs::Environment) reset from that seed, and
 //! results are merged back in genome-id order. Fitness, `CostCounters`,
 //! and therefore the entire downstream evolutionary trajectory are
 //! bit-identical to a serial run at any thread count — asserted by
@@ -17,7 +17,7 @@
 //! [`runtime::EdgeCluster`](crate::runtime::EdgeCluster): one OS thread
 //! per worker, `mpsc` channels, shards scattered and gathered per
 //! generation. Each worker holds its own environment instance and
-//! [`Scratch`] buffers (inside its [`Evaluator`]), so the per-step hot
+//! [`Scratch`](clan_neat::Scratch) buffers (inside its [`Evaluator`]), so the per-step hot
 //! loop performs no heap allocation and no cross-thread synchronization.
 //! Genomes are cloned into the shard messages — deliberate: a persistent
 //! pool owns its inputs (no lifetime coupling to the population), and
@@ -34,7 +34,7 @@
 use crate::evaluator::{Evaluator, InferenceMode};
 use clan_envs::Workload;
 use clan_neat::population::Evaluation;
-use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Population};
+use clan_neat::{Genome, GenomeId, NeatConfig, Population};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -211,16 +211,12 @@ fn worker_loop(
     while let Ok(req) = rx.recv() {
         match req {
             Request::Evaluate(job) => {
-                let results = job
-                    .genomes
-                    .iter()
-                    .map(|g| {
-                        let net = FeedForwardNetwork::compile(g, &job.cfg);
-                        let seed = Evaluator::episode_seed(job.master_seed, job.generation, g.id());
-                        let eval = evaluator.evaluate(&net, seed);
-                        (g.id(), eval, net.genes_per_activation())
-                    })
-                    .collect();
+                let results = evaluator.evaluate_genomes(
+                    &job.genomes,
+                    &job.cfg,
+                    job.master_seed,
+                    job.generation,
+                );
                 if tx.send(results).is_err() {
                     return;
                 }
@@ -233,6 +229,7 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clan_neat::FeedForwardNetwork;
 
     fn pop_for(w: Workload, n: usize, seed: u64) -> Population {
         let cfg = clan_neat::NeatConfig::builder(w.obs_dim(), w.n_actions())

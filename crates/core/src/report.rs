@@ -18,8 +18,13 @@ pub struct RunReport {
     pub n_agents: usize,
     /// Per-generation reports, in order.
     pub generations: Vec<GenerationReport>,
-    /// Communication ledger over the whole run.
+    /// Communication ledger over the whole run (analytic model).
     pub ledger: CommLedger,
+    /// Measured wire traffic when inference ran over a real transport
+    /// (threads, loopback TCP, or remote agents); `None` for purely
+    /// simulated runs. Kept separate from `ledger` so modeled floats are
+    /// never double-counted against measured bytes.
+    pub transport: Option<CommLedger>,
     /// Sum of all generation timelines.
     pub total_timeline: GenerationTimeline,
     /// Mean generation timeline.
@@ -67,12 +72,19 @@ impl RunReport {
             n_agents,
             generations,
             ledger,
+            transport: None,
             total_timeline,
             mean_timeline,
             best_fitness,
             solved_at_generation,
             total_energy_j: 0.0,
         }
+    }
+
+    /// Attaches the measured wire traffic of a real transport run.
+    pub fn with_transport(mut self, transport: Option<CommLedger>) -> RunReport {
+        self.transport = transport;
+        self
     }
 
     /// Fills in the energy estimate: every node draws active power during
@@ -125,6 +137,15 @@ impl RunReport {
             self.ledger.total_floats(),
             self.ledger.total_messages()
         );
+        if let Some(t) = &self.transport {
+            let _ = writeln!(
+                s,
+                "  wire (measured): {} bytes in {} messages ({:.2}x the 4-byte/gene model)",
+                t.total_wire_bytes(),
+                t.total_messages(),
+                t.framing_overhead().unwrap_or(f64::NAN)
+            );
+        }
         s
     }
 }

@@ -1,220 +1,375 @@
-//! A real multi-threaded edge cluster: one OS thread per agent,
-//! message-passing over channels.
+//! A real edge cluster: agents behind a pluggable [`Transport`],
+//! exchanging the binary cluster protocol.
 //!
 //! The analytic simulator (`clan-distsim`) models *time*; this runtime
 //! demonstrates that the CLAN protocols actually *execute* — genomes are
-//! shipped to workers, evaluated in true parallelism, children are built
-//! remotely from serialized [`ChildSpec`]s, and the deterministic RNG
-//! discipline makes the distributed result bit-identical to a serial run
-//! (asserted in tests).
+//! shipped to workers as encoded frames, evaluated in true parallelism,
+//! children are built remotely from serialized
+//! [`ChildSpec`](clan_neat::reproduction::ChildSpec)s, and the
+//! deterministic RNG discipline makes the distributed result
+//! bit-identical to a serial run (asserted in tests and, over real TCP
+//! sockets, by `tests/net_equivalence.rs`).
+//!
+//! Three deployments of the same protocol:
+//!
+//! - [`EdgeCluster::spawn`] — agent threads over in-process channels;
+//! - [`EdgeCluster::spawn_local`] — agent threads serving **real TCP
+//!   sockets** on `127.0.0.1` ephemeral ports (the whole networked stack
+//!   in one process, which is what CI smokes);
+//! - [`EdgeCluster::connect`] — remote agent processes started with
+//!   `clan-cli agent --listen ADDR` on actual edge devices.
+//!
+//! Every message's *measured* bytes-on-the-wire are recorded in a
+//! [`CommLedger`] next to the analytic model's float accounting, so the
+//! modeled traffic of `clan-netsim` can be validated against what a
+//! real wire format costs (see [`CommLedger::framing_overhead`]).
 
 use crate::error::ClanError;
-use crate::evaluator::{Evaluator, InferenceMode};
+use crate::evaluator::InferenceMode;
+use crate::transport::agent::{serve_session, AgentServer};
+use crate::transport::{
+    channel_pair, recv_message, send_message, ClusterSpec, TcpTransport, Transport, WireEvaluation,
+    WireMessage,
+};
 use clan_envs::Workload;
-use clan_neat::reproduction::{make_child, ChildSpec};
-use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Population};
-use std::collections::BTreeMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use clan_neat::{Genome, GenomeId, NeatConfig, Population};
+use clan_netsim::{CommLedger, MessageKind};
 use std::thread::JoinHandle;
 
-/// Work order sent to an agent.
-#[derive(Debug, Clone)]
-enum Request {
-    Evaluate {
-        genomes: Vec<Genome>,
-        generation: u64,
-        master_seed: u64,
-    },
-    BuildChildren {
-        specs: Vec<ChildSpec>,
-        parents: Vec<Genome>,
-        generation: u64,
-        master_seed: u64,
-    },
-    Shutdown,
-}
-
-/// Result returned by an agent.
-#[derive(Debug, Clone)]
-enum Response {
-    Fitness(Vec<(GenomeId, f64)>),
-    Children(Vec<Genome>),
-}
-
-struct Worker {
-    tx: Sender<Request>,
-    rx: Receiver<Response>,
+/// One agent as the coordinator sees it.
+struct AgentLink {
+    transport: Box<dyn Transport>,
+    /// Join handle for in-process agents; `None` for remote ones.
     handle: Option<JoinHandle<()>>,
 }
 
-/// A live cluster of worker threads evaluating and reproducing genomes.
+/// A live cluster of agents evaluating and reproducing genomes over a
+/// real transport.
 ///
 /// Use [`evaluate`](EdgeCluster::evaluate) and
 /// [`build_children`](EdgeCluster::build_children) as the distributed
 /// counterparts of `Population::evaluate` and
-/// `Population::reproduce_centrally`. Call
+/// `Population::reproduce_centrally`, or attach the cluster to an
+/// [`Evaluator`](crate::Evaluator) with
+/// [`Evaluator::with_remote`](crate::Evaluator::with_remote) to fan all
+/// four CLAN orchestrators' inference out across it. Call
 /// [`shutdown`](EdgeCluster::shutdown) for an orderly stop; dropping the
 /// cluster also stops it.
 pub struct EdgeCluster {
-    workers: Vec<Worker>,
+    links: Vec<AgentLink>,
     cfg: NeatConfig,
+    ledger: CommLedger,
+    control_bytes: u64,
 }
 
 impl std::fmt::Debug for EdgeCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EdgeCluster")
-            .field("workers", &self.workers.len())
+            .field("agents", &self.links.len())
+            .field("wire_bytes", &self.ledger.total_wire_bytes())
             .finish_non_exhaustive()
     }
 }
 
 impl EdgeCluster {
-    /// Spawns `n_agents` worker threads for `workload`.
+    /// Spawns `n_agents` worker threads connected over in-process
+    /// channels (frames still cross as encoded bytes).
     ///
     /// # Panics
     ///
-    /// Panics if `n_agents` is zero.
+    /// Panics if `n_agents` is zero or a thread cannot be spawned.
     pub fn spawn(
         n_agents: usize,
         workload: Workload,
         mode: InferenceMode,
         cfg: NeatConfig,
     ) -> EdgeCluster {
+        Self::spawn_spec(n_agents, ClusterSpec::new(workload, mode, cfg))
+    }
+
+    /// [`spawn`](EdgeCluster::spawn) with a full [`ClusterSpec`]
+    /// (episodes per evaluation etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_agents` is zero or a thread cannot be spawned.
+    pub fn spawn_spec(n_agents: usize, spec: ClusterSpec) -> EdgeCluster {
         assert!(n_agents > 0, "cluster needs at least one agent");
-        let workers = (0..n_agents)
+        let links = (0..n_agents)
             .map(|i| {
-                let (req_tx, req_rx) = channel::<Request>();
-                let (resp_tx, resp_rx) = channel::<Response>();
-                let worker_cfg = cfg.clone();
+                let (coord, mut agent_side) = channel_pair();
                 let handle = std::thread::Builder::new()
                     .name(format!("clan-agent-{i}"))
-                    .spawn(move || worker_loop(req_rx, resp_tx, workload, mode, worker_cfg))
+                    .spawn(move || {
+                        if let Err(e) = serve_session(&mut agent_side) {
+                            eprintln!("clan-agent-{i}: {e}");
+                        }
+                    })
                     .expect("spawning agent thread");
-                Worker {
-                    tx: req_tx,
-                    rx: resp_rx,
+                AgentLink {
+                    transport: Box::new(coord),
                     handle: Some(handle),
                 }
             })
             .collect();
-        EdgeCluster { workers, cfg }
+        Self::configured(links, spec).expect("channel agents accept configuration")
+    }
+
+    /// Spawns `n_agents` agent threads each serving a **real TCP
+    /// socket** bound to `127.0.0.1` on an ephemeral port, and connects
+    /// to them — the entire networked stack, loopback, in one process.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if binding or connecting fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_agents` is zero or a thread cannot be spawned.
+    pub fn spawn_local(
+        n_agents: usize,
+        workload: Workload,
+        mode: InferenceMode,
+        cfg: NeatConfig,
+    ) -> Result<EdgeCluster, ClanError> {
+        Self::spawn_local_spec(n_agents, ClusterSpec::new(workload, mode, cfg))
+    }
+
+    /// [`spawn_local`](EdgeCluster::spawn_local) with a full
+    /// [`ClusterSpec`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if binding or connecting fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_agents` is zero or a thread cannot be spawned.
+    pub fn spawn_local_spec(n_agents: usize, spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
+        assert!(n_agents > 0, "cluster needs at least one agent");
+        let mut links = Vec::with_capacity(n_agents);
+        for i in 0..n_agents {
+            let server = AgentServer::bind("127.0.0.1:0")?;
+            // Connect before spawning the serving thread: the pending
+            // connection waits in the listener's backlog, and a connect
+            // failure leaves no thread parked forever in accept().
+            let transport = TcpTransport::connect(server.local_addr())?;
+            let handle = std::thread::Builder::new()
+                .name(format!("clan-agent-{i}"))
+                .spawn(move || {
+                    if let Err(e) = server.serve_once() {
+                        eprintln!("clan-agent-{i}: {e}");
+                    }
+                })
+                .expect("spawning agent thread");
+            links.push(AgentLink {
+                transport: Box::new(transport),
+                handle: Some(handle),
+            });
+        }
+        Self::configured(links, spec)
+    }
+
+    /// Connects to already-running agent processes (started with
+    /// `clan-cli agent --listen ADDR`) and pushes the session
+    /// configuration to each.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if any agent is unreachable, and
+    /// [`ClanError::InvalidSetup`] on an empty address list.
+    pub fn connect(addrs: &[String], spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
+        if addrs.is_empty() {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster needs at least one agent address".into(),
+            });
+        }
+        let mut links = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            links.push(AgentLink {
+                transport: Box::new(TcpTransport::connect(addr.as_str())?),
+                handle: None,
+            });
+        }
+        Self::configured(links, spec)
+    }
+
+    /// Pushes `Configure` to every link (control traffic: counted in
+    /// bytes, invisible to the analytic model).
+    fn configured(mut links: Vec<AgentLink>, spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
+        let msg = WireMessage::Configure(Box::new(spec.clone()));
+        let mut control_bytes = 0;
+        for link in &mut links {
+            control_bytes += send_message(link.transport.as_mut(), &msg)?;
+        }
+        Ok(EdgeCluster {
+            links,
+            cfg: spec.cfg,
+            ledger: CommLedger::new(),
+            control_bytes,
+        })
     }
 
     /// Number of live agents.
     pub fn n_agents(&self) -> usize {
-        self.workers.len()
+        self.links.len()
     }
 
-    /// Distributed inference: scatters the population's genomes across
-    /// agents, gathers fitness, and writes it back — the runtime
-    /// equivalent of CLAN_DCS's inference phase.
+    /// Traffic observed on this cluster's transport, with both the
+    /// analytic model's float accounting and the measured wire bytes.
+    ///
+    /// Kinds map onto the protocol: `Evaluate` → `SendGenomes`,
+    /// `Fitness` → `SendFitness`, `BuildChildren` → `SendParentGenomes`
+    /// (its spec list contributes the parent-list floats), `Children` →
+    /// `SendChildren`.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// Wire bytes spent on control messages (`Configure`/`Shutdown`)
+    /// that the analytic model does not account at all.
+    pub fn control_wire_bytes(&self) -> u64 {
+        self.control_bytes
+    }
+
+    /// The NEAT configuration agents compile genomes with.
+    pub fn neat_config(&self) -> &NeatConfig {
+        &self.cfg
+    }
+
+    /// Distributed inference, returning per-genome results in genome-id
+    /// order together with each compiled network's per-activation gene
+    /// cost — everything the orchestrators need to replay the paper's
+    /// cost accounting bit-identically to a serial run. Does **not**
+    /// touch the population's fitness or counters.
     ///
     /// # Errors
     ///
-    /// [`ClanError::WorkerFailure`] if an agent disconnected.
-    pub fn evaluate(&self, pop: &mut Population) -> Result<(), ClanError> {
+    /// Transport/frame errors, and [`ClanError::Protocol`] if an agent
+    /// returns results for the wrong genomes.
+    pub fn evaluate_collect(&mut self, pop: &Population) -> Result<Vec<WireEvaluation>, ClanError> {
         let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
-        let n = self.workers.len();
         let master_seed = pop.master_seed();
         let generation = pop.generation();
-        // Scatter contiguous chunks.
-        let per = ids.len().div_ceil(n);
-        let mut sent = 0usize;
-        for (w, chunk) in self.workers.iter().zip(ids.chunks(per.max(1))) {
-            let genomes = chunk
-                .iter()
-                .map(|id| pop.genome(*id).expect("id from population").clone())
-                .collect();
-            w.tx.send(Request::Evaluate {
-                genomes,
+        let per = ids.len().div_ceil(self.links.len()).max(1);
+        let chunks: Vec<&[GenomeId]> = ids.chunks(per).collect();
+        let EdgeCluster { links, ledger, .. } = self;
+        // Scatter contiguous id-ordered chunks...
+        for (link, chunk) in links.iter_mut().zip(&chunks) {
+            let msg = WireMessage::Evaluate {
                 generation,
                 master_seed,
-            })
-            .map_err(|e| ClanError::WorkerFailure {
-                agent: sent,
-                reason: e.to_string(),
-            })?;
-            sent += 1;
+                genomes: chunk
+                    .iter()
+                    .map(|id| pop.genome(*id).expect("id from population").clone())
+                    .collect(),
+            };
+            let bytes = send_message(link.transport.as_mut(), &msg)?;
+            ledger.record_wire(MessageKind::SendGenomes, msg.modeled_floats(), bytes);
         }
-        // Gather.
-        for (i, w) in self.workers.iter().take(sent).enumerate() {
-            match w.rx.recv() {
-                Ok(Response::Fitness(pairs)) => {
-                    for (id, fitness) in pairs {
-                        pop.set_fitness(id, fitness)?;
-                    }
-                }
-                Ok(other) => {
-                    return Err(ClanError::WorkerFailure {
-                        agent: i,
-                        reason: format!("unexpected response {other:?}"),
+        // ...and gather in link order, which concatenates back to
+        // genome-id order.
+        let mut results = Vec::with_capacity(ids.len());
+        for (link, chunk) in links.iter_mut().zip(&chunks) {
+            let (msg, bytes) = recv_message(link.transport.as_mut())?;
+            ledger.record_wire(MessageKind::SendFitness, msg.modeled_floats(), bytes);
+            let batch = match msg {
+                WireMessage::Fitness(batch) => batch,
+                other => {
+                    return Err(ClanError::Protocol {
+                        peer: link.transport.peer(),
+                        reason: format!("expected Fitness, got {other:?}"),
                     })
                 }
-                Err(e) => {
-                    return Err(ClanError::WorkerFailure {
-                        agent: i,
-                        reason: e.to_string(),
-                    })
-                }
+            };
+            if batch.len() != chunk.len()
+                || batch.iter().zip(chunk.iter()).any(|(r, id)| r.0 != *id)
+            {
+                return Err(ClanError::Protocol {
+                    peer: link.transport.peer(),
+                    reason: "fitness batch does not match the genomes sent".into(),
+                });
             }
+            results.extend(batch);
+        }
+        Ok(results)
+    }
+
+    /// Distributed inference with write-back: scatters the population's
+    /// genomes across agents, gathers fitness, and stores it — the
+    /// runtime equivalent of CLAN_DCS's inference phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`evaluate_collect`](EdgeCluster::evaluate_collect).
+    pub fn evaluate(&mut self, pop: &mut Population) -> Result<(), ClanError> {
+        for (id, eval, _) in self.evaluate_collect(pop)? {
+            pop.set_fitness(id, eval.fitness)?;
         }
         Ok(())
     }
 
-    /// Distributed reproduction: ships child specs plus the needed parent
-    /// genomes to agents and gathers the children — CLAN_DDS's
-    /// reproduction phase over real threads.
+    /// Distributed reproduction: ships child specs plus the needed
+    /// parent genomes to agents and gathers the children — CLAN_DDS's
+    /// reproduction phase over a real transport.
     ///
     /// # Errors
     ///
-    /// [`ClanError::WorkerFailure`] if an agent disconnected.
+    /// Transport/frame errors, and [`ClanError::Protocol`] on a
+    /// mismatched response.
     pub fn build_children(
-        &self,
+        &mut self,
         pop: &Population,
         plan: &clan_neat::GenerationPlan,
     ) -> Result<Vec<Genome>, ClanError> {
-        let n = self.workers.len();
-        let per = plan.children.len().div_ceil(n);
-        let mut sent = 0usize;
-        for (w, chunk) in self.workers.iter().zip(plan.children.chunks(per.max(1))) {
+        let per = plan.children.len().div_ceil(self.links.len()).max(1);
+        let chunks: Vec<_> = plan.children.chunks(per).collect();
+        let EdgeCluster { links, ledger, .. } = self;
+        for (link, chunk) in links.iter_mut().zip(&chunks) {
             // Only the parents this chunk needs travel to the agent.
-            let mut parents: BTreeMap<GenomeId, Genome> = BTreeMap::new();
-            for spec in chunk {
-                for pid in spec.parent_ids() {
-                    parents
-                        .entry(pid)
-                        .or_insert_with(|| pop.genome(pid).expect("parent resident").clone());
-                }
-            }
-            w.tx.send(Request::BuildChildren {
-                specs: chunk.to_vec(),
-                parents: parents.into_values().collect(),
+            let mut parent_ids: Vec<GenomeId> = chunk.iter().flat_map(|s| s.parent_ids()).collect();
+            parent_ids.sort_unstable();
+            parent_ids.dedup();
+            let msg = WireMessage::BuildChildren {
                 generation: plan.generation,
                 master_seed: pop.master_seed(),
-            })
-            .map_err(|e| ClanError::WorkerFailure {
-                agent: sent,
-                reason: e.to_string(),
-            })?;
-            sent += 1;
+                specs: chunk.to_vec(),
+                parents: parent_ids
+                    .iter()
+                    .map(|id| pop.genome(*id).expect("parent resident").clone())
+                    .collect(),
+            };
+            let bytes = send_message(link.transport.as_mut(), &msg)?;
+            ledger.record_wire(MessageKind::SendParentGenomes, msg.modeled_floats(), bytes);
         }
         let mut children = Vec::with_capacity(plan.children.len());
-        for (i, w) in self.workers.iter().take(sent).enumerate() {
-            match w.rx.recv() {
-                Ok(Response::Children(mut c)) => children.append(&mut c),
-                Ok(other) => {
-                    return Err(ClanError::WorkerFailure {
-                        agent: i,
-                        reason: format!("unexpected response {other:?}"),
+        for (link, chunk) in links.iter_mut().zip(&chunks) {
+            let (msg, bytes) = recv_message(link.transport.as_mut())?;
+            ledger.record_wire(MessageKind::SendChildren, msg.modeled_floats(), bytes);
+            let batch = match msg {
+                WireMessage::Children(batch) => batch,
+                other => {
+                    return Err(ClanError::Protocol {
+                        peer: link.transport.peer(),
+                        reason: format!("expected Children, got {other:?}"),
                     })
                 }
-                Err(e) => {
-                    return Err(ClanError::WorkerFailure {
-                        agent: i,
-                        reason: e.to_string(),
-                    })
-                }
+            };
+            if batch.len() != chunk.len()
+                || batch
+                    .iter()
+                    .zip(chunk.iter())
+                    .any(|(child, spec)| child.id() != spec.child_id)
+            {
+                return Err(ClanError::Protocol {
+                    peer: link.transport.peer(),
+                    reason: format!(
+                        "children batch does not match the {} specs sent",
+                        chunk.len()
+                    ),
+                });
             }
+            children.extend(batch);
         }
         Ok(children)
     }
@@ -224,8 +379,8 @@ impl EdgeCluster {
     ///
     /// # Errors
     ///
-    /// Propagates worker and NEAT failures.
-    pub fn step_dcs_generation(&self, pop: &mut Population) -> Result<f64, ClanError> {
+    /// Propagates transport and NEAT failures.
+    pub fn step_dcs_generation(&mut self, pop: &mut Population) -> Result<f64, ClanError> {
         self.evaluate(pop)?;
         let best = pop
             .best()
@@ -240,8 +395,8 @@ impl EdgeCluster {
     ///
     /// # Errors
     ///
-    /// Propagates worker and NEAT failures.
-    pub fn step_dds_generation(&self, pop: &mut Population) -> Result<f64, ClanError> {
+    /// Propagates transport and NEAT failures.
+    pub fn step_dds_generation(&mut self, pop: &mut Population) -> Result<f64, ClanError> {
         self.evaluate(pop)?;
         let best = pop
             .best()
@@ -262,26 +417,25 @@ impl EdgeCluster {
         Ok(best)
     }
 
-    /// Stops all agents and joins their threads.
+    /// Stops all agents (best-effort `Shutdown`) and joins in-process
+    /// agent threads.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        for w in &self.workers {
-            let _ = w.tx.send(Request::Shutdown);
+        let frame = crate::transport::encode(&WireMessage::Shutdown);
+        for link in &mut self.links {
+            if link.transport.send_frame(&frame).is_ok() {
+                self.control_bytes += crate::transport::wire_bytes(&frame);
+            }
         }
-        for w in &mut self.workers {
-            if let Some(h) = w.handle.take() {
+        for link in &mut self.links {
+            if let Some(h) = link.handle.take() {
                 let _ = h.join();
             }
         }
-        self.workers.clear();
-    }
-
-    /// The NEAT configuration workers compile genomes with.
-    pub fn neat_config(&self) -> &NeatConfig {
-        &self.cfg
+        self.links.clear();
     }
 }
 
@@ -291,63 +445,10 @@ impl Drop for EdgeCluster {
     }
 }
 
-fn worker_loop(
-    rx: Receiver<Request>,
-    tx: Sender<Response>,
-    workload: Workload,
-    mode: InferenceMode,
-    cfg: NeatConfig,
-) {
-    let mut evaluator = Evaluator::new(workload, mode);
-    while let Ok(req) = rx.recv() {
-        match req {
-            Request::Evaluate {
-                genomes,
-                generation,
-                master_seed,
-            } => {
-                let results = genomes
-                    .iter()
-                    .map(|g| {
-                        let net = FeedForwardNetwork::compile(g, &cfg);
-                        let seed = Evaluator::episode_seed(master_seed, generation, g.id());
-                        let eval = evaluator.evaluate(&net, seed);
-                        (g.id(), eval.fitness)
-                    })
-                    .collect();
-                if tx.send(Response::Fitness(results)).is_err() {
-                    return;
-                }
-            }
-            Request::BuildChildren {
-                specs,
-                parents,
-                generation,
-                master_seed,
-            } => {
-                let lookup: BTreeMap<GenomeId, Genome> =
-                    parents.into_iter().map(|g| (g.id(), g)).collect();
-                let children = specs
-                    .iter()
-                    .map(|spec| {
-                        let pids = spec.parent_ids();
-                        let p1 = &lookup[&pids[0]];
-                        let p2 = pids.get(1).map(|id| &lookup[id]);
-                        make_child(&cfg, spec, (p1, p2), master_seed, generation)
-                    })
-                    .collect();
-                if tx.send(Response::Children(children)).is_err() {
-                    return;
-                }
-            }
-            Request::Shutdown => return,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::Evaluator;
 
     fn cfg(pop: usize) -> NeatConfig {
         let w = Workload::CartPole;
@@ -357,39 +458,47 @@ mod tests {
             .unwrap()
     }
 
+    fn spawn_both(n: usize, cfg: &NeatConfig) -> Vec<EdgeCluster> {
+        vec![
+            EdgeCluster::spawn(n, Workload::CartPole, InferenceMode::MultiStep, cfg.clone()),
+            EdgeCluster::spawn_local(n, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .expect("loopback cluster binds"),
+        ]
+    }
+
     #[test]
-    fn distributed_evaluation_matches_serial() {
+    fn distributed_evaluation_matches_serial_on_both_transports() {
         let cfg = cfg(16);
-        let cluster =
-            EdgeCluster::spawn(4, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
-        let mut distributed = Population::new(cfg.clone(), 11);
-        cluster.evaluate(&mut distributed).unwrap();
+        for mut cluster in spawn_both(4, &cfg) {
+            let mut distributed = Population::new(cfg.clone(), 11);
+            cluster.evaluate(&mut distributed).unwrap();
 
-        let mut serial = Population::new(cfg.clone(), 11);
-        let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
-        crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[16]);
+            let mut serial = Population::new(cfg.clone(), 11);
+            let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+            crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[16]).unwrap();
 
-        for (a, b) in distributed
-            .genomes()
-            .values()
-            .zip(serial.genomes().values())
-        {
-            assert_eq!(a.fitness(), b.fitness());
+            for (a, b) in distributed
+                .genomes()
+                .values()
+                .zip(serial.genomes().values())
+            {
+                assert_eq!(a.fitness(), b.fitness());
+            }
+            cluster.shutdown();
         }
-        cluster.shutdown();
     }
 
     #[test]
     fn real_dcs_generations_match_serial_evolution() {
         let cfg = cfg(12);
-        let cluster =
+        let mut cluster =
             EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
         let mut real = Population::new(cfg.clone(), 5);
         let mut serial = Population::new(cfg.clone(), 5);
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
         for _ in 0..3 {
             let real_best = cluster.step_dcs_generation(&mut real).unwrap();
-            crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[12]);
+            crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[12]).unwrap();
             let serial_best = serial.best().and_then(Genome::fitness).unwrap();
             crate::orchestra::central_evolution(&mut serial).unwrap();
             assert_eq!(real_best, serial_best);
@@ -399,42 +508,71 @@ mod tests {
     }
 
     #[test]
-    fn real_dds_generations_match_serial_evolution() {
+    fn real_dds_generations_match_serial_evolution_over_tcp() {
         let cfg = cfg(12);
-        let cluster =
-            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let mut cluster =
+            EdgeCluster::spawn_local(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
         let mut real = Population::new(cfg.clone(), 6);
         let mut serial = Population::new(cfg.clone(), 6);
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
         for _ in 0..3 {
             cluster.step_dds_generation(&mut real).unwrap();
-            crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[12]);
+            crate::orchestra::evaluate_partitioned(&mut serial, &mut ev, &[12]).unwrap();
             crate::orchestra::central_evolution(&mut serial).unwrap();
         }
         assert_eq!(real.genomes(), serial.genomes());
+        assert!(
+            cluster
+                .ledger()
+                .entry(MessageKind::SendParentGenomes)
+                .messages
+                > 0,
+            "DDS must ship parents over the wire"
+        );
         cluster.shutdown();
+    }
+
+    #[test]
+    fn ledger_measures_real_bytes_above_model() {
+        let cfg = cfg(10);
+        let mut cluster = EdgeCluster::spawn_local(
+            2,
+            Workload::CartPole,
+            InferenceMode::SingleStep,
+            cfg.clone(),
+        )
+        .unwrap();
+        let mut pop = Population::new(cfg, 3);
+        cluster.evaluate(&mut pop).unwrap();
+        let ledger = cluster.ledger();
+        assert_eq!(ledger.entry(MessageKind::SendGenomes).messages, 2);
+        assert_eq!(ledger.entry(MessageKind::SendFitness).messages, 2);
+        let overhead = ledger.framing_overhead().expect("both measures recorded");
+        assert!(
+            overhead > 1.0,
+            "real f64 wire format must cost more than the 4-byte/gene model: {overhead}"
+        );
+        assert!(cluster.control_wire_bytes() > 0, "Configure was sent");
     }
 
     #[test]
     fn drop_shuts_down_cleanly() {
         let cfg = cfg(4);
-        let cluster = EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::SingleStep, cfg);
-        assert_eq!(cluster.n_agents(), 2);
-        drop(cluster); // must not hang or panic
+        for cluster in spawn_both(2, &cfg) {
+            assert_eq!(cluster.n_agents(), 2);
+            drop(cluster); // must not hang or panic
+        }
     }
 
     #[test]
     fn more_agents_than_genomes_is_fine() {
         let cfg = cfg(3);
-        let cluster = EdgeCluster::spawn(
-            8,
-            Workload::CartPole,
-            InferenceMode::SingleStep,
-            cfg.clone(),
-        );
-        let mut pop = Population::new(cfg, 1);
-        cluster.evaluate(&mut pop).unwrap();
-        assert!(pop.genomes().values().all(|g| g.fitness().is_some()));
-        cluster.shutdown();
+        for mut cluster in spawn_both(8, &cfg) {
+            let mut pop = Population::new(cfg.clone(), 1);
+            cluster.evaluate(&mut pop).unwrap();
+            assert!(pop.genomes().values().all(|g| g.fitness().is_some()));
+            cluster.shutdown();
+        }
     }
 }

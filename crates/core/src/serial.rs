@@ -59,7 +59,7 @@ impl Orchestrator for SerialOrchestrator {
 
         // Phase I — all inference on the center.
         let pop_len = self.pop.len();
-        let genes = evaluate_partitioned(&mut self.pop, &mut self.evaluator, &[pop_len]);
+        let genes = evaluate_partitioned(&mut self.pop, &mut self.evaluator, &[pop_len])?;
         self.recorder
             .add_inference(center.inference_time_s(genes[0]));
 
@@ -92,6 +92,10 @@ impl Orchestrator for SerialOrchestrator {
 
     fn ledger(&self) -> &CommLedger {
         &self.ledger
+    }
+
+    fn transport_ledger(&self) -> Option<&CommLedger> {
+        self.evaluator.remote_ledger()
     }
 
     fn recorder(&self) -> &TimelineRecorder {

@@ -1,0 +1,222 @@
+//! The agent side of the cluster protocol: a session loop that serves
+//! one coordinator, plus a TCP server for standalone agent processes
+//! (`clan-cli agent --listen ADDR`).
+//!
+//! The same [`serve_session`] drives every agent, whether it lives in a
+//! thread of the coordinator's process (channel or loopback-TCP
+//! transport) or on another machine: the protocol — `Configure` once,
+//! then `Evaluate`/`BuildChildren` request-response rounds until
+//! `Shutdown` — is transport-invariant, and so is the work itself, which
+//! is why a distributed run is bit-identical to a serial one.
+
+use super::{recv_message, send_message, Transport, WireMessage};
+use crate::error::ClanError;
+use crate::evaluator::Evaluator;
+use clan_neat::reproduction::make_child;
+use clan_neat::{Genome, GenomeId};
+use std::collections::BTreeMap;
+use std::net::{TcpListener, ToSocketAddrs};
+
+/// Serves one coordinator session over `transport` until `Shutdown` or
+/// disconnect.
+///
+/// The first message must be `Configure`; the agent builds its
+/// [`Evaluator`] from the received [`ClusterSpec`](super::ClusterSpec)
+/// so there is no configuration to keep in sync between machines.
+///
+/// # Errors
+///
+/// [`ClanError::Protocol`] if the coordinator violates the session
+/// protocol, plus any transport or frame error. A clean disconnect
+/// after `Shutdown` is success.
+pub fn serve_session(transport: &mut dyn Transport) -> Result<(), ClanError> {
+    let spec = match recv_message(transport)?.0 {
+        WireMessage::Configure(spec) => *spec,
+        other => {
+            return Err(ClanError::Protocol {
+                peer: transport.peer(),
+                reason: format!("expected Configure, got {}", message_name(&other)),
+            })
+        }
+    };
+    let mut evaluator = Evaluator::with_episodes(spec.workload, spec.mode, spec.episodes.max(1));
+    let cfg = spec.cfg;
+    loop {
+        let msg = match recv_message(transport) {
+            Ok((msg, _)) => msg,
+            // Coordinator gone: the session is over. Dying quietly (not
+            // erroring) lets loopback clusters tear down in any order.
+            Err(ClanError::Transport { .. }) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            WireMessage::Evaluate {
+                generation,
+                master_seed,
+                genomes,
+            } => {
+                let results = evaluator.evaluate_genomes(&genomes, &cfg, master_seed, generation);
+                send_message(transport, &WireMessage::Fitness(results))?;
+            }
+            WireMessage::BuildChildren {
+                generation,
+                master_seed,
+                specs,
+                parents,
+            } => {
+                let lookup: BTreeMap<GenomeId, Genome> =
+                    parents.into_iter().map(|g| (g.id(), g)).collect();
+                let mut children = Vec::with_capacity(specs.len());
+                for spec in &specs {
+                    let pids = spec.parent_ids();
+                    let p1 = lookup.get(&pids[0]).ok_or_else(|| ClanError::Protocol {
+                        peer: transport.peer(),
+                        reason: format!("spec references absent parent {}", pids[0]),
+                    })?;
+                    let p2 = match pids.get(1) {
+                        Some(id) => Some(lookup.get(id).ok_or_else(|| ClanError::Protocol {
+                            peer: transport.peer(),
+                            reason: format!("spec references absent parent {id}"),
+                        })?),
+                        None => None,
+                    };
+                    children.push(make_child(&cfg, spec, (p1, p2), master_seed, generation));
+                }
+                send_message(transport, &WireMessage::Children(children))?;
+            }
+            WireMessage::Shutdown => return Ok(()),
+            other => {
+                return Err(ClanError::Protocol {
+                    peer: transport.peer(),
+                    reason: format!("unexpected {} mid-session", message_name(&other)),
+                })
+            }
+        }
+    }
+}
+
+fn message_name(msg: &WireMessage) -> &'static str {
+    match msg {
+        WireMessage::Configure(_) => "Configure",
+        WireMessage::Evaluate { .. } => "Evaluate",
+        WireMessage::Fitness(_) => "Fitness",
+        WireMessage::BuildChildren { .. } => "BuildChildren",
+        WireMessage::Children(_) => "Children",
+        WireMessage::Shutdown => "Shutdown",
+    }
+}
+
+/// A standalone TCP agent: binds an address and serves coordinators,
+/// one session at a time — the `clan-cli agent` entry point.
+#[derive(Debug)]
+pub struct AgentServer {
+    listener: TcpListener,
+}
+
+impl AgentServer {
+    /// Binds the server. Use port 0 for an ephemeral port (loopback
+    /// clusters do).
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if the address cannot be bound.
+    pub fn bind<A: ToSocketAddrs + std::fmt::Display>(addr: A) -> Result<AgentServer, ClanError> {
+        let listener = TcpListener::bind(&addr).map_err(|e| ClanError::Transport {
+            peer: addr.to_string(),
+            reason: format!("bind failed: {e}"),
+        })?;
+        Ok(AgentServer { listener })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket vanished out from under the process — not
+    /// observable through safe use.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Accepts one coordinator and serves it to completion.
+    ///
+    /// # Errors
+    ///
+    /// Accept failures and in-session protocol/frame errors. Serving
+    /// errors are returned, not panicked, so a malformed peer cannot
+    /// take the agent down.
+    pub fn serve_once(&self) -> Result<(), ClanError> {
+        let (stream, peer) = self.listener.accept().map_err(|e| ClanError::Transport {
+            peer: self.local_addr().to_string(),
+            reason: format!("accept failed: {e}"),
+        })?;
+        let mut transport = super::TcpTransport::from_stream(stream, peer.to_string());
+        serve_session(&mut transport)
+    }
+
+    /// Serves coordinators forever, logging (not propagating) per-session
+    /// failures: one bad coordinator must not kill an edge device's
+    /// agent daemon.
+    pub fn serve_forever(&self) -> ! {
+        loop {
+            if let Err(e) = self.serve_once() {
+                eprintln!("agent session error: {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::InferenceMode;
+    use crate::transport::{channel_pair, ClusterSpec};
+    use clan_envs::Workload;
+    use clan_neat::NeatConfig;
+
+    fn spec() -> ClusterSpec {
+        let w = Workload::CartPole;
+        let cfg = NeatConfig::builder(w.obs_dim(), w.n_actions())
+            .population_size(8)
+            .build()
+            .unwrap();
+        ClusterSpec::new(w, InferenceMode::MultiStep, cfg)
+    }
+
+    #[test]
+    fn session_requires_configure_first() {
+        let (mut coord, mut agent_side) = channel_pair();
+        let handle = std::thread::spawn(move || serve_session(&mut agent_side));
+        send_message(
+            &mut coord,
+            &WireMessage::Evaluate {
+                generation: 0,
+                master_seed: 0,
+                genomes: vec![],
+            },
+        )
+        .unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(matches!(err, ClanError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn session_shutdown_is_clean() {
+        let (mut coord, mut agent_side) = channel_pair();
+        let handle = std::thread::spawn(move || serve_session(&mut agent_side));
+        send_message(&mut coord, &WireMessage::Configure(Box::new(spec()))).unwrap();
+        send_message(&mut coord, &WireMessage::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn coordinator_disconnect_ends_session_quietly() {
+        let (mut coord, mut agent_side) = channel_pair();
+        let handle = std::thread::spawn(move || serve_session(&mut agent_side));
+        send_message(&mut coord, &WireMessage::Configure(Box::new(spec()))).unwrap();
+        drop(coord);
+        handle.join().unwrap().unwrap();
+    }
+}

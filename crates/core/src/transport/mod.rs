@@ -1,0 +1,121 @@
+//! Pluggable cluster transports: how coordinator and agents actually
+//! exchange frames.
+//!
+//! The CLAN protocols are transport-agnostic: one [`codec`] defines the
+//! binary frame vocabulary ([`WireMessage`]), and a [`Transport`] moves
+//! opaque frames between two endpoints. Two implementations ship:
+//!
+//! - [`ChannelTransport`] — in-process `mpsc` byte channels, the
+//!   zero-configuration default for threaded clusters and tests;
+//! - [`TcpTransport`] — length-prefixed frames over `std::net`
+//!   sockets, connecting real processes on real machines (or loopback
+//!   agents spawned by
+//!   [`EdgeCluster::spawn_local`](crate::runtime::EdgeCluster::spawn_local)).
+//!
+//! Both move the *same encoded bytes*, so byte accounting, determinism,
+//! and malformed-frame behavior are identical regardless of transport:
+//! a TCP cluster run is bit-identical to a serial run (asserted by
+//! `tests/net_equivalence.rs`), and every decode failure is a typed
+//! [`FrameError`](crate::error::FrameError), never a panic or a hang.
+//!
+//! The agent side of the protocol lives in [`agent`]: a session loop
+//! shared by in-process worker threads and `clan-cli agent` processes.
+
+pub mod agent;
+mod channel;
+pub mod codec;
+mod tcp;
+
+pub use channel::{channel_pair, ChannelTransport};
+pub use codec::{
+    decode, encode, ClusterSpec, WireEvaluation, WireMessage, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
+};
+pub use tcp::TcpTransport;
+
+use crate::error::ClanError;
+
+/// A bidirectional, ordered, reliable frame pipe between a coordinator
+/// and one agent.
+///
+/// Implementations move frames verbatim; the [`codec`] gives the bytes
+/// meaning. `recv_frame` blocks until a frame arrives or the peer is
+/// gone — disconnection is a typed error, never a hang.
+pub trait Transport: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if the peer is unreachable.
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), ClanError>;
+
+    /// Receives the next frame, blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] on disconnect or I/O failure, and
+    /// [`ClanError::Frame`] if the stream announces an oversized frame.
+    fn recv_frame(&mut self) -> Result<Vec<u8>, ClanError>;
+
+    /// Human-readable peer label (address or transport kind), used in
+    /// error messages.
+    fn peer(&self) -> String;
+}
+
+/// Bytes a frame occupies on the wire: its encoded length plus the
+/// stream framing (length prefix) every transport charges uniformly.
+pub fn wire_bytes(frame: &[u8]) -> u64 {
+    frame.len() as u64 + LENGTH_PREFIX_BYTES
+}
+
+/// Sends a message and returns its measured wire size.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn send_message(t: &mut dyn Transport, msg: &WireMessage) -> Result<u64, ClanError> {
+    let frame = encode(msg);
+    t.send_frame(&frame)?;
+    Ok(wire_bytes(&frame))
+}
+
+/// Receives and decodes the next message, returning it with its
+/// measured wire size.
+///
+/// # Errors
+///
+/// Propagates transport failures and typed frame errors.
+pub fn recv_message(t: &mut dyn Transport) -> Result<(WireMessage, u64), ClanError> {
+    let frame = t.recv_frame()?;
+    let msg = decode(&frame)?;
+    Ok((msg, wire_bytes(&frame)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_moves_messages_both_ways() {
+        let (mut a, mut b) = channel_pair();
+        send_message(&mut a, &WireMessage::Shutdown).unwrap();
+        let (msg, bytes) = recv_message(&mut b).unwrap();
+        assert_eq!(msg, WireMessage::Shutdown);
+        assert_eq!(bytes, 6 + LENGTH_PREFIX_BYTES);
+        send_message(&mut b, &WireMessage::Shutdown).unwrap();
+        assert!(recv_message(&mut a).is_ok());
+    }
+
+    #[test]
+    fn dropped_peer_is_a_typed_error() {
+        let (mut a, b) = channel_pair();
+        drop(b);
+        assert!(matches!(
+            send_message(&mut a, &WireMessage::Shutdown),
+            Err(ClanError::Transport { .. })
+        ));
+        assert!(matches!(
+            recv_message(&mut a),
+            Err(ClanError::Transport { .. })
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! TCP transport: length-prefixed frames over `std::net` sockets.
+//!
+//! Wire format per frame: a little-endian `u32` length, then that many
+//! frame bytes (which themselves start with the `CLAN` magic — see
+//! [`codec`](super::codec)). The length is validated against
+//! [`MAX_FRAME_BYTES`](super::MAX_FRAME_BYTES) *before* any allocation,
+//! so a corrupt or hostile peer cannot force an OOM; a peer that
+//! disconnects mid-frame surfaces as a typed [`ClanError::Transport`].
+
+use super::{Transport, MAX_FRAME_BYTES};
+use crate::error::{ClanError, FrameError};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A frame pipe over one TCP connection.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Connects to a listening agent or coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if the address does not resolve or the
+    /// connection is refused.
+    pub fn connect<A: ToSocketAddrs + std::fmt::Display>(
+        addr: A,
+    ) -> Result<TcpTransport, ClanError> {
+        let peer = addr.to_string();
+        let stream = TcpStream::connect(&addr).map_err(|e| ClanError::Transport {
+            peer: peer.clone(),
+            reason: format!("connect failed: {e}"),
+        })?;
+        Ok(TcpTransport::from_stream(stream, peer))
+    }
+
+    /// Wraps an accepted connection.
+    pub fn from_stream(stream: TcpStream, peer: String) -> TcpTransport {
+        // Frames are whole protocol messages; coalescing them behind
+        // Nagle's algorithm only adds latency to the request/response
+        // rhythm. Best-effort: a failure here only costs performance.
+        let _ = stream.set_nodelay(true);
+        TcpTransport { stream, peer }
+    }
+
+    fn io_err(&self, what: &str, e: std::io::Error) -> ClanError {
+        ClanError::Transport {
+            peer: self.peer.clone(),
+            reason: format!("{what}: {e}"),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), ClanError> {
+        let len = frame.len() as u32;
+        self.stream
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| self.stream.write_all(frame))
+            .map_err(|e| self.io_err("send", e))
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, ClanError> {
+        let mut len_buf = [0u8; 4];
+        self.stream
+            .read_exact(&mut len_buf)
+            .map_err(|e| self.io_err("recv length", e))?;
+        let len = u32::from_le_bytes(len_buf) as u64;
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::Oversized {
+                announced: len,
+                max: MAX_FRAME_BYTES,
+            }
+            .into());
+        }
+        let mut frame = vec![0u8; len as usize];
+        self.stream
+            .read_exact(&mut frame)
+            .map_err(|e| self.io_err("recv frame", e))?;
+        Ok(frame)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{recv_message, send_message, WireMessage};
+    use std::net::TcpListener;
+
+    fn loopback_pair() -> (TcpTransport, TcpTransport) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let (stream, peer) = listener.accept().unwrap();
+            TcpTransport::from_stream(stream, peer.to_string())
+        });
+        let client = TcpTransport::connect(addr).unwrap();
+        (client, join.join().unwrap())
+    }
+
+    #[test]
+    fn frames_cross_a_real_socket() {
+        let (mut a, mut b) = loopback_pair();
+        send_message(&mut a, &WireMessage::Shutdown).unwrap();
+        let (msg, _) = recv_message(&mut b).unwrap();
+        assert_eq!(msg, WireMessage::Shutdown);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_typed_error_not_allocation() {
+        let (mut a, mut b) = loopback_pair();
+        // Announce a 4 GiB frame without sending it.
+        a.stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        match b.recv_frame() {
+            Err(ClanError::Frame(FrameError::Oversized { announced, .. })) => {
+                assert_eq!(announced, u64::from(u32::MAX));
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_mid_frame_is_typed_error() {
+        let (mut a, mut b) = loopback_pair();
+        // Announce 100 bytes, deliver 3, vanish.
+        a.stream.write_all(&100u32.to_le_bytes()).unwrap();
+        a.stream.write_all(&[1, 2, 3]).unwrap();
+        drop(a);
+        assert!(matches!(b.recv_frame(), Err(ClanError::Transport { .. })));
+    }
+
+    #[test]
+    fn connect_to_unbound_port_fails_typed() {
+        // Bind then immediately drop to get a port that refuses.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        assert!(matches!(
+            TcpTransport::connect(addr),
+            Err(ClanError::Transport { .. })
+        ));
+    }
+}

@@ -96,6 +96,25 @@ impl Genome {
         }
     }
 
+    /// Reassembles a genome from its constituent gene tables (wire
+    /// decoding, checkpoint restore). Fitness starts unset; callers that
+    /// carried one re-apply it with [`set_fitness`](Genome::set_fitness).
+    ///
+    /// Structural validity is the caller's responsibility —
+    /// [`check_invariants`](Genome::check_invariants) verifies it.
+    pub fn from_parts(
+        id: GenomeId,
+        nodes: BTreeMap<NodeId, NodeGene>,
+        conns: BTreeMap<ConnKey, ConnGene>,
+    ) -> Genome {
+        Genome {
+            id,
+            nodes,
+            conns,
+            fitness: None,
+        }
+    }
+
     /// This genome's identifier.
     pub fn id(&self) -> GenomeId {
         self.id

@@ -26,7 +26,7 @@
 //! Inference dominates a generation's compute (paper Fig. 3), and one
 //! episode activates a network hundreds of times. The hot tier of the
 //! activation API is allocation-free: callers own a
-//! [`Scratch`](network::Scratch) whose buffers are reused across steps,
+//! [`Scratch`] whose buffers are reused across steps,
 //! episodes, and networks —
 //!
 //! ```

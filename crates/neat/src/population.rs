@@ -273,20 +273,26 @@ impl Population {
         std::thread::scope(|scope| {
             let handles: Vec<_> = ids
                 .chunks(shard_len)
-                .map(|shard| {
+                .enumerate()
+                .map(|(i, shard)| {
                     let factory = &factory;
-                    scope.spawn(move || {
-                        let mut evaluator = factory();
-                        shard
-                            .iter()
-                            .map(|id| {
-                                let genome = &genomes[id];
-                                let net = FeedForwardNetwork::compile(genome, cfg);
-                                let eval: Evaluation = evaluator(&net, genome).into();
-                                (*id, eval, net.genes_per_activation())
-                            })
-                            .collect::<Vec<_>>()
-                    })
+                    // Named so panics and profiler samples are
+                    // attributable to a specific evaluation shard.
+                    std::thread::Builder::new()
+                        .name(format!("clan-eval-{i}"))
+                        .spawn_scoped(scope, move || {
+                            let mut evaluator = factory();
+                            shard
+                                .iter()
+                                .map(|id| {
+                                    let genome = &genomes[id];
+                                    let net = FeedForwardNetwork::compile(genome, cfg);
+                                    let eval: Evaluation = evaluator(&net, genome).into();
+                                    (*id, eval, net.genes_per_activation())
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .expect("spawning evaluation worker")
                 })
                 .collect();
             for handle in handles {

@@ -55,6 +55,9 @@ pub struct LedgerEntry {
     pub messages: u64,
     /// Total 32-bit values (genes/floats) carried.
     pub floats: u64,
+    /// Measured bytes on a real transport (framing included). Zero for
+    /// purely modeled runs, where only `floats` is accounted.
+    pub wire_bytes: u64,
 }
 
 /// Records every message of a run, by kind.
@@ -77,9 +80,19 @@ impl CommLedger {
 
     /// Records one message of `kind` carrying `floats` 32-bit values.
     pub fn record(&mut self, kind: MessageKind, floats: u64) {
+        self.record_wire(kind, floats, 0);
+    }
+
+    /// Records one message of `kind` carrying `floats` 32-bit values that
+    /// was observed on a real transport occupying `wire_bytes` bytes
+    /// (payload plus framing). The real TCP/channel runtime uses this so
+    /// the analytic model's traffic (4 bytes per float, no framing) can
+    /// be validated against what a wire format actually costs.
+    pub fn record_wire(&mut self, kind: MessageKind, floats: u64, wire_bytes: u64) {
         let e = self.entries.entry(kind).or_default();
         e.messages += 1;
         e.floats += floats;
+        e.wire_bytes += wire_bytes;
     }
 
     /// Accumulated entry for `kind`.
@@ -97,6 +110,29 @@ impl CommLedger {
         self.entries.values().map(|e| e.messages).sum()
     }
 
+    /// Total measured bytes on the wire across all kinds (zero for
+    /// modeled-only ledgers).
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.wire_bytes).sum()
+    }
+
+    /// Bytes the analytic model charges for this traffic: 4 bytes per
+    /// 32-bit float/gene, no framing (paper Table II).
+    pub fn modeled_bytes(&self) -> u64 {
+        self.total_floats() * 4
+    }
+
+    /// Measured-over-modeled byte ratio, when both were recorded.
+    ///
+    /// `> 1.0` means the real wire format (f64 attributes, gene keys,
+    /// length prefixes) costs more than the paper's 4-bytes-per-gene
+    /// accounting; the gap is the framing overhead `clan-netsim`'s
+    /// timeline model does not see.
+    pub fn framing_overhead(&self) -> Option<f64> {
+        let (modeled, wire) = (self.modeled_bytes(), self.total_wire_bytes());
+        (modeled > 0 && wire > 0).then(|| wire as f64 / modeled as f64)
+    }
+
     /// `(kind, entry)` rows in legend order, including zero rows.
     pub fn rows(&self) -> Vec<(MessageKind, LedgerEntry)> {
         MessageKind::ALL
@@ -111,6 +147,7 @@ impl CommLedger {
             let mine = self.entries.entry(kind).or_default();
             mine.messages += e.messages;
             mine.floats += e.floats;
+            mine.wire_bytes += e.wire_bytes;
         }
     }
 }
@@ -129,11 +166,26 @@ mod tests {
             l.entry(MessageKind::SendGenomes),
             LedgerEntry {
                 messages: 2,
-                floats: 150
+                floats: 150,
+                wire_bytes: 0
             }
         );
         assert_eq!(l.total_floats(), 151);
         assert_eq!(l.total_messages(), 3);
+    }
+
+    #[test]
+    fn wire_bytes_tracked_and_compared_to_model() {
+        let mut l = CommLedger::new();
+        assert_eq!(l.framing_overhead(), None, "empty ledger has no ratio");
+        l.record_wire(MessageKind::SendGenomes, 100, 1000);
+        l.record_wire(MessageKind::SendFitness, 50, 200);
+        assert_eq!(l.total_wire_bytes(), 1200);
+        assert_eq!(l.modeled_bytes(), 600);
+        assert!((l.framing_overhead().unwrap() - 2.0).abs() < 1e-12);
+        // Modeled-only records keep the ratio meaningful.
+        l.record(MessageKind::SendSpawnCount, 10);
+        assert_eq!(l.entry(MessageKind::SendSpawnCount).wire_bytes, 0);
     }
 
     #[test]

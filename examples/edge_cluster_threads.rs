@@ -43,7 +43,7 @@ fn main() {
     );
 
     // Distributed run over real threads.
-    let cluster = EdgeCluster::spawn(agents, w, InferenceMode::MultiStep, cfg.clone());
+    let mut cluster = EdgeCluster::spawn(agents, w, InferenceMode::MultiStep, cfg.clone());
     let mut distributed = Population::new(cfg.clone(), 99);
     let t0 = Instant::now();
     for gen in 0..GENERATIONS {

@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
-//! against the sibling `serde` shim's [`Value`]-based model, parsing the
+//! against the sibling `serde` shim's `Value`-based model, parsing the
 //! item declaration directly from the token stream (no `syn`/`quote`
 //! available offline).
 //!

@@ -3,6 +3,9 @@
 //! ```text
 //! clan-cli run --workload lunarlander --topology dda --agents 8 --generations 10
 //! clan-cli solve --workload cartpole --topology dcs --agents 4 --max-generations 40
+//! clan-cli agent --listen 0.0.0.0:7777
+//! clan-cli coordinate --agents-at 10.0.0.2:7777,10.0.0.3:7777 --generations 10
+//! clan-cli coordinate --loopback 2 --generations 3
 //! clan-cli export-champion --workload cartpole --out champion.dot
 //! clan-cli list
 //! ```
@@ -10,6 +13,7 @@
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has a
 //! sensible default so `clan-cli run` alone works.
 
+use clan::core::transport::agent::AgentServer;
 use clan::core::{ClanDriver, ClanDriverBuilder, ClanTopology, RunReport};
 use clan::envs::Workload;
 use clan::hw::PlatformKind;
@@ -25,6 +29,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(&args[1..], false),
         "solve" => cmd_run(&args[1..], true),
+        "agent" => cmd_agent(&args[1..]),
+        "coordinate" => cmd_coordinate(&args[1..]),
         "export-champion" => cmd_export(&args[1..]),
         "list" => {
             cmd_list();
@@ -54,6 +60,13 @@ USAGE:
                  [--episodes N] [--eval-threads N]
   clan-cli solve [same flags; runs until the workload's solved score or
                  --max-generations N]
+  clan-cli agent --listen ADDR
+                 (serve as an edge agent; workload and NEAT config arrive
+                 from the coordinator over the wire; --once serves one
+                 session then exits)
+  clan-cli coordinate [run flags] (--agents-at ADDR,ADDR,... | --loopback N)
+                 (drive a run over real TCP agents; bit-identical to the
+                 same run executed locally)
   clan-cli export-champion [--workload W] [--generations N] [--seed N]
                  [--out FILE.dot]
   clan-cli list  (available workloads, topologies, platforms)
@@ -160,6 +173,63 @@ fn cmd_run(args: &[String], until_solved: bool) -> Result<(), String> {
         driver.run(gens).map_err(|e| e.to_string())?
     };
     print_report(&report);
+    Ok(())
+}
+
+fn cmd_agent(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args.to_vec());
+    let listen = flags.get("--listen").unwrap_or("127.0.0.1:7777");
+    let server = AgentServer::bind(listen).map_err(|e| e.to_string())?;
+    println!("clan agent listening on {}", server.local_addr());
+    if flags.has("--once") {
+        server.serve_once().map_err(|e| e.to_string())?;
+        println!("session complete");
+        return Ok(());
+    }
+    server.serve_forever()
+}
+
+fn cmd_coordinate(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args.to_vec());
+    let (mut builder, _) = build_driver(&flags)?;
+    let loopback: usize = flags.parse("--loopback", 0)?;
+    builder = match (flags.get("--agents-at"), loopback) {
+        (Some(_), n) if n > 0 => {
+            return Err("--agents-at and --loopback are mutually exclusive".into())
+        }
+        (Some(list), _) => {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(String::from)
+                .collect();
+            println!("coordinating {} remote agent(s): {list}", addrs.len());
+            builder.remote_agents(addrs)
+        }
+        (None, 0) => return Err("coordinate needs --agents-at ADDR,... or --loopback N".into()),
+        (None, n) => {
+            println!("coordinating {n} loopback TCP agent(s)");
+            builder.loopback_agents(n)
+        }
+    };
+    let driver = builder.build().map_err(|e| e.to_string())?;
+    let gens = flags.parse("--generations", 5u64)?;
+    let report = driver.run(gens).map_err(|e| e.to_string())?;
+    print_report(&report);
+    if let Some(t) = &report.transport {
+        println!(
+            "\n  measured wire traffic: {} bytes in {} messages",
+            t.total_wire_bytes(),
+            t.total_messages()
+        );
+        if let Some(overhead) = t.framing_overhead() {
+            println!(
+                "  framing overhead vs 4-byte/gene model: {overhead:.2}x ({} modeled bytes)",
+                t.modeled_bytes()
+            );
+        }
+    }
     Ok(())
 }
 

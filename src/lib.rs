@@ -16,7 +16,8 @@
 //! - [`netsim`] — the WiFi cost model and communication ledger
 //! - [`distsim`] — the per-generation cluster timeline simulator
 //! - [`core`] — the CLAN orchestrators (Serial / DCS / DDS / DDA), the
-//!   continuous-learning loop, and a real threaded edge runtime
+//!   continuous-learning loop, and a real networked edge runtime
+//!   (threads, loopback TCP, or remote `clan-cli agent` devices)
 //!
 //! ## Quickstart
 //!

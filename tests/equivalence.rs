@@ -157,7 +157,7 @@ fn serial_dcs_dds_produce_identical_populations() {
 fn threaded_runtime_matches_analytic_orchestrators() {
     let w = Workload::MountainCar;
     let cfg = neat_cfg(w);
-    let edge = EdgeCluster::spawn(3, w, InferenceMode::MultiStep, cfg.clone());
+    let mut edge = EdgeCluster::spawn(3, w, InferenceMode::MultiStep, cfg.clone());
     let mut threaded = Population::new(cfg.clone(), SEED);
     let mut reference = SerialOrchestrator::new(
         Population::new(cfg.clone(), SEED),
