@@ -103,7 +103,8 @@ fn bench_threaded_runtime(c: &mut Criterion) {
         .population_size(48)
         .build()
         .unwrap();
-    let mut cluster = EdgeCluster::spawn(4, w, InferenceMode::MultiStep, cfg.clone());
+    let mut cluster =
+        EdgeCluster::spawn(4, w, InferenceMode::MultiStep, cfg.clone()).expect("cluster spawns");
     c.bench_function("threaded_dcs_generation_pop48", |b| {
         b.iter_batched(
             || Population::new(cfg.clone(), 11),

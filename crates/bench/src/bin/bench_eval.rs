@@ -41,6 +41,21 @@ fn main() -> std::io::Result<()> {
             t.threads, t.genomes_per_s, t.inference_genes_per_s, t.speedup
         );
     }
+    let h = &report.hetero;
+    println!(
+        "hetero ({} agents, one {}x slower, {} rounds):",
+        h.agents, h.slow_factor, h.rounds
+    );
+    println!(
+        "  measured makespan: {:.1} ms even | {:.1} ms weighted ({:.2}x)",
+        h.measured_even_makespan_s * 1e3,
+        h.measured_weighted_makespan_s * 1e3,
+        h.measured_speedup
+    );
+    println!(
+        "  modeled  makespan: {:.2} s even | {:.2} s weighted ({:.2}x)",
+        h.model_even_makespan_s, h.model_weighted_makespan_s, h.model_speedup
+    );
     println!("wrote BENCH_eval.json");
     Ok(())
 }

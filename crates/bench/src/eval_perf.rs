@@ -17,7 +17,11 @@
 //!    so cross-PR numbers are interpreted correctly); results are
 //!    bit-identical at every thread count regardless.
 
-use clan_core::{Evaluator, InferenceMode, Orchestrator, ParallelEvaluator, SerialOrchestrator};
+use clan_core::transport::agent::serve_session;
+use clan_core::transport::{channel_pair, ClusterSpec, DelayTransport, Transport};
+use clan_core::{
+    EdgeCluster, Evaluator, InferenceMode, Orchestrator, ParallelEvaluator, SerialOrchestrator,
+};
 use clan_distsim::Cluster;
 use clan_envs::Workload;
 use clan_hw::Platform;
@@ -27,7 +31,7 @@ use clan_netsim::WifiModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Faithful reconstruction of the seed's inference hot path, kept as the
 /// measurement baseline: `BTreeMap`-based compilation and an activation
@@ -221,6 +225,38 @@ pub struct CompileMicro {
     pub speedup_vs_seed: f64,
 }
 
+/// Heterogeneous-cluster scheduling: per-generation makespan with one
+/// agent ~4x slower than its three peers, even split vs.
+/// throughput-weighted partitioning.
+///
+/// `measured_*` comes from a real 4-agent channel cluster whose slow
+/// agent is wrapped in a work-proportional
+/// [`DelayTransport`]; `model_*` is the analytic platform model's
+/// barrier time for the same skew. Both should show weighted
+/// partitioning beating the even split by roughly the skew's
+/// theoretical `(slow + 3·fast)/(4·slow)` factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeteroBench {
+    /// Agents in the skewed cluster.
+    pub agents: usize,
+    /// Throughput ratio fast:slow.
+    pub slow_factor: f64,
+    /// Evaluation rounds averaged in the measured numbers.
+    pub rounds: u64,
+    /// Measured mean per-round makespan, even split, seconds.
+    pub measured_even_makespan_s: f64,
+    /// Measured mean per-round makespan, weighted split, seconds.
+    pub measured_weighted_makespan_s: f64,
+    /// `measured_even / measured_weighted`.
+    pub measured_speedup: f64,
+    /// Modeled barrier inference time, even split, seconds.
+    pub model_even_makespan_s: f64,
+    /// Modeled barrier inference time, throughput-weighted, seconds.
+    pub model_weighted_makespan_s: f64,
+    /// `model_even / model_weighted`.
+    pub model_speedup: f64,
+}
+
 /// The full evaluation-performance report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalPerfReport {
@@ -242,6 +278,8 @@ pub struct EvalPerfReport {
     /// Full-generation throughput (inference + evolution) per thread
     /// count, in inference-genes/sec.
     pub generation: Vec<GenerationThroughput>,
+    /// Skewed-cluster makespan: even vs. throughput-weighted splits.
+    pub hetero: HeteroBench,
 }
 
 fn evolved_genome(inputs: usize, outputs: usize, mutations: u32) -> (NeatConfig, Genome) {
@@ -392,6 +430,87 @@ fn generation_throughput(
     )
 }
 
+/// Builds a 4-agent channel cluster whose first agent stalls
+/// proportionally to the work it receives (a `DelayTransport` on its
+/// session), emulating a device ~`slow_factor`x slower than its peers.
+fn skewed_channel_cluster(cfg: &NeatConfig, per_kib: Duration, agents: usize) -> EdgeCluster {
+    let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(agents);
+    for i in 0..agents {
+        let (coord, mut agent_side) = channel_pair();
+        std::thread::Builder::new()
+            .name(format!("bench-agent-{i}"))
+            .spawn(move || {
+                if i == 0 {
+                    let mut delayed =
+                        DelayTransport::new(agent_side, Duration::ZERO).with_per_kib(per_kib);
+                    let _ = serve_session(&mut delayed);
+                } else {
+                    let _ = serve_session(&mut agent_side);
+                }
+            })
+            .expect("agent thread spawns");
+        transports.push(Box::new(coord));
+    }
+    EdgeCluster::connect_transports(
+        transports,
+        ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg.clone()),
+    )
+    .expect("channel cluster configures")
+}
+
+/// Measures the skewed-cluster makespan win of throughput-weighted
+/// partitioning (real runtime + analytic model).
+fn hetero_bench(population: usize, rounds: u64) -> HeteroBench {
+    const AGENTS: usize = 4;
+    const SLOW_FACTOR: f64 = 4.0;
+    let per_kib = Duration::from_millis(10);
+    let cfg = NeatConfig::builder(Workload::CartPole.obs_dim(), Workload::CartPole.n_actions())
+        .population_size(population)
+        .build()
+        .expect("valid config");
+
+    let run = |weights: Option<[f64; AGENTS]>| -> f64 {
+        let mut cluster = skewed_channel_cluster(&cfg, per_kib, AGENTS);
+        if let Some(w) = weights {
+            cluster.set_weights(&w).expect("valid weights");
+        }
+        let mut pop = Population::new(cfg.clone(), 7);
+        for _ in 0..rounds {
+            cluster.evaluate(&mut pop).expect("cluster evaluates");
+        }
+        let stats = cluster.gather_stats();
+        cluster.shutdown();
+        stats.mean_makespan_s()
+    };
+    let measured_even = run(None);
+    let measured_weighted = run(Some([1.0, SLOW_FACTOR, SLOW_FACTOR, SLOW_FACTOR]));
+
+    // Analytic counterpart: same skew through the platform model.
+    let slow = Platform::raspberry_pi();
+    let fast = Platform {
+        inference_genes_per_sec: slow.inference_genes_per_sec * SLOW_FACTOR,
+        ..slow
+    };
+    let cluster = Cluster::new(slow, vec![slow, fast, fast, fast], WifiModel::default());
+    let genes = 200_000usize;
+    let as_genes = |counts: Vec<usize>| counts.iter().map(|&c| c as u64).collect::<Vec<u64>>();
+    let model_even = cluster.parallel_inference_time_s(&as_genes(cluster.partition(genes)));
+    let model_weighted =
+        cluster.parallel_inference_time_s(&as_genes(cluster.partition_by_throughput(genes)));
+
+    HeteroBench {
+        agents: AGENTS,
+        slow_factor: SLOW_FACTOR,
+        rounds,
+        measured_even_makespan_s: measured_even,
+        measured_weighted_makespan_s: measured_weighted,
+        measured_speedup: measured_even / measured_weighted.max(1e-9),
+        model_even_makespan_s: model_even,
+        model_weighted_makespan_s: model_weighted,
+        model_speedup: model_even / model_weighted.max(1e-9),
+    }
+}
+
 /// Runs `one(threads)` for 1/2/4/8 threads, turning the `(genomes/s,
 /// per-work-unit/s)` pairs into rows via `make_row`.
 fn scaling_rows<R>(
@@ -457,6 +576,7 @@ pub fn measure(
                 speedup,
             },
         ),
+        hetero: hetero_bench(population, generations.clamp(2, 5)),
     }
 }
 
@@ -512,6 +632,16 @@ mod tests {
         assert!(report.activation.activate_into_ns > 0.0);
         assert!(report.compile.compile_ns > 0.0);
         assert!(report.host_cpus >= 1);
+        // Skewed-cluster scenario ran on both the runtime and the model.
+        assert!(report.hetero.measured_even_makespan_s > 0.0);
+        assert!(report.hetero.measured_weighted_makespan_s > 0.0);
+        // The analytic model is deterministic: a 4x-slower agent under
+        // an even split must lose to the weighted split outright.
+        assert!(
+            report.hetero.model_speedup > 1.5,
+            "weighted partitioning should cut modeled makespan ~3x: {:?}",
+            report.hetero
+        );
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct DriverConfig {
     pub net: WifiModel,
     /// DDA-only: pool-and-redistribute period (global speciation).
     pub resync_every: Option<u64>,
+    /// Per-agent capability weights for remote backends (None = even).
+    pub agent_weights: Option<Vec<f64>>,
+    /// Whether remote partition weights recalibrate from measured
+    /// round-trip times.
+    pub calibrate: bool,
 }
 
 /// A configured, ready-to-run CLAN deployment.
@@ -130,6 +135,7 @@ impl ClanDriver {
             self.orchestrator.ledger().clone(),
         )
         .with_transport(self.orchestrator.transport_ledger().cloned())
+        .with_gather(self.orchestrator.gather_stats())
         .with_energy(clan_hw::EnergyModel::for_kind(self.config.platform))
     }
 }
@@ -150,6 +156,8 @@ pub struct ClanDriverBuilder {
     resync_every: Option<u64>,
     neat_config: Option<NeatConfig>,
     remote: RemoteBackend,
+    agent_weights: Option<Vec<f64>>,
+    calibrate: bool,
 }
 
 /// Where genome evaluation physically runs.
@@ -182,6 +190,8 @@ impl ClanDriverBuilder {
             resync_every: None,
             neat_config: None,
             remote: RemoteBackend::Local,
+            agent_weights: None,
+            calibrate: false,
         }
     }
 
@@ -274,6 +284,25 @@ impl ClanDriverBuilder {
         self
     }
 
+    /// Sets per-agent capability weights for a remote backend (one per
+    /// loopback/remote agent, in connection order): a weight-4 agent
+    /// receives 4x the genomes of a weight-1 agent each scatter.
+    /// Results are bit-identical under any weights — only chunk sizes
+    /// and therefore wall-clock balance change.
+    pub fn agent_weights(mut self, weights: Vec<f64>) -> Self {
+        self.agent_weights = Some(weights);
+        self
+    }
+
+    /// Enables round-trip-time calibration on a remote backend: the
+    /// partition weights follow an EWMA of each agent's measured
+    /// throughput over prior generations, adapting to devices whose
+    /// static weights were wrong (or unset).
+    pub fn calibrate(mut self, enabled: bool) -> Self {
+        self.calibrate = enabled;
+        self
+    }
+
     /// Validates and constructs the driver.
     ///
     /// # Errors
@@ -338,7 +367,15 @@ impl ClanDriverBuilder {
             _ => Evaluator::with_episodes(self.workload, self.mode, self.episodes_per_eval),
         };
         match &self.remote {
-            RemoteBackend::Local => {}
+            RemoteBackend::Local => {
+                if self.agent_weights.is_some() || self.calibrate {
+                    return Err(ClanError::InvalidSetup {
+                        reason: "agent weights/calibration apply to remote backends only \
+                                 (loopback_agents or remote_agents)"
+                            .into(),
+                    });
+                }
+            }
             RemoteBackend::Loopback(n) => {
                 if *n == 0 {
                     return Err(ClanError::InvalidSetup {
@@ -348,15 +385,23 @@ impl ClanDriverBuilder {
                 let spec =
                     crate::transport::ClusterSpec::new(self.workload, self.mode, cfg.clone())
                         .with_episodes(self.episodes_per_eval);
-                evaluator =
-                    evaluator.with_remote(crate::runtime::EdgeCluster::spawn_local_spec(*n, spec)?);
+                let mut cluster = crate::runtime::EdgeCluster::spawn_local_spec(*n, spec)?;
+                if let Some(w) = &self.agent_weights {
+                    cluster.set_weights(w)?;
+                }
+                cluster.set_calibration(self.calibrate);
+                evaluator = evaluator.with_remote(cluster);
             }
             RemoteBackend::Agents(addrs) => {
                 let spec =
                     crate::transport::ClusterSpec::new(self.workload, self.mode, cfg.clone())
                         .with_episodes(self.episodes_per_eval);
-                evaluator =
-                    evaluator.with_remote(crate::runtime::EdgeCluster::connect(addrs, spec)?);
+                let mut cluster = crate::runtime::EdgeCluster::connect(addrs, spec)?;
+                if let Some(w) = &self.agent_weights {
+                    cluster.set_weights(w)?;
+                }
+                cluster.set_calibration(self.calibrate);
+                evaluator = evaluator.with_remote(cluster);
             }
         }
 
@@ -410,6 +455,8 @@ impl ClanDriverBuilder {
                 platform: self.platform,
                 net: self.net,
                 resync_every: self.resync_every,
+                agent_weights: self.agent_weights,
+                calibrate: self.calibrate,
             },
             orchestrator,
         })
@@ -520,6 +567,54 @@ mod tests {
             .expect("loopback run measures traffic");
         assert!(wire.total_wire_bytes() > 0);
         assert!(networked.summary().contains("wire (measured)"));
+    }
+
+    #[test]
+    fn weighted_loopback_driver_matches_local_driver() {
+        let run = |builder: ClanDriverBuilder| {
+            builder
+                .topology(ClanTopology::dds())
+                .agents(3)
+                .population_size(12)
+                .seed(15)
+                .build()
+                .unwrap()
+                .run(2)
+                .unwrap()
+        };
+        let local = run(ClanDriver::builder(Workload::CartPole));
+        let weighted = run(ClanDriver::builder(Workload::CartPole)
+            .loopback_agents(3)
+            .agent_weights(vec![1.0, 4.0, 2.0])
+            .calibrate(true));
+        assert_eq!(local.best_fitness, weighted.best_fitness);
+        assert_eq!(
+            local.generations.last().unwrap().costs,
+            weighted.generations.last().unwrap().costs
+        );
+        let gather = weighted.gather.expect("remote run measures gathers");
+        assert!(gather.gathers > 0);
+        assert!(weighted.summary().contains("gather (measured)"));
+        assert!(local.gather.is_none());
+    }
+
+    #[test]
+    fn agent_weights_on_local_backend_rejected() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .population_size(8)
+            .agent_weights(vec![1.0])
+            .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
+    }
+
+    #[test]
+    fn mismatched_agent_weights_rejected() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .population_size(8)
+            .loopback_agents(2)
+            .agent_weights(vec![1.0, 2.0, 3.0])
+            .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
     }
 
     #[test]

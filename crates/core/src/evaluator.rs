@@ -150,6 +150,12 @@ impl Evaluator {
         self.remote.as_ref().map(EdgeCluster::ledger)
     }
 
+    /// The attached cluster's measured scatter/gather timing, when a
+    /// cluster is attached.
+    pub fn remote_gather_stats(&self) -> Option<crate::runtime::GatherStats> {
+        self.remote.as_ref().map(EdgeCluster::gather_stats)
+    }
+
     /// Agents in the attached cluster (0 = local evaluation).
     pub fn remote_agents(&self) -> usize {
         self.remote.as_ref().map_or(0, EdgeCluster::n_agents)

@@ -76,6 +76,35 @@
 //! [`error::FrameError`] (never a panic), disconnects as
 //! [`ClanError::Transport`], protocol violations as
 //! [`ClanError::Protocol`].
+//!
+//! # Heterogeneous clusters
+//!
+//! Real edge swarms mix device generations; splitting work evenly makes
+//! every generation wait on the slowest node. Two knobs remove that
+//! barrier cost without touching the determinism contract:
+//!
+//! - **Capability weights** — [`EdgeCluster::set_weights`] (or
+//!   `ClanDriverBuilder::agent_weights` / `clan-cli coordinate
+//!   --agent-weights 1,4,...`) makes every scatter partition work
+//!   proportionally to per-agent throughput, via
+//!   [`clan_distsim::partition_weighted`] (largest-remainder rounding,
+//!   no positive-weight agent ever starved). Seed them from the static
+//!   platform model with [`EdgeCluster::set_weights_from_platforms`].
+//! - **Round-trip calibration** — [`EdgeCluster::set_calibration`] (or
+//!   `ClanDriverBuilder::calibrate` / `--calibrate`) recalibrates the
+//!   weights each generation from an EWMA of measured per-chunk
+//!   round-trip throughput, so partitions track how fast agents
+//!   actually are.
+//!
+//! Gathers are **out of order**: per-link reader threads bank each
+//! response as it arrives and results replay in genome-id order, so a
+//! fast agent never idles behind a slow one and the evolved genomes
+//! remain bit-identical to a serial run under any weights
+//! (`tests/hetero_equivalence.rs`). Balance is observable: per-agent
+//! wire bytes land in
+//! [`CommLedger::agent_entries`](clan_netsim::CommLedger::agent_entries)
+//! and measured makespan vs. summed busy time in [`GatherStats`]
+//! (surfaced on [`RunReport`] and in the CLI summary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -105,7 +134,7 @@ pub use evaluator::{Evaluator, InferenceMode};
 pub use orchestra::{GenerationReport, Orchestrator};
 pub use parallel::ParallelEvaluator;
 pub use report::RunReport;
-pub use runtime::EdgeCluster;
+pub use runtime::{EdgeCluster, GatherStats};
 pub use serial::SerialOrchestrator;
 pub use topology::{ClanTopology, Placement, SpeciationMode};
 pub use transport::{ClusterSpec, Transport};

@@ -68,6 +68,13 @@ pub trait Orchestrator {
         None
     }
 
+    /// Measured scatter/gather timing of the attached real transport
+    /// (makespan vs. summed per-link busy time — the load-imbalance
+    /// signal). `None` for purely simulated runs.
+    fn gather_stats(&self) -> Option<crate::runtime::GatherStats> {
+        None
+    }
+
     /// Timeline recorder for the run so far.
     fn recorder(&self) -> &TimelineRecorder;
 

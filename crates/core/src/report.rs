@@ -25,6 +25,11 @@ pub struct RunReport {
     /// simulated runs. Kept separate from `ledger` so modeled floats are
     /// never double-counted against measured bytes.
     pub transport: Option<CommLedger>,
+    /// Measured scatter/gather timing of the real transport: summed
+    /// per-round makespan (slowest link) against summed per-link busy
+    /// time — how balanced the partitions actually were. `None` for
+    /// purely simulated runs.
+    pub gather: Option<crate::runtime::GatherStats>,
     /// Sum of all generation timelines.
     pub total_timeline: GenerationTimeline,
     /// Mean generation timeline.
@@ -73,6 +78,7 @@ impl RunReport {
             generations,
             ledger,
             transport: None,
+            gather: None,
             total_timeline,
             mean_timeline,
             best_fitness,
@@ -84,6 +90,13 @@ impl RunReport {
     /// Attaches the measured wire traffic of a real transport run.
     pub fn with_transport(mut self, transport: Option<CommLedger>) -> RunReport {
         self.transport = transport;
+        self
+    }
+
+    /// Attaches the measured scatter/gather timing of a real transport
+    /// run.
+    pub fn with_gather(mut self, gather: Option<crate::runtime::GatherStats>) -> RunReport {
+        self.gather = gather;
         self
     }
 
@@ -145,6 +158,18 @@ impl RunReport {
                 t.total_messages(),
                 t.framing_overhead().unwrap_or(f64::NAN)
             );
+        }
+        if let Some(g) = &self.gather {
+            if g.gathers > 0 {
+                let _ = writeln!(
+                    s,
+                    "  gather (measured): {} rounds, makespan {:.3} s vs per-agent busy {:.3} s (overlap {:.2}x)",
+                    g.gathers,
+                    g.makespan_s,
+                    g.busy_s,
+                    g.overlap().unwrap_or(f64::NAN)
+                );
+            }
         }
         s
     }

@@ -23,6 +23,37 @@
 //! [`CommLedger`] next to the analytic model's float accounting, so the
 //! modeled traffic of `clan-netsim` can be validated against what a
 //! real wire format costs (see [`CommLedger::framing_overhead`]).
+//!
+//! # Heterogeneity-aware scheduling
+//!
+//! Real swarms mix Pi 3s, Pi 4s, and Jetsons; splitting work evenly
+//! makes every generation wait for the slowest device. Two mechanisms
+//! keep mixed clusters busy:
+//!
+//! - **Throughput-weighted partitioning** — every scatter
+//!   ([`evaluate_collect`](EdgeCluster::evaluate_collect) and the
+//!   [`build_children`](EdgeCluster::build_children) phase of
+//!   [`step_dds_generation`](EdgeCluster::step_dds_generation)) routes
+//!   through [`clan_distsim::partition_weighted`] over per-link
+//!   capability weights ([`set_weights`](EdgeCluster::set_weights),
+//!   seeded from the static platform throughput model via
+//!   [`set_weights_from_platforms`](EdgeCluster::set_weights_from_platforms),
+//!   or `clan-cli coordinate --agent-weights`). With
+//!   [`set_calibration`](EdgeCluster::set_calibration) enabled the
+//!   weights recalibrate themselves from measured per-chunk round-trip
+//!   times (an EWMA of genomes/second over prior generations).
+//! - **Out-of-order gather** — responses are collected by per-link
+//!   reader threads as each agent finishes, then replayed in link order
+//!   (which is genome-id order, since chunks are contiguous id-ordered
+//!   slices). A fast agent's results are banked while a slow one still
+//!   computes; the determinism contract — bit-identical to serial on
+//!   serial/dcs/dds/dda — is untouched because nothing downstream ever
+//!   observes arrival order.
+//!
+//! Measured gather timing (makespan vs. summed per-link busy time)
+//! accumulates in [`GatherStats`]; per-agent wire bytes land in the
+//! ledger's [`agent_entries`](CommLedger::agent_entries), making load
+//! imbalance directly observable.
 
 use crate::error::ClanError;
 use crate::evaluator::InferenceMode;
@@ -31,16 +62,92 @@ use crate::transport::{
     channel_pair, recv_message, send_message, ClusterSpec, TcpTransport, Transport, WireEvaluation,
     WireMessage,
 };
+use clan_distsim::partition_weighted;
 use clan_envs::Workload;
 use clan_neat::{Genome, GenomeId, NeatConfig, Population};
 use clan_netsim::{CommLedger, MessageKind};
+use serde::{Deserialize, Serialize};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Smoothing factor of the round-trip-time calibration EWMA: how fast
+/// measured throughput overrides the static capability weight.
+const EWMA_ALPHA: f64 = 0.4;
 
 /// One agent as the coordinator sees it.
 struct AgentLink {
     transport: Box<dyn Transport>,
     /// Join handle for in-process agents; `None` for remote ones.
     handle: Option<JoinHandle<()>>,
+    /// Static capability weight (relative throughput; default 1.0).
+    weight: f64,
+    /// EWMA of measured evaluation throughput (genomes/second), fed by
+    /// per-chunk round-trip times when calibration is enabled.
+    measured: Option<f64>,
+}
+
+impl AgentLink {
+    fn new(transport: Box<dyn Transport>, handle: Option<JoinHandle<()>>) -> AgentLink {
+        AgentLink {
+            transport,
+            handle,
+            weight: 1.0,
+            measured: None,
+        }
+    }
+}
+
+/// Measured scatter/gather timing accumulated over a cluster's life.
+///
+/// `makespan_s` sums each gather's slowest-link wait (what a generation
+/// actually costs); `busy_s` sums every link's individual wait (the
+/// total work the cluster performed). Their ratio approaches the agent
+/// count when partitions are balanced and collapses toward 1.0 when one
+/// slow agent serializes the generation — the imbalance signal
+/// throughput-weighted partitioning exists to fix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GatherStats {
+    /// Scatter/gather rounds performed.
+    pub gathers: u64,
+    /// Summed per-round slowest-link wait, seconds.
+    pub makespan_s: f64,
+    /// Summed per-link wait across all rounds, seconds.
+    pub busy_s: f64,
+}
+
+impl GatherStats {
+    /// Mean wall-clock cost of one gather round.
+    pub fn mean_makespan_s(&self) -> f64 {
+        if self.gathers == 0 {
+            0.0
+        } else {
+            self.makespan_s / self.gathers as f64
+        }
+    }
+
+    /// Parallel-overlap ratio `busy_s / makespan_s`: ≈ agent count when
+    /// balanced, → 1.0 when one agent sets the pace. `None` until a
+    /// gather has been timed.
+    pub fn overlap(&self) -> Option<f64> {
+        (self.makespan_s > 0.0).then(|| self.busy_s / self.makespan_s)
+    }
+}
+
+/// One gathered response slot: the decoded message (or error) plus the
+/// link's measured wait in seconds; `None` until (or unless) a response
+/// was expected and arrived.
+type GatherSlot = Option<(Result<(WireMessage, u64), ClanError>, f64)>;
+
+/// Splits `items` into consecutive slices of the given sizes.
+fn chunk_by_counts<'a, T>(items: &'a [T], counts: &[usize]) -> Vec<&'a [T]> {
+    debug_assert_eq!(counts.iter().sum::<usize>(), items.len());
+    let mut chunks = Vec::with_capacity(counts.len());
+    let mut start = 0;
+    for &c in counts {
+        chunks.push(&items[start..start + c]);
+        start += c;
+    }
+    chunks
 }
 
 /// A live cluster of agents evaluating and reproducing genomes over a
@@ -60,6 +167,9 @@ pub struct EdgeCluster {
     cfg: NeatConfig,
     ledger: CommLedger,
     control_bytes: u64,
+    /// When set, partition weights follow measured round-trip times.
+    calibrate: bool,
+    gather: GatherStats,
 }
 
 impl std::fmt::Debug for EdgeCluster {
@@ -75,26 +185,42 @@ impl EdgeCluster {
     /// Spawns `n_agents` worker threads connected over in-process
     /// channels (frames still cross as encoded bytes).
     ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] if `n_agents` is zero, and
+    /// [`ClanError::Transport`] if an agent rejects configuration.
+    ///
     /// # Panics
     ///
-    /// Panics if `n_agents` is zero or a thread cannot be spawned.
+    /// Panics if the OS cannot spawn a thread.
     pub fn spawn(
         n_agents: usize,
         workload: Workload,
         mode: InferenceMode,
         cfg: NeatConfig,
-    ) -> EdgeCluster {
+    ) -> Result<EdgeCluster, ClanError> {
         Self::spawn_spec(n_agents, ClusterSpec::new(workload, mode, cfg))
     }
 
     /// [`spawn`](EdgeCluster::spawn) with a full [`ClusterSpec`]
     /// (episodes per evaluation etc.).
     ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] if `n_agents` is zero, and
+    /// [`ClanError::Transport`] if an agent rejects configuration —
+    /// the same contract as [`spawn_local_spec`](EdgeCluster::spawn_local_spec),
+    /// so callers handle channel and TCP deployments identically.
+    ///
     /// # Panics
     ///
-    /// Panics if `n_agents` is zero or a thread cannot be spawned.
-    pub fn spawn_spec(n_agents: usize, spec: ClusterSpec) -> EdgeCluster {
-        assert!(n_agents > 0, "cluster needs at least one agent");
+    /// Panics if the OS cannot spawn a thread.
+    pub fn spawn_spec(n_agents: usize, spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
+        if n_agents == 0 {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster needs at least one agent".into(),
+            });
+        }
         let links = (0..n_agents)
             .map(|i| {
                 let (coord, mut agent_side) = channel_pair();
@@ -106,13 +232,10 @@ impl EdgeCluster {
                         }
                     })
                     .expect("spawning agent thread");
-                AgentLink {
-                    transport: Box::new(coord),
-                    handle: Some(handle),
-                }
+                AgentLink::new(Box::new(coord), Some(handle))
             })
             .collect();
-        Self::configured(links, spec).expect("channel agents accept configuration")
+        Self::configured(links, spec)
     }
 
     /// Spawns `n_agents` agent threads each serving a **real TCP
@@ -121,11 +244,12 @@ impl EdgeCluster {
     ///
     /// # Errors
     ///
-    /// [`ClanError::Transport`] if binding or connecting fails.
+    /// [`ClanError::Transport`] if binding or connecting fails, and
+    /// [`ClanError::InvalidSetup`] if `n_agents` is zero.
     ///
     /// # Panics
     ///
-    /// Panics if `n_agents` is zero or a thread cannot be spawned.
+    /// Panics if the OS cannot spawn a thread.
     pub fn spawn_local(
         n_agents: usize,
         workload: Workload,
@@ -140,13 +264,18 @@ impl EdgeCluster {
     ///
     /// # Errors
     ///
-    /// [`ClanError::Transport`] if binding or connecting fails.
+    /// [`ClanError::Transport`] if binding or connecting fails, and
+    /// [`ClanError::InvalidSetup`] if `n_agents` is zero.
     ///
     /// # Panics
     ///
-    /// Panics if `n_agents` is zero or a thread cannot be spawned.
+    /// Panics if the OS cannot spawn a thread.
     pub fn spawn_local_spec(n_agents: usize, spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
-        assert!(n_agents > 0, "cluster needs at least one agent");
+        if n_agents == 0 {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster needs at least one agent".into(),
+            });
+        }
         let mut links = Vec::with_capacity(n_agents);
         for i in 0..n_agents {
             let server = AgentServer::bind("127.0.0.1:0")?;
@@ -162,10 +291,7 @@ impl EdgeCluster {
                     }
                 })
                 .expect("spawning agent thread");
-            links.push(AgentLink {
-                transport: Box::new(transport),
-                handle: Some(handle),
-            });
+            links.push(AgentLink::new(Box::new(transport), Some(handle)));
         }
         Self::configured(links, spec)
     }
@@ -186,11 +312,37 @@ impl EdgeCluster {
         }
         let mut links = Vec::with_capacity(addrs.len());
         for addr in addrs {
-            links.push(AgentLink {
-                transport: Box::new(TcpTransport::connect(addr.as_str())?),
-                handle: None,
+            links.push(AgentLink::new(
+                Box::new(TcpTransport::connect(addr.as_str())?),
+                None,
+            ));
+        }
+        Self::configured(links, spec)
+    }
+
+    /// Builds a cluster over caller-supplied transports whose agent
+    /// sides are already being served (e.g. channel pairs with
+    /// [`serve_session`] threads, possibly wrapped in a
+    /// [`DelayTransport`](crate::transport::DelayTransport) to emulate
+    /// a slow device). The cluster does not own the serving threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] on an empty transport list, plus any
+    /// configuration-push failure.
+    pub fn connect_transports(
+        transports: Vec<Box<dyn Transport>>,
+        spec: ClusterSpec,
+    ) -> Result<EdgeCluster, ClanError> {
+        if transports.is_empty() {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster needs at least one transport".into(),
             });
         }
+        let links = transports
+            .into_iter()
+            .map(|t| AgentLink::new(t, None))
+            .collect();
         Self::configured(links, spec)
     }
 
@@ -207,12 +359,128 @@ impl EdgeCluster {
             cfg: spec.cfg,
             ledger: CommLedger::new(),
             control_bytes,
+            calibrate: false,
+            gather: GatherStats::default(),
         })
     }
 
     /// Number of live agents.
     pub fn n_agents(&self) -> usize {
         self.links.len()
+    }
+
+    /// Sets per-agent capability weights: relative throughputs that
+    /// every scatter partitions work by (see
+    /// [`clan_distsim::partition_weighted`]). Equal weights (the
+    /// default 1.0) reproduce the even split exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] if the length does not match the
+    /// agent count, or any weight is negative/non-finite, or all are
+    /// zero.
+    pub fn set_weights(&mut self, weights: &[f64]) -> Result<(), ClanError> {
+        if weights.len() != self.links.len() {
+            return Err(ClanError::InvalidSetup {
+                reason: format!(
+                    "{} weight(s) for {} agent(s)",
+                    weights.len(),
+                    self.links.len()
+                ),
+            });
+        }
+        if !weights.iter().all(|w| w.is_finite() && *w >= 0.0) || weights.iter().sum::<f64>() <= 0.0
+        {
+            return Err(ClanError::InvalidSetup {
+                reason: "agent weights must be finite, non-negative, and not all zero".into(),
+            });
+        }
+        for (link, &w) in self.links.iter_mut().zip(weights) {
+            link.weight = w;
+        }
+        Ok(())
+    }
+
+    /// Builder-style [`set_weights`](EdgeCluster::set_weights).
+    ///
+    /// # Errors
+    ///
+    /// See [`set_weights`](EdgeCluster::set_weights).
+    pub fn with_weights(mut self, weights: &[f64]) -> Result<EdgeCluster, ClanError> {
+        self.set_weights(weights)?;
+        Ok(self)
+    }
+
+    /// Seeds capability weights from the static platform throughput
+    /// model: each agent's weight is its platform's modeled inference
+    /// genes/second (paper Table IV calibration).
+    ///
+    /// # Errors
+    ///
+    /// See [`set_weights`](EdgeCluster::set_weights).
+    pub fn set_weights_from_platforms(
+        &mut self,
+        platforms: &[clan_hw::Platform],
+    ) -> Result<(), ClanError> {
+        let weights: Vec<f64> = platforms
+            .iter()
+            .map(|p| p.inference_genes_per_sec)
+            .collect();
+        self.set_weights(&weights)
+    }
+
+    /// Enables (or disables) round-trip-time calibration: after each
+    /// evaluation round, every link's weight is recalibrated toward its
+    /// measured throughput (an EWMA of genomes/second), so partitions
+    /// track how fast agents *actually* are rather than how fast the
+    /// static weights claim. Results stay bit-identical — only chunk
+    /// sizes change, and replay is always in genome-id order.
+    pub fn set_calibration(&mut self, enabled: bool) {
+        self.calibrate = enabled;
+    }
+
+    /// Builder-style [`set_calibration`](EdgeCluster::set_calibration).
+    pub fn with_calibration(mut self, enabled: bool) -> EdgeCluster {
+        self.set_calibration(enabled);
+        self
+    }
+
+    /// The static capability weights currently configured.
+    pub fn weights(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.weight).collect()
+    }
+
+    /// The weights the next scatter will actually partition by.
+    ///
+    /// Measured throughputs are used only once every positive-weight
+    /// link has one — mixing measured genomes/second with static
+    /// weights on an arbitrary scale would skew the split; until then
+    /// (and whenever calibration is off) the static weights apply.
+    pub fn effective_weights(&self) -> Vec<f64> {
+        let calibrated = self.calibrate
+            && self
+                .links
+                .iter()
+                .all(|l| l.weight <= 0.0 || l.measured.is_some());
+        if calibrated {
+            self.links
+                .iter()
+                .map(|l| {
+                    if l.weight <= 0.0 {
+                        0.0
+                    } else {
+                        l.measured.unwrap_or(0.0)
+                    }
+                })
+                .collect()
+        } else {
+            self.weights()
+        }
+    }
+
+    /// Measured scatter/gather timing accumulated so far.
+    pub fn gather_stats(&self) -> GatherStats {
+        self.gather
     }
 
     /// Traffic observed on this cluster's transport, with both the
@@ -237,47 +505,165 @@ impl EdgeCluster {
         &self.cfg
     }
 
+    /// Scatters one request per link (skipping `None` entries) and
+    /// gathers the responses **out of order**: a reader thread per
+    /// pending link banks each response the moment it arrives, so a
+    /// fast agent never waits behind a slow one in the collection loop.
+    /// All bookkeeping — ledger rows, calibration, error propagation —
+    /// then replays in link order, keeping every observable effect
+    /// deterministic regardless of arrival order.
+    ///
+    /// Each request carries its work-item count; when
+    /// `calibrate_throughput` is set the per-link round-trip time feeds
+    /// the EWMA throughput estimate behind
+    /// [`effective_weights`](EdgeCluster::effective_weights).
+    fn exchange(
+        &mut self,
+        send_kind: MessageKind,
+        recv_kind: MessageKind,
+        requests: &[Option<(WireMessage, u64)>],
+        calibrate_throughput: bool,
+    ) -> Result<Vec<Option<WireMessage>>, ClanError> {
+        let EdgeCluster {
+            links,
+            ledger,
+            gather,
+            calibrate,
+            ..
+        } = self;
+        debug_assert_eq!(requests.len(), links.len());
+        // Scatter in link order.
+        for (i, (link, req)) in links.iter_mut().zip(requests).enumerate() {
+            if let Some((msg, _)) = req {
+                let bytes = send_message(link.transport.as_mut(), msg)?;
+                ledger.record_agent_wire(i, send_kind, msg.modeled_floats(), bytes);
+            }
+        }
+        // Gather out of order: one reader thread per pending link.
+        let start = Instant::now();
+        let mut slots: Vec<GatherSlot> = (0..links.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let mut pending = 0usize;
+            for (i, (link, req)) in links.iter_mut().zip(requests).enumerate() {
+                if req.is_none() {
+                    continue;
+                }
+                pending += 1;
+                let tx = tx.clone();
+                let transport: &mut dyn Transport = link.transport.as_mut();
+                s.spawn(move || {
+                    let result = recv_message(transport);
+                    let _ = tx.send((i, result, start.elapsed().as_secs_f64()));
+                });
+            }
+            drop(tx);
+            for (i, result, elapsed) in rx.iter().take(pending) {
+                slots[i] = Some((result, elapsed));
+            }
+        });
+        // Replay in link order (deterministic bookkeeping).
+        let mut makespan = 0.0f64;
+        let mut busy = 0.0f64;
+        let mut responses = Vec::with_capacity(links.len());
+        let mut first_err: Option<ClanError> = None;
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                None => responses.push(None),
+                Some((Ok((msg, bytes)), elapsed)) => {
+                    ledger.record_agent_wire(i, recv_kind, msg.modeled_floats(), bytes);
+                    makespan = makespan.max(elapsed);
+                    busy += elapsed;
+                    if calibrate_throughput && *calibrate {
+                        if let Some((_, work)) = &requests[i] {
+                            if *work > 0 {
+                                let throughput = *work as f64 / elapsed.max(1e-6);
+                                let link = &mut links[i];
+                                link.measured = Some(match link.measured {
+                                    Some(prev) => {
+                                        EWMA_ALPHA * throughput + (1.0 - EWMA_ALPHA) * prev
+                                    }
+                                    None => throughput,
+                                });
+                            }
+                        }
+                    }
+                    responses.push(Some(msg));
+                }
+                Some((Err(e), _)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    responses.push(None);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        gather.gathers += 1;
+        gather.makespan_s += makespan;
+        gather.busy_s += busy;
+        Ok(responses)
+    }
+
     /// Distributed inference, returning per-genome results in genome-id
     /// order together with each compiled network's per-activation gene
     /// cost — everything the orchestrators need to replay the paper's
     /// cost accounting bit-identically to a serial run. Does **not**
     /// touch the population's fitness or counters.
     ///
+    /// Work is split by the capability weights (even by default) and
+    /// responses are gathered out of order; since chunks are contiguous
+    /// id-ordered slices concatenated in link order, the returned batch
+    /// is id-ordered no matter which agent answered first.
+    ///
     /// # Errors
     ///
-    /// Transport/frame errors, and [`ClanError::Protocol`] if an agent
-    /// returns results for the wrong genomes.
+    /// Transport/frame errors, [`ClanError::Protocol`] if an agent
+    /// returns results for the wrong genomes, and
+    /// [`ClanError::InvalidSetup`] on a cluster with no live agents.
     pub fn evaluate_collect(&mut self, pop: &Population) -> Result<Vec<WireEvaluation>, ClanError> {
+        if self.links.is_empty() {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster has no live agents to evaluate on".into(),
+            });
+        }
         let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
         let master_seed = pop.master_seed();
         let generation = pop.generation();
-        let per = ids.len().div_ceil(self.links.len()).max(1);
-        let chunks: Vec<&[GenomeId]> = ids.chunks(per).collect();
-        let EdgeCluster { links, ledger, .. } = self;
-        // Scatter contiguous id-ordered chunks...
-        for (link, chunk) in links.iter_mut().zip(&chunks) {
-            let msg = WireMessage::Evaluate {
-                generation,
-                master_seed,
-                genomes: chunk
-                    .iter()
-                    .map(|id| pop.genome(*id).expect("id from population").clone())
-                    .collect(),
-            };
-            let bytes = send_message(link.transport.as_mut(), &msg)?;
-            ledger.record_wire(MessageKind::SendGenomes, msg.modeled_floats(), bytes);
-        }
-        // ...and gather in link order, which concatenates back to
-        // genome-id order.
+        let counts = partition_weighted(ids.len(), &self.effective_weights());
+        let chunks = chunk_by_counts(&ids, &counts);
+        let requests: Vec<Option<(WireMessage, u64)>> = chunks
+            .iter()
+            .map(|chunk| {
+                (!chunk.is_empty()).then(|| {
+                    let msg = WireMessage::Evaluate {
+                        generation,
+                        master_seed,
+                        genomes: chunk
+                            .iter()
+                            .map(|id| pop.genome(*id).expect("id from population").clone())
+                            .collect(),
+                    };
+                    (msg, chunk.len() as u64)
+                })
+            })
+            .collect();
+        let responses = self.exchange(
+            MessageKind::SendGenomes,
+            MessageKind::SendFitness,
+            &requests,
+            true,
+        )?;
         let mut results = Vec::with_capacity(ids.len());
-        for (link, chunk) in links.iter_mut().zip(&chunks) {
-            let (msg, bytes) = recv_message(link.transport.as_mut())?;
-            ledger.record_wire(MessageKind::SendFitness, msg.modeled_floats(), bytes);
+        for (i, (chunk, response)) in chunks.iter().zip(responses).enumerate() {
+            let Some(msg) = response else { continue };
             let batch = match msg {
                 WireMessage::Fitness(batch) => batch,
                 other => {
                     return Err(ClanError::Protocol {
-                        peer: link.transport.peer(),
+                        peer: self.links[i].transport.peer(),
                         reason: format!("expected Fitness, got {other:?}"),
                     })
                 }
@@ -286,7 +672,7 @@ impl EdgeCluster {
                 || batch.iter().zip(chunk.iter()).any(|(r, id)| r.0 != *id)
             {
                 return Err(ClanError::Protocol {
-                    peer: link.transport.peer(),
+                    peer: self.links[i].transport.peer(),
                     reason: "fitness batch does not match the genomes sent".into(),
                 });
             }
@@ -322,35 +708,49 @@ impl EdgeCluster {
         pop: &Population,
         plan: &clan_neat::GenerationPlan,
     ) -> Result<Vec<Genome>, ClanError> {
-        let per = plan.children.len().div_ceil(self.links.len()).max(1);
-        let chunks: Vec<_> = plan.children.chunks(per).collect();
-        let EdgeCluster { links, ledger, .. } = self;
-        for (link, chunk) in links.iter_mut().zip(&chunks) {
-            // Only the parents this chunk needs travel to the agent.
-            let mut parent_ids: Vec<GenomeId> = chunk.iter().flat_map(|s| s.parent_ids()).collect();
-            parent_ids.sort_unstable();
-            parent_ids.dedup();
-            let msg = WireMessage::BuildChildren {
-                generation: plan.generation,
-                master_seed: pop.master_seed(),
-                specs: chunk.to_vec(),
-                parents: parent_ids
-                    .iter()
-                    .map(|id| pop.genome(*id).expect("parent resident").clone())
-                    .collect(),
-            };
-            let bytes = send_message(link.transport.as_mut(), &msg)?;
-            ledger.record_wire(MessageKind::SendParentGenomes, msg.modeled_floats(), bytes);
+        if self.links.is_empty() {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster has no live agents to reproduce on".into(),
+            });
         }
+        let counts = partition_weighted(plan.children.len(), &self.effective_weights());
+        let chunks = chunk_by_counts(&plan.children, &counts);
+        let requests: Vec<Option<(WireMessage, u64)>> = chunks
+            .iter()
+            .map(|chunk| {
+                (!chunk.is_empty()).then(|| {
+                    // Only the parents this chunk needs travel to the agent.
+                    let mut parent_ids: Vec<GenomeId> =
+                        chunk.iter().flat_map(|s| s.parent_ids()).collect();
+                    parent_ids.sort_unstable();
+                    parent_ids.dedup();
+                    let msg = WireMessage::BuildChildren {
+                        generation: plan.generation,
+                        master_seed: pop.master_seed(),
+                        specs: chunk.to_vec(),
+                        parents: parent_ids
+                            .iter()
+                            .map(|id| pop.genome(*id).expect("parent resident").clone())
+                            .collect(),
+                    };
+                    (msg, chunk.len() as u64)
+                })
+            })
+            .collect();
+        let responses = self.exchange(
+            MessageKind::SendParentGenomes,
+            MessageKind::SendChildren,
+            &requests,
+            false,
+        )?;
         let mut children = Vec::with_capacity(plan.children.len());
-        for (link, chunk) in links.iter_mut().zip(&chunks) {
-            let (msg, bytes) = recv_message(link.transport.as_mut())?;
-            ledger.record_wire(MessageKind::SendChildren, msg.modeled_floats(), bytes);
+        for (i, (chunk, response)) in chunks.iter().zip(responses).enumerate() {
+            let Some(msg) = response else { continue };
             let batch = match msg {
                 WireMessage::Children(batch) => batch,
                 other => {
                     return Err(ClanError::Protocol {
-                        peer: link.transport.peer(),
+                        peer: self.links[i].transport.peer(),
                         reason: format!("expected Children, got {other:?}"),
                     })
                 }
@@ -362,7 +762,7 @@ impl EdgeCluster {
                     .any(|(child, spec)| child.id() != spec.child_id)
             {
                 return Err(ClanError::Protocol {
-                    peer: link.transport.peer(),
+                    peer: self.links[i].transport.peer(),
                     reason: format!(
                         "children batch does not match the {} specs sent",
                         chunk.len()
@@ -460,7 +860,8 @@ mod tests {
 
     fn spawn_both(n: usize, cfg: &NeatConfig) -> Vec<EdgeCluster> {
         vec![
-            EdgeCluster::spawn(n, Workload::CartPole, InferenceMode::MultiStep, cfg.clone()),
+            EdgeCluster::spawn(n, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .expect("channel cluster spawns"),
             EdgeCluster::spawn_local(n, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
                 .expect("loopback cluster binds"),
         ]
@@ -492,7 +893,8 @@ mod tests {
     fn real_dcs_generations_match_serial_evolution() {
         let cfg = cfg(12);
         let mut cluster =
-            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
         let mut real = Population::new(cfg.clone(), 5);
         let mut serial = Population::new(cfg.clone(), 5);
         let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
@@ -574,5 +976,131 @@ mod tests {
             assert!(pop.genomes().values().all(|g| g.fitness().is_some()));
             cluster.shutdown();
         }
+    }
+
+    #[test]
+    fn zero_agent_spawn_is_a_typed_error_not_a_panic() {
+        let cfg = cfg(4);
+        let spec = ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg);
+        assert!(matches!(
+            EdgeCluster::spawn_spec(0, spec.clone()),
+            Err(ClanError::InvalidSetup { .. })
+        ));
+        assert!(matches!(
+            EdgeCluster::spawn_local_spec(0, spec.clone()),
+            Err(ClanError::InvalidSetup { .. })
+        ));
+        assert!(matches!(
+            EdgeCluster::connect_transports(vec![], spec),
+            Err(ClanError::InvalidSetup { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_partition_busies_every_agent() {
+        // The even-split chunks(div_ceil) bug: 5 genomes on 4 agents
+        // became 2/2/1 with one agent fully idle. The partitioner must
+        // give every agent a share, visible in the per-agent ledger.
+        let cfg = cfg(5);
+        for mut cluster in spawn_both(4, &cfg) {
+            let mut pop = Population::new(cfg.clone(), 3);
+            cluster.evaluate(&mut pop).unwrap();
+            let rows = cluster.ledger().agent_entries();
+            assert_eq!(rows.len(), 4);
+            for (i, row) in rows.iter().enumerate() {
+                assert!(row.messages > 0, "agent {i} was starved: {rows:?}");
+            }
+            cluster.shutdown();
+        }
+    }
+
+    #[test]
+    fn skewed_weights_change_partition_but_not_results() {
+        let cfg = cfg(16);
+        let fitness_of = |cluster: &mut EdgeCluster| {
+            let mut pop = Population::new(cfg.clone(), 21);
+            cluster.evaluate(&mut pop).unwrap();
+            pop.genomes()
+                .values()
+                .map(|g| g.fitness().unwrap())
+                .collect::<Vec<f64>>()
+        };
+        let mut even =
+            EdgeCluster::spawn(4, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        let mut skewed =
+            EdgeCluster::spawn(4, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap()
+                .with_weights(&[1.0, 5.0, 2.0, 8.0])
+                .unwrap();
+        assert_eq!(fitness_of(&mut even), fitness_of(&mut skewed));
+        // The heavy agent carried more genome traffic than the light one.
+        let rows = skewed.ledger().agent_entries();
+        assert!(
+            rows[3].floats > rows[0].floats,
+            "weight 8 vs 1 must skew traffic: {rows:?}"
+        );
+        even.shutdown();
+        skewed.shutdown();
+    }
+
+    #[test]
+    fn calibration_measures_throughput_and_keeps_results_identical() {
+        let cfg = cfg(12);
+        let mut plain =
+            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        let mut calibrated =
+            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap()
+                .with_calibration(true);
+        let mut a = Population::new(cfg.clone(), 9);
+        let mut b = Population::new(cfg.clone(), 9);
+        for _ in 0..3 {
+            plain.step_dcs_generation(&mut a).unwrap();
+            calibrated.step_dcs_generation(&mut b).unwrap();
+        }
+        assert_eq!(a.genomes(), b.genomes());
+        // After a round, every link has a measured throughput and the
+        // effective weights switched to it.
+        assert!(calibrated.effective_weights().iter().all(|w| *w > 0.0));
+        assert_ne!(calibrated.effective_weights(), calibrated.weights());
+        plain.shutdown();
+        calibrated.shutdown();
+    }
+
+    #[test]
+    fn gather_stats_accumulate_makespan_and_busy_time() {
+        let cfg = cfg(8);
+        let mut cluster =
+            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        assert_eq!(cluster.gather_stats().gathers, 0);
+        let mut pop = Population::new(cfg, 4);
+        cluster.evaluate(&mut pop).unwrap();
+        let stats = cluster.gather_stats();
+        assert_eq!(stats.gathers, 1);
+        assert!(stats.makespan_s > 0.0);
+        assert!(
+            stats.busy_s >= stats.makespan_s,
+            "busy time sums over links"
+        );
+        assert!(stats.mean_makespan_s() > 0.0);
+        assert!(stats.overlap().unwrap() >= 1.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn weight_validation_rejects_bad_inputs() {
+        let cfg = cfg(4);
+        let mut cluster =
+            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg).unwrap();
+        assert!(cluster.set_weights(&[1.0]).is_err(), "length mismatch");
+        assert!(cluster.set_weights(&[1.0, -1.0]).is_err(), "negative");
+        assert!(cluster.set_weights(&[0.0, 0.0]).is_err(), "all zero");
+        assert!(cluster.set_weights(&[f64::NAN, 1.0]).is_err(), "NaN");
+        cluster.set_weights(&[2.0, 0.5]).unwrap();
+        assert_eq!(cluster.weights(), vec![2.0, 0.5]);
+        cluster.shutdown();
     }
 }

@@ -98,6 +98,10 @@ impl Orchestrator for SerialOrchestrator {
         self.evaluator.remote_ledger()
     }
 
+    fn gather_stats(&self) -> Option<crate::runtime::GatherStats> {
+        self.evaluator.remote_gather_stats()
+    }
+
     fn recorder(&self) -> &TimelineRecorder {
         &self.recorder
     }

@@ -111,6 +111,7 @@ fn message_name(msg: &WireMessage) -> &'static str {
 #[derive(Debug)]
 pub struct AgentServer {
     listener: TcpListener,
+    delay: std::time::Duration,
 }
 
 impl AgentServer {
@@ -125,7 +126,19 @@ impl AgentServer {
             peer: addr.to_string(),
             reason: format!("bind failed: {e}"),
         })?;
-        Ok(AgentServer { listener })
+        Ok(AgentServer {
+            listener,
+            delay: std::time::Duration::ZERO,
+        })
+    }
+
+    /// Adds an artificial per-request delay (`clan-cli agent
+    /// --delay-ms`): every received frame stalls this long before being
+    /// processed, emulating a slower device for heterogeneity testing.
+    /// Results are unchanged — only timing.
+    pub fn with_delay(mut self, delay: std::time::Duration) -> AgentServer {
+        self.delay = delay;
+        self
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -153,7 +166,11 @@ impl AgentServer {
             reason: format!("accept failed: {e}"),
         })?;
         let mut transport = super::TcpTransport::from_stream(stream, peer.to_string());
-        serve_session(&mut transport)
+        if self.delay.is_zero() {
+            serve_session(&mut transport)
+        } else {
+            serve_session(&mut super::DelayTransport::new(transport, self.delay))
+        }
     }
 
     /// Serves coordinators forever, logging (not propagating) per-session

@@ -24,12 +24,14 @@
 pub mod agent;
 mod channel;
 pub mod codec;
+mod delay;
 mod tcp;
 
 pub use channel::{channel_pair, ChannelTransport};
 pub use codec::{
     decode, encode, ClusterSpec, WireEvaluation, WireMessage, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
 };
+pub use delay::DelayTransport;
 pub use tcp::TcpTransport;
 
 use crate::error::ClanError;

@@ -21,5 +21,5 @@
 pub mod cluster;
 pub mod timeline;
 
-pub use cluster::Cluster;
+pub use cluster::{partition_even, partition_weighted, Cluster};
 pub use timeline::{GenerationTimeline, ShareBreakdown, TimelineRecorder};

@@ -70,6 +70,11 @@ pub struct LedgerEntry {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommLedger {
     entries: BTreeMap<MessageKind, LedgerEntry>,
+    /// Traffic attributed to individual agents (index = agent/link id),
+    /// populated by the real runtime's per-link recording. Empty for
+    /// modeled-only ledgers. This is what makes partition imbalance
+    /// visible: a starved agent shows a zero row.
+    per_agent: Vec<LedgerEntry>,
 }
 
 impl CommLedger {
@@ -93,6 +98,26 @@ impl CommLedger {
         e.messages += 1;
         e.floats += floats;
         e.wire_bytes += wire_bytes;
+    }
+
+    /// [`record_wire`](CommLedger::record_wire) that additionally
+    /// attributes the message to agent `agent` (a coordinator-side link
+    /// index), so per-agent load imbalance can be measured.
+    pub fn record_agent_wire(&mut self, agent: usize, kind: MessageKind, floats: u64, bytes: u64) {
+        self.record_wire(kind, floats, bytes);
+        if self.per_agent.len() <= agent {
+            self.per_agent.resize(agent + 1, LedgerEntry::default());
+        }
+        let e = &mut self.per_agent[agent];
+        e.messages += 1;
+        e.floats += floats;
+        e.wire_bytes += bytes;
+    }
+
+    /// Per-agent traffic rows (index = link id). Empty unless the
+    /// recorder attributed messages to agents.
+    pub fn agent_entries(&self) -> &[LedgerEntry] {
+        &self.per_agent
     }
 
     /// Accumulated entry for `kind`.
@@ -149,6 +174,15 @@ impl CommLedger {
             mine.floats += e.floats;
             mine.wire_bytes += e.wire_bytes;
         }
+        if self.per_agent.len() < other.per_agent.len() {
+            self.per_agent
+                .resize(other.per_agent.len(), LedgerEntry::default());
+        }
+        for (mine, e) in self.per_agent.iter_mut().zip(&other.per_agent) {
+            mine.messages += e.messages;
+            mine.floats += e.floats;
+            mine.wire_bytes += e.wire_bytes;
+        }
     }
 }
 
@@ -197,6 +231,36 @@ mod tests {
         assert_eq!(rows[0].0, MessageKind::SendGenomes);
         assert_eq!(rows[0].1.floats, 0);
         assert_eq!(rows[5].1.floats, 7);
+    }
+
+    #[test]
+    fn per_agent_rows_attribute_traffic() {
+        let mut l = CommLedger::new();
+        assert!(l.agent_entries().is_empty());
+        l.record_agent_wire(0, MessageKind::SendGenomes, 100, 900);
+        l.record_agent_wire(2, MessageKind::SendGenomes, 50, 500);
+        l.record_agent_wire(0, MessageKind::SendFitness, 4, 40);
+        let rows = l.agent_entries();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].messages, 2);
+        assert_eq!(rows[0].wire_bytes, 940);
+        assert_eq!(rows[1], LedgerEntry::default(), "idle agent is visible");
+        assert_eq!(rows[2].floats, 50);
+        // Kind-level totals include the attributed messages exactly once.
+        assert_eq!(l.entry(MessageKind::SendGenomes).messages, 2);
+        assert_eq!(l.total_wire_bytes(), 1440);
+    }
+
+    #[test]
+    fn merge_extends_per_agent_rows() {
+        let mut a = CommLedger::new();
+        let mut b = CommLedger::new();
+        a.record_agent_wire(0, MessageKind::SendFitness, 2, 20);
+        b.record_agent_wire(1, MessageKind::SendFitness, 4, 40);
+        a.merge(&b);
+        assert_eq!(a.agent_entries().len(), 2);
+        assert_eq!(a.agent_entries()[0].floats, 2);
+        assert_eq!(a.agent_entries()[1].wire_bytes, 40);
     }
 
     #[test]

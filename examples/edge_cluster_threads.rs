@@ -43,7 +43,8 @@ fn main() {
     );
 
     // Distributed run over real threads.
-    let mut cluster = EdgeCluster::spawn(agents, w, InferenceMode::MultiStep, cfg.clone());
+    let mut cluster = EdgeCluster::spawn(agents, w, InferenceMode::MultiStep, cfg.clone())
+        .expect("cluster spawns");
     let mut distributed = Population::new(cfg.clone(), 99);
     let t0 = Instant::now();
     for gen in 0..GENERATIONS {

@@ -60,13 +60,15 @@ USAGE:
                  [--episodes N] [--eval-threads N]
   clan-cli solve [same flags; runs until the workload's solved score or
                  --max-generations N]
-  clan-cli agent --listen ADDR
+  clan-cli agent --listen ADDR [--delay-ms N]
                  (serve as an edge agent; workload and NEAT config arrive
                  from the coordinator over the wire; --once serves one
-                 session then exits)
+                 session then exits; --delay-ms stalls each request to
+                 emulate a slower device)
   clan-cli coordinate [run flags] (--agents-at ADDR,ADDR,... | --loopback N)
+                 [--agent-weights W,W,...] [--calibrate]
                  (drive a run over real TCP agents; bit-identical to the
-                 same run executed locally)
+                 same run executed locally under any weights)
   clan-cli export-champion [--workload W] [--generations N] [--seed N]
                  [--out FILE.dot]
   clan-cli list  (available workloads, topologies, platforms)
@@ -75,7 +77,12 @@ DEFAULTS: workload=cartpole topology=serial agents=1 generations=5
           population=150 seed=0 platform=pi eval-threads=1
 
 --eval-threads N runs genome evaluation across N host threads;
-results are bit-identical to serial, only wall-clock time changes.";
+results are bit-identical to serial, only wall-clock time changes.
+
+--agent-weights 1,4 gives the second agent 4x the work per scatter
+(heterogeneous swarms: weight ~ relative device throughput); --calibrate
+recalibrates the weights every generation from measured round-trip
+times. Both change only chunk sizes, never the evolved result.";
 
 struct Flags(Vec<String>);
 
@@ -108,6 +115,50 @@ fn parse_workload(s: &str) -> Result<Workload, String> {
         .into_iter()
         .find(|w| w.name().to_lowercase().contains(&lower))
         .ok_or_else(|| format!("unknown workload `{s}` (try `clan-cli list`)"))
+}
+
+/// Parses `--agents-at`'s comma-separated address list: trims each
+/// segment, skips empties left by stray commas, and rejects duplicates
+/// (a single agent serves one session at a time, so a duplicated
+/// address would hang the coordinator) and effectively-empty lists with
+/// a clear message instead of a confusing downstream connect error.
+fn parse_agent_list(list: &str) -> Result<Vec<String>, String> {
+    let mut addrs: Vec<String> = Vec::new();
+    for seg in list.split(',') {
+        let addr = seg.trim();
+        if addr.is_empty() {
+            continue;
+        }
+        if addrs.iter().any(|a| a == addr) {
+            return Err(format!(
+                "duplicate agent address `{addr}` in --agents-at (each agent serves one session)"
+            ));
+        }
+        addrs.push(addr.to_string());
+    }
+    if addrs.is_empty() {
+        return Err("--agents-at needs at least one HOST:PORT address".into());
+    }
+    Ok(addrs)
+}
+
+/// Parses `--agent-weights`'s comma-separated relative throughputs.
+fn parse_weight_list(list: &str) -> Result<Vec<f64>, String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| format!("invalid weight `{s}` in --agent-weights"))
+        })
+        .collect::<Result<Vec<f64>, String>>()
+        .and_then(|w| {
+            if w.is_empty() {
+                Err("--agent-weights needs at least one weight".into())
+            } else {
+                Ok(w)
+            }
+        })
 }
 
 fn parse_platform(s: &str) -> Result<PlatformKind, String> {
@@ -179,8 +230,14 @@ fn cmd_run(args: &[String], until_solved: bool) -> Result<(), String> {
 fn cmd_agent(args: &[String]) -> Result<(), String> {
     let flags = Flags(args.to_vec());
     let listen = flags.get("--listen").unwrap_or("127.0.0.1:7777");
-    let server = AgentServer::bind(listen).map_err(|e| e.to_string())?;
+    let delay_ms: u64 = flags.parse("--delay-ms", 0)?;
+    let server = AgentServer::bind(listen)
+        .map_err(|e| e.to_string())?
+        .with_delay(std::time::Duration::from_millis(delay_ms));
     println!("clan agent listening on {}", server.local_addr());
+    if delay_ms > 0 {
+        println!("  artificial per-request delay: {delay_ms} ms (heterogeneity testing)");
+    }
     if flags.has("--once") {
         server.serve_once().map_err(|e| e.to_string())?;
         println!("session complete");
@@ -198,13 +255,12 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
             return Err("--agents-at and --loopback are mutually exclusive".into())
         }
         (Some(list), _) => {
-            let addrs: Vec<String> = list
-                .split(',')
-                .map(str::trim)
-                .filter(|a| !a.is_empty())
-                .map(String::from)
-                .collect();
-            println!("coordinating {} remote agent(s): {list}", addrs.len());
+            let addrs = parse_agent_list(list)?;
+            println!(
+                "coordinating {} remote agent(s): {}",
+                addrs.len(),
+                addrs.join(", ")
+            );
             builder.remote_agents(addrs)
         }
         (None, 0) => return Err("coordinate needs --agents-at ADDR,... or --loopback N".into()),
@@ -213,6 +269,15 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
             builder.loopback_agents(n)
         }
     };
+    if let Some(list) = flags.get("--agent-weights") {
+        let weights = parse_weight_list(list)?;
+        println!("  agent capability weights: {weights:?}");
+        builder = builder.agent_weights(weights);
+    }
+    if flags.has("--calibrate") {
+        println!("  round-trip-time calibration enabled");
+        builder = builder.calibrate(true);
+    }
     let driver = builder.build().map_err(|e| e.to_string())?;
     let gens = flags.parse("--generations", 5u64)?;
     let report = driver.run(gens).map_err(|e| e.to_string())?;
@@ -227,6 +292,27 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
             println!(
                 "  framing overhead vs 4-byte/gene model: {overhead:.2}x ({} modeled bytes)",
                 t.modeled_bytes()
+            );
+        }
+        let per_agent = t.agent_entries();
+        if !per_agent.is_empty() {
+            println!("  per-agent wire bytes:");
+            for (i, row) in per_agent.iter().enumerate() {
+                println!(
+                    "    agent {i}: {:>10} bytes in {:>4} messages",
+                    row.wire_bytes, row.messages
+                );
+            }
+        }
+    }
+    if let Some(g) = &report.gather {
+        if g.gathers > 0 {
+            println!(
+                "  gather timing: {} rounds, makespan {:.3} s vs per-agent busy {:.3} s (overlap {:.2}x)",
+                g.gathers,
+                g.makespan_s,
+                g.busy_s,
+                g.overlap().unwrap_or(f64::NAN)
             );
         }
     }
@@ -285,4 +371,43 @@ fn cmd_list() {
     }
     println!("\ntopologies: serial, dcs, dds, dda");
     println!("platforms: pi, jetson, jetson-gpu, hpc, hpc-gpu, systolic");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_list_trims_whitespace_and_skips_stray_commas() {
+        assert_eq!(
+            parse_agent_list("a:1, b:2,").unwrap(),
+            vec!["a:1".to_string(), "b:2".to_string()]
+        );
+        assert_eq!(
+            parse_agent_list("  10.0.0.2:7777 ,,10.0.0.3:7777  ").unwrap(),
+            vec!["10.0.0.2:7777".to_string(), "10.0.0.3:7777".to_string()]
+        );
+    }
+
+    #[test]
+    fn agent_list_rejects_empty_lists_with_clear_message() {
+        for bad in ["", "  ", ",", " , ,, "] {
+            let err = parse_agent_list(bad).unwrap_err();
+            assert!(err.contains("at least one"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn agent_list_rejects_duplicates() {
+        let err = parse_agent_list("a:1,b:2, a:1").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(err.contains("a:1"), "{err}");
+    }
+
+    #[test]
+    fn weight_list_parses_and_validates() {
+        assert_eq!(parse_weight_list("1, 4,2.5,").unwrap(), vec![1.0, 4.0, 2.5]);
+        assert!(parse_weight_list("1,x").unwrap_err().contains("invalid"));
+        assert!(parse_weight_list(" , ").unwrap_err().contains("at least"));
+    }
 }

@@ -157,7 +157,8 @@ fn serial_dcs_dds_produce_identical_populations() {
 fn threaded_runtime_matches_analytic_orchestrators() {
     let w = Workload::MountainCar;
     let cfg = neat_cfg(w);
-    let mut edge = EdgeCluster::spawn(3, w, InferenceMode::MultiStep, cfg.clone());
+    let mut edge =
+        EdgeCluster::spawn(3, w, InferenceMode::MultiStep, cfg.clone()).expect("cluster spawns");
     let mut threaded = Population::new(cfg.clone(), SEED);
     let mut reference = SerialOrchestrator::new(
         Population::new(cfg.clone(), SEED),

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the CLAN stack.
 
+use clan::distsim::{partition_even, partition_weighted};
 use clan::envs::Workload;
 use clan::hw::Platform;
 use clan::neat::genome::Genome;
@@ -194,5 +195,61 @@ proptest! {
         prop_assert!(p.inference_time_s(genes + 1) >= t);
         prop_assert!(p.evolution_time_s(genes) <= t,
             "evolution ops are modeled faster per gene than inference");
+    }
+
+    // ---------------- weighted-partition invariants ----------------
+
+    #[test]
+    fn partition_weighted_conserves_items_and_never_starves(
+        items in 0usize..600,
+        weights in proptest::collection::vec(0.0f64..16.0, 1..12),
+    ) {
+        let counts = partition_weighted(items, &weights);
+        prop_assert_eq!(counts.len(), weights.len());
+        prop_assert_eq!(counts.iter().sum::<usize>(), items, "counts must sum to items");
+        // Whenever there is enough work to go around, every
+        // positive-weight agent gets at least one item.
+        let positive = weights.iter().filter(|w| **w > 0.0).count();
+        if positive > 0 && items >= positive {
+            for (i, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+                if w > 0.0 {
+                    prop_assert!(c >= 1, "agent {} (weight {}) starved: {:?}", i, w, counts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_weighted_degrades_to_even_under_equal_weights(
+        items in 0usize..600,
+        n in 1usize..12,
+        w in 0.01f64..100.0,
+    ) {
+        prop_assert_eq!(
+            partition_weighted(items, &vec![w; n]),
+            partition_even(items, n)
+        );
+    }
+
+    #[test]
+    fn partition_weighted_is_deterministic_and_zero_safe(
+        items in 0usize..600,
+        weights in proptest::collection::vec(0.0f64..16.0, 1..12),
+    ) {
+        // Same inputs, same split — scatter and accounting paths may
+        // both call the partitioner and must agree.
+        prop_assert_eq!(
+            partition_weighted(items, &weights),
+            partition_weighted(items, &weights)
+        );
+        // A zero-weight agent only ever receives work via the even-split
+        // fallback (all weights zero), never from a valid weighting.
+        if weights.iter().any(|w| *w > 0.0) {
+            for (&c, &w) in partition_weighted(items, &weights).iter().zip(&weights) {
+                if w == 0.0 {
+                    prop_assert_eq!(c, 0);
+                }
+            }
+        }
     }
 }
