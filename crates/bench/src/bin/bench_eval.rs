@@ -56,6 +56,32 @@ fn main() -> std::io::Result<()> {
         "  modeled  makespan: {:.2} s even | {:.2} s weighted ({:.2}x)",
         h.model_even_makespan_s, h.model_weighted_makespan_s, h.model_speedup
     );
+    let l = &report.lossy;
+    println!(
+        "lossy UDP ({} agents, {} rounds, fault seed {}):",
+        l.agents, l.rounds, l.fault_seed
+    );
+    for row in &l.rows {
+        println!(
+            "  {:>4.0}% loss: {:>7.1} ms/round makespan, {:>8} wire B, {:>8} retrans B ({:.1}% overhead)",
+            row.loss * 100.0,
+            row.mean_makespan_s * 1e3,
+            row.wire_bytes,
+            row.retrans_bytes,
+            row.retrans_overhead * 100.0
+        );
+    }
+    println!("  WifiModel validation (emulated 62.24 Mbps / 8.83 ms link):");
+    for w in &l.wifi {
+        println!(
+            "    {:>6} B frame ({:>2} datagrams): measured {:>7.2} ms vs modeled {:>6.2} ms ({:.2}x)",
+            w.frame_bytes,
+            w.datagrams,
+            w.measured_transfer_s * 1e3,
+            w.modeled_transfer_s * 1e3,
+            w.measured_over_modeled
+        );
+    }
     println!("wrote BENCH_eval.json");
     Ok(())
 }

@@ -18,7 +18,10 @@
 //!    bit-identical at every thread count regardless.
 
 use clan_core::transport::agent::serve_session;
-use clan_core::transport::{channel_pair, ClusterSpec, DelayTransport, Transport};
+use clan_core::transport::{
+    channel_pair, datagram_channel_pair, ClusterSpec, DelayTransport, FaultConfig, FaultyTransport,
+    Transport, UdpConfig, UdpTransport,
+};
 use clan_core::{
     EdgeCluster, Evaluator, InferenceMode, Orchestrator, ParallelEvaluator, SerialOrchestrator,
 };
@@ -257,6 +260,59 @@ pub struct HeteroBench {
     pub model_speedup: f64,
 }
 
+/// Loss-tolerant transport cost at one injected-loss rate: real UDP
+/// loopback sockets, seeded drop faults on every link, 2 agents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossRow {
+    /// Injected datagram-loss probability (each direction).
+    pub loss: f64,
+    /// Measured mean per-round gather makespan, seconds.
+    pub mean_makespan_s: f64,
+    /// First-transmission wire bytes over the run.
+    pub wire_bytes: u64,
+    /// Retransmitted + duplicate bytes the ARQ layer spent recovering.
+    pub retrans_bytes: u64,
+    /// `retrans_bytes / wire_bytes`.
+    pub retrans_overhead: f64,
+}
+
+/// Measured transfer time of one frame over an emulated link
+/// (bandwidth + per-datagram latency faults) against
+/// [`WifiModel::transfer_time_s`] for the same bytes — the validation
+/// the ROADMAP's UDP open item asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WifiValidationRow {
+    /// Frame payload size, bytes.
+    pub frame_bytes: usize,
+    /// Datagrams the frame fragments into at the bench MTU.
+    pub datagrams: u64,
+    /// Wall-clock seconds from send to reassembled delivery.
+    pub measured_transfer_s: f64,
+    /// The analytic model's transfer time for the same bytes.
+    pub modeled_transfer_s: f64,
+    /// `measured / modeled`. ≈ 1 for single-datagram frames; grows with
+    /// fragment count because the real stack pays the per-message
+    /// latency once per *datagram* while the model charges it once per
+    /// *message*.
+    pub measured_over_modeled: f64,
+}
+
+/// Lossy-transport section of the bench report: makespan + retransmitted
+/// bytes at several injected loss rates, plus the WifiModel validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossyBench {
+    /// Agents in the UDP loopback cluster.
+    pub agents: usize,
+    /// Evaluation rounds averaged per loss rate.
+    pub rounds: u64,
+    /// Seed of the injected fault streams.
+    pub fault_seed: u64,
+    /// One row per injected loss rate (0 / 5 / 20 %).
+    pub rows: Vec<LossRow>,
+    /// Measured-vs-modeled transfer times on the emulated WiFi link.
+    pub wifi: Vec<WifiValidationRow>,
+}
+
 /// The full evaluation-performance report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalPerfReport {
@@ -280,6 +336,9 @@ pub struct EvalPerfReport {
     pub generation: Vec<GenerationThroughput>,
     /// Skewed-cluster makespan: even vs. throughput-weighted splits.
     pub hetero: HeteroBench,
+    /// Loss-tolerant UDP transport: cost of injected datagram loss and
+    /// the WifiModel transfer-time validation.
+    pub lossy: LossyBench,
 }
 
 fn evolved_genome(inputs: usize, outputs: usize, mutations: u32) -> (NeatConfig, Genome) {
@@ -511,6 +570,100 @@ fn hetero_bench(population: usize, rounds: u64) -> HeteroBench {
     }
 }
 
+/// Measures the loss-tolerant UDP transport: per-round gather makespan
+/// and retransmission overhead at 0 / 5 / 20 % injected datagram loss
+/// (real loopback UDP sockets, seeded faults), plus measured transfer
+/// times on an emulated link with the paper's WiFi constants compared
+/// against [`WifiModel::transfer_time_s`].
+fn lossy_bench(population: usize, rounds: u64) -> LossyBench {
+    const AGENTS: usize = 2;
+    const FAULT_SEED: u64 = 7;
+    let cfg = NeatConfig::builder(Workload::CartPole.obs_dim(), Workload::CartPole.n_actions())
+        .population_size(population)
+        .build()
+        .expect("valid config");
+
+    let udp_cfg = |loss: f64| {
+        let base = UdpConfig::default()
+            .with_mtu(1024)
+            .with_retransmit_interval_s(0.01)
+            .with_idle_timeout_s(30.0);
+        if loss > 0.0 {
+            base.with_faults(FaultConfig::loss(loss).with_seed(FAULT_SEED))
+        } else {
+            base
+        }
+    };
+    let rows = [0.0, 0.05, 0.2]
+        .into_iter()
+        .map(|loss| {
+            let spec = ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+            let mut cluster = EdgeCluster::spawn_local_udp_cfg(AGENTS, spec, udp_cfg(loss))
+                .expect("UDP loopback cluster binds");
+            let mut pop = Population::new(cfg.clone(), 7);
+            for _ in 0..rounds {
+                cluster.evaluate(&mut pop).expect("cluster evaluates");
+            }
+            let makespan = cluster.gather_stats().mean_makespan_s();
+            let wire = cluster.ledger().total_wire_bytes();
+            let retrans = cluster.ledger().total_retrans_bytes();
+            cluster.shutdown();
+            LossRow {
+                loss,
+                mean_makespan_s: makespan,
+                wire_bytes: wire,
+                retrans_bytes: retrans,
+                retrans_overhead: retrans as f64 / wire.max(1) as f64,
+            }
+        })
+        .collect();
+
+    // WifiModel validation: a frame through an in-process datagram link
+    // whose fault wrapper charges the paper's measured bandwidth and
+    // per-datagram latency. One datagram ≈ one modeled message; a
+    // fragmented frame shows the per-datagram latency the analytic
+    // model does not charge.
+    let wifi_model = WifiModel::default();
+    let mtu = 1024usize;
+    let wifi = [512usize, 16 * 1024]
+        .into_iter()
+        .map(|frame_bytes| {
+            let medium = FaultConfig::default()
+                .with_delay_s(wifi_model.base_latency_s)
+                .with_bandwidth_bps(wifi_model.bandwidth_bps);
+            let link_cfg = UdpConfig::default()
+                .with_mtu(mtu)
+                .with_retransmit_interval_s(5.0) // no spurious retransmits
+                .with_idle_timeout_s(30.0);
+            let (a, b) = datagram_channel_pair();
+            let mut sender = UdpTransport::with_config(FaultyTransport::new(a, medium), &link_cfg);
+            let mut receiver = UdpTransport::with_config(b, &link_cfg);
+            let frame = vec![0xA5u8; frame_bytes];
+            let start = Instant::now();
+            sender.send_frame(&frame).expect("emulated send");
+            let got = receiver.recv_frame().expect("emulated recv");
+            let measured = start.elapsed().as_secs_f64();
+            assert_eq!(got.len(), frame_bytes);
+            let modeled = wifi_model.transfer_time_s(frame_bytes as u64);
+            WifiValidationRow {
+                frame_bytes,
+                datagrams: frame_bytes.div_ceil(mtu).max(1) as u64,
+                measured_transfer_s: measured,
+                modeled_transfer_s: modeled,
+                measured_over_modeled: measured / modeled,
+            }
+        })
+        .collect();
+
+    LossyBench {
+        agents: AGENTS,
+        rounds,
+        fault_seed: FAULT_SEED,
+        rows,
+        wifi,
+    }
+}
+
 /// Runs `one(threads)` for 1/2/4/8 threads, turning the `(genomes/s,
 /// per-work-unit/s)` pairs into rows via `make_row`.
 fn scaling_rows<R>(
@@ -577,6 +730,7 @@ pub fn measure(
             },
         ),
         hetero: hetero_bench(population, generations.clamp(2, 5)),
+        lossy: lossy_bench(population, generations.clamp(2, 5)),
     }
 }
 
@@ -641,6 +795,26 @@ mod tests {
             report.hetero.model_speedup > 1.5,
             "weighted partitioning should cut modeled makespan ~3x: {:?}",
             report.hetero
+        );
+        // Lossy section: three loss rates, monotone-nonzero overhead at
+        // 20%, zero at 0%, and a sane WifiModel validation.
+        assert_eq!(report.lossy.rows.len(), 3);
+        assert_eq!(report.lossy.rows[0].retrans_bytes, 0, "clean link");
+        assert!(
+            report.lossy.rows[2].retrans_bytes > 0,
+            "20% loss must retransmit: {:?}",
+            report.lossy.rows
+        );
+        assert_eq!(report.lossy.wifi.len(), 2);
+        let single = &report.lossy.wifi[0];
+        assert!(
+            single.measured_over_modeled > 0.5 && single.measured_over_modeled < 4.0,
+            "single-datagram transfer should land near the model: {single:?}"
+        );
+        let multi = &report.lossy.wifi[1];
+        assert!(
+            multi.measured_over_modeled > 1.0,
+            "fragmented frames pay per-datagram latency the model skips: {multi:?}"
         );
     }
 

@@ -66,6 +66,9 @@ pub struct DriverConfig {
     /// Whether remote partition weights recalibrate from measured
     /// round-trip times.
     pub calibrate: bool,
+    /// Datagram-transport tuning (and optional seeded fault injection)
+    /// when the backend speaks UDP; `None` on TCP/local backends.
+    pub udp: Option<crate::transport::UdpConfig>,
 }
 
 /// A configured, ready-to-run CLAN deployment.
@@ -158,6 +161,7 @@ pub struct ClanDriverBuilder {
     remote: RemoteBackend,
     agent_weights: Option<Vec<f64>>,
     calibrate: bool,
+    udp: Option<crate::transport::UdpConfig>,
 }
 
 /// Where genome evaluation physically runs.
@@ -170,6 +174,20 @@ enum RemoteBackend {
     Loopback(usize),
     /// Over already-running `clan-cli agent` processes.
     Agents(Vec<String>),
+    /// Over loopback UDP agents spawned in this process (loss-tolerant
+    /// datagram transport).
+    LoopbackUdp(usize),
+    /// Over already-running `clan-cli agent --udp` processes.
+    AgentsUdp(Vec<String>),
+}
+
+impl RemoteBackend {
+    fn is_udp(&self) -> bool {
+        matches!(
+            self,
+            RemoteBackend::LoopbackUdp(_) | RemoteBackend::AgentsUdp(_)
+        )
+    }
 }
 
 impl ClanDriverBuilder {
@@ -192,6 +210,7 @@ impl ClanDriverBuilder {
             remote: RemoteBackend::Local,
             agent_weights: None,
             calibrate: false,
+            udp: None,
         }
     }
 
@@ -284,6 +303,33 @@ impl ClanDriverBuilder {
         self
     }
 
+    /// Runs inference over `n` loopback **UDP** agents spawned in this
+    /// process — the loss-tolerant datagram stack end to end. Combine
+    /// with [`udp_config`](ClanDriverBuilder::udp_config) to inject
+    /// seeded faults; results stay bit-identical to a local run under
+    /// any loss the ARQ layer can recover.
+    pub fn loopback_udp_agents(mut self, n: usize) -> Self {
+        self.remote = RemoteBackend::LoopbackUdp(n);
+        self
+    }
+
+    /// Runs inference over already-listening `clan-cli agent --udp`
+    /// processes at `addrs` (`host:port`) over the loss-tolerant
+    /// datagram transport.
+    pub fn remote_udp_agents(mut self, addrs: Vec<String>) -> Self {
+        self.remote = RemoteBackend::AgentsUdp(addrs);
+        self
+    }
+
+    /// Overrides the datagram-transport tuning (MTU, retransmit pacing,
+    /// liveness window, seeded fault injection) of a UDP backend.
+    /// Rejected at [`build`](ClanDriverBuilder::build) on non-UDP
+    /// backends.
+    pub fn udp_config(mut self, udp: crate::transport::UdpConfig) -> Self {
+        self.udp = Some(udp);
+        self
+    }
+
     /// Sets per-agent capability weights for a remote backend (one per
     /// loopback/remote agent, in connection order): a weight-4 agent
     /// receives 4x the genomes of a weight-1 agent each scatter.
@@ -366,43 +412,53 @@ impl ClanDriverBuilder {
             ),
             _ => Evaluator::with_episodes(self.workload, self.mode, self.episodes_per_eval),
         };
-        match &self.remote {
-            RemoteBackend::Local => {
-                if self.agent_weights.is_some() || self.calibrate {
-                    return Err(ClanError::InvalidSetup {
-                        reason: "agent weights/calibration apply to remote backends only \
+        if self.udp.is_some() && !self.remote.is_udp() {
+            return Err(ClanError::InvalidSetup {
+                reason: "udp_config applies to UDP backends only \
+                         (loopback_udp_agents or remote_udp_agents)"
+                    .into(),
+            });
+        }
+        let spec = crate::transport::ClusterSpec::new(self.workload, self.mode, cfg.clone())
+            .with_episodes(self.episodes_per_eval);
+        let udp_cfg = || self.udp.clone().unwrap_or_default();
+        let edge =
+            match &self.remote {
+                RemoteBackend::Local => {
+                    if self.agent_weights.is_some() || self.calibrate {
+                        return Err(ClanError::InvalidSetup {
+                            reason: "agent weights/calibration apply to remote backends only \
                                  (loopback_agents or remote_agents)"
-                            .into(),
-                    });
+                                .into(),
+                        });
+                    }
+                    None
                 }
+                RemoteBackend::Loopback(n) | RemoteBackend::LoopbackUdp(n) => {
+                    if *n == 0 {
+                        return Err(ClanError::InvalidSetup {
+                            reason: "loopback cluster needs at least one agent".into(),
+                        });
+                    }
+                    Some(if self.remote.is_udp() {
+                        crate::runtime::EdgeCluster::spawn_local_udp_cfg(*n, spec, udp_cfg())?
+                    } else {
+                        crate::runtime::EdgeCluster::spawn_local_spec(*n, spec)?
+                    })
+                }
+                RemoteBackend::Agents(addrs) => {
+                    Some(crate::runtime::EdgeCluster::connect(addrs, spec)?)
+                }
+                RemoteBackend::AgentsUdp(addrs) => Some(
+                    crate::runtime::EdgeCluster::connect_udp_cfg(addrs, spec, udp_cfg())?,
+                ),
+            };
+        if let Some(mut edge) = edge {
+            if let Some(w) = &self.agent_weights {
+                edge.set_weights(w)?;
             }
-            RemoteBackend::Loopback(n) => {
-                if *n == 0 {
-                    return Err(ClanError::InvalidSetup {
-                        reason: "loopback cluster needs at least one agent".into(),
-                    });
-                }
-                let spec =
-                    crate::transport::ClusterSpec::new(self.workload, self.mode, cfg.clone())
-                        .with_episodes(self.episodes_per_eval);
-                let mut cluster = crate::runtime::EdgeCluster::spawn_local_spec(*n, spec)?;
-                if let Some(w) = &self.agent_weights {
-                    cluster.set_weights(w)?;
-                }
-                cluster.set_calibration(self.calibrate);
-                evaluator = evaluator.with_remote(cluster);
-            }
-            RemoteBackend::Agents(addrs) => {
-                let spec =
-                    crate::transport::ClusterSpec::new(self.workload, self.mode, cfg.clone())
-                        .with_episodes(self.episodes_per_eval);
-                let mut cluster = crate::runtime::EdgeCluster::connect(addrs, spec)?;
-                if let Some(w) = &self.agent_weights {
-                    cluster.set_weights(w)?;
-                }
-                cluster.set_calibration(self.calibrate);
-                evaluator = evaluator.with_remote(cluster);
-            }
+            edge.set_calibration(self.calibrate);
+            evaluator = evaluator.with_remote(edge);
         }
 
         let orchestrator: Box<dyn Orchestrator> = match (
@@ -457,6 +513,7 @@ impl ClanDriverBuilder {
                 resync_every: self.resync_every,
                 agent_weights: self.agent_weights,
                 calibrate: self.calibrate,
+                udp: self.udp,
             },
             orchestrator,
         })
@@ -596,6 +653,54 @@ mod tests {
         assert!(gather.gathers > 0);
         assert!(weighted.summary().contains("gather (measured)"));
         assert!(local.gather.is_none());
+    }
+
+    #[test]
+    fn udp_loopback_driver_matches_local_driver_under_loss() {
+        use crate::transport::{FaultConfig, UdpConfig};
+        let run = |builder: ClanDriverBuilder| {
+            builder
+                .topology(ClanTopology::dcs())
+                .agents(2)
+                .population_size(10)
+                .seed(21)
+                .build()
+                .unwrap()
+                .run(2)
+                .unwrap()
+        };
+        let local = run(ClanDriver::builder(Workload::CartPole));
+        let lossy = run(ClanDriver::builder(Workload::CartPole)
+            .loopback_udp_agents(2)
+            .udp_config(
+                UdpConfig::default()
+                    .with_mtu(256)
+                    .with_retransmit_interval_s(0.01)
+                    .with_idle_timeout_s(10.0)
+                    .with_faults(FaultConfig::loss(0.15).with_seed(5)),
+            ));
+        assert_eq!(local.best_fitness, lossy.best_fitness);
+        assert_eq!(
+            local.generations.last().unwrap().costs,
+            lossy.generations.last().unwrap().costs
+        );
+        let wire = lossy.transport.as_ref().expect("UDP run measures traffic");
+        assert!(wire.total_wire_bytes() > 0);
+        assert!(
+            wire.total_retrans_bytes() > 0,
+            "15% loss must force retransmissions"
+        );
+        assert!(lossy.summary().contains("loss recovery"));
+    }
+
+    #[test]
+    fn udp_config_on_tcp_backend_rejected() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .population_size(8)
+            .loopback_agents(2)
+            .udp_config(crate::transport::UdpConfig::default())
+            .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
     }
 
     #[test]

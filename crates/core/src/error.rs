@@ -30,6 +30,16 @@ pub enum ClanError {
         /// What went wrong.
         reason: String,
     },
+    /// The peer stayed silent past the transport's liveness deadline.
+    /// Datagram transports cannot observe a disconnect the way a stream
+    /// does, so a vanished peer surfaces as this instead of a hang; the
+    /// TCP transport raises it too when a read timeout is configured.
+    Timeout {
+        /// The peer (address or transport label) involved.
+        peer: String,
+        /// How long the transport listened before giving up.
+        waited: std::time::Duration,
+    },
     /// A frame arrived but could not be decoded into a protocol message.
     Frame(FrameError),
     /// The peer sent a well-formed frame that violates the session
@@ -104,6 +114,13 @@ impl fmt::Display for ClanError {
             }
             ClanError::Transport { peer, reason } => {
                 write!(f, "transport failure with {peer}: {reason}")
+            }
+            ClanError::Timeout { peer, waited } => {
+                write!(
+                    f,
+                    "timeout: {peer} silent for {:.3} s (liveness deadline)",
+                    waited.as_secs_f64()
+                )
             }
             ClanError::Frame(e) => write!(f, "frame error: {e}"),
             ClanError::Protocol { peer, reason } => {

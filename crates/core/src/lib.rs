@@ -105,6 +105,47 @@
 //! [`CommLedger::agent_entries`](clan_netsim::CommLedger::agent_entries)
 //! and measured makespan vs. summed busy time in [`GatherStats`]
 //! (surfaced on [`RunReport`] and in the CLI summary).
+//!
+//! # Lossy transport
+//!
+//! The paper's swarm shares a WiFi medium that loses, duplicates, and
+//! reorders frames (§IV-A measures 62.24 Mbps / 8.83 ms for 64 B
+//! transfers); TCP hides that behind a reliable stream, so the
+//! `clan-netsim` WiFi-contention assumptions went unvalidated against a
+//! real lossy wire. [`transport::udp`] closes that gap:
+//!
+//! - **Reliable datagrams** —
+//!   [`UdpTransport`](transport::UdpTransport) fragments each frame
+//!   into MTU-sized datagrams (`(seq, fragment, count)` headers),
+//!   acknowledges each fragment, retransmits unacked ones on a timer,
+//!   and reassembles in order with deduplication, over any
+//!   [`DatagramLink`](transport::DatagramLink) — real UDP sockets
+//!   ([`EdgeCluster::spawn_local_udp`](runtime::EdgeCluster::spawn_local_udp),
+//!   [`EdgeCluster::connect_udp`](runtime::EdgeCluster::connect_udp),
+//!   `clan-cli agent --udp` / `coordinate --udp`) or in-process
+//!   channels.
+//! - **Deterministic fault injection** —
+//!   [`FaultyTransport`](transport::FaultyTransport) perturbs the
+//!   datagram stream *below* the ARQ layer with a seeded per-link RNG
+//!   (drop / duplicate / reorder / delay / emulated bandwidth, see
+//!   [`FaultConfig`](transport::FaultConfig)), so lossy runs are
+//!   reproducible: `clan-cli coordinate --udp --loss 0.2 --fault-seed 7`.
+//! - **Determinism under loss** — the ARQ layer reconstructs the exact
+//!   frame bytes, so a UDP run with 20 % injected loss is
+//!   *bit-identical* to a serial run on all four topologies
+//!   (`tests/lossy_equivalence.rs`); loss costs only time and the
+//!   retransmitted/duplicate bytes recorded in the ledger's
+//!   `retrans_wire_bytes` column (surfaced on [`RunReport`] and the CLI
+//!   summary).
+//! - **Liveness** — a peer that goes silent mid-generation surfaces a
+//!   typed [`ClanError::Timeout`] after the transport's idle deadline,
+//!   never a hang; the TCP path mirrors this via
+//!   [`TcpTransport::with_read_timeout`](transport::TcpTransport::with_read_timeout).
+//! - **Model validation** — `bench_eval`'s `lossy` section measures
+//!   per-round makespan and retransmitted bytes at 0/5/20 % loss and
+//!   compares transfer times on an emulated 62.24 Mbps / 8.83 ms link
+//!   against [`WifiModel::transfer_time_s`](clan_netsim::WifiModel::transfer_time_s)
+//!   (numbers in ROADMAP.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -158,6 +158,14 @@ impl RunReport {
                 t.total_messages(),
                 t.framing_overhead().unwrap_or(f64::NAN)
             );
+            if t.total_retrans_bytes() > 0 {
+                let _ = writeln!(
+                    s,
+                    "  loss recovery: {} retransmitted/duplicate bytes ({:.1}% of wire traffic)",
+                    t.total_retrans_bytes(),
+                    100.0 * t.retrans_overhead().unwrap_or(0.0)
+                );
+            }
         }
         if let Some(g) = &self.gather {
             if g.gathers > 0 {

@@ -57,10 +57,10 @@
 
 use crate::error::ClanError;
 use crate::evaluator::InferenceMode;
-use crate::transport::agent::{serve_session, AgentServer};
+use crate::transport::agent::{serve_session, AgentServer, UdpAgentServer};
 use crate::transport::{
-    channel_pair, recv_message, send_message, ClusterSpec, TcpTransport, Transport, WireEvaluation,
-    WireMessage,
+    channel_pair, recv_message, send_message, ClusterSpec, TcpTransport, Transport, UdpConfig,
+    WireEvaluation, WireMessage,
 };
 use clan_distsim::partition_weighted;
 use clan_envs::Workload;
@@ -292,6 +292,132 @@ impl EdgeCluster {
                 })
                 .expect("spawning agent thread");
             links.push(AgentLink::new(Box::new(transport), Some(handle)));
+        }
+        Self::configured(links, spec)
+    }
+
+    /// Spawns `n_agents` agent threads each serving a **real UDP
+    /// socket** on `127.0.0.1` — the loss-tolerant datagram stack
+    /// ([`UdpTransport`](crate::transport::UdpTransport)), loopback, in
+    /// one process.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if binding or connecting fails, and
+    /// [`ClanError::InvalidSetup`] if `n_agents` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS cannot spawn a thread.
+    pub fn spawn_local_udp(
+        n_agents: usize,
+        workload: Workload,
+        mode: InferenceMode,
+        cfg: NeatConfig,
+    ) -> Result<EdgeCluster, ClanError> {
+        Self::spawn_local_udp_spec(n_agents, ClusterSpec::new(workload, mode, cfg))
+    }
+
+    /// [`spawn_local_udp`](EdgeCluster::spawn_local_udp) with a full
+    /// [`ClusterSpec`].
+    ///
+    /// # Errors
+    ///
+    /// See [`spawn_local_udp`](EdgeCluster::spawn_local_udp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS cannot spawn a thread.
+    pub fn spawn_local_udp_spec(
+        n_agents: usize,
+        spec: ClusterSpec,
+    ) -> Result<EdgeCluster, ClanError> {
+        Self::spawn_local_udp_cfg(n_agents, spec, UdpConfig::default())
+    }
+
+    /// [`spawn_local_udp`](EdgeCluster::spawn_local_udp) with explicit
+    /// datagram tuning and (optionally) seeded fault injection: the
+    /// config's [`faults`](UdpConfig::faults) are applied on the
+    /// coordinator side of every link with a per-link RNG
+    /// ([`FaultConfig::for_link`](crate::transport::FaultConfig::for_link)),
+    /// making both directions of each link lossy. The ARQ layer recovers
+    /// every injected fault, so results stay bit-identical to a clean
+    /// run — `tests/lossy_equivalence.rs` pins that at 20 % loss.
+    ///
+    /// # Errors
+    ///
+    /// See [`spawn_local_udp`](EdgeCluster::spawn_local_udp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS cannot spawn a thread.
+    pub fn spawn_local_udp_cfg(
+        n_agents: usize,
+        spec: ClusterSpec,
+        udp: UdpConfig,
+    ) -> Result<EdgeCluster, ClanError> {
+        if n_agents == 0 {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster needs at least one agent".into(),
+            });
+        }
+        // Agents run the same tuning but never inject faults themselves:
+        // the coordinator-side wrapper already perturbs both directions.
+        let agent_udp = UdpConfig {
+            faults: None,
+            ..udp.clone()
+        };
+        let mut links = Vec::with_capacity(n_agents);
+        for i in 0..n_agents {
+            let mut server = UdpAgentServer::bind("127.0.0.1:0")?.with_config(agent_udp.clone());
+            let addr = server.local_addr();
+            let handle = std::thread::Builder::new()
+                .name(format!("clan-agent-{i}"))
+                .spawn(move || {
+                    if let Err(e) = server.serve_once() {
+                        eprintln!("clan-agent-{i}: {e}");
+                    }
+                })
+                .expect("spawning agent thread");
+            let transport = udp.transport_to(addr, i)?;
+            links.push(AgentLink::new(transport, Some(handle)));
+        }
+        Self::configured(links, spec)
+    }
+
+    /// Connects to already-running **UDP** agent processes (started with
+    /// `clan-cli agent --udp --listen ADDR`) and pushes the session
+    /// configuration to each.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if a socket cannot be created, and
+    /// [`ClanError::InvalidSetup`] on an empty address list. (UDP has no
+    /// connection handshake — an unreachable agent surfaces as a
+    /// [`ClanError::Timeout`] on the first exchange instead.)
+    pub fn connect_udp(addrs: &[String], spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
+        Self::connect_udp_cfg(addrs, spec, UdpConfig::default())
+    }
+
+    /// [`connect_udp`](EdgeCluster::connect_udp) with explicit datagram
+    /// tuning and optional coordinator-side fault injection.
+    ///
+    /// # Errors
+    ///
+    /// See [`connect_udp`](EdgeCluster::connect_udp).
+    pub fn connect_udp_cfg(
+        addrs: &[String],
+        spec: ClusterSpec,
+        udp: UdpConfig,
+    ) -> Result<EdgeCluster, ClanError> {
+        if addrs.is_empty() {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster needs at least one agent address".into(),
+            });
+        }
+        let mut links = Vec::with_capacity(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            links.push(AgentLink::new(udp.transport_to(addr.as_str(), i)?, None));
         }
         Self::configured(links, spec)
     }
@@ -601,6 +727,15 @@ impl EdgeCluster {
         if let Some(e) = first_err {
             return Err(e);
         }
+        // Fold each link's loss-recovery overhead (retransmitted +
+        // duplicate datagrams, zero on reliable transports) into the
+        // ledger's retransmission column, attributed per agent.
+        for (i, link) in links.iter_mut().enumerate() {
+            let stats = link.transport.take_link_stats();
+            if stats.overhead_bytes() > 0 {
+                ledger.record_agent_retrans(i, stats.overhead_bytes());
+            }
+        }
         gather.gathers += 1;
         gather.makespan_s += makespan;
         gather.busy_s += busy;
@@ -829,6 +964,11 @@ impl EdgeCluster {
             if link.transport.send_frame(&frame).is_ok() {
                 self.control_bytes += crate::transport::wire_bytes(&frame);
             }
+        }
+        for link in &mut self.links {
+            // Datagram transports retransmit the Shutdown until acked
+            // (bounded); reliable transports return immediately.
+            let _ = link.transport.drain(std::time::Duration::from_millis(750));
         }
         for link in &mut self.links {
             if let Some(h) = link.handle.take() {

@@ -46,7 +46,9 @@ pub fn serve_session(transport: &mut dyn Transport) -> Result<(), ClanError> {
             Ok((msg, _)) => msg,
             // Coordinator gone: the session is over. Dying quietly (not
             // erroring) lets loopback clusters tear down in any order.
-            Err(ClanError::Transport { .. }) => return Ok(()),
+            // A datagram transport observes "gone" as a liveness timeout
+            // rather than a disconnect — same treatment.
+            Err(ClanError::Transport { .. }) | Err(ClanError::Timeout { .. }) => return Ok(()),
             Err(e) => return Err(e),
         };
         match msg {
@@ -177,6 +179,137 @@ impl AgentServer {
     /// failures: one bad coordinator must not kill an edge device's
     /// agent daemon.
     pub fn serve_forever(&self) -> ! {
+        loop {
+            if let Err(e) = self.serve_once() {
+                eprintln!("agent session error: {e}");
+            }
+        }
+    }
+}
+
+/// A standalone **UDP** agent: binds a datagram socket and serves
+/// coordinators over the loss-tolerant
+/// [`UdpTransport`](super::UdpTransport) — the `clan-cli agent --udp`
+/// entry point.
+///
+/// There is no accept(): the server learns each coordinator's address
+/// from the first datagram it sends (the `Configure` frame's first
+/// fragment), connects the socket to that peer for the session, and
+/// rebinds the same port for the next one.
+#[derive(Debug)]
+pub struct UdpAgentServer {
+    /// Bound socket for the next session (`None` between sessions until
+    /// rebound).
+    socket: Option<std::net::UdpSocket>,
+    /// The resolved local address, stable across rebinds.
+    addr: std::net::SocketAddr,
+    delay: std::time::Duration,
+    udp: super::UdpConfig,
+}
+
+impl UdpAgentServer {
+    /// Binds the server. Use port 0 for an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if the address cannot be bound.
+    pub fn bind<A: ToSocketAddrs + std::fmt::Display>(
+        addr: A,
+    ) -> Result<UdpAgentServer, ClanError> {
+        let socket = std::net::UdpSocket::bind(&addr).map_err(|e| ClanError::Transport {
+            peer: addr.to_string(),
+            reason: format!("udp bind failed: {e}"),
+        })?;
+        let local = socket.local_addr().map_err(|e| ClanError::Transport {
+            peer: addr.to_string(),
+            reason: format!("udp local addr: {e}"),
+        })?;
+        Ok(UdpAgentServer {
+            socket: Some(socket),
+            addr: local,
+            delay: std::time::Duration::ZERO,
+            udp: super::UdpConfig::default(),
+        })
+    }
+
+    /// Adds an artificial per-request delay (see
+    /// [`AgentServer::with_delay`]).
+    pub fn with_delay(mut self, delay: std::time::Duration) -> UdpAgentServer {
+        self.delay = delay;
+        self
+    }
+
+    /// Overrides the datagram-transport tuning (MTU, retransmit pacing,
+    /// liveness window). Fault injection in the config applies to this
+    /// agent's side of the link.
+    pub fn with_config(mut self, udp: super::UdpConfig) -> UdpAgentServer {
+        self.udp = udp;
+        self
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Waits for a coordinator and serves it to completion.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures and in-session protocol/frame errors. A
+    /// coordinator that vanishes mid-session ends the session cleanly
+    /// (the transport's liveness timeout), exactly like a TCP
+    /// disconnect.
+    pub fn serve_once(&mut self) -> Result<(), ClanError> {
+        let socket = match self.socket.take() {
+            Some(s) => s,
+            // Rebind the same port for a fresh, unconnected socket.
+            None => std::net::UdpSocket::bind(self.addr).map_err(|e| ClanError::Transport {
+                peer: self.addr.to_string(),
+                reason: format!("udp rebind failed: {e}"),
+            })?,
+        };
+        let err = |what: &str, e: std::io::Error| ClanError::Transport {
+            peer: self.addr.to_string(),
+            reason: format!("{what}: {e}"),
+        };
+        // Learn the coordinator's address without consuming its first
+        // datagram, then filter the socket to that peer.
+        socket
+            .set_read_timeout(None)
+            .map_err(|e| err("udp set timeout", e))?;
+        let mut probe = [0u8; 1];
+        let (_, peer) = socket
+            .peek_from(&mut probe)
+            .map_err(|e| err("udp peek", e))?;
+        socket.connect(peer).map_err(|e| err("udp connect", e))?;
+        let link = super::UdpLink::from_socket(socket, peer.to_string());
+        let result = match &self.udp.faults {
+            Some(f) => {
+                let faulty = super::FaultyTransport::new(link, f.clone());
+                self.serve_link(super::UdpTransport::with_config(faulty, &self.udp))
+            }
+            None => self.serve_link(super::UdpTransport::with_config(link, &self.udp)),
+        };
+        // The connected socket is dropped with the transport; the next
+        // serve_once rebinds self.addr fresh.
+        result
+    }
+
+    fn serve_link<L: super::DatagramLink>(
+        &self,
+        mut transport: super::UdpTransport<L>,
+    ) -> Result<(), ClanError> {
+        if self.delay.is_zero() {
+            serve_session(&mut transport)
+        } else {
+            serve_session(&mut super::DelayTransport::new(transport, self.delay))
+        }
+    }
+
+    /// Serves coordinators forever, logging (not propagating)
+    /// per-session failures.
+    pub fn serve_forever(&mut self) -> ! {
         loop {
             if let Err(e) = self.serve_once() {
                 eprintln!("agent session error: {e}");

@@ -25,16 +25,24 @@ pub mod agent;
 mod channel;
 pub mod codec;
 mod delay;
+pub mod faults;
 mod tcp;
+pub mod udp;
 
 pub use channel::{channel_pair, ChannelTransport};
 pub use codec::{
     decode, encode, ClusterSpec, WireEvaluation, WireMessage, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
 };
 pub use delay::DelayTransport;
+pub use faults::{FaultConfig, FaultyTransport, InjectedFaults};
 pub use tcp::TcpTransport;
+pub use udp::{
+    datagram_channel_pair, ChannelDatagramLink, DatagramLink, LinkStats, UdpConfig, UdpLink,
+    UdpTransport,
+};
 
 use crate::error::ClanError;
+use std::time::Duration;
 
 /// A bidirectional, ordered, reliable frame pipe between a coordinator
 /// and one agent.
@@ -61,10 +69,39 @@ pub trait Transport: Send {
     /// Human-readable peer label (address or transport kind), used in
     /// error messages.
     fn peer(&self) -> String;
+
+    /// Returns and resets the loss-recovery overhead observed since the
+    /// last call (retransmitted / duplicate datagrams). Reliable
+    /// transports have none; [`UdpTransport`] measures it.
+    fn take_link_stats(&mut self) -> LinkStats {
+        LinkStats::default()
+    }
+
+    /// Best-effort flush: blocks until every frame already sent is known
+    /// to have reached the peer, or `deadline` elapses. A no-op on
+    /// transports whose `send_frame` is already synchronous (channel,
+    /// TCP); [`UdpTransport`] retransmits until everything is
+    /// acknowledged — `EdgeCluster::shutdown` uses this so a lossy link
+    /// still delivers the final `Shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Timeout`] if unacknowledged frames remain at the
+    /// deadline, plus any transport failure.
+    fn drain(&mut self, deadline: Duration) -> Result<(), ClanError> {
+        let _ = deadline;
+        Ok(())
+    }
 }
 
 /// Bytes a frame occupies on the wire: its encoded length plus the
 /// stream framing (length prefix) every transport charges uniformly.
+///
+/// This is deliberately *frame-level* accounting, identical on every
+/// transport so ledgers stay comparable across TCP/channel/UDP runs: a
+/// datagram transport's per-fragment and ack headers are not charged
+/// here (its loss-recovery overhead is measured separately in
+/// [`LinkStats`], in the same frame-byte units).
 pub fn wire_bytes(frame: &[u8]) -> u64 {
     frame.len() as u64 + LENGTH_PREFIX_BYTES
 }

@@ -17,6 +17,14 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub struct TcpTransport {
     stream: TcpStream,
     peer: String,
+    /// When set, a receive that sees no bytes for this long surfaces a
+    /// typed [`ClanError::Timeout`] instead of blocking forever.
+    read_timeout: Option<std::time::Duration>,
+    /// Set after a read timeout: `read_exact` may have consumed part of
+    /// a frame before timing out, so the stream's frame boundary is
+    /// lost. Every later receive fails typed instead of decoding
+    /// garbage from a desynchronized stream.
+    desynchronized: bool,
 }
 
 impl TcpTransport {
@@ -43,10 +51,51 @@ impl TcpTransport {
         // Nagle's algorithm only adds latency to the request/response
         // rhythm. Best-effort: a failure here only costs performance.
         let _ = stream.set_nodelay(true);
-        TcpTransport { stream, peer }
+        TcpTransport {
+            stream,
+            peer,
+            read_timeout: None,
+            desynchronized: false,
+        }
+    }
+
+    /// Arms a liveness deadline: any receive that hears nothing for
+    /// `timeout` fails with [`ClanError::Timeout`] — the stream-transport
+    /// mirror of the UDP idle timeout, for peers that stay connected but
+    /// go silent mid-generation.
+    ///
+    /// A timeout is terminal for the connection: the partial read may
+    /// have consumed part of a frame, losing the stream's frame
+    /// boundary, so every subsequent receive on this transport fails
+    /// typed rather than decoding garbage. Discard the transport and
+    /// reconnect (exactly how the runtime treats any exchange error).
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::Transport`] if the socket rejects the option.
+    pub fn with_read_timeout(
+        mut self,
+        timeout: std::time::Duration,
+    ) -> Result<TcpTransport, ClanError> {
+        self.stream
+            .set_read_timeout(Some(timeout.max(std::time::Duration::from_millis(1))))
+            .map_err(|e| self.io_err("set read timeout", e))?;
+        self.read_timeout = Some(timeout);
+        Ok(self)
     }
 
     fn io_err(&self, what: &str, e: std::io::Error) -> ClanError {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            if let Some(waited) = self.read_timeout {
+                return ClanError::Timeout {
+                    peer: self.peer.clone(),
+                    waited,
+                };
+            }
+        }
         ClanError::Transport {
             peer: self.peer.clone(),
             reason: format!("{what}: {e}"),
@@ -64,10 +113,22 @@ impl Transport for TcpTransport {
     }
 
     fn recv_frame(&mut self) -> Result<Vec<u8>, ClanError> {
+        if self.desynchronized {
+            return Err(ClanError::Transport {
+                peer: self.peer.clone(),
+                reason: "stream desynchronized by an earlier read timeout".into(),
+            });
+        }
+        let fail = |t: &mut Self, what: &str, e: std::io::Error| {
+            // A timed-out read_exact may have consumed a partial frame;
+            // the boundary is gone for good.
+            t.desynchronized = true;
+            t.io_err(what, e)
+        };
         let mut len_buf = [0u8; 4];
         self.stream
             .read_exact(&mut len_buf)
-            .map_err(|e| self.io_err("recv length", e))?;
+            .map_err(|e| fail(self, "recv length", e))?;
         let len = u32::from_le_bytes(len_buf) as u64;
         if len > MAX_FRAME_BYTES {
             return Err(FrameError::Oversized {
@@ -79,7 +140,7 @@ impl Transport for TcpTransport {
         let mut frame = vec![0u8; len as usize];
         self.stream
             .read_exact(&mut frame)
-            .map_err(|e| self.io_err("recv frame", e))?;
+            .map_err(|e| fail(self, "recv frame", e))?;
         Ok(frame)
     }
 
@@ -134,6 +195,26 @@ mod tests {
         a.stream.write_all(&[1, 2, 3]).unwrap();
         drop(a);
         assert!(matches!(b.recv_frame(), Err(ClanError::Transport { .. })));
+    }
+
+    #[test]
+    fn silent_connected_peer_times_out_typed() {
+        use std::time::{Duration, Instant};
+        let (a, b) = loopback_pair();
+        let mut b = b.with_read_timeout(Duration::from_millis(80)).unwrap();
+        // `a` stays connected but never sends a byte.
+        let start = Instant::now();
+        match b.recv_frame() {
+            Err(ClanError::Timeout { waited, .. }) => {
+                assert_eq!(waited, Duration::from_millis(80));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5), "must not hang");
+        // The timed-out stream may have lost its frame boundary: later
+        // receives fail typed instead of decoding garbage.
+        assert!(matches!(b.recv_frame(), Err(ClanError::Transport { .. })));
+        drop(a);
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub struct LedgerEntry {
     /// Measured bytes on a real transport (framing included). Zero for
     /// purely modeled runs, where only `floats` is accounted.
     pub wire_bytes: u64,
+    /// Bytes the transport spent *recovering loss* on top of
+    /// `wire_bytes`: retransmitted datagrams plus duplicates received
+    /// and discarded. Zero on reliable transports and modeled runs —
+    /// this column is what a lossy medium costs that neither the
+    /// analytic model nor the first-transmission accounting sees.
+    pub retrans_wire_bytes: u64,
 }
 
 /// Records every message of a run, by kind.
@@ -105,13 +111,25 @@ impl CommLedger {
     /// index), so per-agent load imbalance can be measured.
     pub fn record_agent_wire(&mut self, agent: usize, kind: MessageKind, floats: u64, bytes: u64) {
         self.record_wire(kind, floats, bytes);
-        if self.per_agent.len() <= agent {
-            self.per_agent.resize(agent + 1, LedgerEntry::default());
-        }
-        let e = &mut self.per_agent[agent];
+        let e = self.agent_entry_mut(agent);
         e.messages += 1;
         e.floats += floats;
         e.wire_bytes += bytes;
+    }
+
+    /// Records `bytes` of loss-recovery overhead (retransmitted and
+    /// duplicate datagrams) observed on agent `agent`'s link. Message
+    /// and float counts are untouched: a retransmission moves no new
+    /// payload, only repeats bytes already accounted in `wire_bytes`.
+    pub fn record_agent_retrans(&mut self, agent: usize, bytes: u64) {
+        self.agent_entry_mut(agent).retrans_wire_bytes += bytes;
+    }
+
+    fn agent_entry_mut(&mut self, agent: usize) -> &mut LedgerEntry {
+        if self.per_agent.len() <= agent {
+            self.per_agent.resize(agent + 1, LedgerEntry::default());
+        }
+        &mut self.per_agent[agent]
     }
 
     /// Per-agent traffic rows (index = link id). Empty unless the
@@ -139,6 +157,22 @@ impl CommLedger {
     /// modeled-only ledgers).
     pub fn total_wire_bytes(&self) -> u64 {
         self.entries.values().map(|e| e.wire_bytes).sum()
+    }
+
+    /// Total loss-recovery bytes (retransmissions + received duplicates)
+    /// across all agents. Zero on reliable transports; under a lossy
+    /// datagram transport this is the measured price of the medium.
+    pub fn total_retrans_bytes(&self) -> u64 {
+        self.per_agent.iter().map(|e| e.retrans_wire_bytes).sum()
+    }
+
+    /// Loss-recovery bytes as a fraction of first-transmission wire
+    /// bytes, when both were measured — e.g. `0.25` means a quarter of
+    /// the useful traffic was re-sent.
+    pub fn retrans_overhead(&self) -> Option<f64> {
+        let wire = self.total_wire_bytes();
+        (wire > 0 && self.total_retrans_bytes() > 0)
+            .then(|| self.total_retrans_bytes() as f64 / wire as f64)
     }
 
     /// Bytes the analytic model charges for this traffic: 4 bytes per
@@ -173,6 +207,7 @@ impl CommLedger {
             mine.messages += e.messages;
             mine.floats += e.floats;
             mine.wire_bytes += e.wire_bytes;
+            mine.retrans_wire_bytes += e.retrans_wire_bytes;
         }
         if self.per_agent.len() < other.per_agent.len() {
             self.per_agent
@@ -182,6 +217,7 @@ impl CommLedger {
             mine.messages += e.messages;
             mine.floats += e.floats;
             mine.wire_bytes += e.wire_bytes;
+            mine.retrans_wire_bytes += e.retrans_wire_bytes;
         }
     }
 }
@@ -201,7 +237,8 @@ mod tests {
             LedgerEntry {
                 messages: 2,
                 floats: 150,
-                wire_bytes: 0
+                wire_bytes: 0,
+                retrans_wire_bytes: 0
             }
         );
         assert_eq!(l.total_floats(), 151);
@@ -249,6 +286,28 @@ mod tests {
         // Kind-level totals include the attributed messages exactly once.
         assert_eq!(l.entry(MessageKind::SendGenomes).messages, 2);
         assert_eq!(l.total_wire_bytes(), 1440);
+    }
+
+    #[test]
+    fn retrans_bytes_attributed_per_agent_without_message_counts() {
+        let mut l = CommLedger::new();
+        assert_eq!(l.total_retrans_bytes(), 0);
+        assert_eq!(l.retrans_overhead(), None);
+        l.record_agent_wire(0, MessageKind::SendGenomes, 100, 1000);
+        l.record_agent_retrans(0, 250);
+        l.record_agent_retrans(2, 50);
+        let rows = l.agent_entries();
+        assert_eq!(rows[0].retrans_wire_bytes, 250);
+        assert_eq!(rows[0].messages, 1, "retrans moves no new messages");
+        assert_eq!(rows[1].retrans_wire_bytes, 0);
+        assert_eq!(rows[2].retrans_wire_bytes, 50);
+        assert_eq!(l.total_retrans_bytes(), 300);
+        assert!((l.retrans_overhead().unwrap() - 0.3).abs() < 1e-12);
+        // Merge carries the column.
+        let mut other = CommLedger::new();
+        other.record_agent_retrans(0, 10);
+        l.merge(&other);
+        assert_eq!(l.total_retrans_bytes(), 310);
     }
 
     #[test]

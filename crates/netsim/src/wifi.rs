@@ -44,10 +44,19 @@ impl WifiModel {
     ///
     /// # Panics
     ///
-    /// Panics if bandwidth is not positive or latency is negative.
+    /// Panics if bandwidth is not positive and finite, or latency is
+    /// negative or not finite (NaN fails both checks) — a link model
+    /// with nonsense constants would silently corrupt every timeline
+    /// built on it.
     pub fn new(bandwidth_bps: f64, base_latency_s: f64) -> WifiModel {
-        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
-        assert!(base_latency_s >= 0.0, "latency cannot be negative");
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be positive and finite, got {bandwidth_bps}"
+        );
+        assert!(
+            base_latency_s.is_finite() && base_latency_s >= 0.0,
+            "latency must be non-negative and finite, got {base_latency_s}"
+        );
         WifiModel {
             bandwidth_bps,
             base_latency_s,
@@ -61,7 +70,22 @@ impl WifiModel {
     ///
     /// Figure 10(a, b) halves the communication cost, i.e.
     /// `scaled(2.0, 2.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is zero, negative, or not finite.
+    /// (A zero latency factor would divide to infinity and a zero
+    /// bandwidth factor would zero the link — both previously produced
+    /// silent nonsense timelines instead of an error.)
     pub fn scaled(&self, bandwidth_factor: f64, latency_factor: f64) -> WifiModel {
+        assert!(
+            bandwidth_factor.is_finite() && bandwidth_factor > 0.0,
+            "bandwidth factor must be positive and finite, got {bandwidth_factor}"
+        );
+        assert!(
+            latency_factor.is_finite() && latency_factor > 0.0,
+            "latency factor must be positive and finite, got {latency_factor}"
+        );
         WifiModel {
             bandwidth_bps: self.bandwidth_bps * bandwidth_factor,
             base_latency_s: self.base_latency_s / latency_factor,
@@ -133,5 +157,42 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         WifiModel::new(0.0, 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn nan_bandwidth_rejected() {
+        WifiModel::new(f64::NAN, 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be non-negative")]
+    fn infinite_latency_rejected() {
+        WifiModel::new(1e6, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor must be positive")]
+    fn zero_bandwidth_factor_rejected() {
+        let _ = WifiModel::default().scaled(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency factor must be positive")]
+    fn zero_latency_factor_rejected() {
+        // Previously divided to an infinite-latency link, silently.
+        let _ = WifiModel::default().scaled(2.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency factor must be positive")]
+    fn negative_latency_factor_rejected() {
+        let _ = WifiModel::default().scaled(2.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor must be positive")]
+    fn nan_factor_rejected() {
+        let _ = WifiModel::default().scaled(f64::NAN, 1.0);
     }
 }

@@ -13,7 +13,8 @@
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has a
 //! sensible default so `clan-cli run` alone works.
 
-use clan::core::transport::agent::AgentServer;
+use clan::core::transport::agent::{AgentServer, UdpAgentServer};
+use clan::core::transport::{FaultConfig, UdpConfig};
 use clan::core::{ClanDriver, ClanDriverBuilder, ClanTopology, RunReport};
 use clan::envs::Workload;
 use clan::hw::PlatformKind;
@@ -60,15 +61,21 @@ USAGE:
                  [--episodes N] [--eval-threads N]
   clan-cli solve [same flags; runs until the workload's solved score or
                  --max-generations N]
-  clan-cli agent --listen ADDR [--delay-ms N]
+  clan-cli agent --listen ADDR [--delay-ms N] [--udp]
                  (serve as an edge agent; workload and NEAT config arrive
                  from the coordinator over the wire; --once serves one
                  session then exits; --delay-ms stalls each request to
-                 emulate a slower device)
+                 emulate a slower device; --udp serves the loss-tolerant
+                 datagram transport instead of TCP)
   clan-cli coordinate [run flags] (--agents-at ADDR,ADDR,... | --loopback N)
                  [--agent-weights W,W,...] [--calibrate]
+                 [--udp [--loss P] [--fault-seed S]]
                  (drive a run over real TCP agents; bit-identical to the
-                 same run executed locally under any weights)
+                 same run executed locally under any weights. --udp speaks
+                 reliable datagrams instead; --loss injects seeded drop
+                 faults on every link — the ARQ layer recovers them, so
+                 the evolved result is still bit-identical, only the
+                 retransmission overhead in the report grows)
   clan-cli export-champion [--workload W] [--generations N] [--seed N]
                  [--out FILE.dot]
   clan-cli list  (available workloads, topologies, platforms)
@@ -231,25 +238,68 @@ fn cmd_agent(args: &[String]) -> Result<(), String> {
     let flags = Flags(args.to_vec());
     let listen = flags.get("--listen").unwrap_or("127.0.0.1:7777");
     let delay_ms: u64 = flags.parse("--delay-ms", 0)?;
-    let server = AgentServer::bind(listen)
-        .map_err(|e| e.to_string())?
-        .with_delay(std::time::Duration::from_millis(delay_ms));
-    println!("clan agent listening on {}", server.local_addr());
-    if delay_ms > 0 {
-        println!("  artificial per-request delay: {delay_ms} ms (heterogeneity testing)");
+    let delay = std::time::Duration::from_millis(delay_ms);
+    let once = flags.has("--once");
+    // Shared startup banner + serve flow over either server type.
+    let banner = |addr: std::net::SocketAddr, transport: &str| {
+        println!("clan agent listening on {addr}{transport}");
+        if delay_ms > 0 {
+            println!("  artificial per-request delay: {delay_ms} ms (heterogeneity testing)");
+        }
+    };
+    if flags.has("--udp") {
+        let mut server = UdpAgentServer::bind(listen)
+            .map_err(|e| e.to_string())?
+            .with_delay(delay);
+        banner(server.local_addr(), " (udp)");
+        if once {
+            server.serve_once().map_err(|e| e.to_string())?;
+        } else {
+            server.serve_forever()
+        }
+    } else {
+        let server = AgentServer::bind(listen)
+            .map_err(|e| e.to_string())?
+            .with_delay(delay);
+        banner(server.local_addr(), "");
+        if once {
+            server.serve_once().map_err(|e| e.to_string())?;
+        } else {
+            server.serve_forever()
+        }
     }
-    if flags.has("--once") {
-        server.serve_once().map_err(|e| e.to_string())?;
-        println!("session complete");
-        return Ok(());
+    println!("session complete");
+    Ok(())
+}
+
+/// Parses `coordinate`'s UDP flags into a transport config: `--loss P`
+/// (drop probability in [0, 1)) and `--fault-seed S` seed the injected
+/// faults; both require `--udp`.
+fn parse_udp_flags(flags: &Flags) -> Result<Option<UdpConfig>, String> {
+    let loss: f64 = flags.parse("--loss", 0.0)?;
+    let seed: u64 = flags.parse("--fault-seed", 0)?;
+    if !flags.has("--udp") {
+        if flags.get("--loss").is_some() || flags.get("--fault-seed").is_some() {
+            return Err("--loss/--fault-seed require --udp".into());
+        }
+        return Ok(None);
     }
-    server.serve_forever()
+    if !loss.is_finite() || !(0.0..1.0).contains(&loss) {
+        return Err(format!("--loss must be in [0, 1), got {loss}"));
+    }
+    let mut cfg = UdpConfig::default();
+    if loss > 0.0 {
+        cfg = cfg.with_faults(FaultConfig::loss(loss).with_seed(seed));
+    }
+    Ok(Some(cfg))
 }
 
 fn cmd_coordinate(args: &[String]) -> Result<(), String> {
     let flags = Flags(args.to_vec());
     let (mut builder, _) = build_driver(&flags)?;
     let loopback: usize = flags.parse("--loopback", 0)?;
+    let udp = parse_udp_flags(&flags)?;
+    let transport_name = if udp.is_some() { "UDP" } else { "TCP" };
     builder = match (flags.get("--agents-at"), loopback) {
         (Some(_), n) if n > 0 => {
             return Err("--agents-at and --loopback are mutually exclusive".into())
@@ -257,18 +307,36 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
         (Some(list), _) => {
             let addrs = parse_agent_list(list)?;
             println!(
-                "coordinating {} remote agent(s): {}",
+                "coordinating {} remote {transport_name} agent(s): {}",
                 addrs.len(),
                 addrs.join(", ")
             );
-            builder.remote_agents(addrs)
+            if udp.is_some() {
+                builder.remote_udp_agents(addrs)
+            } else {
+                builder.remote_agents(addrs)
+            }
         }
         (None, 0) => return Err("coordinate needs --agents-at ADDR,... or --loopback N".into()),
         (None, n) => {
-            println!("coordinating {n} loopback TCP agent(s)");
-            builder.loopback_agents(n)
+            println!("coordinating {n} loopback {transport_name} agent(s)");
+            if udp.is_some() {
+                builder.loopback_udp_agents(n)
+            } else {
+                builder.loopback_agents(n)
+            }
         }
     };
+    if let Some(udp) = udp {
+        if let Some(f) = &udp.faults {
+            println!(
+                "  injected faults: {:.1}% datagram loss, seed {}",
+                100.0 * f.drop_p,
+                f.seed
+            );
+        }
+        builder = builder.udp_config(udp);
+    }
     if let Some(list) = flags.get("--agent-weights") {
         let weights = parse_weight_list(list)?;
         println!("  agent capability weights: {weights:?}");
@@ -294,13 +362,20 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
                 t.modeled_bytes()
             );
         }
+        if t.total_retrans_bytes() > 0 {
+            println!(
+                "  loss recovery: {} retransmitted/duplicate bytes ({:.1}% of wire traffic)",
+                t.total_retrans_bytes(),
+                100.0 * t.retrans_overhead().unwrap_or(0.0)
+            );
+        }
         let per_agent = t.agent_entries();
         if !per_agent.is_empty() {
             println!("  per-agent wire bytes:");
             for (i, row) in per_agent.iter().enumerate() {
                 println!(
-                    "    agent {i}: {:>10} bytes in {:>4} messages",
-                    row.wire_bytes, row.messages
+                    "    agent {i}: {:>10} bytes in {:>4} messages ({} retrans)",
+                    row.wire_bytes, row.messages, row.retrans_wire_bytes
                 );
             }
         }

@@ -188,6 +188,58 @@ proptest! {
     }
 
     #[test]
+    fn wifi_scaled_components_scale_exactly(
+        bw_factor in 0.05f64..20.0,
+        lat_factor in 0.05f64..20.0,
+        bytes in 0u64..1_000_000,
+    ) {
+        // `scaled` now rejects degenerate factors (zero/negative/NaN
+        // panic, pinned by unit tests); for every *valid* factor pair
+        // the components and the resulting transfer time must scale
+        // exactly as documented.
+        let w = WifiModel::default();
+        let s = w.scaled(bw_factor, lat_factor);
+        prop_assert!((s.bandwidth_bps - w.bandwidth_bps * bw_factor).abs() < 1e-6);
+        prop_assert!((s.base_latency_s - w.base_latency_s / lat_factor).abs() < 1e-12);
+        prop_assert!((s.channel_setup_s - w.channel_setup_s / lat_factor).abs() < 1e-12);
+        let expected = w.base_latency_s / lat_factor
+            + (bytes * 8) as f64 / (w.bandwidth_bps * bw_factor);
+        prop_assert!((s.transfer_time_s(bytes) - expected).abs() < 1e-9);
+    }
+
+    // ---------------- lossy-transport invariants ----------------
+
+    #[test]
+    fn fault_plan_link_seeds_are_stable_and_distinct(
+        seed in any::<u64>(),
+        link_a in 0usize..64,
+        link_b in 0usize..64,
+    ) {
+        use clan::core::transport::FaultConfig;
+        let plan = FaultConfig::loss(0.1).with_seed(seed);
+        // Reproducible: the same link always draws the same stream.
+        prop_assert_eq!(plan.for_link(link_a).seed, plan.for_link(link_a).seed);
+        // Independent: different links never share a stream.
+        if link_a != link_b {
+            prop_assert_ne!(plan.for_link(link_a).seed, plan.for_link(link_b).seed);
+        }
+    }
+
+    #[test]
+    fn udp_fragmentation_reassembles_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+        mtu in 1usize..128,
+    ) {
+        use clan::core::transport::{datagram_channel_pair, Transport, UdpConfig, UdpTransport};
+        let cfg = UdpConfig::default().with_mtu(mtu);
+        let (a, b) = datagram_channel_pair();
+        let mut ta = UdpTransport::with_config(a, &cfg);
+        let mut tb = UdpTransport::with_config(b, &cfg);
+        ta.send_frame(&payload).unwrap();
+        prop_assert_eq!(tb.recv_frame().unwrap(), payload);
+    }
+
+    #[test]
     fn platform_time_is_monotone_and_positive(genes in 1u64..100_000_000) {
         let p = Platform::raspberry_pi();
         let t = p.inference_time_s(genes);
