@@ -82,6 +82,24 @@ fn main() -> std::io::Result<()> {
             w.measured_over_modeled
         );
     }
+    let c = &report.churn;
+    println!(
+        "churn ({} agents, {} rounds, kill @{} revive @{}):",
+        c.agents, c.rounds, c.kill_round, c.revive_round
+    );
+    println!(
+        "  mean makespan: {:.1} ms clean | {:.1} ms churned ({:.2}x overhead)",
+        c.clean_mean_makespan_s * 1e3,
+        c.churn_mean_makespan_s * 1e3,
+        c.overhead
+    );
+    println!(
+        "  {} link failure(s), {} chunk(s)/{} genome(s) reassigned, retry makespan {:.1} ms",
+        c.failures,
+        c.reassigned_chunks,
+        c.reassigned_genomes,
+        c.recovery_s * 1e3
+    );
     println!("wrote BENCH_eval.json");
     Ok(())
 }

@@ -297,6 +297,42 @@ pub struct WifiValidationRow {
     pub measured_over_modeled: f64,
 }
 
+/// Elastic-membership section of the bench report: the measured cost of
+/// surviving an agent kill + replacement join mid-run, against the same
+/// run without churn.
+///
+/// Both runs use the same 4-agent channel cluster and population; the
+/// churned one kills one agent before round `kill_round` (its chunk is
+/// reassigned to the survivors) and revives a replacement before round
+/// `revive_round`. The overhead ratio is the whole-run mean gather
+/// makespan churned / clean — the price of losing a quarter of the
+/// cluster for two rounds plus the reassignment retries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnBench {
+    /// Agents in the cluster.
+    pub agents: usize,
+    /// Evaluation rounds per run.
+    pub rounds: u64,
+    /// Round the kill fires before.
+    pub kill_round: u64,
+    /// Round the replacement joins before.
+    pub revive_round: u64,
+    /// Clean run's mean per-round gather makespan, seconds.
+    pub clean_mean_makespan_s: f64,
+    /// Churned run's mean per-round gather makespan, seconds.
+    pub churn_mean_makespan_s: f64,
+    /// `churn_mean_makespan_s / clean_mean_makespan_s`.
+    pub overhead: f64,
+    /// Measured wall-clock spent in reassignment retries, seconds.
+    pub recovery_s: f64,
+    /// Link failures the membership layer observed.
+    pub failures: u64,
+    /// Chunks reassigned to survivors.
+    pub reassigned_chunks: u64,
+    /// Genomes inside those chunks.
+    pub reassigned_genomes: u64,
+}
+
 /// Lossy-transport section of the bench report: makespan + retransmitted
 /// bytes at several injected loss rates, plus the WifiModel validation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -339,6 +375,9 @@ pub struct EvalPerfReport {
     /// Loss-tolerant UDP transport: cost of injected datagram loss and
     /// the WifiModel transfer-time validation.
     pub lossy: LossyBench,
+    /// Elastic membership: measured recovery overhead of an agent kill
+    /// + replacement join mid-run.
+    pub churn: ChurnBench,
 }
 
 fn evolved_genome(inputs: usize, outputs: usize, mutations: u32) -> (NeatConfig, Genome) {
@@ -664,6 +703,64 @@ fn lossy_bench(population: usize, rounds: u64) -> LossyBench {
     }
 }
 
+/// Measures the cost of surviving an agent kill + replacement join
+/// mid-run (see [`ChurnBench`]): the same evaluation workload over a
+/// 4-agent channel cluster, once clean and once with a
+/// [`ChurnSchedule`] killing agent 1 early and reviving it two rounds
+/// later.
+fn churn_bench(population: usize, rounds: u64) -> ChurnBench {
+    use clan_core::transport::ChurnSchedule;
+    const AGENTS: usize = 4;
+    let rounds = rounds.max(5);
+    let kill_round = 1;
+    let revive_round = 3;
+    let cfg = NeatConfig::builder(Workload::CartPole.obs_dim(), Workload::CartPole.n_actions())
+        .population_size(population)
+        .build()
+        .expect("valid config");
+
+    let run = |churn: Option<ChurnSchedule>| {
+        let mut cluster = EdgeCluster::spawn(
+            AGENTS,
+            Workload::CartPole,
+            InferenceMode::MultiStep,
+            cfg.clone(),
+        )
+        .expect("channel cluster spawns");
+        if let Some(plan) = churn {
+            cluster.set_churn(plan).expect("plan fits cluster");
+        }
+        let mut pop = Population::new(cfg.clone(), 7);
+        for _ in 0..rounds {
+            cluster.evaluate(&mut pop).expect("cluster evaluates");
+        }
+        let makespan = cluster.gather_stats().mean_makespan_s();
+        let recovery = cluster.recovery_stats();
+        cluster.shutdown();
+        (makespan, recovery)
+    };
+    let (clean_makespan, _) = run(None);
+    let (churn_makespan, recovery) = run(Some(
+        ChurnSchedule::new()
+            .kill(1, kill_round)
+            .revive(1, revive_round),
+    ));
+
+    ChurnBench {
+        agents: AGENTS,
+        rounds,
+        kill_round,
+        revive_round,
+        clean_mean_makespan_s: clean_makespan,
+        churn_mean_makespan_s: churn_makespan,
+        overhead: churn_makespan / clean_makespan.max(1e-9),
+        recovery_s: recovery.recovery_s,
+        failures: recovery.failures,
+        reassigned_chunks: recovery.reassigned_chunks,
+        reassigned_genomes: recovery.reassigned_items,
+    }
+}
+
 /// Runs `one(threads)` for 1/2/4/8 threads, turning the `(genomes/s,
 /// per-work-unit/s)` pairs into rows via `make_row`.
 fn scaling_rows<R>(
@@ -731,6 +828,7 @@ pub fn measure(
         ),
         hetero: hetero_bench(population, generations.clamp(2, 5)),
         lossy: lossy_bench(population, generations.clamp(2, 5)),
+        churn: churn_bench(population, generations.clamp(2, 8)),
     }
 }
 
@@ -816,6 +914,13 @@ mod tests {
             multi.measured_over_modeled > 1.0,
             "fragmented frames pay per-datagram latency the model skips: {multi:?}"
         );
+        // Churn section: the kill was observed, its chunks reassigned,
+        // and both makespans measured.
+        assert!(report.churn.clean_mean_makespan_s > 0.0);
+        assert!(report.churn.churn_mean_makespan_s > 0.0);
+        assert!(report.churn.failures >= 1, "{:?}", report.churn);
+        assert!(report.churn.reassigned_chunks >= 1);
+        assert!(report.churn.reassigned_genomes >= 1);
     }
 
     #[test]

@@ -124,6 +124,10 @@ impl Orchestrator for DcsOrchestrator {
         self.evaluator.remote_gather_stats()
     }
 
+    fn recovery_stats(&self) -> Option<crate::membership::RecoveryStats> {
+        self.evaluator.remote_recovery_stats()
+    }
+
     fn recorder(&self) -> &TimelineRecorder {
         &self.recorder
     }

@@ -50,7 +50,12 @@ pub struct DdaOrchestrator {
 
 impl DdaOrchestrator {
     /// Creates a `CLAN_DDA` run: `cfg.population_size` genomes split into
-    /// one clan per agent of `cluster`.
+    /// one clan per agent of `cluster`, **sized by device throughput**
+    /// ([`Cluster::partition_by_throughput`]) so a Jetson's clan evolves
+    /// proportionally more genomes than a Pi's and asynchronous
+    /// generations stay balanced. On a homogeneous cluster (the paper's
+    /// testbed) the throughput weights are equal and the split degrades
+    /// bit-for-bit to the historical even partition.
     ///
     /// # Errors
     ///
@@ -63,7 +68,7 @@ impl DdaOrchestrator {
         seed: u64,
     ) -> Result<DdaOrchestrator, ClanError> {
         let total = cfg.population_size;
-        let sizes = cluster.partition(total);
+        let sizes = cluster.partition_by_throughput(total);
         if sizes.iter().any(|&s| s < 2) {
             return Err(ClanError::InvalidSetup {
                 reason: format!(
@@ -245,6 +250,10 @@ impl Orchestrator for DdaOrchestrator {
         self.evaluator.remote_gather_stats()
     }
 
+    fn recovery_stats(&self) -> Option<crate::membership::RecoveryStats> {
+        self.evaluator.remote_recovery_stats()
+    }
+
     fn recorder(&self) -> &TimelineRecorder {
         &self.recorder
     }
@@ -283,6 +292,29 @@ mod tests {
         let sizes: Vec<usize> = o.clans().iter().map(Population::len).collect();
         assert_eq!(sizes, vec![8, 8, 7, 7]);
         assert_eq!(o.population_size(), 30);
+    }
+
+    #[test]
+    fn heterogeneous_clusters_size_clans_by_throughput() {
+        use clan_hw::PlatformKind;
+        let w = Workload::CartPole;
+        let cfg = NeatConfig::builder(w.obs_dim(), w.n_actions())
+            .population_size(36)
+            .build()
+            .unwrap();
+        // A Jetson CPU models 3.5x a Pi's inference throughput: its clan
+        // gets ~3.5x the genomes instead of the old even split.
+        let fast = clan_hw::Platform::new(PlatformKind::JetsonCpu);
+        let slow = clan_hw::Platform::raspberry_pi();
+        let cluster = Cluster::new(slow, vec![fast, slow], WifiModel::default());
+        let o = DdaOrchestrator::new(cfg, Evaluator::new(w, InferenceMode::MultiStep), cluster, 1)
+            .unwrap();
+        let sizes: Vec<usize> = o.clans().iter().map(Population::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 36);
+        assert_eq!(sizes, vec![28, 8], "3.5:1 throughput ratio sizes the clans");
+        // And the run still steps.
+        let mut o = o;
+        o.step_generation().unwrap();
     }
 
     #[test]

@@ -69,6 +69,15 @@ pub struct DriverConfig {
     /// Datagram-transport tuning (and optional seeded fault injection)
     /// when the backend speaks UDP; `None` on TCP/local backends.
     pub udp: Option<crate::transport::UdpConfig>,
+    /// Churn-recovery policy applied to remote backends (retry budget +
+    /// live-agent floor).
+    pub recovery: crate::membership::RecoveryPolicy,
+    /// Deterministic kill/revive plan applied to a remote backend;
+    /// `None` runs churn-free.
+    pub churn: Option<crate::transport::ChurnSchedule>,
+    /// Standby agent addresses a remote backend may connect when a
+    /// revival needs a replacement.
+    pub spare_agents: Vec<String>,
 }
 
 /// A configured, ready-to-run CLAN deployment.
@@ -139,6 +148,7 @@ impl ClanDriver {
         )
         .with_transport(self.orchestrator.transport_ledger().cloned())
         .with_gather(self.orchestrator.gather_stats())
+        .with_recovery(self.orchestrator.recovery_stats())
         .with_energy(clan_hw::EnergyModel::for_kind(self.config.platform))
     }
 }
@@ -162,6 +172,9 @@ pub struct ClanDriverBuilder {
     agent_weights: Option<Vec<f64>>,
     calibrate: bool,
     udp: Option<crate::transport::UdpConfig>,
+    recovery: crate::membership::RecoveryPolicy,
+    churn: Option<crate::transport::ChurnSchedule>,
+    spare_agents: Vec<String>,
 }
 
 /// Where genome evaluation physically runs.
@@ -211,6 +224,9 @@ impl ClanDriverBuilder {
             agent_weights: None,
             calibrate: false,
             udp: None,
+            recovery: crate::membership::RecoveryPolicy::default(),
+            churn: None,
+            spare_agents: Vec::new(),
         }
     }
 
@@ -349,6 +365,39 @@ impl ClanDriverBuilder {
         self
     }
 
+    /// Sets the retry budget of a remote backend's churn recovery: how
+    /// many times a scatter round may reassign failed chunks across
+    /// survivors before giving up (`clan-cli coordinate --max-retries`).
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.recovery.max_retries = n;
+        self
+    }
+
+    /// Sets the live-agent floor of a remote backend: a round that
+    /// would have to continue on fewer usable agents fails with a typed
+    /// [`ClanError::Degraded`] instead (`--min-agents`).
+    pub fn min_agents(mut self, n: usize) -> Self {
+        self.recovery.min_agents = n;
+        self
+    }
+
+    /// Installs a deterministic kill/revive plan on a remote backend
+    /// (`--churn k1@2,r1@4`): agent churn is injected at scatter-round
+    /// boundaries and the recovery machinery keeps the run bit-identical
+    /// to a churn-free one.
+    pub fn churn(mut self, schedule: crate::transport::ChurnSchedule) -> Self {
+        self.churn = Some(schedule);
+        self
+    }
+
+    /// Registers standby agent addresses (`--spare-at HOST:PORT,...`) a
+    /// remote backend connects when a churn revival needs a replacement
+    /// device.
+    pub fn spare_agents(mut self, addrs: Vec<String>) -> Self {
+        self.spare_agents = addrs;
+        self
+    }
+
     /// Validates and constructs the driver.
     ///
     /// # Errors
@@ -432,6 +481,13 @@ impl ClanDriverBuilder {
                                 .into(),
                         });
                     }
+                    if self.churn.is_some() || !self.spare_agents.is_empty() {
+                        return Err(ClanError::InvalidSetup {
+                            reason: "churn schedules and spare agents apply to remote \
+                                 backends only (loopback_agents or remote_agents)"
+                                .into(),
+                        });
+                    }
                     None
                 }
                 RemoteBackend::Loopback(n) | RemoteBackend::LoopbackUdp(n) => {
@@ -458,6 +514,13 @@ impl ClanDriverBuilder {
                 edge.set_weights(w)?;
             }
             edge.set_calibration(self.calibrate);
+            edge.set_recovery_policy(self.recovery);
+            if !self.spare_agents.is_empty() {
+                edge.set_spares(self.spare_agents.clone())?;
+            }
+            if let Some(churn) = self.churn.clone() {
+                edge.set_churn(churn)?;
+            }
             evaluator = evaluator.with_remote(edge);
         }
 
@@ -514,6 +577,9 @@ impl ClanDriverBuilder {
                 agent_weights: self.agent_weights,
                 calibrate: self.calibrate,
                 udp: self.udp,
+                recovery: self.recovery,
+                churn: self.churn,
+                spare_agents: self.spare_agents,
             },
             orchestrator,
         })
@@ -691,6 +757,64 @@ mod tests {
             "15% loss must force retransmissions"
         );
         assert!(lossy.summary().contains("loss recovery"));
+    }
+
+    #[test]
+    fn churned_loopback_driver_matches_local_driver() {
+        use crate::transport::ChurnSchedule;
+        let run = |builder: ClanDriverBuilder| {
+            builder
+                .topology(ClanTopology::dcs())
+                .agents(3)
+                .population_size(12)
+                .seed(31)
+                .build()
+                .unwrap()
+                .run(4)
+                .unwrap()
+        };
+        let local = run(ClanDriver::builder(Workload::CartPole));
+        let churned = run(ClanDriver::builder(Workload::CartPole)
+            .loopback_agents(3)
+            .churn(ChurnSchedule::new().kill(1, 1).revive(1, 3)));
+        assert_eq!(local.best_fitness, churned.best_fitness);
+        assert_eq!(
+            local.generations.last().unwrap().costs,
+            churned.generations.last().unwrap().costs
+        );
+        let recovery = churned
+            .recovery
+            .clone()
+            .expect("remote run records recovery");
+        assert_eq!(recovery.kills, 1);
+        assert!(recovery.joins >= 1);
+        assert!(recovery.reassigned_chunks >= 1);
+        assert!(churned.summary().contains("recovery:"));
+        assert!(local.recovery.is_none());
+    }
+
+    #[test]
+    fn churn_on_local_backend_rejected() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .population_size(8)
+            .churn(crate::transport::ChurnSchedule::new().kill(0, 1))
+            .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
+        let err = ClanDriver::builder(Workload::CartPole)
+            .population_size(8)
+            .spare_agents(vec!["127.0.0.1:1".into()])
+            .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
+    }
+
+    #[test]
+    fn churn_schedule_beyond_cluster_rejected_at_build() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .population_size(8)
+            .loopback_agents(2)
+            .churn(crate::transport::ChurnSchedule::new().kill(7, 1))
+            .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub enum ClanError {
         /// Description of the violation.
         reason: String,
     },
+    /// Agent churn drained the cluster below its recovery policy's
+    /// live-agent floor: the remaining work could not be reassigned.
+    Degraded {
+        /// Agents still usable when the round gave up.
+        live: usize,
+        /// The policy's minimum (see
+        /// [`RecoveryPolicy`](crate::membership::RecoveryPolicy)).
+        required: usize,
+    },
 }
 
 /// Why a wire frame failed to decode. Every variant is a *typed* error —
@@ -125,6 +134,12 @@ impl fmt::Display for ClanError {
             ClanError::Frame(e) => write!(f, "frame error: {e}"),
             ClanError::Protocol { peer, reason } => {
                 write!(f, "protocol violation from {peer}: {reason}")
+            }
+            ClanError::Degraded { live, required } => {
+                write!(
+                    f,
+                    "cluster degraded to {live} usable agent(s); recovery policy requires {required}"
+                )
             }
         }
     }

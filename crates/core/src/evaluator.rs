@@ -144,6 +144,13 @@ impl Evaluator {
         self.remote.as_mut()
     }
 
+    /// Mutable access to the attached agent cluster — the hook for
+    /// elastic operations between generations (admitting a new agent,
+    /// reviving a dead slot, inspecting membership).
+    pub fn remote_cluster_mut(&mut self) -> Option<&mut EdgeCluster> {
+        self.remote.as_mut()
+    }
+
     /// The attached cluster's transport ledger (measured wire traffic),
     /// when a cluster is attached.
     pub fn remote_ledger(&self) -> Option<&clan_netsim::CommLedger> {
@@ -154,6 +161,12 @@ impl Evaluator {
     /// cluster is attached.
     pub fn remote_gather_stats(&self) -> Option<crate::runtime::GatherStats> {
         self.remote.as_ref().map(EdgeCluster::gather_stats)
+    }
+
+    /// The attached cluster's churn-recovery accounting, when a cluster
+    /// is attached.
+    pub fn remote_recovery_stats(&self) -> Option<crate::membership::RecoveryStats> {
+        self.remote.as_ref().map(EdgeCluster::recovery_stats)
     }
 
     /// Agents in the attached cluster (0 = local evaluation).

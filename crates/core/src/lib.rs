@@ -145,7 +145,55 @@
 //!   per-round makespan and retransmitted bytes at 0/5/20 % loss and
 //!   compares transfer times on an emulated 62.24 Mbps / 8.83 ms link
 //!   against [`WifiModel::transfer_time_s`](clan_netsim::WifiModel::transfer_time_s)
-//!   (numbers in ROADMAP.md).
+//!   (numbers in ROADMAP.md). That validation showed fragmented
+//!   transfers pay the per-message latency once per *datagram*;
+//!   [`WifiModel::transfer_time_fragmented_s`](clan_netsim::WifiModel::transfer_time_fragmented_s)
+//!   models it, and the analytic timelines charge it for messages
+//!   larger than the link MTU.
+//!
+//! # Elastic runtime
+//!
+//! The transports above make a dying agent *observable* (typed
+//! [`ClanError::Timeout`]/[`ClanError::Transport`], never a hang); the
+//! [`membership`] layer makes it *survivable* — the cluster tolerates
+//! device crash, rejoin, and mid-run scale-out:
+//!
+//! - **Per-link health** — every [`EdgeCluster`] link is alive /
+//!   suspected / dead ([`membership::LinkHealth`]): one churn-class
+//!   failure suspects a link (its chunk is reassigned, and it sits out
+//!   the rest of that round), a second consecutive failure kills it, a
+//!   success revives it. Protocol violations are *not* churn — a peer
+//!   answering garbage propagates immediately as a bug.
+//! - **Deterministic reassignment** — a scatter chunk lost to a failed
+//!   agent is redistributed over the surviving links and retried (up to
+//!   [`membership::RecoveryPolicy::max_retries`] attempts, never below
+//!   [`membership::RecoveryPolicy::min_agents`] usable agents — beyond
+//!   that the round fails typed, [`ClanError::Degraded`] or the root
+//!   link error). Results carry genome ids and replay in id order, so a
+//!   churned run is **bit-identical** to a serial one on all four
+//!   topologies (`tests/churn_equivalence.rs`, 1/2/4 agents, with
+//!   arbitrary-schedule conservation proptests).
+//! - **Mid-run join** — new agents attach between generations over any
+//!   transport ([`EdgeCluster::admit_transport`](runtime::EdgeCluster::admit_transport),
+//!   [`admit_local`](runtime::EdgeCluster::admit_local)): they are
+//!   `Configure`d with the stored session spec and enter the weight and
+//!   calibration tables like founding members.
+//! - **Seeded churn injection** —
+//!   [`ChurnSchedule`](transport::ChurnSchedule) (`clan-cli coordinate
+//!   --churn k1@2,r1@4 [--spare-at HOST:PORT] [--max-retries N]
+//!   [--min-agents N]`) kills agent 1 before scatter round 2 by
+//!   swapping its transport for a
+//!   [`DeadTransport`](transport::DeadTransport) and revives a
+//!   replacement before round 4 (respawned in-process, or connected
+//!   from a standby address). The crash is simulated; the recovery path
+//!   exercised is the production one. CI's `net-smoke` kills a real
+//!   agent process mid-run and joins a spare, diffing the output
+//!   against a local run.
+//! - **Measured recovery cost** — link failures, reassigned chunks,
+//!   kills/joins, and the retry makespan land in
+//!   [`membership::RecoveryStats`] on [`RunReport`] and the CLI
+//!   summary; `bench_eval`'s `churn` section quantifies the overhead of
+//!   a kill + rejoin against a clean run (numbers in ROADMAP.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -157,6 +205,7 @@ pub mod dds;
 pub mod driver;
 pub mod error;
 pub mod evaluator;
+pub mod membership;
 pub mod orchestra;
 pub mod parallel;
 pub mod report;
@@ -172,6 +221,7 @@ pub use dds::DdsOrchestrator;
 pub use driver::{ClanDriver, ClanDriverBuilder, DriverConfig};
 pub use error::{ClanError, FrameError};
 pub use evaluator::{Evaluator, InferenceMode};
+pub use membership::{AgentHealth, LinkHealth, RecoveryPolicy, RecoveryStats};
 pub use orchestra::{GenerationReport, Orchestrator};
 pub use parallel::ParallelEvaluator;
 pub use report::RunReport;

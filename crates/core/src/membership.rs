@@ -1,0 +1,247 @@
+//! Cluster membership and recovery: who is alive, who is suspected,
+//! who is dead — and what surviving a failure cost.
+//!
+//! CLAN's premise is commodity edge devices, and commodity devices
+//! crash, brown out, and drop off the WiFi mid-run. The PR-4 transport
+//! stack made a dying agent *observable* (a typed
+//! [`ClanError::Timeout`] or
+//! [`ClanError::Transport`] instead of a
+//! hang); this module makes it *survivable*. The
+//! [`EdgeCluster`](crate::runtime::EdgeCluster) tracks one
+//! [`LinkHealth`] per agent link and, when a scatter chunk is lost to a
+//! failed agent, deterministically reassigns it across the survivors
+//! (see the runtime docs for the retry protocol). The policy knobs live
+//! in [`RecoveryPolicy`]; everything a recovery cost is measured in
+//! [`RecoveryStats`] and surfaced on
+//! [`RunReport`](crate::report::RunReport).
+//!
+//! # Health model
+//!
+//! ```text
+//!          failure              failure
+//! Alive ────────────▶ Suspected ────────────▶ Dead
+//!   ▲                     │
+//!   └─────────────────────┘
+//!          success
+//! ```
+//!
+//! A link fails when an exchange with it surfaces a churn-class error
+//! (`Transport` or `Timeout` — the errors an unplugged device produces).
+//! One failure makes the link **suspected**: its in-flight chunk is
+//! reassigned, it is excluded from further retries *within that scatter
+//! round*, and its session is poisoned (a timed-out agent's late reply
+//! must never answer the next round's request). On the next round the
+//! link is probed again with real work **over a freshly established
+//! session** — remote links reconnect to their original address, so
+//! transient WiFi dropouts recover; links that cannot re-establish
+//! (in-process agents whose thread died with the session, injected
+//! kills) fail the probe instantly. A second consecutive failure makes
+//! the link **dead**: it receives no further work until a replacement
+//! agent is revived into its slot (see
+//! [`ChurnSchedule`](crate::transport::ChurnSchedule) and
+//! [`EdgeCluster::admit_transport`](crate::runtime::EdgeCluster::admit_transport)).
+//! A success at any point restores **alive**.
+//!
+//! Protocol and frame errors are deliberately *not* churn-class: a peer
+//! that answers with garbage is a bug to surface, not a device to route
+//! around, so those propagate immediately.
+
+use crate::error::ClanError;
+use serde::{Deserialize, Serialize};
+
+/// Liveness of one agent link, as judged from its exchange outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkHealth {
+    /// Responding normally; receives work every scatter.
+    Alive,
+    /// Failed its last exchange; excluded from retries this round but
+    /// probed with real work next round.
+    Suspected,
+    /// Failed while already suspected; receives no work until revived.
+    Dead,
+}
+
+impl LinkHealth {
+    /// The transition taken when an exchange with this link fails.
+    pub fn on_failure(self) -> LinkHealth {
+        match self {
+            LinkHealth::Alive => LinkHealth::Suspected,
+            LinkHealth::Suspected | LinkHealth::Dead => LinkHealth::Dead,
+        }
+    }
+
+    /// The transition taken when an exchange with this link succeeds.
+    pub fn on_success(self) -> LinkHealth {
+        let _ = self;
+        LinkHealth::Alive
+    }
+
+    /// Whether the link is eligible for work (not dead).
+    pub fn is_live(self) -> bool {
+        self != LinkHealth::Dead
+    }
+}
+
+/// Snapshot of one agent link's membership state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentHealth {
+    /// Current liveness.
+    pub health: LinkHealth,
+    /// Churn-class failures observed on this link over the cluster's
+    /// life (revival does not reset the history).
+    pub failures: u64,
+    /// Human-readable description of the most recent failure, if any.
+    pub last_error: Option<String>,
+}
+
+/// Policy governing how hard the cluster fights to finish a scatter
+/// round when agents fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Retry (reassignment) attempts allowed per scatter round after the
+    /// initial attempt. Each retry redistributes the failed chunks over
+    /// the links that have not failed this round.
+    pub max_retries: usize,
+    /// Minimum usable agents a retry needs; below this the round fails
+    /// with [`ClanError::Degraded`] (or the last link error) instead of
+    /// soldiering on. At least 1 regardless of the configured value.
+    pub min_agents: usize,
+}
+
+impl Default for RecoveryPolicy {
+    /// Three reassignment retries, no floor beyond "someone is alive".
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 3,
+            min_agents: 1,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, n: usize) -> RecoveryPolicy {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the live-agent floor.
+    pub fn with_min_agents(mut self, n: usize) -> RecoveryPolicy {
+        self.min_agents = n;
+        self
+    }
+}
+
+/// Everything surviving churn cost, accumulated over a cluster's life
+/// and surfaced on [`RunReport`](crate::report::RunReport) and the CLI.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Scatter rounds performed (evaluate and build-children calls).
+    pub rounds: u64,
+    /// Churn-class link failures observed.
+    pub failures: u64,
+    /// Chunks lost to a failed agent and reassigned to survivors.
+    pub reassigned_chunks: u64,
+    /// Work items (genomes / child specs) inside those chunks.
+    pub reassigned_items: u64,
+    /// Extra exchange attempts spent recovering (beyond each round's
+    /// first attempt).
+    pub retry_attempts: u64,
+    /// Measured wall-clock spent in those retry attempts, seconds — the
+    /// recovery makespan cost a clean run does not pay.
+    pub recovery_s: f64,
+    /// Agent kills injected by a [`ChurnSchedule`](crate::transport::ChurnSchedule).
+    pub kills: u64,
+    /// Agents that joined mid-run (churn revivals plus explicit
+    /// admissions).
+    pub joins: u64,
+    /// Per-link failure counts (index = link slot).
+    pub agent_failures: Vec<u64>,
+}
+
+impl RecoveryStats {
+    /// Records one churn-class failure on link `agent`.
+    pub(crate) fn note_failure(&mut self, agent: usize) {
+        self.failures += 1;
+        if self.agent_failures.len() <= agent {
+            self.agent_failures.resize(agent + 1, 0);
+        }
+        self.agent_failures[agent] += 1;
+    }
+
+    /// Whether any recovery machinery actually engaged.
+    pub fn any_recovery(&self) -> bool {
+        self.failures > 0 || self.kills > 0 || self.joins > 0
+    }
+}
+
+/// Whether an error is *churn-class*: the kind a crashed or unplugged
+/// device produces, and therefore the kind membership tracking routes
+/// around. Protocol, frame, and setup errors are bugs and propagate.
+pub fn is_churn_error(e: &ClanError) -> bool {
+    matches!(e, ClanError::Transport { .. } | ClanError::Timeout { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_transitions_follow_the_two_strike_model() {
+        let h = LinkHealth::Alive;
+        let h = h.on_failure();
+        assert_eq!(h, LinkHealth::Suspected);
+        assert!(h.is_live());
+        assert_eq!(h.on_success(), LinkHealth::Alive);
+        let h = h.on_failure();
+        assert_eq!(h, LinkHealth::Dead);
+        assert!(!h.is_live());
+        // Dead stays dead on further failures; success (a revived
+        // replacement answering) restores life.
+        assert_eq!(h.on_failure(), LinkHealth::Dead);
+        assert_eq!(h.on_success(), LinkHealth::Alive);
+    }
+
+    #[test]
+    fn churn_classification_matches_the_device_failure_modes() {
+        assert!(is_churn_error(&ClanError::Transport {
+            peer: "x".into(),
+            reason: "gone".into(),
+        }));
+        assert!(is_churn_error(&ClanError::Timeout {
+            peer: "x".into(),
+            waited: std::time::Duration::from_secs(1),
+        }));
+        assert!(!is_churn_error(&ClanError::Protocol {
+            peer: "x".into(),
+            reason: "garbage".into(),
+        }));
+        assert!(!is_churn_error(&ClanError::Frame(
+            crate::error::FrameError::BadMagic
+        )));
+        assert!(!is_churn_error(&ClanError::InvalidSetup {
+            reason: "nope".into(),
+        }));
+    }
+
+    #[test]
+    fn stats_attribute_failures_per_agent() {
+        let mut s = RecoveryStats::default();
+        assert!(!s.any_recovery());
+        s.note_failure(2);
+        s.note_failure(2);
+        s.note_failure(0);
+        assert_eq!(s.failures, 3);
+        assert_eq!(s.agent_failures, vec![1, 0, 2]);
+        assert!(s.any_recovery());
+    }
+
+    #[test]
+    fn policy_defaults_and_builders() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.min_agents, 1);
+        let p = p.with_max_retries(1).with_min_agents(2);
+        assert_eq!((p.max_retries, p.min_agents), (1, 2));
+    }
+}

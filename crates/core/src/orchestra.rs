@@ -75,6 +75,14 @@ pub trait Orchestrator {
         None
     }
 
+    /// Churn-recovery accounting of the attached real transport (link
+    /// failures, reassigned chunks, recovery makespan — see
+    /// [`RecoveryStats`](crate::membership::RecoveryStats)). `None` for
+    /// purely simulated runs.
+    fn recovery_stats(&self) -> Option<crate::membership::RecoveryStats> {
+        None
+    }
+
     /// Timeline recorder for the run so far.
     fn recorder(&self) -> &TimelineRecorder;
 

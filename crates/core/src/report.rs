@@ -30,6 +30,11 @@ pub struct RunReport {
     /// time — how balanced the partitions actually were. `None` for
     /// purely simulated runs.
     pub gather: Option<crate::runtime::GatherStats>,
+    /// Churn-recovery accounting of the real transport: link failures,
+    /// chunks reassigned to survivors, injected kills, mid-run joins,
+    /// and the measured recovery makespan. `None` for purely simulated
+    /// runs.
+    pub recovery: Option<crate::membership::RecoveryStats>,
     /// Sum of all generation timelines.
     pub total_timeline: GenerationTimeline,
     /// Mean generation timeline.
@@ -79,6 +84,7 @@ impl RunReport {
             ledger,
             transport: None,
             gather: None,
+            recovery: None,
             total_timeline,
             mean_timeline,
             best_fitness,
@@ -97,6 +103,15 @@ impl RunReport {
     /// run.
     pub fn with_gather(mut self, gather: Option<crate::runtime::GatherStats>) -> RunReport {
         self.gather = gather;
+        self
+    }
+
+    /// Attaches the churn-recovery accounting of a real transport run.
+    pub fn with_recovery(
+        mut self,
+        recovery: Option<crate::membership::RecoveryStats>,
+    ) -> RunReport {
+        self.recovery = recovery;
         self
     }
 
@@ -176,6 +191,22 @@ impl RunReport {
                     g.makespan_s,
                     g.busy_s,
                     g.overlap().unwrap_or(f64::NAN)
+                );
+            }
+        }
+        if let Some(r) = &self.recovery {
+            if r.any_recovery() {
+                let _ = writeln!(
+                    s,
+                    "  recovery: {} link failure(s), {} chunk(s)/{} item(s) reassigned, \
+                     {} kill(s) + {} join(s), {} retry attempt(s) costing {:.3} s",
+                    r.failures,
+                    r.reassigned_chunks,
+                    r.reassigned_items,
+                    r.kills,
+                    r.joins,
+                    r.retry_attempts,
+                    r.recovery_s
                 );
             }
         }

@@ -54,10 +54,35 @@
 //! accumulates in [`GatherStats`]; per-agent wire bytes land in the
 //! ledger's [`agent_entries`](CommLedger::agent_entries), making load
 //! imbalance directly observable.
+//!
+//! # Elastic membership and recovery
+//!
+//! Commodity agents crash mid-run; the cluster survives them. Every
+//! link carries a [`LinkHealth`] (alive / suspected / dead, see
+//! [`crate::membership`]); when an exchange surfaces a churn-class
+//! error (`Transport`/`Timeout`), the failed link's chunk is
+//! **deterministically reassigned** across the links that have not
+//! failed this round and the exchange retried (up to
+//! [`RecoveryPolicy::max_retries`] times). Results carry genome ids and
+//! replay in id order, so a run that lost and reassigned chunks is
+//! bit-identical to a serial run — churn costs only time, measured in
+//! [`RecoveryStats`]. New agents can also **join mid-run**
+//! ([`admit_transport`](EdgeCluster::admit_transport) /
+//! [`admit_local`](EdgeCluster::admit_local)): they are `Configure`d
+//! with the stored session spec and enter the weight/calibration tables
+//! like any founding member. Deterministic churn testing goes through
+//! [`ChurnSchedule`]
+//! ([`set_churn`](EdgeCluster::set_churn), `clan-cli coordinate
+//! --churn k1@2,r1@4`), which swaps a victim's transport for a
+//! [`DeadTransport`] at a scatter
+//! round boundary and revives a replacement later — exercising the
+//! production recovery path with a simulated device crash.
 
 use crate::error::ClanError;
 use crate::evaluator::InferenceMode;
+use crate::membership::{is_churn_error, AgentHealth, LinkHealth, RecoveryPolicy, RecoveryStats};
 use crate::transport::agent::{serve_session, AgentServer, UdpAgentServer};
+use crate::transport::churn::{ChurnAction, ChurnSchedule, DeadTransport};
 use crate::transport::{
     channel_pair, recv_message, send_message, ClusterSpec, TcpTransport, Transport, UdpConfig,
     WireEvaluation, WireMessage,
@@ -67,12 +92,26 @@ use clan_envs::Workload;
 use clan_neat::{Genome, GenomeId, NeatConfig, Population};
 use clan_netsim::{CommLedger, MessageKind};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Smoothing factor of the round-trip-time calibration EWMA: how fast
 /// measured throughput overrides the static capability weight.
 const EWMA_ALPHA: f64 = 0.4;
+
+/// How a remote link's session can be re-established after a failure
+/// (the original agent address). In-process links have no origin: their
+/// agent thread dies with its session, so they come back only through
+/// an explicit revival.
+#[derive(Clone)]
+enum LinkOrigin {
+    /// Reconnect over TCP to the original address.
+    Tcp(String),
+    /// Reconnect over the datagram transport to the original address,
+    /// with the coordinator-side tuning (faults re-derived per link).
+    Udp(String, UdpConfig),
+}
 
 /// One agent as the coordinator sees it.
 struct AgentLink {
@@ -84,6 +123,19 @@ struct AgentLink {
     /// EWMA of measured evaluation throughput (genomes/second), fed by
     /// per-chunk round-trip times when calibration is enabled.
     measured: Option<f64>,
+    /// Liveness as judged from exchange outcomes (see
+    /// [`crate::membership`]).
+    health: LinkHealth,
+    /// Human-readable description of the last churn-class failure.
+    last_error: Option<String>,
+    /// Set when the session on `transport` is no longer trustworthy (a
+    /// churn-class failure desynchronizes request/response pairing —
+    /// e.g. a late reply from a timed-out round). A poisoned transport
+    /// is a [`DeadTransport`]; the link is re-established from `origin`
+    /// before its next probe, or strikes out.
+    poisoned: bool,
+    /// Where a fresh session can be established, for remote links.
+    origin: Option<LinkOrigin>,
 }
 
 impl AgentLink {
@@ -93,8 +145,44 @@ impl AgentLink {
             handle,
             weight: 1.0,
             measured: None,
+            health: LinkHealth::Alive,
+            last_error: None,
+            poisoned: false,
+            origin: None,
         }
     }
+
+    fn with_origin(mut self, origin: LinkOrigin) -> AgentLink {
+        self.origin = Some(origin);
+        self
+    }
+}
+
+/// How this cluster can produce a replacement agent for a mid-run
+/// revival or admission. Set by the constructor that built the cluster;
+/// remote clusters start with no source until
+/// [`set_spares`](EdgeCluster::set_spares) supplies standby addresses.
+enum Respawn {
+    /// No way to mint new agents (caller-supplied transports).
+    External,
+    /// In-process worker thread over a byte channel.
+    Channel,
+    /// In-process agent thread serving loopback TCP.
+    LoopbackTcp,
+    /// In-process agent thread serving loopback UDP, with the
+    /// coordinator-side and agent-side datagram configs.
+    LoopbackUdp {
+        coordinator: UdpConfig,
+        agent: UdpConfig,
+    },
+    /// Standby `clan-cli agent` addresses to connect over TCP.
+    RemoteTcp { spares: VecDeque<String> },
+    /// Standby `clan-cli agent --udp` addresses, with the
+    /// coordinator-side datagram config.
+    RemoteUdp {
+        coordinator: UdpConfig,
+        spares: VecDeque<String>,
+    },
 }
 
 /// Measured scatter/gather timing accumulated over a cluster's life.
@@ -138,6 +226,28 @@ impl GatherStats {
 /// was expected and arrived.
 type GatherSlot = Option<(Result<(WireMessage, u64), ClanError>, f64)>;
 
+/// One exchange attempt's result: per-link slots (`None` = no request
+/// sent; `Some(Err)` = churn-class link failure, already recorded in
+/// the membership table) plus the attempt's measured makespan.
+struct ExchangeOutcome {
+    responses: Vec<Option<Result<WireMessage, ClanError>>>,
+    makespan_s: f64,
+}
+
+/// Validates one link's reply to a scatter chunk (given the link's peer
+/// label for error messages) and extracts the chunk's result items.
+type ResponseHandler<'a, T, R> =
+    &'a mut dyn FnMut(String, WireMessage, &[T]) -> Result<Vec<R>, ClanError>;
+
+/// A freshly minted (unconfigured) replacement agent: its transport,
+/// the serving thread's handle for in-process agents, and the address
+/// it can be re-established from (remote agents only).
+type MintedAgent = (
+    Box<dyn Transport>,
+    Option<JoinHandle<()>>,
+    Option<LinkOrigin>,
+);
+
 /// Splits `items` into consecutive slices of the given sizes.
 fn chunk_by_counts<'a, T>(items: &'a [T], counts: &[usize]) -> Vec<&'a [T]> {
     debug_assert_eq!(counts.iter().sum::<usize>(), items.len());
@@ -164,12 +274,25 @@ fn chunk_by_counts<'a, T>(items: &'a [T], counts: &[usize]) -> Vec<&'a [T]> {
 /// cluster also stops it.
 pub struct EdgeCluster {
     links: Vec<AgentLink>,
-    cfg: NeatConfig,
+    /// The session spec every (founding or joining) agent is configured
+    /// with — kept so mid-run admissions speak the same session.
+    spec: ClusterSpec,
     ledger: CommLedger,
     control_bytes: u64,
     /// When set, partition weights follow measured round-trip times.
     calibrate: bool,
     gather: GatherStats,
+    /// How hard scatters fight to survive link failures.
+    policy: RecoveryPolicy,
+    /// What surviving churn cost so far.
+    recovery: RecoveryStats,
+    /// Deterministic kill/revive plan, applied at round boundaries.
+    churn: Option<ChurnSchedule>,
+    /// Scatter rounds performed (each `evaluate_collect` /
+    /// `build_children` call advances this by one).
+    round: u64,
+    /// How replacement agents are produced for revivals/admissions.
+    respawn: Respawn,
 }
 
 impl std::fmt::Debug for EdgeCluster {
@@ -235,7 +358,7 @@ impl EdgeCluster {
                 AgentLink::new(Box::new(coord), Some(handle))
             })
             .collect();
-        Self::configured(links, spec)
+        Self::configured(links, spec, Respawn::Channel)
     }
 
     /// Spawns `n_agents` agent threads each serving a **real TCP
@@ -293,7 +416,7 @@ impl EdgeCluster {
                 .expect("spawning agent thread");
             links.push(AgentLink::new(Box::new(transport), Some(handle)));
         }
-        Self::configured(links, spec)
+        Self::configured(links, spec, Respawn::LoopbackTcp)
     }
 
     /// Spawns `n_agents` agent threads each serving a **real UDP
@@ -382,7 +505,14 @@ impl EdgeCluster {
             let transport = udp.transport_to(addr, i)?;
             links.push(AgentLink::new(transport, Some(handle)));
         }
-        Self::configured(links, spec)
+        Self::configured(
+            links,
+            spec,
+            Respawn::LoopbackUdp {
+                coordinator: udp,
+                agent: agent_udp,
+            },
+        )
     }
 
     /// Connects to already-running **UDP** agent processes (started with
@@ -417,9 +547,19 @@ impl EdgeCluster {
         }
         let mut links = Vec::with_capacity(addrs.len());
         for (i, addr) in addrs.iter().enumerate() {
-            links.push(AgentLink::new(udp.transport_to(addr.as_str(), i)?, None));
+            links.push(
+                AgentLink::new(udp.transport_to(addr.as_str(), i)?, None)
+                    .with_origin(LinkOrigin::Udp(addr.clone(), udp.clone())),
+            );
         }
-        Self::configured(links, spec)
+        Self::configured(
+            links,
+            spec,
+            Respawn::RemoteUdp {
+                coordinator: udp,
+                spares: VecDeque::new(),
+            },
+        )
     }
 
     /// Connects to already-running agent processes (started with
@@ -438,12 +578,18 @@ impl EdgeCluster {
         }
         let mut links = Vec::with_capacity(addrs.len());
         for addr in addrs {
-            links.push(AgentLink::new(
-                Box::new(TcpTransport::connect(addr.as_str())?),
-                None,
-            ));
+            links.push(
+                AgentLink::new(Box::new(TcpTransport::connect(addr.as_str())?), None)
+                    .with_origin(LinkOrigin::Tcp(addr.clone())),
+            );
         }
-        Self::configured(links, spec)
+        Self::configured(
+            links,
+            spec,
+            Respawn::RemoteTcp {
+                spares: VecDeque::new(),
+            },
+        )
     }
 
     /// Builds a cluster over caller-supplied transports whose agent
@@ -469,12 +615,16 @@ impl EdgeCluster {
             .into_iter()
             .map(|t| AgentLink::new(t, None))
             .collect();
-        Self::configured(links, spec)
+        Self::configured(links, spec, Respawn::External)
     }
 
     /// Pushes `Configure` to every link (control traffic: counted in
     /// bytes, invisible to the analytic model).
-    fn configured(mut links: Vec<AgentLink>, spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
+    fn configured(
+        mut links: Vec<AgentLink>,
+        spec: ClusterSpec,
+        respawn: Respawn,
+    ) -> Result<EdgeCluster, ClanError> {
         let msg = WireMessage::Configure(Box::new(spec.clone()));
         let mut control_bytes = 0;
         for link in &mut links {
@@ -482,17 +632,29 @@ impl EdgeCluster {
         }
         Ok(EdgeCluster {
             links,
-            cfg: spec.cfg,
+            spec,
             ledger: CommLedger::new(),
             control_bytes,
             calibrate: false,
             gather: GatherStats::default(),
+            policy: RecoveryPolicy::default(),
+            recovery: RecoveryStats::default(),
+            churn: None,
+            round: 0,
+            respawn,
         })
     }
 
-    /// Number of live agents.
+    /// Number of agent link slots (including dead ones, whose slots are
+    /// kept so per-agent accounting stays aligned — see
+    /// [`live_agents`](EdgeCluster::live_agents)).
     pub fn n_agents(&self) -> usize {
         self.links.len()
+    }
+
+    /// Number of links not currently marked [`LinkHealth::Dead`].
+    pub fn live_agents(&self) -> usize {
+        self.links.iter().filter(|l| l.health.is_live()).count()
     }
 
     /// Sets per-agent capability weights: relative throughputs that
@@ -609,6 +771,351 @@ impl EdgeCluster {
         self.gather
     }
 
+    /// Sets the recovery policy (retry budget, live-agent floor).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Builder-style [`set_recovery_policy`](EdgeCluster::set_recovery_policy).
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> EdgeCluster {
+        self.set_recovery_policy(policy);
+        self
+    }
+
+    /// The recovery policy in force.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Everything surviving churn has cost so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.clone()
+    }
+
+    /// Per-link membership snapshot (index = link slot).
+    pub fn membership(&self) -> Vec<AgentHealth> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| AgentHealth {
+                health: l.health,
+                failures: self.recovery.agent_failures.get(i).copied().unwrap_or(0),
+                last_error: l.last_error.clone(),
+            })
+            .collect()
+    }
+
+    /// Installs a deterministic kill/revive plan, applied at scatter
+    /// round boundaries (each `evaluate`/`build_children` call is one
+    /// round).
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] if the schedule names an agent slot
+    /// this cluster does not have, or schedules revivals on a cluster
+    /// that cannot mint replacement agents (caller-supplied transports
+    /// without [`set_spares`](EdgeCluster::set_spares)).
+    pub fn set_churn(&mut self, schedule: ChurnSchedule) -> Result<(), ClanError> {
+        if let Some(max) = schedule.max_agent() {
+            if max >= self.links.len() {
+                return Err(ClanError::InvalidSetup {
+                    reason: format!(
+                        "churn schedule names agent {max}, cluster has {} slot(s)",
+                        self.links.len()
+                    ),
+                });
+            }
+        }
+        if schedule.has_revivals() && !self.can_respawn() {
+            return Err(ClanError::InvalidSetup {
+                reason: "churn schedule revives agents but this cluster cannot mint \
+                         replacements (connect via loopback, or supply standby \
+                         addresses with set_spares)"
+                    .into(),
+            });
+        }
+        self.churn = Some(schedule);
+        Ok(())
+    }
+
+    /// Builder-style [`set_churn`](EdgeCluster::set_churn).
+    ///
+    /// # Errors
+    ///
+    /// See [`set_churn`](EdgeCluster::set_churn).
+    pub fn with_churn(mut self, schedule: ChurnSchedule) -> Result<EdgeCluster, ClanError> {
+        self.set_churn(schedule)?;
+        Ok(self)
+    }
+
+    /// Registers standby agent addresses a remote cluster may connect
+    /// when a revival or [`admit_local`](EdgeCluster::admit_local) needs
+    /// a replacement (`clan-cli coordinate --spare-at`). Consumed in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] on clusters whose agents are spawned
+    /// in-process (they mint their own replacements) or caller-supplied.
+    pub fn set_spares(&mut self, addrs: Vec<String>) -> Result<(), ClanError> {
+        match &mut self.respawn {
+            Respawn::RemoteTcp { spares } | Respawn::RemoteUdp { spares, .. } => {
+                spares.extend(addrs);
+                Ok(())
+            }
+            _ => Err(ClanError::InvalidSetup {
+                reason: "spare agent addresses apply to remote clusters only \
+                         (connect / connect_udp)"
+                    .into(),
+            }),
+        }
+    }
+
+    fn can_respawn(&self) -> bool {
+        match &self.respawn {
+            Respawn::External => false,
+            Respawn::Channel | Respawn::LoopbackTcp | Respawn::LoopbackUdp { .. } => true,
+            Respawn::RemoteTcp { spares } => !spares.is_empty(),
+            Respawn::RemoteUdp { spares, .. } => !spares.is_empty(),
+        }
+    }
+
+    /// Mints a replacement agent for link slot `slot` from this
+    /// cluster's respawn source (unconfigured — the caller pushes
+    /// `Configure`).
+    fn mint_agent(&mut self, slot: usize) -> Result<MintedAgent, ClanError> {
+        let spawn_thread = |name: String, f: Box<dyn FnOnce() + Send>| {
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(f)
+                .expect("spawning agent thread")
+        };
+        match &mut self.respawn {
+            Respawn::External => Err(ClanError::InvalidSetup {
+                reason: "this cluster cannot mint replacement agents \
+                         (caller-supplied transports)"
+                    .into(),
+            }),
+            Respawn::Channel => {
+                let (coord, mut agent_side) = channel_pair();
+                let handle = spawn_thread(
+                    format!("clan-agent-join-{slot}"),
+                    Box::new(move || {
+                        if let Err(e) = serve_session(&mut agent_side) {
+                            eprintln!("clan-agent-join-{slot}: {e}");
+                        }
+                    }),
+                );
+                Ok((Box::new(coord), Some(handle), None))
+            }
+            Respawn::LoopbackTcp => {
+                let server = AgentServer::bind("127.0.0.1:0")?;
+                let transport = TcpTransport::connect(server.local_addr())?;
+                let handle = spawn_thread(
+                    format!("clan-agent-join-{slot}"),
+                    Box::new(move || {
+                        if let Err(e) = server.serve_once() {
+                            eprintln!("clan-agent-join-{slot}: {e}");
+                        }
+                    }),
+                );
+                Ok((Box::new(transport), Some(handle), None))
+            }
+            Respawn::LoopbackUdp { coordinator, agent } => {
+                let mut server = UdpAgentServer::bind("127.0.0.1:0")?.with_config(agent.clone());
+                let addr = server.local_addr();
+                let transport = coordinator.transport_to(addr, slot)?;
+                let handle = spawn_thread(
+                    format!("clan-agent-join-{slot}"),
+                    Box::new(move || {
+                        if let Err(e) = server.serve_once() {
+                            eprintln!("clan-agent-join-{slot}: {e}");
+                        }
+                    }),
+                );
+                Ok((transport, Some(handle), None))
+            }
+            Respawn::RemoteTcp { spares } => {
+                let addr = spares.pop_front().ok_or_else(|| ClanError::InvalidSetup {
+                    reason: "no spare agent addresses left (see set_spares / --spare-at)".into(),
+                })?;
+                Ok((
+                    Box::new(TcpTransport::connect(addr.as_str())?),
+                    None,
+                    Some(LinkOrigin::Tcp(addr)),
+                ))
+            }
+            Respawn::RemoteUdp {
+                coordinator,
+                spares,
+            } => {
+                let addr = spares.pop_front().ok_or_else(|| ClanError::InvalidSetup {
+                    reason: "no spare agent addresses left (see set_spares / --spare-at)".into(),
+                })?;
+                Ok((
+                    coordinator.transport_to(addr.as_str(), slot)?,
+                    None,
+                    Some(LinkOrigin::Udp(addr, coordinator.clone())),
+                ))
+            }
+        }
+    }
+
+    /// Kills link `slot`: its transport is replaced by a
+    /// [`DeadTransport`], so every subsequent exchange with it fails
+    /// exactly like an unplugged device and the normal recovery path
+    /// takes over. The agent behind the link observes a disconnect (or
+    /// liveness timeout) and ends its session; an in-process agent
+    /// thread is detached rather than joined.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] on an out-of-range slot.
+    pub fn kill_agent(&mut self, slot: usize) -> Result<(), ClanError> {
+        let link = self
+            .links
+            .get_mut(slot)
+            .ok_or_else(|| ClanError::InvalidSetup {
+                reason: format!("kill: no agent slot {slot}"),
+            })?;
+        let peer = link.transport.peer();
+        link.transport = Box::new(DeadTransport::new(peer));
+        link.poisoned = true;
+        // An injected kill must stick: clearing the origin prevents the
+        // automatic session re-establishment a transient failure gets.
+        link.origin = None;
+        // Detach: a UDP loopback agent only notices the death at its
+        // idle deadline, and shutdown must not wait for that.
+        drop(link.handle.take());
+        Ok(())
+    }
+
+    /// Revives link `slot` with a freshly minted replacement agent:
+    /// same slot (per-agent accounting stays aligned), same static
+    /// weight, fresh health and calibration, `Configure`d with the
+    /// session spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] on an out-of-range slot or a cluster
+    /// with no respawn source, plus any transport failure while
+    /// connecting or configuring the replacement.
+    pub fn revive_agent(&mut self, slot: usize) -> Result<(), ClanError> {
+        if slot >= self.links.len() {
+            return Err(ClanError::InvalidSetup {
+                reason: format!("revive: no agent slot {slot}"),
+            });
+        }
+        let (mut transport, handle, origin) = self.mint_agent(slot)?;
+        let msg = WireMessage::Configure(Box::new(self.spec.clone()));
+        self.control_bytes += send_message(transport.as_mut(), &msg)?;
+        let link = &mut self.links[slot];
+        // Replacing the transport drops the old one; a still-running old
+        // agent observes the disconnect and ends its session quietly.
+        drop(link.handle.take());
+        link.transport = transport;
+        link.handle = handle;
+        link.health = LinkHealth::Alive;
+        link.last_error = None;
+        link.measured = None;
+        link.poisoned = false;
+        link.origin = origin;
+        Ok(())
+    }
+
+    /// Admits a new agent mid-run over a caller-supplied transport: the
+    /// agent is `Configure`d with the current session spec and appended
+    /// as a new link slot with weight `weight`. Returns the slot index.
+    ///
+    /// The next scatter includes the newcomer; under calibration it is
+    /// measured like any founding member (effective weights fall back
+    /// to static until every live link has a measurement, exactly as at
+    /// startup).
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] on a non-finite or negative weight,
+    /// plus any failure pushing `Configure`.
+    pub fn admit_transport_weighted(
+        &mut self,
+        mut transport: Box<dyn Transport>,
+        weight: f64,
+    ) -> Result<usize, ClanError> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(ClanError::InvalidSetup {
+                reason: format!("admitted agent weight must be finite and >= 0, got {weight}"),
+            });
+        }
+        let msg = WireMessage::Configure(Box::new(self.spec.clone()));
+        self.control_bytes += send_message(transport.as_mut(), &msg)?;
+        let mut link = AgentLink::new(transport, None);
+        link.weight = weight;
+        self.links.push(link);
+        self.recovery.joins += 1;
+        Ok(self.links.len() - 1)
+    }
+
+    /// [`admit_transport_weighted`](EdgeCluster::admit_transport_weighted)
+    /// with the default weight 1.0.
+    ///
+    /// # Errors
+    ///
+    /// See [`admit_transport_weighted`](EdgeCluster::admit_transport_weighted).
+    pub fn admit_transport(&mut self, transport: Box<dyn Transport>) -> Result<usize, ClanError> {
+        self.admit_transport_weighted(transport, 1.0)
+    }
+
+    /// Admits a new agent minted from this cluster's own respawn source
+    /// (an in-process thread for spawned clusters, the next spare
+    /// address for remote ones) — mid-run scale-out. Returns the new
+    /// slot index.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] when no replacement source exists,
+    /// plus any connect/configure failure.
+    pub fn admit_local(&mut self) -> Result<usize, ClanError> {
+        let slot = self.links.len();
+        let (mut transport, handle, origin) = self.mint_agent(slot)?;
+        let msg = WireMessage::Configure(Box::new(self.spec.clone()));
+        self.control_bytes += send_message(transport.as_mut(), &msg)?;
+        let mut link = AgentLink::new(transport, handle);
+        link.origin = origin;
+        self.links.push(link);
+        self.recovery.joins += 1;
+        Ok(slot)
+    }
+
+    /// Advances the scatter round and applies any churn events due.
+    fn apply_churn(&mut self) -> Result<(), ClanError> {
+        let round = self.round;
+        self.round += 1;
+        self.recovery.rounds += 1;
+        if self.churn.is_none() {
+            return Ok(());
+        }
+        let due: Vec<(usize, ChurnAction)> = self
+            .churn
+            .as_ref()
+            .expect("checked above")
+            .events_at(round)
+            .map(|e| (e.agent, e.action))
+            .collect();
+        for (agent, action) in due {
+            match action {
+                ChurnAction::Kill => {
+                    self.kill_agent(agent)?;
+                    self.recovery.kills += 1;
+                }
+                ChurnAction::Revive => {
+                    self.revive_agent(agent)?;
+                    self.recovery.joins += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Traffic observed on this cluster's transport, with both the
     /// analytic model's float accounting and the measured wire bytes.
     ///
@@ -628,16 +1135,104 @@ impl EdgeCluster {
 
     /// The NEAT configuration agents compile genomes with.
     pub fn neat_config(&self) -> &NeatConfig {
-        &self.cfg
+        &self.spec.cfg
+    }
+
+    /// The weights the next scatter attempt partitions by: effective
+    /// weights with dead links — and links already failed this round —
+    /// zeroed out.
+    fn scatter_weights(&self, failed_this_round: &[bool]) -> Vec<f64> {
+        self.effective_weights()
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                if !self.links[i].health.is_live() || failed_this_round[i] {
+                    0.0
+                } else {
+                    w
+                }
+            })
+            .collect()
+    }
+
+    /// Marks link `i` failed with churn-class error `e`: health
+    /// transition, recovery accounting, and **session poisoning** — the
+    /// transport is replaced with a [`DeadTransport`] because its
+    /// request/response pairing can no longer be trusted (a timed-out
+    /// agent's late reply would otherwise answer the *next* round's
+    /// request and surface as a protocol violation). The link is
+    /// re-established from its origin before the next probe
+    /// ([`resync_poisoned_links`](EdgeCluster::resync_poisoned_links))
+    /// or strikes out fast.
+    fn note_link_failure(
+        links: &mut [AgentLink],
+        recovery: &mut RecoveryStats,
+        i: usize,
+        e: &ClanError,
+    ) {
+        let link = &mut links[i];
+        link.health = link.health.on_failure();
+        link.last_error = Some(e.to_string());
+        if !link.poisoned {
+            let peer = link.transport.peer();
+            link.transport = Box::new(DeadTransport::new(peer));
+            link.poisoned = true;
+            // The agent thread (if in-process) observes the dropped
+            // session and exits on its own; never block a gather on it.
+            drop(link.handle.take());
+        }
+        recovery.note_failure(i);
+    }
+
+    /// Re-establishes a fresh session on every poisoned-but-live link
+    /// that has an origin to reconnect to: new transport, `Configure`
+    /// pushed, calibration reset. Links without an origin (in-process
+    /// agents, injected kills) and failed reconnects stay poisoned —
+    /// their next probe fails fast and counts a strike, so a genuinely
+    /// dead device converges to `Dead` without timeout waits, while a
+    /// transiently slow one comes back with a clean session.
+    fn resync_poisoned_links(&mut self) {
+        for i in 0..self.links.len() {
+            let link = &self.links[i];
+            if !link.poisoned || !link.health.is_live() {
+                continue;
+            }
+            let Some(origin) = link.origin.clone() else {
+                continue;
+            };
+            let fresh: Result<Box<dyn Transport>, ClanError> = match &origin {
+                LinkOrigin::Tcp(addr) => {
+                    TcpTransport::connect(addr.as_str()).map(|t| Box::new(t) as Box<dyn Transport>)
+                }
+                LinkOrigin::Udp(addr, cfg) => cfg.transport_to(addr.as_str(), i),
+            };
+            let Ok(mut transport) = fresh else {
+                continue; // stays poisoned; the probe records the strike
+            };
+            let msg = WireMessage::Configure(Box::new(self.spec.clone()));
+            if let Ok(bytes) = send_message(transport.as_mut(), &msg) {
+                self.control_bytes += bytes;
+                let link = &mut self.links[i];
+                link.transport = transport;
+                link.poisoned = false;
+                link.measured = None;
+            }
+        }
     }
 
     /// Scatters one request per link (skipping `None` entries) and
     /// gathers the responses **out of order**: a reader thread per
     /// pending link banks each response the moment it arrives, so a
     /// fast agent never waits behind a slow one in the collection loop.
-    /// All bookkeeping — ledger rows, calibration, error propagation —
+    /// All bookkeeping — ledger rows, calibration, membership marking —
     /// then replays in link order, keeping every observable effect
     /// deterministic regardless of arrival order.
+    ///
+    /// Churn-class failures (`Transport`/`Timeout`, on send or receive)
+    /// do **not** abort the exchange: the failed link is marked in the
+    /// membership table and its slot reports the error, so the caller
+    /// can reassign the lost chunk. Non-churn errors (protocol, frame)
+    /// are bugs and propagate immediately.
     ///
     /// Each request carries its work-item count; when
     /// `calibrate_throughput` is set the per-link round-trip time feeds
@@ -649,30 +1244,45 @@ impl EdgeCluster {
         recv_kind: MessageKind,
         requests: &[Option<(WireMessage, u64)>],
         calibrate_throughput: bool,
-    ) -> Result<Vec<Option<WireMessage>>, ClanError> {
+    ) -> Result<ExchangeOutcome, ClanError> {
         let EdgeCluster {
             links,
             ledger,
             gather,
             calibrate,
+            recovery,
             ..
         } = self;
         debug_assert_eq!(requests.len(), links.len());
-        // Scatter in link order.
-        for (i, (link, req)) in links.iter_mut().zip(requests).enumerate() {
+        // Scatter in link order; a churn-class send failure claims the
+        // slot instead of aborting the round.
+        let mut responses: Vec<Option<Result<WireMessage, ClanError>>> =
+            (0..links.len()).map(|_| None).collect();
+        let mut sent = vec![false; links.len()];
+        for (i, req) in requests.iter().enumerate() {
             if let Some((msg, _)) = req {
-                let bytes = send_message(link.transport.as_mut(), msg)?;
-                ledger.record_agent_wire(i, send_kind, msg.modeled_floats(), bytes);
+                match send_message(links[i].transport.as_mut(), msg) {
+                    Ok(bytes) => {
+                        ledger.record_agent_wire(i, send_kind, msg.modeled_floats(), bytes);
+                        sent[i] = true;
+                    }
+                    Err(e) if is_churn_error(&e) => {
+                        Self::note_link_failure(links, recovery, i, &e);
+                        responses[i] = Some(Err(e));
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
-        // Gather out of order: one reader thread per pending link.
+        // Gather out of order: one reader thread per successfully sent
+        // link.
         let start = Instant::now();
         let mut slots: Vec<GatherSlot> = (0..links.len()).map(|_| None).collect();
         std::thread::scope(|s| {
             let (tx, rx) = std::sync::mpsc::channel();
             let mut pending = 0usize;
-            for (i, (link, req)) in links.iter_mut().zip(requests).enumerate() {
-                if req.is_none() {
+            for (i, (link, was_sent)) in links.iter_mut().zip(&sent).enumerate() {
+                if !*was_sent {
                     continue;
                 }
                 pending += 1;
@@ -691,11 +1301,10 @@ impl EdgeCluster {
         // Replay in link order (deterministic bookkeeping).
         let mut makespan = 0.0f64;
         let mut busy = 0.0f64;
-        let mut responses = Vec::with_capacity(links.len());
-        let mut first_err: Option<ClanError> = None;
+        let mut hard_err: Option<ClanError> = None;
         for (i, slot) in slots.into_iter().enumerate() {
             match slot {
-                None => responses.push(None),
+                None => {}
                 Some((Ok((msg, bytes)), elapsed)) => {
                     ledger.record_agent_wire(i, recv_kind, msg.modeled_floats(), bytes);
                     makespan = makespan.max(elapsed);
@@ -714,17 +1323,20 @@ impl EdgeCluster {
                             }
                         }
                     }
-                    responses.push(Some(msg));
+                    let link = &mut links[i];
+                    link.health = link.health.on_success();
+                    link.last_error = None;
+                    responses[i] = Some(Ok(msg));
                 }
-                Some((Err(e), _)) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                    responses.push(None);
+                Some((Err(e), _)) if is_churn_error(&e) => {
+                    Self::note_link_failure(links, recovery, i, &e);
+                    responses[i] = Some(Err(e));
                 }
+                Some((Err(e), _)) if hard_err.is_none() => hard_err = Some(e),
+                Some((Err(_), _)) => {}
             }
         }
-        if let Some(e) = first_err {
+        if let Some(e) = hard_err {
             return Err(e);
         }
         // Fold each link's loss-recovery overhead (retransmitted +
@@ -739,7 +1351,105 @@ impl EdgeCluster {
         gather.gathers += 1;
         gather.makespan_s += makespan;
         gather.busy_s += busy;
-        Ok(responses)
+        Ok(ExchangeOutcome {
+            responses,
+            makespan_s: makespan,
+        })
+    }
+
+    /// Checks the recovery policy before a scatter attempt: at least
+    /// one usable link, and no fewer than the policy's floor. When the
+    /// round degrades *because of failures*, the last link error (the
+    /// root cause) is returned instead of a generic degradation.
+    fn check_floor(
+        &self,
+        usable: usize,
+        last_err: &mut Option<ClanError>,
+    ) -> Result<(), ClanError> {
+        let required = self.policy.min_agents.max(1);
+        if usable >= required {
+            return Ok(());
+        }
+        Err(last_err.take().unwrap_or(ClanError::Degraded {
+            live: usable,
+            required,
+        }))
+    }
+
+    /// The elastic scatter shared by inference and reproduction: apply
+    /// due churn, re-establish poisoned sessions, partition `items`
+    /// over the usable links, exchange, and — when a link fails —
+    /// reassign its chunk across the links that have not failed this
+    /// round and retry, within the recovery policy's budget and floor.
+    ///
+    /// `make_request` builds one wire message per non-empty chunk;
+    /// `handle_response` validates a link's reply (given its peer label
+    /// for error messages) and returns the chunk's result items.
+    /// Results are returned in completion order — the caller reorders
+    /// by id, which is what makes a churned run independent of which
+    /// agent computed what.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_with_recovery<T: Clone, R>(
+        &mut self,
+        items: &[T],
+        send_kind: MessageKind,
+        recv_kind: MessageKind,
+        calibrate_throughput: bool,
+        make_request: &dyn Fn(&[T]) -> WireMessage,
+        handle_response: ResponseHandler<'_, T, R>,
+    ) -> Result<Vec<R>, ClanError> {
+        self.apply_churn()?;
+        self.resync_poisoned_links();
+        let mut results: Vec<R> = Vec::with_capacity(items.len());
+        let mut pending: Vec<T> = items.to_vec();
+        let mut failed_this_round = vec![false; self.links.len()];
+        let mut last_err: Option<ClanError> = None;
+        let mut attempt = 0usize;
+        while !pending.is_empty() {
+            if attempt > self.policy.max_retries {
+                return Err(last_err.take().unwrap_or(ClanError::Degraded {
+                    live: self.live_agents(),
+                    required: self.policy.min_agents.max(1),
+                }));
+            }
+            let weights = self.scatter_weights(&failed_this_round);
+            let usable = weights.iter().filter(|w| **w > 0.0).count();
+            self.check_floor(usable, &mut last_err)?;
+            let counts = partition_weighted(pending.len(), &weights);
+            let chunks = chunk_by_counts(&pending, &counts);
+            let requests: Vec<Option<(WireMessage, u64)>> = chunks
+                .iter()
+                .map(|chunk| (!chunk.is_empty()).then(|| (make_request(chunk), chunk.len() as u64)))
+                .collect();
+            let outcome = self.exchange(send_kind, recv_kind, &requests, calibrate_throughput)?;
+            if attempt > 0 {
+                self.recovery.retry_attempts += 1;
+                self.recovery.recovery_s += outcome.makespan_s;
+            }
+            let mut next_pending: Vec<T> = Vec::new();
+            for (i, (chunk, slot)) in chunks.iter().zip(outcome.responses).enumerate() {
+                match slot {
+                    None => {}
+                    Some(Ok(msg)) => {
+                        let peer = self.links[i].transport.peer();
+                        results.extend(handle_response(peer, msg, chunk)?);
+                    }
+                    Some(Err(e)) => {
+                        failed_this_round[i] = true;
+                        self.recovery.reassigned_chunks += 1;
+                        self.recovery.reassigned_items += chunk.len() as u64;
+                        last_err = Some(e);
+                        next_pending.extend_from_slice(chunk);
+                    }
+                }
+            }
+            // Failed chunks are contiguous slices of the (id-ordered)
+            // pending list taken in link order, so the reassignment
+            // list stays id-ordered too.
+            pending = next_pending;
+            attempt += 1;
+        }
+        Ok(results)
     }
 
     /// Distributed inference, returning per-genome results in genome-id
@@ -749,70 +1459,68 @@ impl EdgeCluster {
     /// touch the population's fitness or counters.
     ///
     /// Work is split by the capability weights (even by default) and
-    /// responses are gathered out of order; since chunks are contiguous
-    /// id-ordered slices concatenated in link order, the returned batch
-    /// is id-ordered no matter which agent answered first.
+    /// responses are gathered out of order. A chunk lost to a failed
+    /// agent is reassigned across the links that have not failed this
+    /// round and retried (up to [`RecoveryPolicy::max_retries`] times);
+    /// because every result carries its genome id and the final batch
+    /// is replayed in id order, a churned run returns exactly what a
+    /// clean one would.
     ///
     /// # Errors
     ///
-    /// Transport/frame errors, [`ClanError::Protocol`] if an agent
-    /// returns results for the wrong genomes, and
-    /// [`ClanError::InvalidSetup`] on a cluster with no live agents.
+    /// [`ClanError::Protocol`]/[`ClanError::Frame`] if an agent
+    /// misbehaves (never retried — bugs are not churn),
+    /// [`ClanError::InvalidSetup`] on an agent-less cluster, and — when
+    /// failures drain the cluster below the policy floor or exhaust the
+    /// retry budget — the last link error
+    /// ([`ClanError::Transport`]/[`ClanError::Timeout`]) or
+    /// [`ClanError::Degraded`].
     pub fn evaluate_collect(&mut self, pop: &Population) -> Result<Vec<WireEvaluation>, ClanError> {
         if self.links.is_empty() {
             return Err(ClanError::InvalidSetup {
                 reason: "cluster has no live agents to evaluate on".into(),
             });
         }
-        let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
         let master_seed = pop.master_seed();
         let generation = pop.generation();
-        let counts = partition_weighted(ids.len(), &self.effective_weights());
-        let chunks = chunk_by_counts(&ids, &counts);
-        let requests: Vec<Option<(WireMessage, u64)>> = chunks
-            .iter()
-            .map(|chunk| {
-                (!chunk.is_empty()).then(|| {
-                    let msg = WireMessage::Evaluate {
-                        generation,
-                        master_seed,
-                        genomes: chunk
-                            .iter()
-                            .map(|id| pop.genome(*id).expect("id from population").clone())
-                            .collect(),
-                    };
-                    (msg, chunk.len() as u64)
-                })
-            })
-            .collect();
-        let responses = self.exchange(
+        let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
+        let mut results = self.scatter_with_recovery(
+            &ids,
             MessageKind::SendGenomes,
             MessageKind::SendFitness,
-            &requests,
             true,
-        )?;
-        let mut results = Vec::with_capacity(ids.len());
-        for (i, (chunk, response)) in chunks.iter().zip(responses).enumerate() {
-            let Some(msg) = response else { continue };
-            let batch = match msg {
-                WireMessage::Fitness(batch) => batch,
-                other => {
+            &|chunk| WireMessage::Evaluate {
+                generation,
+                master_seed,
+                genomes: chunk
+                    .iter()
+                    .map(|id| pop.genome(*id).expect("id from population").clone())
+                    .collect(),
+            },
+            &mut |peer, msg, chunk| {
+                let batch = match msg {
+                    WireMessage::Fitness(batch) => batch,
+                    other => {
+                        return Err(ClanError::Protocol {
+                            peer,
+                            reason: format!("expected Fitness, got {other:?}"),
+                        })
+                    }
+                };
+                if batch.len() != chunk.len()
+                    || batch.iter().zip(chunk.iter()).any(|(r, id)| r.0 != *id)
+                {
                     return Err(ClanError::Protocol {
-                        peer: self.links[i].transport.peer(),
-                        reason: format!("expected Fitness, got {other:?}"),
-                    })
+                        peer,
+                        reason: "fitness batch does not match the genomes sent".into(),
+                    });
                 }
-            };
-            if batch.len() != chunk.len()
-                || batch.iter().zip(chunk.iter()).any(|(r, id)| r.0 != *id)
-            {
-                return Err(ClanError::Protocol {
-                    peer: self.links[i].transport.peer(),
-                    reason: "fitness batch does not match the genomes sent".into(),
-                });
-            }
-            results.extend(batch);
-        }
+                Ok(batch)
+            },
+        )?;
+        // Results carry genome ids; replaying in id order makes the
+        // batch independent of which agent computed what.
+        results.sort_by_key(|r| r.0);
         Ok(results)
     }
 
@@ -848,65 +1556,69 @@ impl EdgeCluster {
                 reason: "cluster has no live agents to reproduce on".into(),
             });
         }
-        let counts = partition_weighted(plan.children.len(), &self.effective_weights());
-        let chunks = chunk_by_counts(&plan.children, &counts);
-        let requests: Vec<Option<(WireMessage, u64)>> = chunks
-            .iter()
-            .map(|chunk| {
-                (!chunk.is_empty()).then(|| {
-                    // Only the parents this chunk needs travel to the agent.
-                    let mut parent_ids: Vec<GenomeId> =
-                        chunk.iter().flat_map(|s| s.parent_ids()).collect();
-                    parent_ids.sort_unstable();
-                    parent_ids.dedup();
-                    let msg = WireMessage::BuildChildren {
-                        generation: plan.generation,
-                        master_seed: pop.master_seed(),
-                        specs: chunk.to_vec(),
-                        parents: parent_ids
-                            .iter()
-                            .map(|id| pop.genome(*id).expect("parent resident").clone())
-                            .collect(),
-                    };
-                    (msg, chunk.len() as u64)
-                })
-            })
-            .collect();
-        let responses = self.exchange(
+        let children = self.scatter_with_recovery(
+            &plan.children,
             MessageKind::SendParentGenomes,
             MessageKind::SendChildren,
-            &requests,
             false,
-        )?;
-        let mut children = Vec::with_capacity(plan.children.len());
-        for (i, (chunk, response)) in chunks.iter().zip(responses).enumerate() {
-            let Some(msg) = response else { continue };
-            let batch = match msg {
-                WireMessage::Children(batch) => batch,
-                other => {
-                    return Err(ClanError::Protocol {
-                        peer: self.links[i].transport.peer(),
-                        reason: format!("expected Children, got {other:?}"),
-                    })
+            &|chunk| {
+                // Only the parents this chunk needs travel to the agent.
+                let mut parent_ids: Vec<GenomeId> =
+                    chunk.iter().flat_map(|s| s.parent_ids()).collect();
+                parent_ids.sort_unstable();
+                parent_ids.dedup();
+                WireMessage::BuildChildren {
+                    generation: plan.generation,
+                    master_seed: pop.master_seed(),
+                    specs: chunk.to_vec(),
+                    parents: parent_ids
+                        .iter()
+                        .map(|id| pop.genome(*id).expect("parent resident").clone())
+                        .collect(),
                 }
-            };
-            if batch.len() != chunk.len()
-                || batch
-                    .iter()
-                    .zip(chunk.iter())
-                    .any(|(child, spec)| child.id() != spec.child_id)
-            {
-                return Err(ClanError::Protocol {
-                    peer: self.links[i].transport.peer(),
-                    reason: format!(
-                        "children batch does not match the {} specs sent",
-                        chunk.len()
-                    ),
-                });
-            }
-            children.extend(batch);
-        }
-        Ok(children)
+            },
+            &mut |peer, msg, chunk| {
+                let batch = match msg {
+                    WireMessage::Children(batch) => batch,
+                    other => {
+                        return Err(ClanError::Protocol {
+                            peer,
+                            reason: format!("expected Children, got {other:?}"),
+                        })
+                    }
+                };
+                if batch.len() != chunk.len()
+                    || batch
+                        .iter()
+                        .zip(chunk.iter())
+                        .any(|(child, spec)| child.id() != spec.child_id)
+                {
+                    return Err(ClanError::Protocol {
+                        peer,
+                        reason: format!(
+                            "children batch does not match the {} specs sent",
+                            chunk.len()
+                        ),
+                    });
+                }
+                Ok(batch)
+            },
+        )?;
+        // Children are keyed by id; replaying in the plan's spec order
+        // makes the batch independent of which agent built what.
+        let mut built: BTreeMap<GenomeId, Genome> =
+            children.into_iter().map(|c| (c.id(), c)).collect();
+        plan.children
+            .iter()
+            .map(|spec| {
+                built
+                    .remove(&spec.child_id)
+                    .ok_or_else(|| ClanError::Protocol {
+                        peer: "cluster".into(),
+                        reason: format!("no agent returned child {}", spec.child_id),
+                    })
+            })
+            .collect()
     }
 
     /// Runs one full DCS-style generation over the real cluster:
@@ -1228,6 +1940,286 @@ mod tests {
         assert!(stats.mean_makespan_s() > 0.0);
         assert!(stats.overlap().unwrap() >= 1.0);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn killed_agent_chunk_is_reassigned_and_results_match_serial() {
+        let cfg = cfg(12);
+        let serial_fitness = {
+            let mut pop = Population::new(cfg.clone(), 17);
+            let mut ev = Evaluator::new(Workload::CartPole, InferenceMode::MultiStep);
+            crate::orchestra::evaluate_partitioned(&mut pop, &mut ev, &[12]).unwrap();
+            pop.genomes()
+                .values()
+                .map(|g| g.fitness().unwrap())
+                .collect::<Vec<f64>>()
+        };
+        let mut cluster =
+            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        cluster.kill_agent(1).unwrap();
+        let mut pop = Population::new(cfg, 17);
+        cluster.evaluate(&mut pop).unwrap();
+        let churned: Vec<f64> = pop
+            .genomes()
+            .values()
+            .map(|g| g.fitness().unwrap())
+            .collect();
+        assert_eq!(
+            churned, serial_fitness,
+            "reassignment must not change results"
+        );
+        let stats = cluster.recovery_stats();
+        assert_eq!(stats.reassigned_chunks, 1);
+        assert!(stats.reassigned_items > 0);
+        assert_eq!(stats.agent_failures[1], 1);
+        let health = cluster.membership();
+        assert_eq!(health[1].health, LinkHealth::Suspected, "one strike");
+        assert_eq!(health[0].health, LinkHealth::Alive);
+        // A second round: the dead agent is probed, fails again, dies.
+        cluster.evaluate(&mut pop).unwrap();
+        assert_eq!(cluster.membership()[1].health, LinkHealth::Dead);
+        assert_eq!(cluster.live_agents(), 2);
+        // A third round scatters to survivors only — no more failures.
+        let failures = cluster.recovery_stats().failures;
+        cluster.evaluate(&mut pop).unwrap();
+        assert_eq!(cluster.recovery_stats().failures, failures);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn churn_schedule_kill_and_revive_keeps_run_identical() {
+        let cfg = cfg(12);
+        let run = |churn: Option<ChurnSchedule>| {
+            let mut cluster =
+                EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                    .unwrap();
+            if let Some(plan) = churn {
+                cluster.set_churn(plan).unwrap();
+            }
+            let mut pop = Population::new(cfg.clone(), 23);
+            for _ in 0..4 {
+                cluster.step_dcs_generation(&mut pop).unwrap();
+            }
+            let genomes = pop.genomes().clone();
+            let stats = cluster.recovery_stats();
+            cluster.shutdown();
+            (genomes, stats)
+        };
+        let (clean, clean_stats) = run(None);
+        let (churned, stats) = run(Some(ChurnSchedule::new().kill(2, 1).revive(2, 3)));
+        assert_eq!(clean, churned, "churned run must stay bit-identical");
+        assert!(!clean_stats.any_recovery());
+        assert_eq!(stats.kills, 1);
+        assert!(stats.joins >= 1);
+        assert!(stats.failures >= 1);
+        assert!(stats.reassigned_chunks >= 1);
+    }
+
+    #[test]
+    fn churn_during_reproduction_scatter_keeps_dds_identical() {
+        // DDS generations perform two scatters (evaluate, then
+        // build_children); killing an agent on an odd round lands the
+        // failure inside the reproduction scatter specifically.
+        let cfg = cfg(12);
+        let run = |churn: Option<ChurnSchedule>| {
+            let mut cluster =
+                EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                    .unwrap();
+            if let Some(plan) = churn {
+                cluster.set_churn(plan).unwrap();
+            }
+            let mut pop = Population::new(cfg.clone(), 37);
+            for _ in 0..3 {
+                cluster.step_dds_generation(&mut pop).unwrap();
+            }
+            let genomes = pop.genomes().clone();
+            let stats = cluster.recovery_stats();
+            cluster.shutdown();
+            (genomes, stats)
+        };
+        let (clean, _) = run(None);
+        // Round 1 is generation 0's build_children scatter.
+        let (churned, stats) = run(Some(ChurnSchedule::new().kill(0, 1).revive(0, 3)));
+        assert_eq!(clean, churned, "reproduction churn must not change results");
+        assert!(stats.reassigned_chunks >= 1);
+        assert!(stats.failures >= 1);
+    }
+
+    #[test]
+    fn poisoned_remote_link_resyncs_with_a_fresh_session() {
+        // A churn-class failure poisons a link's session (a late reply
+        // from a timed-out round must never answer the next round's
+        // request). For a *remote* link the next scatter re-establishes
+        // a fresh session to the original address, so a transiently
+        // slow-but-alive agent recovers instead of striking out — and
+        // without any protocol desync.
+        let cfg = cfg(8);
+        let server = AgentServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || {
+            // Two sequential sessions: the original and the resynced.
+            for _ in 0..2 {
+                if server.serve_once().is_err() {
+                    break;
+                }
+            }
+        });
+        let spec = ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let mut cluster = EdgeCluster::connect(&[addr.to_string()], spec).unwrap();
+        let mut pop = Population::new(cfg, 43);
+        cluster.evaluate(&mut pop).unwrap();
+        let clean: Vec<f64> = pop
+            .genomes()
+            .values()
+            .map(|g| g.fitness().unwrap())
+            .collect();
+        // Simulate the aftermath of a transient churn-class failure:
+        // session poisoned, link suspected, origin intact.
+        let peer = cluster.links[0].transport.peer();
+        cluster.links[0].transport = Box::new(crate::transport::DeadTransport::new(peer));
+        cluster.links[0].poisoned = true;
+        cluster.links[0].health = LinkHealth::Suspected;
+        // The next round reconnects and probes over the new session.
+        cluster.evaluate(&mut pop).unwrap();
+        let resynced: Vec<f64> = pop
+            .genomes()
+            .values()
+            .map(|g| g.fitness().unwrap())
+            .collect();
+        assert_eq!(clean, resynced);
+        assert_eq!(
+            cluster.recovery_stats().failures,
+            0,
+            "resync heals the link without a strike"
+        );
+        assert_eq!(cluster.membership()[0].health, LinkHealth::Alive);
+        assert!(!cluster.links[0].poisoned);
+        cluster.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn revived_agent_serves_work_again() {
+        let cfg = cfg(8);
+        let mut cluster =
+            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        cluster.kill_agent(0).unwrap();
+        let mut pop = Population::new(cfg, 3);
+        cluster.evaluate(&mut pop).unwrap();
+        cluster.evaluate(&mut pop).unwrap();
+        assert_eq!(cluster.membership()[0].health, LinkHealth::Dead);
+        cluster.revive_agent(0).unwrap();
+        assert_eq!(cluster.membership()[0].health, LinkHealth::Alive);
+        assert_eq!(cluster.live_agents(), 2);
+        let failures = cluster.recovery_stats().failures;
+        cluster.evaluate(&mut pop).unwrap();
+        assert_eq!(
+            cluster.recovery_stats().failures,
+            failures,
+            "revived agent answers"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn mid_run_join_scales_out_and_keeps_results_identical() {
+        let cfg = cfg(10);
+        let serial_fitness = |pop: &Population| {
+            pop.genomes()
+                .values()
+                .map(|g| g.fitness().unwrap())
+                .collect::<Vec<f64>>()
+        };
+        let mut a = Population::new(cfg.clone(), 29);
+        let mut b = Population::new(cfg.clone(), 29);
+        let mut small =
+            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        let mut growing =
+            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        small.evaluate(&mut a).unwrap();
+        growing.evaluate(&mut b).unwrap();
+        // Scale out between generations; the newcomer is configured over
+        // the wire and takes a share of the next scatter.
+        let slot = growing.admit_local().unwrap();
+        assert_eq!(slot, 2);
+        assert_eq!(growing.n_agents(), 3);
+        small.evaluate(&mut a).unwrap();
+        growing.evaluate(&mut b).unwrap();
+        assert_eq!(serial_fitness(&a), serial_fitness(&b));
+        assert!(
+            growing.ledger().agent_entries()[2].messages > 0,
+            "joined agent must carry traffic"
+        );
+        assert_eq!(growing.recovery_stats().joins, 1);
+        small.shutdown();
+        growing.shutdown();
+    }
+
+    #[test]
+    fn degraded_cluster_is_a_typed_error() {
+        let cfg = cfg(6);
+        // All agents dead: the last link error surfaces.
+        let mut cluster =
+            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        cluster.kill_agent(0).unwrap();
+        cluster.kill_agent(1).unwrap();
+        let mut pop = Population::new(cfg.clone(), 5);
+        assert!(matches!(
+            cluster.evaluate(&mut pop),
+            Err(ClanError::Transport { .. })
+        ));
+        cluster.shutdown();
+        // Policy floor: one failure on a 2-agent cluster with
+        // min_agents 2 refuses to continue on the lone survivor.
+        let mut strict =
+            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap()
+                .with_recovery_policy(RecoveryPolicy::default().with_min_agents(2));
+        strict.kill_agent(1).unwrap();
+        let err = strict.evaluate(&mut pop).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClanError::Transport { .. } | ClanError::Degraded { .. }
+            ),
+            "{err}"
+        );
+        strict.shutdown();
+    }
+
+    #[test]
+    fn churn_schedule_validation() {
+        let cfg = cfg(6);
+        let mut cluster =
+            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
+                .unwrap();
+        assert!(matches!(
+            cluster.set_churn(ChurnSchedule::new().kill(5, 1)),
+            Err(ClanError::InvalidSetup { .. })
+        ));
+        cluster
+            .set_churn(ChurnSchedule::new().kill(1, 1).revive(1, 2))
+            .unwrap();
+        cluster.shutdown();
+        // Caller-supplied transports cannot mint replacements.
+        let (coord, mut agent_side) = channel_pair();
+        let handle = std::thread::spawn(move || {
+            let _ = serve_session(&mut agent_side);
+        });
+        let spec = ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg);
+        let mut external = EdgeCluster::connect_transports(vec![Box::new(coord)], spec).unwrap();
+        assert!(matches!(
+            external.set_churn(ChurnSchedule::new().kill(0, 1).revive(0, 2)),
+            Err(ClanError::InvalidSetup { .. })
+        ));
+        external.set_churn(ChurnSchedule::new().kill(0, 9)).unwrap();
+        external.shutdown();
+        handle.join().unwrap();
     }
 
     #[test]

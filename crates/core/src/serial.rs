@@ -102,6 +102,10 @@ impl Orchestrator for SerialOrchestrator {
         self.evaluator.remote_gather_stats()
     }
 
+    fn recovery_stats(&self) -> Option<crate::membership::RecoveryStats> {
+        self.evaluator.remote_recovery_stats()
+    }
+
     fn recorder(&self) -> &TimelineRecorder {
         &self.recorder
     }

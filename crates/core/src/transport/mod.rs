@@ -23,6 +23,7 @@
 
 pub mod agent;
 mod channel;
+pub mod churn;
 pub mod codec;
 mod delay;
 pub mod faults;
@@ -30,6 +31,7 @@ mod tcp;
 pub mod udp;
 
 pub use channel::{channel_pair, ChannelTransport};
+pub use churn::{ChurnAction, ChurnEvent, ChurnSchedule, DeadTransport};
 pub use codec::{
     decode, encode, ClusterSpec, WireEvaluation, WireMessage, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
 };

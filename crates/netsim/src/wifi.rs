@@ -23,18 +23,29 @@ pub struct WifiModel {
     /// cost of invoking the communication channels also kills this design"
     /// (§IV-D). Charged once per (phase, agent) pair.
     pub channel_setup_s: f64,
+    /// Datagram payload size the link fragments messages at. When set,
+    /// [`message_time_s`](WifiModel::message_time_s) charges
+    /// `base_latency_s` once per *datagram* for messages larger than
+    /// one MTU — what the PR-4 validation measured a real datagram
+    /// stack paying (a fragmented 16 kB frame cost 13.4× the
+    /// per-message model). `None` restores the paper's per-message
+    /// accounting.
+    pub mtu_bytes: Option<u64>,
 }
 
 impl Default for WifiModel {
     /// The paper's measured testbed: 62.24 Mbps, 8.83 ms per message,
     /// with a 150 ms per-phase channel-invocation overhead calibrated to
     /// Figure 5(b)'s communication growth and Figure 9's serial-crossover
-    /// points.
+    /// points, fragmenting at the datagram transport's default 1200 B
+    /// MTU (messages that fit one datagram — every CartPole-scale genome
+    /// — are charged exactly as before).
     fn default() -> Self {
         WifiModel {
             bandwidth_bps: 62.24e6,
             base_latency_s: 8.83e-3,
             channel_setup_s: 0.15,
+            mtu_bytes: Some(1200),
         }
     }
 }
@@ -61,6 +72,7 @@ impl WifiModel {
             bandwidth_bps,
             base_latency_s,
             channel_setup_s: WifiModel::default().channel_setup_s,
+            mtu_bytes: WifiModel::default().mtu_bytes,
         }
     }
 
@@ -90,17 +102,63 @@ impl WifiModel {
             bandwidth_bps: self.bandwidth_bps * bandwidth_factor,
             base_latency_s: self.base_latency_s / latency_factor,
             channel_setup_s: self.channel_setup_s / latency_factor,
+            mtu_bytes: self.mtu_bytes,
         }
     }
 
-    /// Transfer time for a message of `bytes` bytes.
+    /// Sets (or clears) the fragmentation MTU
+    /// (see [`mtu_bytes`](WifiModel::mtu_bytes)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)` — a zero MTU fragments nothing into
+    /// infinitely many datagrams.
+    pub fn with_mtu_bytes(mut self, mtu: Option<u64>) -> WifiModel {
+        assert!(mtu != Some(0), "mtu must be at least one byte");
+        self.mtu_bytes = mtu;
+        self
+    }
+
+    /// Transfer time for a message of `bytes` bytes **charged per
+    /// message**: one `base_latency_s` regardless of size (the paper's
+    /// original accounting).
     pub fn transfer_time_s(&self, bytes: u64) -> f64 {
         self.base_latency_s + (bytes * 8) as f64 / self.bandwidth_bps
     }
 
-    /// Transfer time for a message carrying `genes` genes (4 B each).
+    /// Transfer time for a message of `bytes` bytes fragmented into
+    /// `mtu`-byte datagrams, charging `base_latency_s` once **per
+    /// datagram** — what the PR-4 validation measured on a real datagram
+    /// path (16 fragments ≈ 16 × 8.83 ms, a 13.4× gap the per-message
+    /// model missed). A message that fits one datagram costs exactly
+    /// [`transfer_time_s`](WifiModel::transfer_time_s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtu` is zero.
+    pub fn transfer_time_fragmented_s(&self, bytes: u64, mtu: u64) -> f64 {
+        assert!(mtu > 0, "mtu must be at least one byte");
+        let datagrams = bytes.div_ceil(mtu).max(1);
+        datagrams as f64 * self.base_latency_s + (bytes * 8) as f64 / self.bandwidth_bps
+    }
+
+    /// Transfer time the timeline model charges for one message of
+    /// `bytes` bytes: fragmented per
+    /// [`mtu_bytes`](WifiModel::mtu_bytes) when one is configured,
+    /// per-message otherwise.
+    pub fn message_time_s(&self, bytes: u64) -> f64 {
+        match self.mtu_bytes {
+            Some(mtu) if bytes > mtu => self.transfer_time_fragmented_s(bytes, mtu),
+            _ => self.transfer_time_s(bytes),
+        }
+    }
+
+    /// Transfer time for a message carrying `genes` genes (4 B each),
+    /// honoring the fragmentation MTU — this is what the analytic
+    /// timelines (`Comm::phase`, `Cluster::serialized_comm_time_s`)
+    /// charge per message.
     pub fn gene_transfer_time_s(&self, genes: u64) -> f64 {
-        self.transfer_time_s(genes * GENE_BYTES)
+        self.message_time_s(genes * GENE_BYTES)
     }
 }
 
@@ -151,6 +209,56 @@ mod tests {
     fn gene_transfer_uses_four_bytes() {
         let w = WifiModel::default();
         assert_eq!(w.gene_transfer_time_s(16), w.transfer_time_s(64));
+    }
+
+    #[test]
+    fn fragmented_transfer_charges_latency_per_datagram() {
+        let w = WifiModel::default();
+        // 16 kB at a 1024 B MTU = 16 datagrams: the PR-4 validation's
+        // measured case (≈141 ms of per-datagram latency, not 8.83 ms).
+        let bytes = 16 * 1024;
+        let t = w.transfer_time_fragmented_s(bytes, 1024);
+        let expected = 16.0 * w.base_latency_s + (bytes * 8) as f64 / w.bandwidth_bps;
+        assert!((t - expected).abs() < 1e-12, "got {t}, want {expected}");
+        // One datagram: exactly the per-message model.
+        assert_eq!(
+            w.transfer_time_fragmented_s(512, 1024),
+            w.transfer_time_s(512)
+        );
+        assert_eq!(w.transfer_time_fragmented_s(0, 1024), w.transfer_time_s(0));
+    }
+
+    #[test]
+    fn timeline_message_time_fragments_past_the_mtu() {
+        let w = WifiModel::default();
+        let mtu = w.mtu_bytes.unwrap();
+        // At or under the MTU: unchanged vs the paper's accounting.
+        assert_eq!(w.message_time_s(mtu), w.transfer_time_s(mtu));
+        assert_eq!(w.gene_transfer_time_s(mtu / 4), w.transfer_time_s(mtu));
+        // Past it: per-datagram latency kicks in.
+        assert!(w.message_time_s(mtu + 1) > w.transfer_time_s(mtu + 1));
+        assert_eq!(
+            w.message_time_s(10 * mtu),
+            w.transfer_time_fragmented_s(10 * mtu, mtu)
+        );
+        // Opting out restores the per-message model everywhere.
+        let legacy = w.with_mtu_bytes(None);
+        assert_eq!(
+            legacy.message_time_s(10 * mtu),
+            legacy.transfer_time_s(10 * mtu)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu must be at least one byte")]
+    fn zero_mtu_rejected() {
+        let _ = WifiModel::default().transfer_time_fragmented_s(100, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu must be at least one byte")]
+    fn zero_mtu_config_rejected() {
+        let _ = WifiModel::default().with_mtu_bytes(Some(0));
     }
 
     #[test]

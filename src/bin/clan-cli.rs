@@ -14,7 +14,7 @@
 //! sensible default so `clan-cli run` alone works.
 
 use clan::core::transport::agent::{AgentServer, UdpAgentServer};
-use clan::core::transport::{FaultConfig, UdpConfig};
+use clan::core::transport::{ChurnSchedule, FaultConfig, UdpConfig};
 use clan::core::{ClanDriver, ClanDriverBuilder, ClanTopology, RunReport};
 use clan::envs::Workload;
 use clan::hw::PlatformKind;
@@ -70,6 +70,8 @@ USAGE:
   clan-cli coordinate [run flags] (--agents-at ADDR,ADDR,... | --loopback N)
                  [--agent-weights W,W,...] [--calibrate]
                  [--udp [--loss P] [--fault-seed S]]
+                 [--max-retries N] [--min-agents N]
+                 [--churn EVENTS] [--spare-at ADDR,ADDR,...]
                  (drive a run over real TCP agents; bit-identical to the
                  same run executed locally under any weights. --udp speaks
                  reliable datagrams instead; --loss injects seeded drop
@@ -89,7 +91,14 @@ results are bit-identical to serial, only wall-clock time changes.
 --agent-weights 1,4 gives the second agent 4x the work per scatter
 (heterogeneous swarms: weight ~ relative device throughput); --calibrate
 recalibrates the weights every generation from measured round-trip
-times. Both change only chunk sizes, never the evolved result.";
+times. Both change only chunk sizes, never the evolved result.
+
+--churn k1@2,r1@4 kills agent 1 before scatter round 2 and revives it
+before round 4 (deterministic churn injection): the lost chunks are
+reassigned to survivors and the evolved result is still bit-identical,
+only the recovery overhead in the report grows. --spare-at names standby
+agents a revival may connect; --max-retries/--min-agents set the
+recovery policy (defaults 3 and 1).";
 
 struct Flags(Vec<String>);
 
@@ -346,6 +355,31 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
         println!("  round-trip-time calibration enabled");
         builder = builder.calibrate(true);
     }
+    if let Some(spec) = flags.get("--churn") {
+        let schedule: ChurnSchedule = spec.parse()?;
+        println!(
+            "  churn injection: {} event(s) ({spec})",
+            schedule.events().len()
+        );
+        builder = builder.churn(schedule);
+    }
+    if let Some(list) = flags.get("--spare-at") {
+        let spares = parse_agent_list(list)?;
+        println!("  spare agent(s) on standby: {}", spares.join(", "));
+        builder = builder.spare_agents(spares);
+    }
+    if let Some(n) = flags.get("--max-retries") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("invalid value `{n}` for --max-retries"))?;
+        builder = builder.max_retries(n);
+    }
+    if let Some(n) = flags.get("--min-agents") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("invalid value `{n}` for --min-agents"))?;
+        builder = builder.min_agents(n);
+    }
     let driver = builder.build().map_err(|e| e.to_string())?;
     let gens = flags.parse("--generations", 5u64)?;
     let report = driver.run(gens).map_err(|e| e.to_string())?;
@@ -389,6 +423,20 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
                 g.busy_s,
                 g.overlap().unwrap_or(f64::NAN)
             );
+        }
+    }
+    if let Some(r) = &report.recovery {
+        if r.any_recovery() {
+            println!(
+                "  churn survived: {} link failure(s), {} chunk(s) reassigned, \
+                 {} kill(s) + {} join(s), recovery makespan {:.3} s",
+                r.failures, r.reassigned_chunks, r.kills, r.joins, r.recovery_s
+            );
+            for (i, n) in r.agent_failures.iter().enumerate() {
+                if *n > 0 {
+                    println!("    agent {i}: {n} failure(s)");
+                }
+            }
         }
     }
     Ok(())

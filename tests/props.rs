@@ -188,6 +188,32 @@ proptest! {
     }
 
     #[test]
+    fn wifi_fragmented_transfer_bounds_the_per_message_model(
+        bytes in 0u64..1_000_000,
+        extra in 0u64..1_000_000,
+        mtu in 1u64..10_000,
+    ) {
+        // Per-datagram latency can only add cost: the fragmented time is
+        // never below the per-message model, equals it for messages that
+        // fit one datagram, charges exactly ceil(bytes/mtu) latencies,
+        // and stays monotone in the message size.
+        let w = WifiModel::default();
+        let frag = w.transfer_time_fragmented_s(bytes, mtu);
+        prop_assert!(frag >= w.transfer_time_s(bytes) - 1e-12);
+        if bytes <= mtu {
+            prop_assert!((frag - w.transfer_time_s(bytes)).abs() < 1e-12);
+        }
+        let datagrams = bytes.div_ceil(mtu).max(1);
+        let expected = datagrams as f64 * w.base_latency_s
+            + (bytes * 8) as f64 / w.bandwidth_bps;
+        prop_assert!((frag - expected).abs() < 1e-9);
+        prop_assert!(
+            w.transfer_time_fragmented_s(bytes + extra, mtu) >= frag - 1e-12,
+            "monotone in bytes"
+        );
+    }
+
+    #[test]
     fn wifi_scaled_components_scale_exactly(
         bw_factor in 0.05f64..20.0,
         lat_factor in 0.05f64..20.0,
