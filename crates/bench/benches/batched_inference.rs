@@ -1,0 +1,108 @@
+//! Criterion comparison of the batched SoA activation tier against the
+//! scalar `activate_into` tier across topology shapes: small vs large
+//! I/O arities and sparse initial genomes vs structurally densified ones.
+//!
+//! Each benchmark activates the same N same-shape networks once per
+//! iteration — scalar runs them one at a time through a `Scratch`,
+//! batched runs all lanes in lockstep through one `BatchedNetwork` —
+//! so throughput is directly comparable (networks/iteration is equal).
+
+use clan_neat::{
+    BatchedNetwork, FeedForwardNetwork, Genome, GenomeId, NeatConfig, Scratch, ShapeKey,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic splitmix64 step, returning a perturbation in
+/// roughly [-0.1, 0.1].
+fn next_jitter(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64 - 0.5) * 0.2
+}
+
+/// Clones `template` with every connection weight and node bias nudged
+/// by a lane-specific jitter. Attribute-only edits can never change the
+/// compiled shape, so the clone batches with the template by
+/// construction.
+fn perturbed_clone(template: &Genome, lane: u64) -> Genome {
+    let mut state = lane.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    let mut nodes = template.nodes().clone();
+    let mut conns = template.conns().clone();
+    for gene in conns.values_mut() {
+        gene.weight += next_jitter(&mut state);
+    }
+    for gene in nodes.values_mut() {
+        gene.bias += next_jitter(&mut state);
+    }
+    Genome::from_parts(GenomeId(lane + 1), nodes, conns)
+}
+
+/// Builds `n` same-shape networks: one template genome (optionally
+/// densified with node/connection splits) plus weight-perturbed clones.
+fn same_shape_nets(cfg: &NeatConfig, structural_rounds: u32, n: usize) -> Vec<FeedForwardNetwork> {
+    let mut template = Genome::new_initial(cfg, GenomeId(0), &mut StdRng::seed_from_u64(11));
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..structural_rounds {
+        template.mutate_add_node(cfg, &mut rng);
+        template.mutate_add_connection(cfg, &mut rng);
+    }
+    let nets: Vec<FeedForwardNetwork> = (0..n)
+        .map(|lane| FeedForwardNetwork::compile(&perturbed_clone(&template, lane as u64), cfg))
+        .collect();
+    let key = ShapeKey::of(&nets[0]);
+    assert!(
+        nets.iter().all(|net| ShapeKey::of(net) == key),
+        "attribute perturbation must preserve the compiled shape"
+    );
+    nets
+}
+
+fn bench_batched_vs_scalar(c: &mut Criterion) {
+    const LANES: usize = 32;
+    let mut group = c.benchmark_group("batched_vs_scalar");
+    // (label, inputs, outputs, structural-mutation rounds): sparse
+    // CartPole-sized genomes up to dense Atari-class ones.
+    for (name, inputs, outputs, structural_rounds) in [
+        ("cartpole_sparse", 4, 2, 0),
+        ("cartpole_dense", 4, 2, 40),
+        ("lander_sparse", 8, 4, 0),
+        ("atari_sparse", 128, 18, 0),
+        ("atari_dense", 128, 18, 40),
+    ] {
+        let cfg = NeatConfig::builder(inputs, outputs).build().unwrap();
+        let nets = same_shape_nets(&cfg, structural_rounds, LANES);
+        let obs = vec![0.5; inputs];
+
+        group.bench_function(BenchmarkId::new("scalar_activate_into", name), |b| {
+            let mut scratch = Scratch::new();
+            b.iter(|| {
+                for net in &nets {
+                    black_box(net.activate_into(black_box(&obs), &mut scratch));
+                }
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("batched_soa", name), |b| {
+            let mut bank = BatchedNetwork::from_template(&nets[0], LANES);
+            for (lane, net) in nets.iter().enumerate() {
+                bank.load_lane(lane, net);
+            }
+            for lane in 0..LANES {
+                bank.set_input(lane, &obs);
+            }
+            b.iter(|| {
+                bank.activate();
+                black_box(bank.output(LANES - 1, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_vs_scalar);
+criterion_main!(benches);

@@ -24,23 +24,54 @@ fn main() -> std::io::Result<()> {
         "compile: {:.0} ns seed-baseline | {:.0} ns indexed ({:.2}x vs seed)",
         report.compile.seed_baseline_ns, report.compile.compile_ns, report.compile.speedup_vs_seed
     );
+    if report.host_cpus == 1 {
+        println!(
+            "note: single-CPU host — multi-thread rows are marked flat-expected \
+             (no speedup is possible, the rows only prove bit-identity)"
+        );
+    }
     println!(
         "evaluation-only throughput ({} episodes/genome):",
         report.episodes_per_eval
     );
+    let flat = |f: bool| if f { "  [flat expected]" } else { "" };
     for t in &report.evaluation {
         println!(
-            "  {} thread(s): {:>9.0} genomes/s {:>12.0} steps/s ({:.2}x)",
-            t.threads, t.genomes_per_s, t.steps_per_s, t.speedup
+            "  {} thread(s): {:>9.0} genomes/s {:>12.0} steps/s ({:.2}x){}",
+            t.threads,
+            t.genomes_per_s,
+            t.steps_per_s,
+            t.speedup,
+            flat(t.flat_expected)
         );
     }
     println!("full-generation throughput:");
     for t in &report.generation {
         println!(
-            "  {} thread(s): {:>9.0} genomes/s {:>12.0} inference-genes/s ({:.2}x)",
-            t.threads, t.genomes_per_s, t.inference_genes_per_s, t.speedup
+            "  {} thread(s): {:>9.0} genomes/s {:>12.0} inference-genes/s ({:.2}x){}",
+            t.threads,
+            t.genomes_per_s,
+            t.inference_genes_per_s,
+            t.speedup,
+            flat(t.flat_expected)
         );
     }
+    println!("batched SoA inference (shape-homogeneous population):");
+    for b in &report.batched {
+        println!(
+            "  {:>2} lane(s): {:>9.0} genomes/s ({:.2}x vs scalar)",
+            b.lanes, b.genomes_per_s, b.speedup_vs_scalar
+        );
+    }
+    let fc = &report.cache;
+    println!(
+        "fitness cache over {} generations: {} hit(s) / {} lookup(s) ({:.1}% hit rate), bit-identical: {}",
+        fc.generations,
+        fc.hits,
+        fc.lookups,
+        100.0 * fc.hit_rate,
+        fc.bit_identical
+    );
     let h = &report.hetero;
     println!(
         "hetero ({} agents, one {}x slower, {} rounds):",

@@ -23,7 +23,8 @@ use clan_core::transport::{
     Transport, UdpConfig, UdpTransport,
 };
 use clan_core::{
-    EdgeCluster, Evaluator, InferenceMode, Orchestrator, ParallelEvaluator, SerialOrchestrator,
+    EdgeCluster, EngineOptions, Evaluator, InferenceMode, Orchestrator, ParallelEvaluator,
+    SerialOrchestrator,
 };
 use clan_distsim::Cluster;
 use clan_envs::Workload;
@@ -184,6 +185,10 @@ pub struct ThreadedThroughput {
     pub steps_per_s: f64,
     /// Speedup over the single-thread row.
     pub speedup: f64,
+    /// True when `threads` exceeds the host's CPUs: no speedup is
+    /// physically possible, so a flat row is expected, not a regression.
+    #[serde(default)]
+    pub flat_expected: bool,
 }
 
 /// Full-generation throughput at one thread count. Distinct from
@@ -200,6 +205,10 @@ pub struct GenerationThroughput {
     pub inference_genes_per_s: f64,
     /// Speedup over the single-thread row.
     pub speedup: f64,
+    /// True when `threads` exceeds the host's CPUs: no speedup is
+    /// physically possible, so a flat row is expected, not a regression.
+    #[serde(default)]
+    pub flat_expected: bool,
 }
 
 /// Per-step activation cost across the three implementations.
@@ -333,6 +342,38 @@ pub struct ChurnBench {
     pub reassigned_genomes: u64,
 }
 
+/// Batched SoA inference at one lane count, on a shape-homogeneous
+/// population (every genome shares one topology, so a single bank packs
+/// full lanes — the best case the batched tier is built for).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchRow {
+    /// Maximum lanes per SoA bank (1 = the scalar `Scratch` tier).
+    pub lanes: usize,
+    /// Genome evaluations per wall-clock second.
+    pub genomes_per_s: f64,
+    /// Speedup over the `lanes = 1` row.
+    pub speedup_vs_scalar: f64,
+}
+
+/// Fitness-cache effectiveness over a default NEAT run: elites and
+/// unmutated survivors recur across generations, so a content-addressed
+/// cache should field hits from generation 1 on — without changing a
+/// single evaluated bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheBench {
+    /// Generations in the measured run.
+    pub generations: u64,
+    /// Cache hits over the run.
+    pub hits: u64,
+    /// Cache lookups over the run.
+    pub lookups: u64,
+    /// `hits / lookups`.
+    pub hit_rate: f64,
+    /// Whether the cache-on run's final population was bit-identical to
+    /// a cache-off run of the same seed. Must always be true.
+    pub bit_identical: bool,
+}
+
 /// Lossy-transport section of the bench report: makespan + retransmitted
 /// bytes at several injected loss rates, plus the WifiModel validation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -378,6 +419,26 @@ pub struct EvalPerfReport {
     /// Elastic membership: measured recovery overhead of an agent kill
     /// + replacement join mid-run.
     pub churn: ChurnBench,
+    /// Batched SoA inference vs. the scalar tier at several lane counts.
+    #[serde(default)]
+    pub batched: Vec<BatchRow>,
+    /// Content-addressed fitness-cache hit rate over a default NEAT run,
+    /// with the cache-on/cache-off bit-identity check. Defaults to an
+    /// all-zero section when absent from older reports.
+    #[serde(default)]
+    pub cache: CacheBench,
+}
+
+/// Cache-off cluster spec: the transport benches re-evaluate one fixed
+/// population for several rounds as a workload generator, which the
+/// fitness cache would short-circuit after round one.
+fn uncached_spec(cfg: &NeatConfig) -> ClusterSpec {
+    ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg.clone()).with_engine(
+        EngineOptions {
+            cache: false,
+            ..EngineOptions::default()
+        },
+    )
 }
 
 fn evolved_genome(inputs: usize, outputs: usize, mutations: u32) -> (NeatConfig, Genome) {
@@ -476,8 +537,7 @@ fn evaluation_throughput(
         for _ in 0..rounds {
             for genome in pop.genomes().values() {
                 let net = FeedForwardNetwork::compile(genome, pop.config());
-                let seed =
-                    Evaluator::episode_seed(pop.master_seed(), pop.generation(), genome.id());
+                let seed = evaluator.seed_for(pop.master_seed(), genome);
                 steps += evaluator.evaluate(&net, seed).activations;
             }
         }
@@ -549,11 +609,8 @@ fn skewed_channel_cluster(cfg: &NeatConfig, per_kib: Duration, agents: usize) ->
             .expect("agent thread spawns");
         transports.push(Box::new(coord));
     }
-    EdgeCluster::connect_transports(
-        transports,
-        ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg.clone()),
-    )
-    .expect("channel cluster configures")
+    EdgeCluster::connect_transports(transports, uncached_spec(cfg))
+        .expect("channel cluster configures")
 }
 
 /// Measures the skewed-cluster makespan win of throughput-weighted
@@ -636,7 +693,7 @@ fn lossy_bench(population: usize, rounds: u64) -> LossyBench {
     let rows = [0.0, 0.05, 0.2]
         .into_iter()
         .map(|loss| {
-            let spec = ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+            let spec = uncached_spec(&cfg);
             let mut cluster = EdgeCluster::spawn_local_udp_cfg(AGENTS, spec, udp_cfg(loss))
                 .expect("UDP loopback cluster binds");
             let mut pop = Population::new(cfg.clone(), 7);
@@ -720,13 +777,8 @@ fn churn_bench(population: usize, rounds: u64) -> ChurnBench {
         .expect("valid config");
 
     let run = |churn: Option<ChurnSchedule>| {
-        let mut cluster = EdgeCluster::spawn(
-            AGENTS,
-            Workload::CartPole,
-            InferenceMode::MultiStep,
-            cfg.clone(),
-        )
-        .expect("channel cluster spawns");
+        let mut cluster =
+            EdgeCluster::spawn_spec(AGENTS, uncached_spec(&cfg)).expect("channel cluster spawns");
         if let Some(plan) = churn {
             cluster.set_churn(plan).expect("plan fits cluster");
         }
@@ -761,11 +813,121 @@ fn churn_bench(population: usize, rounds: u64) -> ChurnBench {
     }
 }
 
+/// Measures batched SoA inference against the scalar tier at several
+/// lane counts, on a shape-homogeneous population (cache off — this
+/// isolates the activation path).
+///
+/// The population models a mid-run evolved generation rather than
+/// generation 0: one structurally densified template (a few hidden
+/// nodes, then many extra connections — edge work is where the SoA
+/// kernel wins; per-node activation functions cost the same in both
+/// tiers) cloned with per-genome weight/bias jitter. Attribute edits
+/// never change the compiled shape, so a single bank packs full lanes.
+fn batched_bench(workload: Workload, population: usize, rounds: u32) -> Vec<BatchRow> {
+    let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+        .population_size(population)
+        .build()
+        .expect("valid config");
+    let mut template = Genome::new_initial(&cfg, GenomeId(0), &mut StdRng::seed_from_u64(11));
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..10 {
+        template.mutate_add_node(&cfg, &mut rng);
+    }
+    for _ in 0..150 {
+        template.mutate_add_connection(&cfg, &mut rng);
+    }
+    let genomes: Vec<Genome> = (0..population)
+        .map(|i| {
+            let mut nodes = template.nodes().clone();
+            let mut conns = template.conns().clone();
+            let mut jitter = StdRng::seed_from_u64(100 + i as u64);
+            for gene in conns.values_mut() {
+                gene.weight = cfg.weight.mutate(gene.weight, &mut jitter);
+            }
+            for gene in nodes.values_mut() {
+                gene.bias = cfg.bias.mutate(gene.bias, &mut jitter);
+            }
+            Genome::from_parts(GenomeId(i as u64), nodes, conns)
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut scalar = 0.0f64;
+    for lanes in [1usize, 8, 32] {
+        let mut ev = Evaluator::with_options(
+            workload,
+            InferenceMode::MultiStep,
+            1,
+            1,
+            EngineOptions {
+                batch_lanes: lanes,
+                cache: false,
+            },
+        );
+        let start = Instant::now();
+        for _ in 0..rounds {
+            std::hint::black_box(ev.evaluate_genomes(&genomes, &cfg, 7, 0));
+        }
+        let genomes_per_s =
+            (population as u32 * rounds) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        if lanes == 1 {
+            scalar = genomes_per_s;
+        }
+        rows.push(BatchRow {
+            lanes,
+            genomes_per_s,
+            speedup_vs_scalar: genomes_per_s / scalar.max(1e-9),
+        });
+    }
+    rows
+}
+
+/// Measures the fitness cache over a default NEAT run and checks the
+/// cache-on trajectory is bit-identical to cache-off.
+fn cache_bench(workload: Workload, population: usize, generations: u64) -> CacheBench {
+    let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+        .population_size(population)
+        .build()
+        .expect("valid config");
+    let run = |options: EngineOptions| {
+        let mut o = SerialOrchestrator::new(
+            Population::new(cfg.clone(), 7),
+            Evaluator::with_options(workload, InferenceMode::MultiStep, 1, 1, options),
+            Cluster::homogeneous(Platform::raspberry_pi(), 1, WifiModel::default()),
+        );
+        let mut hits = 0u64;
+        let mut lookups = 0u64;
+        for _ in 0..generations {
+            let r = o.step_generation().expect("generation");
+            hits += r.cache_hits;
+            lookups += r.cache_lookups;
+        }
+        (o.population().genomes().clone(), hits, lookups)
+    };
+    let (cached_pop, hits, lookups) = run(EngineOptions::default());
+    let (plain_pop, _, _) = run(EngineOptions {
+        batch_lanes: 1,
+        cache: false,
+    });
+    CacheBench {
+        generations,
+        hits,
+        lookups,
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+        bit_identical: cached_pop == plain_pop,
+    }
+}
+
 /// Runs `one(threads)` for 1/2/4/8 threads, turning the `(genomes/s,
-/// per-work-unit/s)` pairs into rows via `make_row`.
+/// per-work-unit/s)` pairs into rows via `make_row`; the last argument
+/// flags rows whose thread count exceeds `host_cpus`.
 fn scaling_rows<R>(
+    host_cpus: usize,
     mut one: impl FnMut(usize) -> (f64, f64),
-    make_row: impl Fn(usize, f64, f64, f64) -> R,
+    make_row: impl Fn(usize, f64, f64, f64, bool) -> R,
 ) -> Vec<R> {
     let mut rows = Vec::new();
     let mut serial = 0.0;
@@ -779,6 +941,7 @@ fn scaling_rows<R>(
             genomes_per_s,
             units_per_s,
             genomes_per_s / serial.max(1e-9),
+            threads > host_cpus,
         ));
     }
     rows
@@ -793,14 +956,16 @@ pub fn measure(
     generations: u64,
 ) -> EvalPerfReport {
     let episodes_per_eval = 5;
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
     EvalPerfReport {
         workload: workload.name().to_string(),
-        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        host_cpus,
         population,
         episodes_per_eval,
         activation: activation_micro(micro_iters),
         compile: compile_micro(micro_iters / 10),
         evaluation: scaling_rows(
+            host_cpus,
             |threads| {
                 evaluation_throughput(
                     workload,
@@ -810,25 +975,37 @@ pub fn measure(
                     threads,
                 )
             },
-            |threads, genomes_per_s, steps_per_s, speedup| ThreadedThroughput {
+            |threads, genomes_per_s, steps_per_s, speedup, flat_expected| ThreadedThroughput {
                 threads,
                 genomes_per_s,
                 steps_per_s,
                 speedup,
+                flat_expected,
             },
         ),
         generation: scaling_rows(
+            host_cpus,
             |threads| generation_throughput(workload, population, generations, threads),
-            |threads, genomes_per_s, inference_genes_per_s, speedup| GenerationThroughput {
-                threads,
-                genomes_per_s,
-                inference_genes_per_s,
-                speedup,
+            |threads, genomes_per_s, inference_genes_per_s, speedup, flat_expected| {
+                GenerationThroughput {
+                    threads,
+                    genomes_per_s,
+                    inference_genes_per_s,
+                    speedup,
+                    flat_expected,
+                }
             },
         ),
         hetero: hetero_bench(population, generations.clamp(2, 5)),
         lossy: lossy_bench(population, generations.clamp(2, 5)),
         churn: churn_bench(population, generations.clamp(2, 8)),
+        // MountainCar episodes always run the full 200-step horizon
+        // (random policies never reach the flag), so this row measures
+        // inference throughput rather than per-episode setup costs —
+        // CartPole's densified random policies die in ~10 steps, which
+        // would make every lane count bottom out on reload overhead.
+        batched: batched_bench(Workload::MountainCar, population, eval_rounds.max(1)),
+        cache: cache_bench(workload, population, 10),
     }
 }
 
@@ -921,6 +1098,23 @@ mod tests {
         assert!(report.churn.failures >= 1, "{:?}", report.churn);
         assert!(report.churn.reassigned_chunks >= 1);
         assert!(report.churn.reassigned_genomes >= 1);
+        // Batched section: scalar row first, every row measured.
+        assert_eq!(report.batched.len(), 3);
+        assert_eq!(report.batched[0].lanes, 1);
+        assert!((report.batched[0].speedup_vs_scalar - 1.0).abs() < 1e-9);
+        for row in &report.batched {
+            assert!(row.genomes_per_s > 0.0);
+        }
+        // Cache section: a default NEAT run re-submits elites, so the
+        // cache must field hits — and never change a bit.
+        assert_eq!(report.cache.generations, 10);
+        assert!(report.cache.lookups > 0);
+        assert!(report.cache.hits > 0, "{:?}", report.cache);
+        assert!(report.cache.bit_identical, "cache changed the trajectory");
+        // Thread rows beyond the host's cores are flagged, within not.
+        for t in &report.evaluation {
+            assert_eq!(t.flat_expected, t.threads > report.host_cpus);
+        }
     }
 
     #[test]

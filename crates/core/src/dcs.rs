@@ -98,6 +98,7 @@ impl Orchestrator for DcsOrchestrator {
         self.recorder
             .add_evolution(center.evolution_time_s(evo.speciation_genes + evo.reproduction_genes));
 
+        let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
         Ok(GenerationReport {
             generation,
             best_fitness,
@@ -105,6 +106,8 @@ impl Orchestrator for DcsOrchestrator {
             timeline: self.recorder.finish_generation(),
             costs: self.pop.counters_mut().finish_generation(),
             extinction: evo.extinction,
+            cache_hits,
+            cache_lookups,
         })
     }
 

@@ -224,6 +224,7 @@ impl Orchestrator for DdaOrchestrator {
             }
         }
 
+        let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
         Ok(GenerationReport {
             generation,
             best_fitness,
@@ -231,6 +232,8 @@ impl Orchestrator for DdaOrchestrator {
             timeline: self.recorder.finish_generation(),
             costs,
             extinction,
+            cache_hits,
+            cache_lookups,
         })
     }
 

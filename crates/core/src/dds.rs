@@ -114,6 +114,7 @@ impl Orchestrator for DdsOrchestrator {
                     return Err(NeatError::Extinction.into());
                 }
                 self.pop.reset_population();
+                let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
                 return Ok(GenerationReport {
                     generation,
                     best_fitness,
@@ -121,6 +122,8 @@ impl Orchestrator for DdsOrchestrator {
                     timeline: self.recorder.finish_generation(),
                     costs: self.pop.counters_mut().finish_generation(),
                     extinction: true,
+                    cache_hits,
+                    cache_lookups,
                 });
             }
             Err(e) => return Err(e.into()),
@@ -199,6 +202,7 @@ impl Orchestrator for DdsOrchestrator {
 
         self.pop.install_next_generation(children);
 
+        let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
         Ok(GenerationReport {
             generation,
             best_fitness,
@@ -206,6 +210,8 @@ impl Orchestrator for DdsOrchestrator {
             timeline: self.recorder.finish_generation(),
             costs: self.pop.counters_mut().finish_generation(),
             extinction: false,
+            cache_hits,
+            cache_lookups,
         })
     }
 

@@ -23,7 +23,7 @@ use crate::dcs::DcsOrchestrator;
 use crate::dda::DdaOrchestrator;
 use crate::dds::DdsOrchestrator;
 use crate::error::ClanError;
-use crate::evaluator::{Evaluator, InferenceMode};
+use crate::evaluator::{EngineOptions, Evaluator, InferenceMode};
 use crate::orchestra::{GenerationReport, Orchestrator};
 use crate::report::RunReport;
 use crate::serial::SerialOrchestrator;
@@ -78,6 +78,11 @@ pub struct DriverConfig {
     /// Standby agent addresses a remote backend may connect when a
     /// revival needs a replacement.
     pub spare_agents: Vec<String>,
+    /// Evaluation-engine tuning: SoA batch width and the
+    /// content-addressed fitness cache. Results are bit-identical under
+    /// any setting; only wall-clock time changes.
+    #[serde(default)]
+    pub engine: EngineOptions,
 }
 
 /// A configured, ready-to-run CLAN deployment.
@@ -175,6 +180,7 @@ pub struct ClanDriverBuilder {
     recovery: crate::membership::RecoveryPolicy,
     churn: Option<crate::transport::ChurnSchedule>,
     spare_agents: Vec<String>,
+    engine: EngineOptions,
 }
 
 /// Where genome evaluation physically runs.
@@ -227,6 +233,7 @@ impl ClanDriverBuilder {
             recovery: crate::membership::RecoveryPolicy::default(),
             churn: None,
             spare_agents: Vec::new(),
+            engine: EngineOptions::default(),
         }
     }
 
@@ -398,6 +405,23 @@ impl ClanDriverBuilder {
         self
     }
 
+    /// Sets the SoA batch width for lockstep evaluation of same-shape
+    /// networks (default 32; `<= 1` falls back to scalar activation
+    /// everywhere). Results are bit-identical at any width.
+    pub fn batch_lanes(mut self, lanes: usize) -> Self {
+        self.engine.batch_lanes = lanes;
+        self
+    }
+
+    /// Enables or disables the content-addressed fitness cache (default
+    /// on): evaluations are memoized by `(master_seed, genome content
+    /// hash)`, so elites and unmutated survivors skip re-evaluation.
+    /// Hits return the bit-identical cached fitness.
+    pub fn fitness_cache(mut self, enabled: bool) -> Self {
+        self.engine.cache = enabled;
+        self
+    }
+
     /// Validates and constructs the driver.
     ///
     /// # Errors
@@ -453,13 +477,23 @@ impl ClanDriverBuilder {
         // A remote cluster takes precedence over a local thread pool, so
         // only spawn pool workers when evaluation actually stays local.
         let mut evaluator = match &self.remote {
-            RemoteBackend::Local => Evaluator::with_threads(
+            RemoteBackend::Local => Evaluator::with_options(
                 self.workload,
                 self.mode,
                 self.episodes_per_eval,
                 self.eval_threads,
+                self.engine,
             ),
-            _ => Evaluator::with_episodes(self.workload, self.mode, self.episodes_per_eval),
+            // Remote backends evaluate on the agents; the coordinator-side
+            // evaluator keeps the cache (it filters hits before scattering)
+            // but never activates networks itself.
+            _ => Evaluator::with_options(
+                self.workload,
+                self.mode,
+                self.episodes_per_eval,
+                1,
+                self.engine,
+            ),
         };
         if self.udp.is_some() && !self.remote.is_udp() {
             return Err(ClanError::InvalidSetup {
@@ -469,7 +503,8 @@ impl ClanDriverBuilder {
             });
         }
         let spec = crate::transport::ClusterSpec::new(self.workload, self.mode, cfg.clone())
-            .with_episodes(self.episodes_per_eval);
+            .with_episodes(self.episodes_per_eval)
+            .with_engine(self.engine);
         let udp_cfg = || self.udp.clone().unwrap_or_default();
         let edge =
             match &self.remote {
@@ -580,6 +615,7 @@ impl ClanDriverBuilder {
                 recovery: self.recovery,
                 churn: self.churn,
                 spare_agents: self.spare_agents,
+                engine: self.engine,
             },
             orchestrator,
         })
@@ -661,6 +697,40 @@ mod tests {
         } else {
             assert_eq!(report.generations.len(), 30);
         }
+    }
+
+    #[test]
+    fn engine_toggles_change_wall_clock_only() {
+        let run = |builder: ClanDriverBuilder| {
+            builder
+                .topology(ClanTopology::dcs())
+                .agents(3)
+                .population_size(12)
+                .seed(8)
+                .build()
+                .unwrap()
+                .run(3)
+                .unwrap()
+        };
+        let default = run(ClanDriver::builder(Workload::CartPole));
+        let tuned = run(ClanDriver::builder(Workload::CartPole)
+            .batch_lanes(1)
+            .fitness_cache(false));
+        assert_eq!(default.best_fitness, tuned.best_fitness);
+        assert_eq!(
+            default.generations.last().unwrap().costs,
+            tuned.generations.last().unwrap().costs
+        );
+        assert!(default.cache_lookups > 0, "default driver caches");
+        assert_eq!(
+            tuned.cache_lookups, 0,
+            "disabled cache never fields a lookup"
+        );
+        let d = ClanDriver::builder(Workload::CartPole)
+            .population_size(8)
+            .build()
+            .unwrap();
+        assert_eq!(d.config().engine, EngineOptions::default());
     }
 
     #[test]

@@ -10,10 +10,15 @@
 use crate::parallel::ParallelEvaluator;
 use crate::runtime::EdgeCluster;
 use clan_envs::{run_episode, Environment, Workload};
+use clan_neat::batch::{BatchedNetwork, ShapeKey};
+use clan_neat::cache::CachedEvaluation;
 use clan_neat::population::Evaluation;
 use clan_neat::rng::{derive_seed, OpTag};
-use clan_neat::{FeedForwardNetwork, Genome, GenomeId, NeatConfig, Scratch};
+use clan_neat::{
+    FeedForwardNetwork, FitnessCache, Genome, GenomeId, NeatConfig, Population, Scratch,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// How many environment steps each genome gets per generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,6 +37,38 @@ impl InferenceMode {
             InferenceMode::SingleStep => 1,
         }
     }
+
+    /// Stable tag folded into episode seeds so the two modes never share
+    /// an episode stream for the same genome content.
+    pub(crate) fn seed_tag(self) -> u64 {
+        match self {
+            InferenceMode::MultiStep => 0,
+            InferenceMode::SingleStep => 1,
+        }
+    }
+}
+
+/// Tuning knobs for the evaluation engine's two fast paths: batched
+/// structure-of-arrays activation and the content-addressed fitness
+/// cache. Both default to on; neither changes any evaluated bit — they
+/// only change how fast the identical result is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EngineOptions {
+    /// Maximum lanes per batched SoA bank. `<= 1` disables batching and
+    /// every genome takes the scalar [`Scratch`] tier.
+    pub batch_lanes: usize,
+    /// Whether to memoize evaluations by `(master_seed, content hash)`,
+    /// so elites and unmutated survivors skip re-evaluation entirely.
+    pub cache: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            batch_lanes: 32,
+            cache: true,
+        }
+    }
 }
 
 /// Evaluates genomes on one workload, reusing a single environment
@@ -48,14 +85,19 @@ impl InferenceMode {
 /// [`with_remote`](Evaluator::with_remote), the evaluator instead ships
 /// genomes to real agents (threads, loopback TCP sockets, or remote
 /// devices) and replays the results locally — still bit-identical,
-/// because episode seeds derive from `(master_seed, generation,
-/// genome_id)` no matter where inference runs.
+/// because episode seeds derive from `(master_seed, genome content
+/// hash)` no matter where inference runs.
 pub struct Evaluator {
     workload: Workload,
     mode: InferenceMode,
     episodes: u32,
+    options: EngineOptions,
     env: Box<dyn Environment>,
     scratch: Scratch,
+    /// One environment per batch lane, grown on demand; each lane's
+    /// episodes replay exactly what the scalar path would run.
+    lane_envs: Vec<Box<dyn Environment>>,
+    cache: Option<FitnessCache>,
     pool: Option<ParallelEvaluator>,
     remote: Option<EdgeCluster>,
 }
@@ -86,16 +128,7 @@ impl Evaluator {
     ///
     /// Panics if `episodes` is zero.
     pub fn with_episodes(workload: Workload, mode: InferenceMode, episodes: u32) -> Evaluator {
-        assert!(episodes > 0, "an evaluation needs at least one episode");
-        Evaluator {
-            workload,
-            mode,
-            episodes,
-            env: workload.make(),
-            scratch: Scratch::new(),
-            pool: None,
-            remote: None,
-        }
+        Evaluator::with_options(workload, mode, episodes, 1, EngineOptions::default())
     }
 
     /// Creates an evaluator backed by `threads` persistent worker
@@ -112,11 +145,51 @@ impl Evaluator {
         episodes: u32,
         threads: usize,
     ) -> Evaluator {
-        let mut evaluator = Evaluator::with_episodes(workload, mode, episodes);
-        if threads > 1 {
-            evaluator.pool = Some(ParallelEvaluator::spawn(workload, mode, episodes, threads));
+        Evaluator::with_options(workload, mode, episodes, threads, EngineOptions::default())
+    }
+
+    /// The general constructor: episodes, worker threads, and explicit
+    /// [`EngineOptions`]. Batching and caching change wall-clock only —
+    /// results are bit-identical with either feature on, off, or mixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `episodes` is zero.
+    pub fn with_options(
+        workload: Workload,
+        mode: InferenceMode,
+        episodes: u32,
+        threads: usize,
+        options: EngineOptions,
+    ) -> Evaluator {
+        assert!(episodes > 0, "an evaluation needs at least one episode");
+        let pool = (threads > 1).then(|| {
+            // Workers only ever see cache misses (the coordinator filters
+            // hits first), so they run with caching off and inherit the
+            // batching setting.
+            ParallelEvaluator::spawn_with(
+                workload,
+                mode,
+                episodes,
+                threads,
+                EngineOptions {
+                    cache: false,
+                    ..options
+                },
+            )
+        });
+        Evaluator {
+            workload,
+            mode,
+            episodes,
+            options,
+            env: workload.make(),
+            scratch: Scratch::new(),
+            lane_envs: Vec::new(),
+            cache: options.cache.then(FitnessCache::new),
+            pool,
+            remote: None,
         }
-        evaluator
     }
 
     /// Attaches a real agent cluster: all partitioned evaluation runs
@@ -132,11 +205,6 @@ impl Evaluator {
     /// Worker threads evaluating in parallel (1 = serial).
     pub fn eval_threads(&self) -> usize {
         self.pool.as_ref().map_or(1, ParallelEvaluator::n_threads)
-    }
-
-    /// The parallel worker pool, when one was requested.
-    pub(crate) fn pool(&self) -> Option<&ParallelEvaluator> {
-        self.pool.as_ref()
     }
 
     /// The attached agent cluster, when one was requested.
@@ -190,21 +258,51 @@ impl Evaluator {
     }
 
     /// Deterministic episode seed for a genome: derived from the run's
-    /// master seed, the generation, and the genome id — so the same
-    /// genome gets the same episode wherever it is evaluated.
-    pub fn episode_seed(master_seed: u64, generation: u64, genome: GenomeId) -> u64 {
+    /// master seed, the genome's *content* hash, and the episode plan
+    /// (episode count + inference mode) — never from the genome's id,
+    /// its generation, or where it is evaluated.
+    ///
+    /// Content-based seeding is what makes the fitness cache sound by
+    /// construction: identical genome content always replays identical
+    /// episodes, so a cached fitness is bit-identical to a fresh run —
+    /// including for elites re-submitted in later generations under new
+    /// ids. The episode plan is folded in so `MultiStep`/`SingleStep`
+    /// runs (or different episode counts) never share a stream.
+    pub fn episode_seed(
+        master_seed: u64,
+        content_hash: u64,
+        episodes: u32,
+        mode: InferenceMode,
+    ) -> u64 {
         derive_seed(
             master_seed,
-            &[generation, genome.0, OpTag::Environment as u64],
+            &[
+                content_hash,
+                episodes as u64,
+                mode.seed_tag(),
+                OpTag::Environment as u64,
+            ],
         )
     }
 
+    /// This evaluator's episode seed for one genome under its configured
+    /// episode plan.
+    pub fn seed_for(&self, master_seed: u64, genome: &Genome) -> u64 {
+        Evaluator::episode_seed(master_seed, genome.content_hash(), self.episodes, self.mode)
+    }
+
     /// Evaluates a batch of genomes exactly as the serial path would:
-    /// compile, derive the episode seed from `(master_seed, generation,
-    /// genome_id)`, run the episodes, and report the compiled network's
-    /// per-activation gene cost. Every distributed surface — agent
-    /// sessions and thread-pool workers alike — routes through this, so
-    /// the determinism contract lives in one piece of code.
+    /// consult the fitness cache, compile the misses, derive each episode
+    /// seed from `(master_seed, content_hash, episode plan)`, run the
+    /// episodes (batched by topology shape where possible), and report
+    /// the compiled network's per-activation gene cost. Every distributed
+    /// surface — agent sessions and thread-pool workers alike — routes
+    /// through this, so the determinism contract lives in one piece of
+    /// code. Results come back in input order.
+    ///
+    /// `generation` is unused for seeding (seeds are content-based) but
+    /// kept in the signature because the wire protocol and pool jobs
+    /// carry it.
     pub fn evaluate_genomes(
         &mut self,
         genomes: &[Genome],
@@ -212,18 +310,282 @@ impl Evaluator {
         master_seed: u64,
         generation: u64,
     ) -> Vec<(GenomeId, Evaluation, u64)> {
-        genomes
+        let _ = generation;
+        let refs: Vec<&Genome> = genomes.iter().collect();
+        self.evaluate_genome_refs(&refs, cfg, master_seed)
+    }
+
+    fn evaluate_genome_refs(
+        &mut self,
+        genomes: &[&Genome],
+        cfg: &NeatConfig,
+        master_seed: u64,
+    ) -> Vec<(GenomeId, Evaluation, u64)> {
+        let mut out: Vec<Option<(GenomeId, Evaluation, u64)>> = vec![None; genomes.len()];
+        let mut miss_idx: Vec<usize> = Vec::with_capacity(genomes.len());
+        let mut miss_hash: Vec<u64> = Vec::with_capacity(genomes.len());
+        for (i, g) in genomes.iter().enumerate() {
+            let hash = g.content_hash();
+            if let Some(cache) = self.cache.as_mut() {
+                if let Some(hit) = cache.lookup(master_seed, hash) {
+                    out[i] = Some((g.id(), hit.evaluation, hit.genes_per_activation));
+                    continue;
+                }
+            }
+            miss_idx.push(i);
+            miss_hash.push(hash);
+        }
+        let nets: Vec<FeedForwardNetwork> = miss_idx
             .iter()
-            .map(|g| {
-                let net = FeedForwardNetwork::compile(g, cfg);
-                let seed = Evaluator::episode_seed(master_seed, generation, g.id());
-                (
-                    g.id(),
-                    self.evaluate(&net, seed),
-                    net.genes_per_activation(),
-                )
-            })
+            .map(|&i| FeedForwardNetwork::compile(genomes[i], cfg))
+            .collect();
+        let seeds: Vec<u64> = miss_hash
+            .iter()
+            .map(|&h| Evaluator::episode_seed(master_seed, h, self.episodes, self.mode))
+            .collect();
+        let evals = self.run_misses(&nets, &seeds);
+        for (k, eval) in evals.into_iter().enumerate() {
+            let gpa = nets[k].genes_per_activation();
+            if let Some(cache) = self.cache.as_mut() {
+                cache.insert(
+                    master_seed,
+                    miss_hash[k],
+                    CachedEvaluation {
+                        evaluation: eval,
+                        genes_per_activation: gpa,
+                    },
+                );
+            }
+            let i = miss_idx[k];
+            out[i] = Some((genomes[i].id(), eval, gpa));
+        }
+        out.into_iter()
+            .map(|o| o.expect("every genome evaluated"))
             .collect()
+    }
+
+    /// Evaluates every network once, batching same-shape networks into
+    /// SoA banks when enabled; returns evaluations in `nets` order.
+    fn run_misses(&mut self, nets: &[FeedForwardNetwork], seeds: &[u64]) -> Vec<Evaluation> {
+        let mut evals = vec![
+            Evaluation {
+                fitness: 0.0,
+                activations: 0,
+            };
+            nets.len()
+        ];
+        if self.options.batch_lanes > 1 && nets.len() > 1 {
+            let mut groups: HashMap<ShapeKey, Vec<usize>> = HashMap::new();
+            for (k, net) in nets.iter().enumerate() {
+                groups.entry(ShapeKey::of(net)).or_default().push(k);
+            }
+            let mut grouped: Vec<Vec<usize>> = groups.into_values().collect();
+            // Execution order is irrelevant to results (episodes are
+            // independent and fully seed-determined); sort for a stable
+            // wall-clock profile anyway.
+            grouped.sort_by_key(|g| g[0]);
+            for group in grouped {
+                if group.len() == 1 {
+                    // Shape singletons take the scalar Scratch tier.
+                    let k = group[0];
+                    evals[k] = self.evaluate(&nets[k], seeds[k]);
+                } else {
+                    self.evaluate_group_batched(&group, nets, seeds, &mut evals);
+                }
+            }
+        } else {
+            for (k, net) in nets.iter().enumerate() {
+                evals[k] = self.evaluate(net, seeds[k]);
+            }
+        }
+        evals
+    }
+
+    /// Lane-streaming batched runner: same-shape networks advance their
+    /// episodes in lockstep; a lane that finishes an episode immediately
+    /// reloads with the next pending one. Per-lane arithmetic and the
+    /// per-episode environment trajectory are bit-identical to
+    /// [`evaluate`](Self::evaluate) — only wall-clock changes.
+    fn evaluate_group_batched(
+        &mut self,
+        group: &[usize],
+        nets: &[FeedForwardNetwork],
+        seeds: &[u64],
+        evals: &mut [Evaluation],
+    ) {
+        let max_steps = self.mode.max_steps(self.workload);
+        let episodes = self.episodes;
+        // One task per (network, episode), in network order so the final
+        // per-network reward sums run in episode order (same FP order as
+        // the scalar loop).
+        let mut tasks: Vec<(usize, u64)> = Vec::with_capacity(group.len() * episodes as usize);
+        for &k in group {
+            if episodes == 1 {
+                tasks.push((k, seeds[k]));
+            } else {
+                for ep in 0..episodes as u64 {
+                    tasks.push((k, derive_seed(seeds[k], &[ep])));
+                }
+            }
+        }
+        let lanes = self.options.batch_lanes.min(tasks.len()).max(1);
+        while self.lane_envs.len() < lanes {
+            self.lane_envs.push(self.workload.make());
+        }
+        let mut bank = BatchedNetwork::from_template(&nets[group[0]], lanes);
+        let mut task_reward = vec![0.0f64; tasks.len()];
+        let mut task_steps = vec![0u64; tasks.len()];
+        let mut lane_task: Vec<Option<usize>> = vec![None; lanes];
+        let mut lane_reward = vec![0.0f64; lanes];
+        let mut lane_steps = vec![0u64; lanes];
+        let lane_envs = &mut self.lane_envs;
+        let mut next = 0usize;
+        let mut live = 0usize;
+        for l in 0..lanes {
+            // lanes <= tasks.len(), so every lane primes successfully.
+            let (k, seed) = tasks[next];
+            bank.load_lane(l, &nets[k]);
+            let obs = lane_envs[l].reset(seed);
+            bank.set_input(l, &obs);
+            lane_task[l] = Some(next);
+            next += 1;
+            live += 1;
+        }
+        while live > 0 {
+            bank.activate();
+            for l in 0..live {
+                let Some(t) = lane_task[l] else { continue };
+                let action = bank.argmax(l);
+                let step = lane_envs[l].step(action);
+                lane_reward[l] += step.reward;
+                lane_steps[l] += 1;
+                if step.done || lane_steps[l] >= max_steps {
+                    task_reward[t] = lane_reward[l];
+                    task_steps[t] = lane_steps[l];
+                    lane_reward[l] = 0.0;
+                    lane_steps[l] = 0;
+                    if next < tasks.len() {
+                        let (k, seed) = tasks[next];
+                        bank.load_lane(l, &nets[k]);
+                        let obs = lane_envs[l].reset(seed);
+                        bank.set_input(l, &obs);
+                        lane_task[l] = Some(next);
+                        next += 1;
+                    } else {
+                        lane_task[l] = None;
+                    }
+                } else {
+                    bank.set_input(l, &step.obs);
+                }
+            }
+            // Drain-phase compaction: once tasks run out, retired lanes
+            // are swapped out of the live window so the bank stops
+            // spending activation work on them. A swap relocates a lane
+            // bit-identically (the unit of work is the lane, and lanes
+            // never read each other), so results are unchanged.
+            if next >= tasks.len() {
+                let mut l = 0;
+                while l < live {
+                    if lane_task[l].is_some() {
+                        l += 1;
+                        continue;
+                    }
+                    live -= 1;
+                    if l != live {
+                        bank.swap_lanes(l, live);
+                        lane_task.swap(l, live);
+                        lane_reward.swap(l, live);
+                        lane_steps.swap(l, live);
+                        lane_envs.swap(l, live);
+                    }
+                }
+                bank.set_live_lanes(live);
+            }
+        }
+        // Fold per-task outcomes back in task (= episode) order so the
+        // reward sum matches the scalar loop's addition order exactly.
+        for (t, &(k, _)) in tasks.iter().enumerate() {
+            evals[k].fitness += task_reward[t];
+            evals[k].activations += task_steps[t];
+        }
+        for &k in group {
+            evals[k].fitness /= episodes as f64;
+        }
+    }
+
+    /// Evaluates the whole population locally (serial or thread pool),
+    /// with cache hits filtered out before any work is sharded; returns
+    /// results in genome-id order.
+    pub(crate) fn evaluate_population_local(
+        &mut self,
+        pop: &Population,
+    ) -> Vec<(GenomeId, Evaluation, u64)> {
+        let master_seed = pop.master_seed();
+        let generation = pop.generation();
+        if self.pool.is_none() {
+            let refs: Vec<&Genome> = pop.genomes().values().collect();
+            return self.evaluate_genome_refs(&refs, pop.config(), master_seed);
+        }
+        let mut out: Vec<Option<(GenomeId, Evaluation, u64)>> = vec![None; pop.genomes().len()];
+        let mut misses: Vec<Genome> = Vec::new();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        let mut miss_hash: Vec<u64> = Vec::new();
+        for (i, g) in pop.genomes().values().enumerate() {
+            let hash = g.content_hash();
+            if let Some(cache) = self.cache.as_mut() {
+                if let Some(hit) = cache.lookup(master_seed, hash) {
+                    out[i] = Some((g.id(), hit.evaluation, hit.genes_per_activation));
+                    continue;
+                }
+            }
+            misses.push(g.clone());
+            miss_idx.push(i);
+            miss_hash.push(hash);
+        }
+        if !misses.is_empty() {
+            let results = self
+                .pool
+                .as_ref()
+                .expect("pool checked above")
+                .evaluate_genomes(misses, pop.config(), master_seed, generation);
+            for (k, (id, eval, gpa)) in results.into_iter().enumerate() {
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.insert(
+                        master_seed,
+                        miss_hash[k],
+                        CachedEvaluation {
+                            evaluation: eval,
+                            genes_per_activation: gpa,
+                        },
+                    );
+                }
+                out[miss_idx[k]] = Some((id, eval, gpa));
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every genome evaluated"))
+            .collect()
+    }
+
+    /// The engine options in force.
+    pub fn engine_options(&self) -> EngineOptions {
+        self.options
+    }
+
+    /// Drains and returns this generation's fitness-cache `(hits,
+    /// lookups)` window, summed over the local cache and the attached
+    /// agent cluster's coordinator-side cache (if any).
+    pub fn take_cache_window(&mut self) -> (u64, u64) {
+        let (mut hits, mut lookups) = self
+            .cache
+            .as_mut()
+            .map_or((0, 0), FitnessCache::take_window);
+        if let Some(cluster) = self.remote.as_mut() {
+            let (h, l) = cluster.take_cache_window();
+            hits += h;
+            lookups += l;
+        }
+        (hits, lookups)
     }
 
     /// Runs the configured number of episodes and returns the mean
@@ -298,13 +660,139 @@ mod tests {
     }
 
     #[test]
-    fn episode_seed_varies_by_genome_and_generation() {
-        let s1 = Evaluator::episode_seed(1, 0, GenomeId(0));
-        let s2 = Evaluator::episode_seed(1, 0, GenomeId(1));
-        let s3 = Evaluator::episode_seed(1, 1, GenomeId(0));
-        assert_ne!(s1, s2);
-        assert_ne!(s1, s3);
-        assert_eq!(s1, Evaluator::episode_seed(1, 0, GenomeId(0)));
+    fn episode_seed_varies_by_content_and_plan() {
+        let base = Evaluator::episode_seed(1, 0xA, 1, InferenceMode::MultiStep);
+        // Different genome content, master seed, episode count, or mode
+        // each select a distinct episode stream...
+        assert_ne!(
+            base,
+            Evaluator::episode_seed(1, 0xB, 1, InferenceMode::MultiStep)
+        );
+        assert_ne!(
+            base,
+            Evaluator::episode_seed(2, 0xA, 1, InferenceMode::MultiStep)
+        );
+        assert_ne!(
+            base,
+            Evaluator::episode_seed(1, 0xA, 3, InferenceMode::MultiStep)
+        );
+        assert_ne!(
+            base,
+            Evaluator::episode_seed(1, 0xA, 1, InferenceMode::SingleStep)
+        );
+        // ...and the derivation is stable: same content, same episodes,
+        // regardless of generation or genome id (neither is an input).
+        assert_eq!(
+            base,
+            Evaluator::episode_seed(1, 0xA, 1, InferenceMode::MultiStep)
+        );
+    }
+
+    #[test]
+    fn batched_engine_matches_scalar_engine_bit_for_bit() {
+        // A mixed bag of shapes: same-shape initial genomes plus mutants
+        // that fall back to the scalar tier. The batched engine must
+        // produce byte-identical results to the scalar engine.
+        for workload in [Workload::CartPole, Workload::MountainCar] {
+            let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+                .build()
+                .unwrap();
+            let mut genomes: Vec<Genome> = (0..10)
+                .map(|s| Genome::new_initial(&cfg, GenomeId(s), &mut StdRng::seed_from_u64(s)))
+                .collect();
+            for (i, g) in genomes.iter_mut().enumerate().take(3) {
+                g.mutate_add_node(&cfg, &mut StdRng::seed_from_u64(50 + i as u64));
+            }
+            for episodes in [1, 3] {
+                let no_batch = EngineOptions {
+                    batch_lanes: 1,
+                    cache: false,
+                };
+                let batch = EngineOptions {
+                    batch_lanes: 4,
+                    cache: false,
+                };
+                let mut scalar = Evaluator::with_options(
+                    workload,
+                    InferenceMode::MultiStep,
+                    episodes,
+                    1,
+                    no_batch,
+                );
+                let mut batched =
+                    Evaluator::with_options(workload, InferenceMode::MultiStep, episodes, 1, batch);
+                let a = scalar.evaluate_genomes(&genomes, &cfg, 99, 0);
+                let b = batched.evaluate_genomes(&genomes, &cfg, 99, 0);
+                assert_eq!(a, b, "{workload} x{episodes}: batched diverged from scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_and_counted() {
+        let workload = Workload::CartPole;
+        let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+            .build()
+            .unwrap();
+        let genomes: Vec<Genome> = (0..6)
+            .map(|s| Genome::new_initial(&cfg, GenomeId(s), &mut StdRng::seed_from_u64(s)))
+            .collect();
+        let mut ev = Evaluator::with_options(
+            workload,
+            InferenceMode::MultiStep,
+            1,
+            1,
+            EngineOptions::default(),
+        );
+        let first = ev.evaluate_genomes(&genomes, &cfg, 7, 0);
+        assert_eq!(ev.take_cache_window(), (0, 6), "first pass all misses");
+        // Re-submit the same content under fresh ids (the elite case):
+        // all hits, results identical modulo the new ids.
+        let relabeled: Vec<Genome> = genomes
+            .iter()
+            .map(|g| {
+                let mut c = g.clone();
+                c.set_id(GenomeId(g.id().0 + 100));
+                c
+            })
+            .collect();
+        let second = ev.evaluate_genomes(&relabeled, &cfg, 7, 3);
+        assert_eq!(ev.take_cache_window(), (6, 6), "second pass all hits");
+        for ((_, e1, g1), (_, e2, g2)) in first.iter().zip(second.iter()) {
+            assert_eq!(e1, e2, "cached evaluation must be bit-identical");
+            assert_eq!(g1, g2);
+        }
+        // A different master seed must not hit.
+        ev.evaluate_genomes(&genomes, &cfg, 8, 0);
+        assert_eq!(ev.take_cache_window().0, 0, "other master seed misses");
+    }
+
+    #[test]
+    fn cache_on_off_and_mixed_agree() {
+        let workload = Workload::MountainCar;
+        let cfg = NeatConfig::builder(workload.obs_dim(), workload.n_actions())
+            .build()
+            .unwrap();
+        let genomes: Vec<Genome> = (0..5)
+            .map(|s| Genome::new_initial(&cfg, GenomeId(s), &mut StdRng::seed_from_u64(9 + s)))
+            .collect();
+        let run = |options: EngineOptions| {
+            let mut ev = Evaluator::with_options(workload, InferenceMode::MultiStep, 2, 1, options);
+            let once = ev.evaluate_genomes(&genomes, &cfg, 5, 0);
+            let twice = ev.evaluate_genomes(&genomes, &cfg, 5, 1);
+            (once, twice)
+        };
+        let all_off = run(EngineOptions {
+            batch_lanes: 1,
+            cache: false,
+        });
+        let all_on = run(EngineOptions::default());
+        let mixed = run(EngineOptions {
+            batch_lanes: 8,
+            cache: false,
+        });
+        assert_eq!(all_off, all_on);
+        assert_eq!(all_off, mixed);
     }
 
     #[test]

@@ -52,9 +52,10 @@
 //!   agents over the wire (`Configure` carries workload + NEAT config),
 //!   then drives `Evaluate`/`Fitness` and `BuildChildren`/`Children`
 //!   rounds.
-//! - **Determinism contract** — every episode and reproduction RNG
-//!   stream derives from `(master_seed, generation, genome_id)`, never
-//!   from placement or arrival order, and genome attributes travel as
+//! - **Determinism contract** — every episode RNG stream derives from
+//!   `(master_seed, genome content hash)` and every reproduction stream
+//!   from `(master_seed, generation, child_id)`, never from placement
+//!   or arrival order, and genome attributes travel as
 //!   exact `f64` bits; a TCP cluster run is therefore *bit-identical*
 //!   to a serial run on all four topologies (`tests/net_equivalence.rs`
 //!   asserts fitness, cost counters, and best-ever genomes at 1/2/4
@@ -220,7 +221,7 @@ pub use dda::DdaOrchestrator;
 pub use dds::DdsOrchestrator;
 pub use driver::{ClanDriver, ClanDriverBuilder, DriverConfig};
 pub use error::{ClanError, FrameError};
-pub use evaluator::{Evaluator, InferenceMode};
+pub use evaluator::{EngineOptions, Evaluator, InferenceMode};
 pub use membership::{AgentHealth, LinkHealth, RecoveryPolicy, RecoveryStats};
 pub use orchestra::{GenerationReport, Orchestrator};
 pub use parallel::ParallelEvaluator;

@@ -35,6 +35,26 @@ pub struct GenerationReport {
     pub costs: GenerationCosts,
     /// Whether a population (or clan) went extinct and was re-seeded.
     pub extinction: bool,
+    /// Fitness-cache hits this generation (evaluations served without
+    /// running episodes). Not part of `costs`: a hit replays the full
+    /// gene accounting, so cost counters are identical cache-on/off.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Fitness-cache lookups this generation (= genomes submitted while
+    /// caching was enabled; 0 when disabled).
+    #[serde(default)]
+    pub cache_lookups: u64,
+}
+
+impl GenerationReport {
+    /// Cache hit rate of the generation (0.0 when caching is disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
 }
 
 /// A CLAN configuration driving real NEAT evolution while accounting the
@@ -160,36 +180,25 @@ pub(crate) fn evaluate_partitioned(
     evaluator: &mut Evaluator,
     counts: &[usize],
 ) -> Result<Vec<u64>, ClanError> {
-    let master = pop.master_seed();
-    let generation = pop.generation();
     let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
     let chunks = chunk_ids(&ids, counts);
-    let cfg = pop.config().clone();
-    // Remote/parallel path: compute every evaluation first (id-ordered),
-    // leaving all bookkeeping to the deterministic loop below.
+    // Compute every evaluation first, in genome-id order — remotely over
+    // the attached cluster, across the local thread pool, or serially
+    // (batched by shape, cache-filtered) on this thread — leaving all
+    // bookkeeping to the deterministic loop below. Cache hits replay the
+    // same accounting as fresh evaluations, so costs and timelines are
+    // identical whichever engine features are enabled.
     let mut precomputed = match evaluator.remote_mut() {
-        Some(cluster) => Some(cluster.evaluate_collect(pop)?.into_iter()),
-        None => evaluator
-            .pool()
-            .map(|pool| pool.evaluate_population(pop).into_iter()),
+        Some(cluster) => cluster.evaluate_collect(pop)?.into_iter(),
+        None => evaluator.evaluate_population_local(pop).into_iter(),
     };
     let mut genes_per_agent = Vec::with_capacity(chunks.len());
     for chunk in &chunks {
         let mut agent_genes = 0u64;
         for &id in chunk {
-            let (eval, genes_per_activation) = match precomputed.as_mut() {
-                Some(results) => {
-                    let (rid, eval, gpa) = results.next().expect("one pooled result per genome");
-                    debug_assert_eq!(rid, id, "pooled results must be id-ordered");
-                    (eval, gpa)
-                }
-                None => {
-                    let genome = pop.genome(id).expect("chunk ids come from population");
-                    let net = clan_neat::FeedForwardNetwork::compile(genome, &cfg);
-                    let seed = Evaluator::episode_seed(master, generation, id);
-                    (evaluator.evaluate(&net, seed), net.genes_per_activation())
-                }
-            };
+            let (rid, eval, genes_per_activation) =
+                precomputed.next().expect("one result per genome");
+            debug_assert_eq!(rid, id, "results must be id-ordered");
             let genes = eval.activations * genes_per_activation;
             agent_genes += genes;
             pop.counters_mut().record_inference(genes);

@@ -4,8 +4,8 @@
 //!
 //! # Determinism contract
 //!
-//! A genome's evaluation depends only on `(genome, master_seed,
-//! generation)`: the episode seed is derived exactly as
+//! A genome's evaluation depends only on `(genome content,
+//! master_seed)`: the episode seed is derived exactly as
 //! [`Evaluator::episode_seed`] derives it on the serial path, every
 //! worker owns a private [`Environment`](clan_envs::Environment) reset from that seed, and
 //! results are merged back in genome-id order. Fitness, `CostCounters`,
@@ -31,7 +31,7 @@
 //! is shared between the two and pinned by the same equivalence suite —
 //! change one, check the other.
 
-use crate::evaluator::{Evaluator, InferenceMode};
+use crate::evaluator::{EngineOptions, Evaluator, InferenceMode};
 use clan_envs::Workload;
 use clan_neat::population::Evaluation;
 use clan_neat::{Genome, GenomeId, NeatConfig, Population};
@@ -72,6 +72,7 @@ pub struct ParallelEvaluator {
     workload: Workload,
     mode: InferenceMode,
     episodes: u32,
+    options: EngineOptions,
 }
 
 impl std::fmt::Debug for ParallelEvaluator {
@@ -81,6 +82,7 @@ impl std::fmt::Debug for ParallelEvaluator {
             .field("workload", &self.workload)
             .field("mode", &self.mode)
             .field("episodes", &self.episodes)
+            .field("options", &self.options)
             .finish()
     }
 }
@@ -97,6 +99,33 @@ impl ParallelEvaluator {
         episodes: u32,
         threads: usize,
     ) -> ParallelEvaluator {
+        // Workers never cache: their coordinator filters cache hits
+        // before sharding, so every genome they see is a miss.
+        ParallelEvaluator::spawn_with(
+            workload,
+            mode,
+            episodes,
+            threads,
+            EngineOptions {
+                cache: false,
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    /// [`spawn`](Self::spawn) with explicit per-worker [`EngineOptions`]
+    /// (batching tier and caching policy inside each worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn spawn_with(
+        workload: Workload,
+        mode: InferenceMode,
+        episodes: u32,
+        threads: usize,
+        options: EngineOptions,
+    ) -> ParallelEvaluator {
         assert!(
             threads > 0,
             "a parallel evaluator needs at least one thread"
@@ -107,7 +136,7 @@ impl ParallelEvaluator {
                 let (resp_tx, resp_rx) = channel::<Vec<GenomeEvaluation>>();
                 let handle = std::thread::Builder::new()
                     .name(format!("clan-eval-{i}"))
-                    .spawn(move || worker_loop(req_rx, resp_tx, workload, mode, episodes))
+                    .spawn(move || worker_loop(req_rx, resp_tx, workload, mode, episodes, options))
                     .expect("spawning evaluation worker");
                 Worker {
                     tx: req_tx,
@@ -121,6 +150,7 @@ impl ParallelEvaluator {
             workload,
             mode,
             episodes,
+            options,
         }
     }
 
@@ -145,22 +175,48 @@ impl ParallelEvaluator {
     /// Panics if a worker thread died (only possible if an evaluation
     /// itself panicked).
     pub fn evaluate_population(&self, pop: &Population) -> Vec<GenomeEvaluation> {
-        let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
-        let master_seed = pop.master_seed();
-        let generation = pop.generation();
-        let cfg = Arc::new(pop.config().clone());
-        let shard_len = ids.len().div_ceil(self.workers.len()).max(1);
-        // Scatter contiguous id-ordered shards...
+        let genomes: Vec<Genome> = pop.genomes().values().cloned().collect();
+        let results =
+            self.evaluate_genomes(genomes, pop.config(), pop.master_seed(), pop.generation());
+        debug_assert!(results.windows(2).all(|w| w[0].0 < w[1].0));
+        results
+    }
+
+    /// Evaluates an explicit genome list across the pool (contiguous
+    /// shards in input order, gathered back in worker order), returning
+    /// results in input order. This is the subset entry point the cache
+    /// filter uses: the coordinator ships only cache misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread died (only possible if an evaluation
+    /// itself panicked).
+    pub fn evaluate_genomes(
+        &self,
+        genomes: Vec<Genome>,
+        cfg: &NeatConfig,
+        master_seed: u64,
+        generation: u64,
+    ) -> Vec<GenomeEvaluation> {
+        let total = genomes.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let cfg = Arc::new(cfg.clone());
+        let shard_len = total.div_ceil(self.workers.len()).max(1);
+        // Scatter contiguous input-ordered shards...
         let mut sent = 0usize;
-        for (worker, shard) in self.workers.iter().zip(ids.chunks(shard_len)) {
-            let genomes = shard
-                .iter()
-                .map(|id| pop.genome(*id).expect("id from population").clone())
-                .collect();
+        let mut genomes = genomes;
+        let mut shards: Vec<Vec<Genome>> = Vec::with_capacity(self.workers.len());
+        while !genomes.is_empty() {
+            let rest = genomes.split_off(shard_len.min(genomes.len()));
+            shards.push(std::mem::replace(&mut genomes, rest));
+        }
+        for (worker, shard) in self.workers.iter().zip(shards) {
             worker
                 .tx
                 .send(Request::Evaluate(Box::new(EvaluateJob {
-                    genomes,
+                    genomes: shard,
                     cfg: Arc::clone(&cfg),
                     generation,
                     master_seed,
@@ -169,12 +225,11 @@ impl ParallelEvaluator {
             sent += 1;
         }
         // ...and gather in worker order, which concatenates back to
-        // genome-id order.
-        let mut results: Vec<GenomeEvaluation> = Vec::with_capacity(ids.len());
+        // input order.
+        let mut results: Vec<GenomeEvaluation> = Vec::with_capacity(total);
         for worker in self.workers.iter().take(sent) {
             results.extend(worker.rx.recv().expect("evaluation worker disconnected"));
         }
-        debug_assert!(results.windows(2).all(|w| w[0].0 < w[1].0));
         results
     }
 
@@ -203,11 +258,12 @@ fn worker_loop(
     workload: Workload,
     mode: InferenceMode,
     episodes: u32,
+    options: EngineOptions,
 ) {
     // Each worker owns one Evaluator: a private environment instance plus
     // private Scratch buffers — the zero-allocation, zero-contention
     // steady state.
-    let mut evaluator = Evaluator::with_episodes(workload, mode, episodes);
+    let mut evaluator = Evaluator::with_options(workload, mode, episodes, 1, options);
     while let Ok(req) = rx.recv() {
         match req {
             Request::Evaluate(job) => {
@@ -255,7 +311,7 @@ mod tests {
             .values()
             .map(|g| {
                 let net = FeedForwardNetwork::compile(g, pop.config());
-                let seed = Evaluator::episode_seed(pop.master_seed(), pop.generation(), g.id());
+                let seed = serial_eval.seed_for(pop.master_seed(), g);
                 (
                     g.id(),
                     serial_eval.evaluate(&net, seed),
@@ -294,7 +350,7 @@ mod tests {
         for (id, eval, _) in parallel {
             let g = pop.genome(id).unwrap();
             let net = FeedForwardNetwork::compile(g, pop.config());
-            let seed = Evaluator::episode_seed(pop.master_seed(), pop.generation(), id);
+            let seed = serial_eval.seed_for(pop.master_seed(), g);
             assert_eq!(eval, serial_eval.evaluate(&net, seed));
         }
     }

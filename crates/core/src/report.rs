@@ -48,6 +48,14 @@ pub struct RunReport {
     /// [`with_energy`](RunReport::with_energy) is applied — the driver
     /// does this automatically).
     pub total_energy_j: f64,
+    /// Fitness-cache hits summed over all generations (0 when the cache
+    /// is disabled).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Fitness-cache lookups summed over all generations (0 when the
+    /// cache is disabled).
+    #[serde(default)]
+    pub cache_lookups: u64,
 }
 
 impl RunReport {
@@ -76,6 +84,8 @@ impl RunReport {
             .iter()
             .find(|g| g.best_fitness >= workload.solved_at())
             .map(|g| g.generation);
+        let cache_hits = generations.iter().map(|g| g.cache_hits).sum();
+        let cache_lookups = generations.iter().map(|g| g.cache_lookups).sum();
         RunReport {
             workload,
             topology_name,
@@ -90,6 +100,18 @@ impl RunReport {
             best_fitness,
             solved_at_generation,
             total_energy_j: 0.0,
+            cache_hits,
+            cache_lookups,
+        }
+    }
+
+    /// Fraction of fitness lookups served from the cache over the run
+    /// (0.0 when the cache never fielded a lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
         }
     }
 
@@ -194,6 +216,15 @@ impl RunReport {
                 );
             }
         }
+        if self.cache_lookups > 0 {
+            let _ = writeln!(
+                s,
+                "  fitness cache: {} hit(s) / {} lookup(s) ({:.1}% hit rate)",
+                self.cache_hits,
+                self.cache_lookups,
+                100.0 * self.cache_hit_rate()
+            );
+        }
         if let Some(r) = &self.recovery {
             if r.any_recovery() {
                 let _ = writeln!(
@@ -265,7 +296,24 @@ mod tests {
             },
             costs: GenerationCosts::default(),
             extinction: false,
+            cache_hits: 3,
+            cache_lookups: 10,
         }
+    }
+
+    #[test]
+    fn cache_totals_aggregate_and_print() {
+        let r = RunReport::from_parts(
+            Workload::CartPole,
+            "Serial".into(),
+            1,
+            vec![gen_report(0, 10.0), gen_report(1, 20.0)],
+            CommLedger::new(),
+        );
+        assert_eq!(r.cache_hits, 6);
+        assert_eq!(r.cache_lookups, 20);
+        assert!((r.cache_hit_rate() - 0.3).abs() < 1e-12);
+        assert!(r.summary().contains("fitness cache"));
     }
 
     #[test]

@@ -89,10 +89,11 @@ use crate::transport::{
 };
 use clan_distsim::partition_weighted;
 use clan_envs::Workload;
-use clan_neat::{Genome, GenomeId, NeatConfig, Population};
+use clan_neat::cache::CachedEvaluation;
+use clan_neat::{FitnessCache, Genome, GenomeId, NeatConfig, Population};
 use clan_netsim::{CommLedger, MessageKind};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -293,6 +294,11 @@ pub struct EdgeCluster {
     round: u64,
     /// How replacement agents are produced for revivals/admissions.
     respawn: Respawn,
+    /// Coordinator-side content-addressed fitness cache (per
+    /// `spec.cache`): hits are served locally and never cross the wire,
+    /// so every remote surface — DCS, DDS, TCP, UDP, churned — gets the
+    /// same elision for free.
+    cache: Option<FitnessCache>,
 }
 
 impl std::fmt::Debug for EdgeCluster {
@@ -630,6 +636,7 @@ impl EdgeCluster {
         for link in &mut links {
             control_bytes += send_message(link.transport.as_mut(), &msg)?;
         }
+        let cache = spec.cache.then(FitnessCache::new);
         Ok(EdgeCluster {
             links,
             spec,
@@ -642,6 +649,7 @@ impl EdgeCluster {
             churn: None,
             round: 0,
             respawn,
+            cache,
         })
     }
 
@@ -1483,7 +1491,28 @@ impl EdgeCluster {
         }
         let master_seed = pop.master_seed();
         let generation = pop.generation();
-        let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
+        // Coordinator-side cache filter: hits are replayed locally and
+        // only misses cross the wire. The scatter still runs (possibly
+        // with zero items) so churn rounds advance on the same cadence
+        // with the cache on or off.
+        let mut hits: Vec<WireEvaluation> = Vec::new();
+        let mut ids: Vec<GenomeId> = Vec::with_capacity(pop.genomes().len());
+        let mut hash_of: HashMap<GenomeId, u64> = HashMap::new();
+        match self.cache.as_mut() {
+            Some(cache) => {
+                for (id, g) in pop.genomes() {
+                    let hash = g.content_hash();
+                    match cache.lookup(master_seed, hash) {
+                        Some(c) => hits.push((*id, c.evaluation, c.genes_per_activation)),
+                        None => {
+                            ids.push(*id);
+                            hash_of.insert(*id, hash);
+                        }
+                    }
+                }
+            }
+            None => ids.extend(pop.genomes().keys().copied()),
+        }
         let mut results = self.scatter_with_recovery(
             &ids,
             MessageKind::SendGenomes,
@@ -1518,10 +1547,31 @@ impl EdgeCluster {
                 Ok(batch)
             },
         )?;
+        if let Some(cache) = self.cache.as_mut() {
+            for &(id, eval, gpa) in &results {
+                cache.insert(
+                    master_seed,
+                    hash_of[&id],
+                    CachedEvaluation {
+                        evaluation: eval,
+                        genes_per_activation: gpa,
+                    },
+                );
+            }
+        }
+        results.extend(hits);
         // Results carry genome ids; replaying in id order makes the
-        // batch independent of which agent computed what.
+        // batch independent of which agent computed what (or of which
+        // came from the cache).
         results.sort_by_key(|r| r.0);
         Ok(results)
+    }
+
+    /// Drains this cluster's fitness-cache `(hits, lookups)` window.
+    pub fn take_cache_window(&mut self) -> (u64, u64) {
+        self.cache
+            .as_mut()
+            .map_or((0, 0), FitnessCache::take_window)
     }
 
     /// Distributed inference with write-back: scatters the population's
@@ -1708,6 +1758,21 @@ mod tests {
             .population_size(pop)
             .build()
             .unwrap()
+    }
+
+    /// Cache-off spec: link-health tests re-evaluate the same population
+    /// to probe dead links, which requires real traffic every round.
+    fn uncached_spec(cfg: NeatConfig) -> ClusterSpec {
+        ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg).with_engine(
+            crate::evaluator::EngineOptions {
+                cache: false,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn spawn_uncached(n: usize, cfg: NeatConfig) -> EdgeCluster {
+        EdgeCluster::spawn_spec(n, uncached_spec(cfg)).unwrap()
     }
 
     fn spawn_both(n: usize, cfg: &NeatConfig) -> Vec<EdgeCluster> {
@@ -1954,9 +2019,7 @@ mod tests {
                 .map(|g| g.fitness().unwrap())
                 .collect::<Vec<f64>>()
         };
-        let mut cluster =
-            EdgeCluster::spawn(3, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
-                .unwrap();
+        let mut cluster = spawn_uncached(3, cfg.clone());
         cluster.kill_agent(1).unwrap();
         let mut pop = Population::new(cfg, 17);
         cluster.evaluate(&mut pop).unwrap();
@@ -2065,7 +2128,7 @@ mod tests {
                 }
             }
         });
-        let spec = ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, cfg.clone());
+        let spec = uncached_spec(cfg.clone());
         let mut cluster = EdgeCluster::connect(&[addr.to_string()], spec).unwrap();
         let mut pop = Population::new(cfg, 43);
         cluster.evaluate(&mut pop).unwrap();
@@ -2102,9 +2165,7 @@ mod tests {
     #[test]
     fn revived_agent_serves_work_again() {
         let cfg = cfg(8);
-        let mut cluster =
-            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
-                .unwrap();
+        let mut cluster = spawn_uncached(2, cfg.clone());
         cluster.kill_agent(0).unwrap();
         let mut pop = Population::new(cfg, 3);
         cluster.evaluate(&mut pop).unwrap();
@@ -2134,12 +2195,8 @@ mod tests {
         };
         let mut a = Population::new(cfg.clone(), 29);
         let mut b = Population::new(cfg.clone(), 29);
-        let mut small =
-            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
-                .unwrap();
-        let mut growing =
-            EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, cfg.clone())
-                .unwrap();
+        let mut small = spawn_uncached(2, cfg.clone());
+        let mut growing = spawn_uncached(2, cfg.clone());
         small.evaluate(&mut a).unwrap();
         growing.evaluate(&mut b).unwrap();
         // Scale out between generations; the newcomer is configured over

@@ -76,6 +76,7 @@ impl Orchestrator for SerialOrchestrator {
             .add_evolution(center.evolution_time_s(evo.speciation_genes + evo.reproduction_genes));
 
         let timeline: GenerationTimeline = self.recorder.finish_generation();
+        let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
         Ok(GenerationReport {
             generation,
             best_fitness,
@@ -83,6 +84,8 @@ impl Orchestrator for SerialOrchestrator {
             timeline,
             costs: self.pop.counters_mut().finish_generation(),
             extinction: evo.extinction,
+            cache_hits,
+            cache_lookups,
         })
     }
 

@@ -39,7 +39,13 @@ pub fn serve_session(transport: &mut dyn Transport) -> Result<(), ClanError> {
             })
         }
     };
-    let mut evaluator = Evaluator::with_episodes(spec.workload, spec.mode, spec.episodes.max(1));
+    let mut evaluator = Evaluator::with_options(
+        spec.workload,
+        spec.mode,
+        spec.episodes.max(1),
+        1,
+        spec.agent_engine_options(),
+    );
     let cfg = spec.cfg;
     loop {
         let msg = match recv_message(transport) {

@@ -24,7 +24,7 @@
 //! never panic the runtime (pinned by proptests in `tests/net_frames.rs`).
 
 use crate::error::FrameError;
-use crate::evaluator::InferenceMode;
+use crate::evaluator::{EngineOptions, InferenceMode};
 use clan_envs::Workload;
 use clan_neat::population::Evaluation;
 use clan_neat::reproduction::{ChildKind, ChildSpec};
@@ -69,16 +69,36 @@ pub struct ClusterSpec {
     pub episodes: u32,
     /// Full NEAT configuration (genome compilation + reproduction).
     pub cfg: NeatConfig,
+    /// Maximum batched-SoA lanes in each agent's evaluation engine
+    /// (`<= 1` = scalar tier only). Defaulted for wire compatibility
+    /// with peers that predate the field.
+    #[serde(default = "default_batch_lanes")]
+    pub batch_lanes: usize,
+    /// Whether the coordinator memoizes evaluations by genome content
+    /// (hits are served center-side and never reach the agents).
+    #[serde(default = "default_cache")]
+    pub cache: bool,
+}
+
+fn default_batch_lanes() -> usize {
+    EngineOptions::default().batch_lanes
+}
+
+fn default_cache() -> bool {
+    EngineOptions::default().cache
 }
 
 impl ClusterSpec {
-    /// Spec with the default single episode per evaluation.
+    /// Spec with the default single episode per evaluation and default
+    /// engine options (batching + caching on).
     pub fn new(workload: Workload, mode: InferenceMode, cfg: NeatConfig) -> ClusterSpec {
         ClusterSpec {
             workload,
             mode,
             episodes: 1,
             cfg,
+            batch_lanes: default_batch_lanes(),
+            cache: default_cache(),
         }
     }
 
@@ -86,6 +106,23 @@ impl ClusterSpec {
     pub fn with_episodes(mut self, episodes: u32) -> ClusterSpec {
         self.episodes = episodes;
         self
+    }
+
+    /// Sets the evaluation-engine options (batch lanes + fitness cache).
+    pub fn with_engine(mut self, options: EngineOptions) -> ClusterSpec {
+        self.batch_lanes = options.batch_lanes;
+        self.cache = options.cache;
+        self
+    }
+
+    /// The engine options an *agent* session runs with: the spec's
+    /// batching tier, caching off — the coordinator's cache filters hits
+    /// before anything crosses the wire, so agents only ever see misses.
+    pub fn agent_engine_options(&self) -> EngineOptions {
+        EngineOptions {
+            batch_lanes: self.batch_lanes,
+            cache: false,
+        }
     }
 }
 

@@ -165,6 +165,47 @@ impl Genome {
         self.conns.values().filter(|c| c.enabled).count() as u64
     }
 
+    /// Canonical content hash: a stable 64-bit digest of every gene's
+    /// identity and attributes, independent of the genome's [`id`] and
+    /// [`fitness`] and of the order genes were inserted (the sorted gene
+    /// maps define the canonical iteration order).
+    ///
+    /// Two genomes hash equal iff they are structurally equal gene for
+    /// gene (up to the negligible 64-bit collision probability), so the
+    /// hash can content-address evaluation results: an elite copied into
+    /// the next generation under a fresh [`GenomeId`] hashes identically
+    /// to its source. Floats contribute their exact bit patterns
+    /// ([`f64::to_bits`]), so even a 1-ulp weight change produces an
+    /// unrelated hash.
+    ///
+    /// The digest chains every field through
+    /// [`splitmix64`](crate::rng::splitmix64), which makes it stable
+    /// across platforms and releases of the standard library (unlike
+    /// `std::hash::Hash`).
+    ///
+    /// [`id`]: Genome::id
+    /// [`fitness`]: Genome::fitness
+    pub fn content_hash(&self) -> u64 {
+        use crate::rng::splitmix64;
+        let mut h = splitmix64(0x0C04_7E47 ^ self.nodes.len() as u64);
+        let mut mix = |v: u64| h = splitmix64(h ^ splitmix64(v));
+        for (id, node) in &self.nodes {
+            mix(id.0 as u64);
+            mix(node.bias.to_bits());
+            mix(node.response.to_bits());
+            mix(node.activation as u64);
+            mix(node.aggregation as u64);
+        }
+        mix(self.conns.len() as u64);
+        for (key, conn) in &self.conns {
+            mix(key.input.0 as u64);
+            mix(key.output.0 as u64);
+            mix(conn.weight.to_bits());
+            mix(u64::from(conn.enabled));
+        }
+        h
+    }
+
     /// `(hidden_nodes, connections)` — NEAT's usual complexity measure.
     pub fn complexity(&self, cfg: &NeatConfig) -> (usize, usize) {
         let hidden = self
@@ -757,5 +798,53 @@ mod tests {
         assert_eq!(g.num_enabled_conns(), 4);
         g.mutate_add_node(&cfg, &mut rng(25));
         assert_eq!(g.num_enabled_conns(), 5, "split disables one, adds two");
+    }
+
+    #[test]
+    fn content_hash_ignores_id_and_fitness() {
+        let cfg = cfg(3, 2);
+        let g = Genome::new_initial(&cfg, GenomeId(0), &mut rng(30));
+        let mut relabeled = g.clone();
+        relabeled.set_id(GenomeId(999));
+        relabeled.set_fitness(42.0);
+        assert_eq!(g.content_hash(), relabeled.content_hash());
+    }
+
+    #[test]
+    fn content_hash_changes_with_any_gene_attribute() {
+        let cfg = cfg(2, 1);
+        let base = Genome::new_initial(&cfg, GenomeId(0), &mut rng(31));
+        let h = base.content_hash();
+
+        let mut weight = base.clone();
+        let key = *weight.conns().keys().next().unwrap();
+        weight.conns.get_mut(&key).unwrap().weight += f64::EPSILON;
+        assert_ne!(h, weight.content_hash(), "1-ulp weight change must show");
+
+        let mut disabled = base.clone();
+        disabled.conns.get_mut(&key).unwrap().enabled = false;
+        assert_ne!(h, disabled.content_hash());
+
+        let mut structural = base.clone();
+        structural.mutate_add_node(&cfg, &mut rng(32));
+        assert_ne!(h, structural.content_hash());
+    }
+
+    #[test]
+    fn content_hash_is_insertion_order_independent() {
+        // from_parts with maps built in different insertion orders must
+        // hash identically: the sorted maps are the canonical form.
+        let cfg = cfg(3, 2);
+        let g = Genome::new_initial(&cfg, GenomeId(7), &mut rng(33));
+        let mut nodes_rev = BTreeMap::new();
+        for (k, v) in g.nodes().iter().rev() {
+            nodes_rev.insert(*k, *v);
+        }
+        let mut conns_rev = BTreeMap::new();
+        for (k, v) in g.conns().iter().rev() {
+            conns_rev.insert(*k, *v);
+        }
+        let rebuilt = Genome::from_parts(GenomeId(8), nodes_rev, conns_rev);
+        assert_eq!(g.content_hash(), rebuilt.content_hash());
     }
 }

@@ -53,16 +53,43 @@
 //! ## Parallel evaluation: the determinism contract
 //!
 //! Because every episode seed derives from
-//! `(master_seed, generation, genome_id)` — never from execution order —
-//! evaluation parallelizes without changing a single bit of the
-//! trajectory. [`Population::evaluate_parallel`] shards the population
-//! across worker threads (each worker gets its own evaluator state via a
-//! factory) and merges results back in genome-id order;
-//! [`Population::evaluate_batch`] applies externally computed
+//! `(master_seed, genome content hash)` — never from execution order or
+//! the genome's transient id — evaluation parallelizes without changing
+//! a single bit of the trajectory. [`Population::evaluate_parallel`]
+//! shards the population across worker threads (each worker gets its own
+//! evaluator state via a factory) and merges results back in genome-id
+//! order; [`Population::evaluate_batch`] applies externally computed
 //! evaluations under the same ordering rule. Fitness,
 //! [`CostCounters`], and `best_ever` are identical at any thread count —
 //! the property the CLAN configurations rely on, asserted end-to-end in
 //! `tests/equivalence.rs`.
+//!
+//! ## Batched inference & fitness cache
+//!
+//! Two engine-level optimizations sit on top of the scratch tier, both
+//! contractually bit-identical to it (pinned by
+//! `tests/cache_equivalence.rs`):
+//!
+//! - **Structure-of-arrays batching** ([`batch`]). NEAT populations are
+//!   full of same-shape networks (clones, elites, weight-mutated
+//!   siblings). [`BatchedNetwork`] groups compiled networks by
+//!   [`ShapeKey`] — the CSR layout signature from
+//!   [`FeedForwardNetwork::compile`] — packs the group's weights into
+//!   contiguous lanes, and activates all lanes in lockstep, turning the
+//!   per-genome node walk into dense array sweeps. Genomes whose shape
+//!   is unique in a round simply take the scalar [`Scratch`] tier.
+//! - **Content-addressed caching** ([`cache`]). Elites and unmutated
+//!   crossover survivors re-enter evaluation every generation under
+//!   fresh ids. [`Genome::content_hash`] gives them a canonical name —
+//!   stable under gene reordering, blind to id/fitness, sensitive to
+//!   every attribute down to the last ulp — and [`FitnessCache`]
+//!   memoizes evaluations by `(master_seed, content_hash)`. Because
+//!   episode seeds also derive from the content hash, a hit replays
+//!   *exactly* the episodes a fresh run would, so serving it from the
+//!   cache is bit-identical and skips both compilation and every
+//!   environment step. Enable per population with
+//!   [`Population::set_fitness_caching`] (the `clan-core` evaluators
+//!   own their caches and enable this by default).
 //!
 //! ## Quickstart
 //!
@@ -86,6 +113,8 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod batch;
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod counters;
@@ -102,6 +131,8 @@ pub mod stagnation;
 pub mod visualize;
 
 pub use activation::{Activation, Aggregation};
+pub use batch::{BatchedNetwork, ShapeKey};
+pub use cache::{CachedEvaluation, FitnessCache};
 pub use config::{NeatConfig, NeatConfigBuilder};
 pub use counters::{CostCounters, GenerationCosts};
 pub use error::NeatError;

@@ -35,13 +35,13 @@ use std::cell::RefCell;
 
 /// One node's compiled evaluation plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct EvalNode {
-    bias: f64,
-    response: f64,
-    activation: Activation,
-    aggregation: Aggregation,
+pub(crate) struct EvalNode {
+    pub(crate) bias: f64,
+    pub(crate) response: f64,
+    pub(crate) activation: Activation,
+    pub(crate) aggregation: Aggregation,
     /// `(value_slot, weight)` pairs for incoming enabled connections.
-    incoming: Vec<(usize, f64)>,
+    pub(crate) incoming: Vec<(usize, f64)>,
 }
 
 /// Caller-owned, reusable buffers for allocation-free activation.
@@ -322,6 +322,16 @@ impl FeedForwardNetwork {
     /// (enabled connections plus evaluated nodes).
     pub fn genes_per_activation(&self) -> u64 {
         self.genes_per_activation
+    }
+
+    /// Compiled evaluation plan, for the batched SoA tier ([`crate::batch`]).
+    pub(crate) fn eval_nodes(&self) -> &[EvalNode] {
+        &self.nodes
+    }
+
+    /// Value slots of the network outputs, for the batched SoA tier.
+    pub(crate) fn output_slot_list(&self) -> &[usize] {
+        &self.output_slots
     }
 
     /// Runs one forward pass into caller-owned buffers and returns the

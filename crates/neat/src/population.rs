@@ -3,6 +3,7 @@
 //! phases (speciate / plan / reproduce / install) so the CLAN
 //! orchestrators can distribute each compute block independently.
 
+use crate::cache::{CachedEvaluation, FitnessCache};
 use crate::config::NeatConfig;
 use crate::counters::{CostCounters, GenerationCosts};
 use crate::error::NeatError;
@@ -62,6 +63,25 @@ pub struct GenerationSummary {
     pub costs: GenerationCosts,
     /// Whether the population went extinct and was re-seeded.
     pub extinction: bool,
+    /// Fitness-cache hits during this generation's evaluation (0 unless
+    /// [`Population::set_fitness_caching`] enabled the cache).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Fitness-cache lookups during this generation's evaluation.
+    #[serde(default)]
+    pub cache_lookups: u64,
+}
+
+impl GenerationSummary {
+    /// Fraction of fitness lookups served from the cache this generation
+    /// (0.0 when the cache never fielded a lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
 }
 
 /// A NEAT population with deterministic, distribution-friendly phases.
@@ -80,6 +100,12 @@ pub struct Population {
     counters: CostCounters,
     best_ever: Option<Genome>,
     extinctions: u32,
+    /// Content-addressed fitness cache, opt-in because it is only sound
+    /// when the evaluation closure is content-deterministic (depends on
+    /// nothing but the genome's content and the master seed). Not
+    /// serialized: a restored population simply re-warms it.
+    #[serde(skip)]
+    fitness_cache: Option<FitnessCache>,
 }
 
 impl Population {
@@ -105,7 +131,33 @@ impl Population {
             counters: CostCounters::new(),
             best_ever: None,
             extinctions: 0,
+            fitness_cache: None,
         }
+    }
+
+    /// Enables or disables the content-addressed fitness cache consulted
+    /// by [`evaluate`](Self::evaluate) and
+    /// [`evaluate_parallel`](Self::evaluate_parallel) (default off).
+    ///
+    /// Only enable it when the evaluation closure is
+    /// *content-deterministic*: its result must depend on nothing but the
+    /// genome's content and the population's master seed (e.g. episode
+    /// seeds derived via `clan_core::Evaluator::episode_seed`). A hit
+    /// then returns the bit-identical fitness of the earlier evaluation
+    /// without compiling or running the network.
+    pub fn set_fitness_caching(&mut self, enabled: bool) {
+        if enabled {
+            if self.fitness_cache.is_none() {
+                self.fitness_cache = Some(FitnessCache::new());
+            }
+        } else {
+            self.fitness_cache = None;
+        }
+    }
+
+    /// The fitness cache, when enabled.
+    pub fn fitness_cache(&self) -> Option<&FitnessCache> {
+        self.fitness_cache.as_ref()
     }
 
     /// The configuration in force.
@@ -195,10 +247,34 @@ impl Population {
         let ids: Vec<GenomeId> = self.genomes.keys().copied().collect();
         for id in ids {
             let genome = &self.genomes[&id];
-            let net = FeedForwardNetwork::compile(genome, &self.cfg);
-            let eval: Evaluation = evaluator(&net, genome).into();
+            let hash = genome.content_hash();
+            let cached = self
+                .fitness_cache
+                .as_mut()
+                .and_then(|c| c.lookup(self.master_seed, hash));
+            let (eval, genes_per_activation) = match cached {
+                Some(c) => (c.evaluation, c.genes_per_activation),
+                None => {
+                    let net = FeedForwardNetwork::compile(genome, &self.cfg);
+                    let eval: Evaluation = evaluator(&net, genome).into();
+                    let genes_per_activation = net.genes_per_activation();
+                    if let Some(c) = self.fitness_cache.as_mut() {
+                        c.insert(
+                            self.master_seed,
+                            hash,
+                            CachedEvaluation {
+                                evaluation: eval,
+                                genes_per_activation,
+                            },
+                        );
+                    }
+                    (eval, genes_per_activation)
+                }
+            };
+            // Hits charge the identical inference cost a fresh run would
+            // have, keeping cost counters bit-identical either way.
             self.counters
-                .record_inference(eval.activations * net.genes_per_activation());
+                .record_inference(eval.activations * genes_per_activation);
             self.counters.record_episode();
             self.genomes
                 .get_mut(&id)
@@ -226,6 +302,20 @@ impl Population {
         let mut results: Vec<(GenomeId, Evaluation, u64)> = results.into_iter().collect();
         results.sort_by_key(|&(id, _, _)| id);
         for (id, eval, genes_per_activation) in results {
+            // Externally computed results still warm the cache, so a
+            // later local evaluation of the same content can hit.
+            if let Some(cache) = self.fitness_cache.as_mut() {
+                if let Some(g) = self.genomes.get(&id) {
+                    cache.insert(
+                        self.master_seed,
+                        g.content_hash(),
+                        CachedEvaluation {
+                            evaluation: eval,
+                            genes_per_activation,
+                        },
+                    );
+                }
+            }
             self.counters
                 .record_inference(eval.activations * genes_per_activation);
             self.counters.record_episode();
@@ -265,7 +355,28 @@ impl Population {
             self.evaluate(move |net, genome| evaluator(net, genome));
             return;
         }
-        let ids: Vec<GenomeId> = self.genomes.keys().copied().collect();
+        // Serve cache hits on the coordinator before sharding, so workers
+        // only ever see misses. The shard boundaries shift relative to a
+        // cache-off run, but the merge-in-id-order contract keeps the
+        // outcome bit-identical anyway.
+        let mut hits: Vec<(GenomeId, Evaluation, u64)> = Vec::new();
+        let ids: Vec<GenomeId> = match self.fitness_cache.as_mut() {
+            None => self.genomes.keys().copied().collect(),
+            Some(cache) => {
+                let mut misses = Vec::new();
+                for (id, g) in &self.genomes {
+                    match cache.lookup(self.master_seed, g.content_hash()) {
+                        Some(c) => hits.push((*id, c.evaluation, c.genes_per_activation)),
+                        None => misses.push(*id),
+                    }
+                }
+                misses
+            }
+        };
+        if ids.is_empty() {
+            self.evaluate_batch(hits);
+            return;
+        }
         let shard_len = ids.len().div_ceil(threads).max(1);
         let cfg = &self.cfg;
         let genomes = &self.genomes;
@@ -299,6 +410,7 @@ impl Population {
                 results.extend(handle.join().expect("evaluation worker panicked"));
             }
         });
+        results.extend(hits);
         self.evaluate_batch(results);
     }
 
@@ -487,6 +599,11 @@ impl Population {
             .and_then(Genome::fitness)
             .expect("advance_generation requires an evaluated population");
         let gen = self.generation;
+        let (cache_hits, cache_lookups) = self
+            .fitness_cache
+            .as_mut()
+            .map(FitnessCache::take_window)
+            .unwrap_or((0, 0));
         match self.plan_generation() {
             Ok(plan) => {
                 let children = self.reproduce_centrally(&plan);
@@ -497,6 +614,8 @@ impl Population {
                     best_fitness,
                     costs: self.counters.finish_generation(),
                     extinction: false,
+                    cache_hits,
+                    cache_lookups,
                 }
             }
             Err(NeatError::Extinction) => {
@@ -511,6 +630,8 @@ impl Population {
                     best_fitness,
                     costs: self.counters.finish_generation(),
                     extinction: true,
+                    cache_hits,
+                    cache_lookups,
                 }
             }
             Err(e) => panic!("generation planning failed: {e}"),
@@ -837,5 +958,61 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    // A content-deterministic evaluation: depends only on the genome's
+    // content (via the compiled network), so caching it is sound.
+    fn content_eval(net: &FeedForwardNetwork, _g: &Genome) -> f64 {
+        net.activate(&[0.3, -0.7])[0]
+    }
+
+    #[test]
+    fn fitness_cache_is_bit_identical_and_reports_hits() {
+        let mut cached = Population::new(cfg(20), 9);
+        cached.set_fitness_caching(true);
+        let mut plain = Population::new(cfg(20), 9);
+        let mut total_hits = 0;
+        for generation in 0..5 {
+            cached.evaluate(content_eval);
+            plain.evaluate(content_eval);
+            let cs = cached.advance_generation();
+            let ps = plain.advance_generation();
+            total_hits += cs.cache_hits;
+            assert_eq!(cs.cache_lookups, 20, "every genome is looked up");
+            assert_eq!(ps.cache_lookups, 0, "disabled cache fields no lookups");
+            assert_eq!(cs.best_fitness, ps.best_fitness, "generation {generation}");
+            assert_eq!(cs.costs, ps.costs, "hits must charge identical costs");
+        }
+        assert!(total_hits > 0, "elites must hit the cache");
+        assert_eq!(cached.genomes(), plain.genomes());
+        assert!(cached.fitness_cache().unwrap().hits_total() > 0);
+        assert!(plain.fitness_cache().is_none());
+    }
+
+    #[test]
+    fn parallel_evaluation_with_cache_matches_serial_without() {
+        let mut cached = Population::new(cfg(24), 11);
+        cached.set_fitness_caching(true);
+        let mut plain = Population::new(cfg(24), 11);
+        for _ in 0..4 {
+            cached.evaluate_parallel(3, || content_eval);
+            plain.evaluate(content_eval);
+            let cs = cached.advance_generation();
+            let ps = plain.advance_generation();
+            assert_eq!(cs.best_fitness, ps.best_fitness);
+            assert_eq!(cs.costs, ps.costs);
+        }
+        assert_eq!(cached.genomes(), plain.genomes());
+        assert!(cached.fitness_cache().unwrap().hits_total() > 0);
+    }
+
+    #[test]
+    fn disabling_the_cache_drops_it() {
+        let mut pop = Population::new(cfg(8), 3);
+        pop.set_fitness_caching(true);
+        pop.evaluate(content_eval);
+        assert!(pop.fitness_cache().unwrap().lookups_total() > 0);
+        pop.set_fitness_caching(false);
+        assert!(pop.fitness_cache().is_none());
     }
 }

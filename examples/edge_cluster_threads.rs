@@ -62,9 +62,13 @@ fn main() {
     let t0 = Instant::now();
     for _ in 0..GENERATIONS {
         let master = serial.master_seed();
-        let generation = serial.generation();
         serial.evaluate(|net, genome| {
-            let seed = clan::core::Evaluator::episode_seed(master, generation, genome.id());
+            let seed = clan::core::Evaluator::episode_seed(
+                master,
+                genome.content_hash(),
+                1,
+                InferenceMode::MultiStep,
+            );
             let outcome =
                 clan::envs::run_episode(env.as_mut(), seed, 200, |obs| net.act_argmax(obs));
             clan::neat::population::Evaluation {

@@ -59,6 +59,7 @@ USAGE:
   clan-cli run   [--workload W] [--topology T] [--agents N] [--generations N]
                  [--population N] [--seed N] [--platform P] [--single-step]
                  [--episodes N] [--eval-threads N]
+                 [--batch-lanes N | --no-batch] [--no-cache]
   clan-cli solve [same flags; runs until the workload's solved score or
                  --max-generations N]
   clan-cli agent --listen ADDR [--delay-ms N] [--udp]
@@ -87,6 +88,14 @@ DEFAULTS: workload=cartpole topology=serial agents=1 generations=5
 
 --eval-threads N runs genome evaluation across N host threads;
 results are bit-identical to serial, only wall-clock time changes.
+(On a single-CPU host, extra threads cannot speed anything up — bench
+reports mark such rows flat_expected.)
+
+--batch-lanes N sets the SoA batch width for lockstep evaluation of
+same-shape networks (default 32); --no-batch is --batch-lanes 1.
+--no-cache disables the content-addressed fitness cache that lets
+elites and unmutated survivors skip re-evaluation. Both change only
+wall-clock time, never the evolved result.
 
 --agent-weights 1,4 gives the second agent 4x the work per scatter
 (heterogeneous swarms: weight ~ relative device throughput); --calibrate
@@ -210,21 +219,52 @@ fn build_driver(flags: &Flags) -> Result<(ClanDriverBuilder, Workload), String> 
     if flags.has("--single-step") {
         builder = builder.single_step();
     }
+    if flags.has("--no-batch") && flags.get("--batch-lanes").is_some() {
+        return Err("--no-batch and --batch-lanes are mutually exclusive".into());
+    }
+    if flags.has("--no-batch") {
+        builder = builder.batch_lanes(1);
+    } else if flags.get("--batch-lanes").is_some() {
+        builder = builder.batch_lanes(flags.parse("--batch-lanes", 32usize)?);
+    }
+    if flags.has("--no-cache") {
+        builder = builder.fitness_cache(false);
+    }
     Ok((builder, workload))
 }
 
 fn print_report(report: &RunReport) {
     print!("{}", report.summary());
     println!("  energy: {:.0} J total", report.total_energy_j);
-    println!("\n  gen   best     species  sim-total(s)");
+    // Only show the cache column when the cache actually fielded lookups
+    // (it is absent entirely under --no-cache).
+    let caching = report.cache_lookups > 0;
+    if caching {
+        println!("\n  gen   best     species  sim-total(s)  cache-hits");
+    } else {
+        println!("\n  gen   best     species  sim-total(s)");
+    }
     for g in &report.generations {
-        println!(
-            "  {:>3}   {:>8.1}  {:>6}  {:>10.2}",
-            g.generation,
-            g.best_fitness,
-            g.num_species,
-            g.timeline.total_s()
-        );
+        if caching {
+            println!(
+                "  {:>3}   {:>8.1}  {:>6}  {:>10.2}  {:>6}/{} ({:>4.1}%)",
+                g.generation,
+                g.best_fitness,
+                g.num_species,
+                g.timeline.total_s(),
+                g.cache_hits,
+                g.cache_lookups,
+                100.0 * g.cache_hits as f64 / g.cache_lookups.max(1) as f64
+            );
+        } else {
+            println!(
+                "  {:>3}   {:>8.1}  {:>6}  {:>10.2}",
+                g.generation,
+                g.best_fitness,
+                g.num_species,
+                g.timeline.total_s()
+            );
+        }
     }
 }
 

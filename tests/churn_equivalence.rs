@@ -102,6 +102,18 @@ fn local_evaluator() -> Evaluator {
     Evaluator::new(Workload::CartPole, InferenceMode::MultiStep)
 }
 
+/// Cache-off spec for tests that re-evaluate one fixed population to
+/// probe the transport: with the fitness cache on, the repeat rounds
+/// would be served center-side and no traffic would fly.
+fn uncached_spec() -> ClusterSpec {
+    ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, neat_cfg()).with_engine(
+        clan::core::EngineOptions {
+            cache: false,
+            ..Default::default()
+        },
+    )
+}
+
 fn churned_evaluator(n_agents: usize) -> Evaluator {
     let cluster = EdgeCluster::spawn(
         n_agents,
@@ -153,7 +165,7 @@ fn recovery_is_visible_in_the_stats() {
 
 #[test]
 fn mid_run_join_over_tcp_and_udp_is_bit_identical() {
-    let spec = || ClusterSpec::new(Workload::CartPole, InferenceMode::MultiStep, neat_cfg());
+    let spec = uncached_spec;
     let fitness_of = |cluster: &mut EdgeCluster| {
         let mut pop = Population::new(neat_cfg(), SEED);
         cluster.evaluate(&mut pop).unwrap();
@@ -193,7 +205,7 @@ fn mid_run_join_over_tcp_and_udp_is_bit_identical() {
 #[test]
 fn churn_drained_below_the_floor_is_a_typed_error() {
     // Kill everyone, never revive: the run must fail typed, not hang.
-    let cluster = EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, neat_cfg())
+    let cluster = EdgeCluster::spawn_spec(2, uncached_spec())
         .unwrap()
         .with_churn(ChurnSchedule::new().kill(0, 1).kill(1, 1))
         .unwrap();
@@ -219,7 +231,7 @@ fn churn_drained_below_the_floor_is_a_typed_error() {
     );
     // And the policy floor: with min_agents 2, losing one of two agents
     // refuses to limp along on the survivor.
-    let cluster = EdgeCluster::spawn(2, Workload::CartPole, InferenceMode::MultiStep, neat_cfg())
+    let cluster = EdgeCluster::spawn_spec(2, uncached_spec())
         .unwrap()
         .with_recovery_policy(RecoveryPolicy::default().with_min_agents(2))
         .with_churn(ChurnSchedule::new().kill(0, 1))
@@ -286,22 +298,19 @@ proptest! {
                         pop.genome(id).unwrap(),
                         &cfg,
                     );
-                    let s = Evaluator::episode_seed(pop.master_seed(), pop.generation(), id);
+                    let s = ev.seed_for(pop.master_seed(), pop.genome(id).unwrap());
                     let fit = ev.evaluate(&net, s).fitness;
                     pop.set_fitness(id, fit).unwrap();
                 }
             }
             pop.genomes().iter().map(|(id, g)| (id.0, g.fitness().unwrap())).collect()
         };
-        let mut cluster = EdgeCluster::spawn(
-            3,
-            Workload::CartPole,
-            InferenceMode::MultiStep,
-            cfg.clone(),
-        )
-        .unwrap()
-        .with_churn(plan)
-        .unwrap();
+        // Cache off: this property re-evaluates one fixed population per
+        // round, and reassignment only happens when items actually fly.
+        let mut cluster = EdgeCluster::spawn_spec(3, uncached_spec())
+            .unwrap()
+            .with_churn(plan)
+            .unwrap();
         let mut pop = Population::new(cfg, seed);
         for _ in 0..4 {
             cluster.evaluate(&mut pop).unwrap();

@@ -4,7 +4,9 @@
 //! Serial, CLAN_DCS, CLAN_DDS (analytic orchestrators), and the real
 //! threaded runtime all produce bit-identical populations for a given
 //! seed, because every stochastic decision derives its RNG stream from
-//! `(seed, generation, entity id)` rather than from execution order.
+//! the entity it concerns (episode seeds from the genome's content
+//! hash, reproduction from `(seed, generation, child id)`) rather than
+//! from execution order.
 
 use clan::core::runtime::EdgeCluster;
 use clan::core::{
@@ -37,8 +39,8 @@ fn parallel_evaluation_is_bit_identical_to_serial() {
     // The tentpole determinism contract: evaluating the population across
     // N worker threads must not change anything — fitness trajectory,
     // gene-level cost counters, or the best genome ever seen — because
-    // every episode seed derives from (master_seed, generation,
-    // genome_id), never from execution order. Ten generations on both a
+    // every episode seed derives from (master_seed, genome content
+    // hash), never from execution order. Ten generations on both a
     // small and a medium workload, at 1/2/4/8 threads.
     for workload in [Workload::CartPole, Workload::LunarLander] {
         let run = |threads: usize| {

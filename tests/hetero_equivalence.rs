@@ -5,7 +5,7 @@
 //! agents finish, and round-trip calibration reshapes the partition
 //! every generation — and none of it may perturb a single bit of the
 //! evolved result, because results always replay in genome-id order and
-//! every RNG stream derives from `(master_seed, generation, genome_id)`.
+//! every episode seed derives from `(master_seed, genome content hash)`.
 //!
 //! This suite pins that contract: skewed weights over real TCP agents
 //! at 1/2/4 agents on all four topologies, plus an artificially delayed

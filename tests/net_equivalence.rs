@@ -5,8 +5,8 @@
 //! cluster size (1 / 2 / 4 agents), a run whose inference executes on
 //! TCP agents must be *bit-identical* to the purely local run: same
 //! per-generation reports (fitness, species, cost counters, modeled
-//! timelines), same best-ever genome. This holds because every RNG
-//! stream derives from `(master_seed, generation, genome_id)` — never
+//! timelines), same best-ever genome. This holds because every episode
+//! seed derives from `(master_seed, genome content hash)` — never
 //! from placement or arrival order — and genome attributes travel as
 //! exact `f64` bits.
 //!
