@@ -131,6 +131,27 @@ fn main() -> std::io::Result<()> {
         c.reassigned_genomes,
         c.recovery_s * 1e3
     );
+    let a = &report.async_steady;
+    println!(
+        "async steady-state ({} agents, one {}x slower, {} evals):",
+        a.agents, a.slow_factor, a.total_evals
+    );
+    println!(
+        "  makespan: {:.1} ms sync-barrier | {:.1} ms async ({:.2}x speedup)",
+        a.sync_makespan_s * 1e3,
+        a.async_makespan_s * 1e3,
+        a.speedup
+    );
+    println!(
+        "  wasted idle: {:.1} ms sync | {:.1} ms async ({:.1} ms recovered)",
+        a.sync_wasted_idle_s * 1e3,
+        a.async_wasted_idle_s * 1e3,
+        a.idle_recovered_s * 1e3
+    );
+    println!(
+        "  churn variant: {} re-dispatch(es), {}/{} evals still completed",
+        a.churn_redispatches, a.churn_total_evals, a.total_evals
+    );
     println!("wrote BENCH_eval.json");
     Ok(())
 }

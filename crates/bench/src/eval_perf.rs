@@ -23,8 +23,8 @@ use clan_core::transport::{
     Transport, UdpConfig, UdpTransport,
 };
 use clan_core::{
-    EdgeCluster, EngineOptions, Evaluator, InferenceMode, Orchestrator, ParallelEvaluator,
-    SerialOrchestrator,
+    AsyncOrchestrator, EdgeCluster, EngineOptions, Evaluator, InferenceMode, Orchestrator,
+    ParallelEvaluator, SerialOrchestrator,
 };
 use clan_distsim::Cluster;
 use clan_envs::Workload;
@@ -342,6 +342,45 @@ pub struct ChurnBench {
     pub reassigned_genomes: u64,
 }
 
+/// Async steady-state vs. generation-sync scheduling on a skewed
+/// cluster: the same evaluation budget over the same 4-agent channel
+/// cluster with one agent ~4x slower than its peers, once with the
+/// gather barrier (every round waits for the slow agent) and once
+/// barrier-free (dispatch-on-completion steady state). The async run
+/// should beat the sync makespan and shrink the wasted idle the barrier
+/// burns, and the churn variant shows a mid-stream agent death costing
+/// only re-dispatched in-flight work, not the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AsyncBench {
+    /// Agents in the skewed cluster.
+    pub agents: usize,
+    /// Throughput ratio fast:slow.
+    pub slow_factor: f64,
+    /// Evaluations completed by each mode.
+    pub total_evals: u64,
+    /// Generation-sync wall-clock over the budget (summed gather
+    /// makespans), seconds.
+    pub sync_makespan_s: f64,
+    /// `agents x makespan - busy` for the sync run: idle the barrier
+    /// forced onto the fast agents, seconds.
+    pub sync_wasted_idle_s: f64,
+    /// Async steady-state wall-clock over the same budget, seconds.
+    pub async_makespan_s: f64,
+    /// The async run's wasted idle, seconds.
+    pub async_wasted_idle_s: f64,
+    /// `sync_makespan_s / async_makespan_s` — the scheduling win.
+    pub speedup: f64,
+    /// `sync_wasted_idle_s - async_wasted_idle_s`: idle capacity the
+    /// barrier-free loop recovered, seconds.
+    pub idle_recovered_s: f64,
+    /// Churn variant: evaluations re-dispatched after one agent died
+    /// mid-stream (must be >= 1 — the death is injected).
+    pub churn_redispatches: u64,
+    /// Churn variant: evaluations still completed (must reach the same
+    /// budget — losing an agent costs work, not the run).
+    pub churn_total_evals: u64,
+}
+
 /// Batched SoA inference at one lane count, on a shape-homogeneous
 /// population (every genome shares one topology, so a single bank packs
 /// full lanes — the best case the batched tier is built for).
@@ -427,6 +466,11 @@ pub struct EvalPerfReport {
     /// all-zero section when absent from older reports.
     #[serde(default)]
     pub cache: CacheBench,
+    /// Async steady-state vs. generation-sync scheduling at 4x skew,
+    /// plus the mid-stream churn variant. Defaults to an all-zero
+    /// section when absent from older reports.
+    #[serde(rename = "async", default)]
+    pub async_steady: AsyncBench,
 }
 
 /// Cache-off cluster spec: the transport benches re-evaluate one fixed
@@ -813,6 +857,128 @@ fn churn_bench(population: usize, rounds: u64) -> ChurnBench {
     }
 }
 
+/// Coordinator-side transport wrapper that serves `survive_recvs`
+/// responses and then fails every call with a churn-class
+/// [`ClanError::Transport`] — a deterministic mid-stream agent death,
+/// below the recovery layer, for benching async re-dispatch.
+struct DyingTransport<T: Transport> {
+    inner: T,
+    recvs_left: usize,
+}
+
+impl<T: Transport> Transport for DyingTransport<T> {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), clan_core::ClanError> {
+        if self.recvs_left == 0 {
+            return Err(clan_core::ClanError::Transport {
+                peer: self.inner.peer(),
+                reason: "bench-injected mid-stream death".into(),
+            });
+        }
+        self.inner.send_frame(frame)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, clan_core::ClanError> {
+        if self.recvs_left == 0 {
+            return Err(clan_core::ClanError::Transport {
+                peer: self.inner.peer(),
+                reason: "bench-injected mid-stream death".into(),
+            });
+        }
+        self.recvs_left -= 1;
+        self.inner.recv_frame()
+    }
+
+    fn peer(&self) -> String {
+        self.inner.peer()
+    }
+}
+
+/// A 4-agent channel cluster whose first agent dies after serving
+/// `survive_recvs` responses (see [`DyingTransport`]).
+fn dying_channel_cluster(cfg: &NeatConfig, agents: usize, survive_recvs: usize) -> EdgeCluster {
+    let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(agents);
+    for i in 0..agents {
+        let (coord, mut agent_side) = channel_pair();
+        std::thread::Builder::new()
+            .name(format!("bench-dying-agent-{i}"))
+            .spawn(move || {
+                let _ = serve_session(&mut agent_side);
+            })
+            .expect("agent thread spawns");
+        if i == 0 {
+            transports.push(Box::new(DyingTransport {
+                inner: coord,
+                recvs_left: survive_recvs,
+            }));
+        } else {
+            transports.push(Box::new(coord));
+        }
+    }
+    EdgeCluster::connect_transports(transports, uncached_spec(cfg))
+        .expect("channel cluster configures")
+}
+
+/// Measures the async steady-state scheduling win (see [`AsyncBench`]):
+/// the same eval budget over the same skewed 4-agent channel cluster,
+/// generation-sync vs. barrier-free, plus a churn variant where one
+/// agent dies mid-stream and its in-flight work is re-dispatched.
+fn async_bench(population: usize, rounds: u64) -> AsyncBench {
+    const AGENTS: usize = 4;
+    const SLOW_FACTOR: f64 = 4.0;
+    let per_kib = Duration::from_millis(10);
+    let cfg = NeatConfig::builder(Workload::CartPole.obs_dim(), Workload::CartPole.n_actions())
+        .population_size(population)
+        .build()
+        .expect("valid config");
+    let total_evals = population as u64 * rounds;
+
+    // Generation-sync side: `rounds` gather rounds of the full
+    // population, every round barriered on the 4x-slower agent.
+    let mut cluster = skewed_channel_cluster(&cfg, per_kib, AGENTS);
+    let mut pop = Population::new(cfg.clone(), 7);
+    for _ in 0..rounds {
+        cluster.evaluate(&mut pop).expect("cluster evaluates");
+    }
+    let sync = cluster.gather_stats();
+    cluster.shutdown();
+    let sync_wasted = (AGENTS as f64 * sync.makespan_s - sync.busy_s).max(0.0);
+
+    // Async side: same budget, same skew, dispatch-on-completion.
+    let run_stream = |cluster: EdgeCluster, seed: u64| {
+        let evaluator =
+            Evaluator::new(Workload::CartPole, InferenceMode::MultiStep).with_remote(cluster);
+        let mut orch = AsyncOrchestrator::new(
+            Population::new(cfg.clone(), seed),
+            evaluator,
+            total_evals,
+            3,
+        )
+        .expect("valid async setup");
+        orch.run_streamed().expect("stream completes");
+        orch.stats().expect("run finished").clone()
+    };
+    let stats = run_stream(skewed_channel_cluster(&cfg, per_kib, AGENTS), 7);
+
+    // Churn variant: agent 0 dies mid-stream; the in-flight genome is
+    // re-dispatched to a survivor and the budget still completes.
+    let survive = (population / 4).max(2);
+    let churn = run_stream(dying_channel_cluster(&cfg, AGENTS, survive), 11);
+
+    AsyncBench {
+        agents: AGENTS,
+        slow_factor: SLOW_FACTOR,
+        total_evals,
+        sync_makespan_s: sync.makespan_s,
+        sync_wasted_idle_s: sync_wasted,
+        async_makespan_s: stats.makespan_s,
+        async_wasted_idle_s: stats.wasted_idle_s,
+        speedup: sync.makespan_s / stats.makespan_s.max(1e-9),
+        idle_recovered_s: sync_wasted - stats.wasted_idle_s,
+        churn_redispatches: churn.redispatches,
+        churn_total_evals: churn.total_evals,
+    }
+}
+
 /// Measures batched SoA inference against the scalar tier at several
 /// lane counts, on a shape-homogeneous population (cache off — this
 /// isolates the activation path).
@@ -1006,6 +1172,7 @@ pub fn measure(
         // would make every lane count bottom out on reload overhead.
         batched: batched_bench(Workload::MountainCar, population, eval_rounds.max(1)),
         cache: cache_bench(workload, population, 10),
+        async_steady: async_bench(population, generations.clamp(2, 5)),
     }
 }
 
@@ -1111,6 +1278,21 @@ mod tests {
         assert!(report.cache.lookups > 0);
         assert!(report.cache.hits > 0, "{:?}", report.cache);
         assert!(report.cache.bit_identical, "cache changed the trajectory");
+        // Async section: barrier-free scheduling beats the gather
+        // barrier at 4x skew, and the injected mid-stream death costs
+        // re-dispatched work only, never the budget.
+        let a = &report.async_steady;
+        assert!(a.sync_makespan_s > 0.0);
+        assert!(a.async_makespan_s > 0.0);
+        assert!(
+            a.speedup > 1.0,
+            "async must beat the sync barrier at 4x skew: {a:?}"
+        );
+        assert!(
+            a.churn_redispatches >= 1,
+            "the injected death must force a re-dispatch: {a:?}"
+        );
+        assert_eq!(a.churn_total_evals, a.total_evals, "{a:?}");
         // Thread rows beyond the host's cores are flagged, within not.
         for t in &report.evaluation {
             assert_eq!(t.flat_expected, t.threads > report.host_cpus);

@@ -19,6 +19,7 @@
 //! # Ok::<(), clan_core::ClanError>(())
 //! ```
 
+use crate::asynchronous::{AsyncOrchestrator, LatencySchedule};
 use crate::dcs::DcsOrchestrator;
 use crate::dda::DdaOrchestrator;
 use crate::dds::DdsOrchestrator;
@@ -32,7 +33,7 @@ use clan_distsim::Cluster;
 use clan_envs::Workload;
 use clan_hw::{Platform, PlatformKind};
 use clan_neat::{NeatConfig, Population};
-use clan_netsim::WifiModel;
+use clan_netsim::{CommLedger, WifiModel};
 use serde::{Deserialize, Serialize};
 
 /// Resolved driver configuration.
@@ -181,6 +182,10 @@ pub struct ClanDriverBuilder {
     churn: Option<crate::transport::ChurnSchedule>,
     spare_agents: Vec<String>,
     engine: EngineOptions,
+    total_evals: Option<u64>,
+    tournament_size: usize,
+    latency_ms: Option<Vec<f64>>,
+    latency_jitter_pct: u32,
 }
 
 /// Where genome evaluation physically runs.
@@ -234,6 +239,10 @@ impl ClanDriverBuilder {
             churn: None,
             spare_agents: Vec::new(),
             engine: EngineOptions::default(),
+            total_evals: None,
+            tournament_size: 3,
+            latency_ms: None,
+            latency_jitter_pct: 10,
         }
     }
 
@@ -422,29 +431,46 @@ impl ClanDriverBuilder {
         self
     }
 
-    /// Validates and constructs the driver.
-    ///
-    /// # Errors
-    ///
-    /// [`ClanError::InvalidSetup`] on inconsistent topology/agents, and
-    /// [`ClanError::Neat`] on invalid NEAT configuration.
-    pub fn build(self) -> Result<ClanDriver, ClanError> {
-        if self.n_agents == 0 {
-            return Err(ClanError::InvalidSetup {
-                reason: "at least one agent is required".into(),
-            });
-        }
-        if let SpeciationMode::Asynchronous { clans } = self.topology.speciation {
-            if clans != self.n_agents {
-                return Err(ClanError::InvalidSetup {
-                    reason: format!(
-                        "DDA runs one clan per agent: {clans} clans vs {} agents",
-                        self.n_agents
-                    ),
-                });
-            }
-        }
-        let cfg = match self.neat_config {
+    /// Async steady-state only: fixes the total evaluation budget (the
+    /// run dispatches exactly this many evaluations, bootstrap wave
+    /// included). Defaults to 10x the population size.
+    pub fn total_evals(mut self, n: u64) -> Self {
+        self.total_evals = Some(n);
+        self
+    }
+
+    /// Async steady-state only: tournament size for parent selection
+    /// (default 3). Larger tournaments raise selection pressure.
+    pub fn tournament_size(mut self, k: usize) -> Self {
+        self.tournament_size = k;
+        self
+    }
+
+    /// Async steady-state only: per-agent virtual service times in
+    /// milliseconds (one entry per simulated agent; default a uniform
+    /// 5 ms). Together with the master seed this fixes the latency
+    /// schedule — and therefore the whole run — exactly. Rejected at
+    /// [`build_async`](Self::build_async) on remote backends, which
+    /// stream over the real transport instead.
+    pub fn latency_ms(mut self, ms: Vec<f64>) -> Self {
+        self.latency_ms = Some(ms);
+        self
+    }
+
+    /// Async steady-state only: multiplicative jitter on the virtual
+    /// service times, in percent (default 10, max 90).
+    pub fn latency_jitter_pct(mut self, pct: u32) -> Self {
+        self.latency_jitter_pct = pct;
+        self
+    }
+
+    /// Shared by [`build`](Self::build) and
+    /// [`build_async`](Self::build_async): resolves the NEAT
+    /// configuration and constructs the evaluator, attaching and
+    /// configuring any remote backend (loopback or connected agents,
+    /// TCP or UDP).
+    fn prepare(&self) -> Result<(NeatConfig, Evaluator), ClanError> {
+        let cfg = match &self.neat_config {
             Some(cfg) => {
                 if cfg.num_inputs != self.workload.obs_dim()
                     || cfg.num_outputs != self.workload.n_actions()
@@ -461,7 +487,7 @@ impl ClanDriverBuilder {
                     });
                 }
                 cfg.validate().map_err(ClanError::from)?;
-                cfg
+                cfg.clone()
             }
             None => NeatConfig::builder(self.workload.obs_dim(), self.workload.n_actions())
                 .population_size(self.population_size)
@@ -472,8 +498,6 @@ impl ClanDriverBuilder {
                 reason: "episodes_per_eval must be at least 1".into(),
             });
         }
-        let platform = Platform::new(self.platform);
-        let cluster = Cluster::homogeneous(platform, self.n_agents, self.net);
         // A remote cluster takes precedence over a local thread pool, so
         // only spawn pool workers when evaluation actually stays local.
         let mut evaluator = match &self.remote {
@@ -558,6 +582,34 @@ impl ClanDriverBuilder {
             }
             evaluator = evaluator.with_remote(edge);
         }
+        Ok((cfg, evaluator))
+    }
+
+    /// Validates and constructs the driver.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] on inconsistent topology/agents, and
+    /// [`ClanError::Neat`] on invalid NEAT configuration.
+    pub fn build(self) -> Result<ClanDriver, ClanError> {
+        if self.n_agents == 0 {
+            return Err(ClanError::InvalidSetup {
+                reason: "at least one agent is required".into(),
+            });
+        }
+        if let SpeciationMode::Asynchronous { clans } = self.topology.speciation {
+            if clans != self.n_agents {
+                return Err(ClanError::InvalidSetup {
+                    reason: format!(
+                        "DDA runs one clan per agent: {clans} clans vs {} agents",
+                        self.n_agents
+                    ),
+                });
+            }
+        }
+        let (cfg, evaluator) = self.prepare()?;
+        let platform = Platform::new(self.platform);
+        let cluster = Cluster::homogeneous(platform, self.n_agents, self.net);
 
         let orchestrator: Box<dyn Orchestrator> = match (
             self.topology == ClanTopology::serial(),
@@ -619,6 +671,169 @@ impl ClanDriverBuilder {
             },
             orchestrator,
         })
+    }
+
+    /// Validates and constructs an **async steady-state** driver
+    /// ([`AsyncClanDriver`]): barrier-free tournament reproduction with
+    /// insert-replace-worst, run to a fixed evaluation budget. On the
+    /// local backend the run is simulated under deterministic virtual
+    /// time (see [`LatencySchedule`]); on remote backends it streams
+    /// one-genome frames over the real transport with
+    /// dispatch-on-completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] as [`build`](Self::build), plus: a
+    /// latency schedule on a remote backend, a latency list whose length
+    /// disagrees with the agent count, an agent count not strictly below
+    /// the population size, or an eval budget below the population size.
+    pub fn build_async(self) -> Result<AsyncClanDriver, ClanError> {
+        if self.n_agents == 0 {
+            return Err(ClanError::InvalidSetup {
+                reason: "at least one agent is required".into(),
+            });
+        }
+        let (cfg, evaluator) = self.prepare()?;
+        let is_remote = !matches!(self.remote, RemoteBackend::Local);
+        if is_remote && self.latency_ms.is_some() {
+            return Err(ClanError::InvalidSetup {
+                reason: "virtual latency schedules apply to the local backend only; \
+                         remote backends stream over the real transport"
+                    .into(),
+            });
+        }
+        let agents = if is_remote {
+            evaluator.remote_agents()
+        } else {
+            self.n_agents
+        };
+        if agents >= cfg.population_size {
+            return Err(ClanError::InvalidSetup {
+                reason: format!(
+                    "async mode needs a population larger than its {agents} agent(s), got {}",
+                    cfg.population_size
+                ),
+            });
+        }
+        let schedule = if is_remote {
+            None
+        } else {
+            let base_us: Vec<u64> = match &self.latency_ms {
+                Some(ms) => {
+                    if ms.len() != self.n_agents {
+                        return Err(ClanError::InvalidSetup {
+                            reason: format!(
+                                "{} latency entries for {} agents",
+                                ms.len(),
+                                self.n_agents
+                            ),
+                        });
+                    }
+                    if !ms.iter().all(|m| *m > 0.0) {
+                        return Err(ClanError::InvalidSetup {
+                            reason: "latency entries must be positive milliseconds".into(),
+                        });
+                    }
+                    ms.iter()
+                        .map(|m| (m * 1000.0).round().max(1.0) as u64)
+                        .collect()
+                }
+                None => vec![5_000; self.n_agents],
+            };
+            Some(LatencySchedule::new(
+                self.seed,
+                base_us,
+                self.latency_jitter_pct,
+            )?)
+        };
+        let total = self.total_evals.unwrap_or(10 * cfg.population_size as u64);
+        let pop = Population::new(cfg, self.seed);
+        let orchestrator = AsyncOrchestrator::new(pop, evaluator, total, self.tournament_size)?;
+        Ok(AsyncClanDriver {
+            workload: self.workload,
+            n_agents: agents,
+            platform: self.platform,
+            orchestrator,
+            schedule,
+        })
+    }
+}
+
+/// A configured async steady-state deployment; see
+/// [`ClanDriverBuilder::build_async`].
+pub struct AsyncClanDriver {
+    workload: Workload,
+    n_agents: usize,
+    platform: PlatformKind,
+    orchestrator: AsyncOrchestrator,
+    schedule: Option<LatencySchedule>,
+}
+
+impl std::fmt::Debug for AsyncClanDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncClanDriver")
+            .field("workload", &self.workload)
+            .field("n_agents", &self.n_agents)
+            .field("schedule", &self.schedule)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What an async run yields: the usual [`RunReport`] (with
+/// [`asynchronous`](RunReport::asynchronous) stats attached) plus the
+/// diffable event log that carries the virtual-time determinism
+/// contract.
+#[derive(Debug, Clone)]
+pub struct AsyncRunOutcome {
+    /// The run report; `generations` is empty (the mode has none).
+    pub report: RunReport,
+    /// One stable line per completion (`clan-cli run --event-log FILE`
+    /// writes exactly this text).
+    pub event_log: String,
+}
+
+impl AsyncClanDriver {
+    /// The virtual-time schedule (`None` when streaming over a real
+    /// cluster).
+    pub fn schedule(&self) -> Option<&LatencySchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// Runs the steady-state loop to its evaluation budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClanError`] from the async orchestrator: transport
+    /// failures, protocol violations, or a cluster drained below the
+    /// recovery floor.
+    pub fn run(mut self) -> Result<AsyncRunOutcome, ClanError> {
+        match &self.schedule {
+            Some(s) => self.orchestrator.run_virtual(s)?,
+            None => self.orchestrator.run_streamed()?,
+        }
+        let stats = self
+            .orchestrator
+            .stats()
+            .cloned()
+            .expect("run just completed");
+        let event_log = self.orchestrator.event_log_text();
+        let name = if stats.virtual_time {
+            "ASYNC_VIRTUAL"
+        } else {
+            "ASYNC_STREAM"
+        };
+        let report = RunReport::from_parts(
+            self.workload,
+            name.to_string(),
+            self.n_agents,
+            Vec::new(),
+            CommLedger::default(),
+        )
+        .with_transport(self.orchestrator.evaluator().remote_ledger().cloned())
+        .with_recovery(self.orchestrator.evaluator().remote_recovery_stats())
+        .with_energy(clan_hw::EnergyModel::for_kind(self.platform))
+        .with_async(stats);
+        Ok(AsyncRunOutcome { report, event_log })
     }
 }
 
@@ -922,6 +1137,73 @@ mod tests {
             .population_size(8)
             .loopback_agents(0)
             .build();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
+    }
+
+    #[test]
+    fn async_virtual_driver_is_deterministic() {
+        let run = || {
+            ClanDriver::builder(Workload::CartPole)
+                .agents(3)
+                .population_size(12)
+                .seed(9)
+                .total_evals(40)
+                .latency_ms(vec![2.0, 8.0, 2.0])
+                .build_async()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.event_log, b.event_log);
+        assert!(!a.event_log.is_empty());
+        let stats = a.report.asynchronous.as_ref().unwrap();
+        assert_eq!(stats.total_evals, 40);
+        assert!(stats.virtual_time);
+        assert_eq!(a.report.topology_name, "ASYNC_VIRTUAL");
+        assert!(a.report.summary().contains("wasted idle"));
+    }
+
+    #[test]
+    fn async_streamed_driver_runs_over_loopback() {
+        let out = ClanDriver::builder(Workload::CartPole)
+            .population_size(12)
+            .seed(5)
+            .total_evals(30)
+            .loopback_agents(2)
+            .build_async()
+            .unwrap()
+            .run()
+            .unwrap();
+        let stats = out.report.asynchronous.as_ref().unwrap();
+        assert_eq!(stats.total_evals, 30);
+        assert!(!stats.virtual_time);
+        assert_eq!(out.report.topology_name, "ASYNC_STREAM");
+        let wire = out
+            .report
+            .transport
+            .as_ref()
+            .expect("streamed run measures");
+        assert!(wire.total_wire_bytes() > 0);
+    }
+
+    #[test]
+    fn async_latency_on_remote_backend_rejected() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .population_size(12)
+            .loopback_agents(2)
+            .latency_ms(vec![1.0, 2.0])
+            .build_async();
+        assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
+    }
+
+    #[test]
+    fn async_agents_must_be_below_population() {
+        let err = ClanDriver::builder(Workload::CartPole)
+            .agents(8)
+            .population_size(8)
+            .build_async();
         assert!(matches!(err, Err(ClanError::InvalidSetup { .. })));
     }
 

@@ -195,10 +195,54 @@
 //!   [`membership::RecoveryStats`] on [`RunReport`] and the CLI
 //!   summary; `bench_eval`'s `churn` section quantifies the overhead of
 //!   a kill + rejoin against a clean run (numbers in ROADMAP.md).
+//!
+//! # Async steady-state mode
+//!
+//! Every orchestrator above is generation-synchronous: a gather barrier
+//! ends each round, so the slowest agent prices the whole population
+//! (`agents × makespan − busy` seconds of idle per round, reported as
+//! wasted idle). [`AsyncOrchestrator`] is the paper's barrier-free
+//! alternative — agents stream `(genome, fitness)` results continuously
+//! over the same transports, and each arrival immediately triggers one
+//! steady-state reproduction event
+//! ([`clan_neat::steady_state`]): two tournaments pick parents among
+//! the evaluated members and the child insert-replaces the worst, no
+//! generations, no species.
+//!
+//! The mode's reproducibility contract is *virtual-time determinism,
+//! not bit-identity to the serial run* — removing the barrier makes the
+//! trajectory depend on arrival order by design:
+//!
+//! - **Per-genome determinism everywhere.** Episode seeds derive from
+//!   genome content, so any agent at any time scores a given genome
+//!   identically.
+//! - **Virtual time** ([`AsyncOrchestrator::run_virtual`], `clan-cli
+//!   run --async`): service times come from a seeded
+//!   [`LatencySchedule`] and a single-threaded event loop orders
+//!   completions by `(virtual time, agent, dispatch)`. Two runs with
+//!   the same `(seed, schedule)` produce byte-identical event logs —
+//!   CI's `async-smoke` diffs them — and the workspace's
+//!   `tests/async_steady_state.rs` proptests the contract over
+//!   arbitrary schedules.
+//! - **Streamed runs** ([`AsyncOrchestrator::run_streamed`], `clan-cli
+//!   coordinate --async`) drive
+//!   [`EdgeCluster::evaluate_stream`](runtime::EdgeCluster::evaluate_stream)
+//!   with dispatch-on-completion over live channel/TCP/UDP links;
+//!   arrival order is wall-clock, so these runs are characterized
+//!   statistically (`tests/convergence.rs` gates a seeded async run on
+//!   the sync baseline's solved threshold). An agent dying mid-flight
+//!   re-dispatches its genome to a survivor
+//!   ([`AsyncStats::redispatches`]).
+//! - **Measured, not assumed.** [`AsyncStats`] on [`RunReport`] carries
+//!   makespan, evals/sec, wasted idle, insertion counts, and the event
+//!   log hash; `bench_eval`'s `async` section compares sync-barrier vs
+//!   async makespan at 4× skew and re-runs it under injected mid-stream
+//!   death (numbers in ROADMAP.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asynchronous;
 pub mod continuous;
 pub mod dcs;
 pub mod dda;
@@ -215,18 +259,19 @@ pub mod serial;
 pub mod topology;
 pub mod transport;
 
+pub use asynchronous::{AsyncEvent, AsyncOrchestrator, AsyncStats, LatencySchedule};
 pub use continuous::{ContinuousLearner, LearningEvent, MonitorConfig, TaskOutcome};
 pub use dcs::DcsOrchestrator;
 pub use dda::DdaOrchestrator;
 pub use dds::DdsOrchestrator;
-pub use driver::{ClanDriver, ClanDriverBuilder, DriverConfig};
+pub use driver::{AsyncClanDriver, AsyncRunOutcome, ClanDriver, ClanDriverBuilder, DriverConfig};
 pub use error::{ClanError, FrameError};
 pub use evaluator::{EngineOptions, Evaluator, InferenceMode};
 pub use membership::{AgentHealth, LinkHealth, RecoveryPolicy, RecoveryStats};
 pub use orchestra::{GenerationReport, Orchestrator};
 pub use parallel::ParallelEvaluator;
 pub use report::RunReport;
-pub use runtime::{EdgeCluster, GatherStats};
+pub use runtime::{EdgeCluster, GatherStats, StreamCompletion, StreamStats};
 pub use serial::SerialOrchestrator;
 pub use topology::{ClanTopology, Placement, SpeciationMode};
 pub use transport::{ClusterSpec, Transport};

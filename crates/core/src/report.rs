@@ -56,6 +56,11 @@ pub struct RunReport {
     /// cache is disabled).
     #[serde(default)]
     pub cache_lookups: u64,
+    /// Async steady-state accounting when the run was barrier-free
+    /// (`--async`): eval throughput, wasted idle, insertion stats, and
+    /// the event-log fingerprint. `None` for generational runs.
+    #[serde(default)]
+    pub asynchronous: Option<crate::asynchronous::AsyncStats>,
 }
 
 impl RunReport {
@@ -102,6 +107,7 @@ impl RunReport {
             total_energy_j: 0.0,
             cache_hits,
             cache_lookups,
+            asynchronous: None,
         }
     }
 
@@ -134,6 +140,18 @@ impl RunReport {
         recovery: Option<crate::membership::RecoveryStats>,
     ) -> RunReport {
         self.recovery = recovery;
+        self
+    }
+
+    /// Attaches an async steady-state run's accounting. A barrier-free
+    /// run has no generations, so the run-level best fitness and the
+    /// solved flag are taken from the async stats instead.
+    pub fn with_async(mut self, stats: crate::asynchronous::AsyncStats) -> RunReport {
+        self.best_fitness = self.best_fitness.max(stats.best_fitness);
+        if self.best_fitness >= self.workload.solved_at() {
+            self.solved_at_generation.get_or_insert(0);
+        }
+        self.asynchronous = Some(stats);
         self
     }
 
@@ -224,6 +242,31 @@ impl RunReport {
                 self.cache_lookups,
                 100.0 * self.cache_hit_rate()
             );
+        }
+        if let Some(a) = &self.asynchronous {
+            let _ = writeln!(
+                s,
+                "  async steady-state: {} eval(s) over {} agent(s) ({}), tournament {}",
+                a.total_evals,
+                a.agents,
+                if a.virtual_time {
+                    "virtual time"
+                } else {
+                    "streamed"
+                },
+                a.tournament_size
+            );
+            let _ = writeln!(
+                s,
+                "  async throughput: makespan {:.3} s, {:.1} evals/s, busy {:.3} s, wasted idle {:.3} s",
+                a.makespan_s, a.evals_per_s, a.busy_s, a.wasted_idle_s
+            );
+            let _ = writeln!(
+                s,
+                "  async evolution: {} insertion(s), {} best improvement(s), {} redispatch(es)",
+                a.insertions, a.best_improvements, a.redispatches
+            );
+            let _ = writeln!(s, "  async event log hash: {:#018X}", a.event_log_hash);
         }
         if let Some(r) = &self.recovery {
             if r.any_recovery() {

@@ -222,6 +222,72 @@ impl GatherStats {
     }
 }
 
+/// One finished streaming evaluation, as handed to the
+/// [`evaluate_stream`](EdgeCluster::evaluate_stream) completion callback
+/// the moment it arrives — in *arrival* order, which is the point of the
+/// async mode and the reason it is not bit-identical to a gather.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamCompletion {
+    /// Link slot that produced the result.
+    pub agent: usize,
+    /// The evaluated genome.
+    pub genome: GenomeId,
+    /// Its evaluation (fitness + activation count).
+    pub evaluation: clan_neat::population::Evaluation,
+    /// Per-activation gene cost of the compiled network, for the
+    /// paper's cost accounting.
+    pub genes_per_activation: u64,
+}
+
+/// Timing and recovery accounting of one
+/// [`evaluate_stream`](EdgeCluster::evaluate_stream) run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Evaluations completed (including re-dispatched ones).
+    pub completions: u64,
+    /// Genomes whose agent died mid-evaluation and that were dispatched
+    /// again to a surviving agent.
+    pub redispatches: u64,
+    /// Wall-clock of the whole stream, seconds.
+    pub makespan_s: f64,
+    /// Summed per-agent busy time (request in flight), seconds.
+    pub busy_s: f64,
+    /// Per-link busy seconds (index = link slot).
+    pub per_agent_busy_s: Vec<f64>,
+    /// Per-link completed evaluations (index = link slot).
+    pub per_agent_completions: Vec<u64>,
+}
+
+impl StreamStats {
+    /// Idle capacity left on the table: `agents x makespan - busy`,
+    /// seconds. Near zero when dispatch-on-completion keeps every agent
+    /// fed; approaches the sync gather's imbalance when it does not.
+    pub fn wasted_idle_s(&self, agents: usize) -> f64 {
+        (agents as f64 * self.makespan_s - self.busy_s).max(0.0)
+    }
+}
+
+/// What a per-link streaming worker reports back to the dispatch loop.
+enum StreamEvent {
+    /// One evaluation finished cleanly.
+    Done {
+        completion: StreamCompletion,
+        elapsed_s: f64,
+        sent_floats: u64,
+        sent_bytes: u64,
+        recv_floats: u64,
+        recv_bytes: u64,
+    },
+    /// Churn-class link failure; the in-flight genome needs a new home.
+    Failed {
+        agent: usize,
+        genome: Box<Genome>,
+        error: ClanError,
+    },
+    /// Protocol/frame violation — a bug, not churn; aborts the stream.
+    Hard { error: ClanError },
+}
+
 /// One gathered response slot: the decoded message (or error) plus the
 /// link's measured wait in seconds; `None` until (or unless) a response
 /// was expected and arrived.
@@ -1586,6 +1652,267 @@ impl EdgeCluster {
             pop.set_fitness(id, eval.fitness)?;
         }
         Ok(())
+    }
+
+    /// Streaming dispatch-on-completion evaluation — the async
+    /// steady-state gather surface. Each live link gets a dedicated
+    /// worker thread that sends one-genome `Evaluate` frames and waits
+    /// for the matching `Fitness`; the moment any agent answers,
+    /// `on_complete` runs on the caller's thread with the result and
+    /// returns the next genome to put in flight (`None` ends the
+    /// stream once everything in flight has drained). A fast agent
+    /// therefore turns over many evaluations while a slow one finishes
+    /// its first — no barrier, no tail-agent stall.
+    ///
+    /// `initial` seeds the pipeline (any size; surplus queues and feeds
+    /// agents as they free up). `master_seed` rides in every `Evaluate`
+    /// frame so agents derive the same content-based episode seeds as a
+    /// local run — per-genome *results* stay deterministic even though
+    /// arrival *order* does not.
+    ///
+    /// Churn tolerance: a churn-class link failure poisons that link
+    /// and its in-flight genome is re-dispatched to the next free
+    /// surviving agent (counted in [`StreamStats::redispatches`]); the
+    /// stream aborts only when live agents fall below the recovery
+    /// policy's floor.
+    ///
+    /// # Errors
+    ///
+    /// [`ClanError::InvalidSetup`] on an agent-less cluster,
+    /// [`ClanError::Protocol`]/[`ClanError::Frame`] if an agent
+    /// misbehaves, and [`ClanError::Degraded`] when failures drain the
+    /// cluster below [`RecoveryPolicy::min_agents`] (the root-cause
+    /// link errors stay visible in the membership table).
+    pub fn evaluate_stream(
+        &mut self,
+        master_seed: u64,
+        initial: Vec<Genome>,
+        on_complete: &mut dyn FnMut(&StreamCompletion) -> Option<Genome>,
+    ) -> Result<StreamStats, ClanError> {
+        self.apply_churn()?;
+        self.resync_poisoned_links();
+        if self.links.is_empty() {
+            return Err(ClanError::InvalidSetup {
+                reason: "cluster has no live agents to stream to".into(),
+            });
+        }
+        let floor = self.policy.min_agents.max(1);
+        let EdgeCluster {
+            links,
+            ledger,
+            recovery,
+            ..
+        } = self;
+        let n_links = links.len();
+        let mut stats = StreamStats {
+            per_agent_busy_s: vec![0.0; n_links],
+            per_agent_completions: vec![0; n_links],
+            ..StreamStats::default()
+        };
+        let mut failures: Vec<(usize, ClanError)> = Vec::new();
+        let mut succeeded = vec![false; n_links];
+        let started = Instant::now();
+        let mut outcome: Result<(), ClanError> = Ok(());
+        std::thread::scope(|s| {
+            let (etx, erx) = std::sync::mpsc::channel::<StreamEvent>();
+            let mut work_tx: Vec<Option<std::sync::mpsc::Sender<(u64, Genome)>>> =
+                (0..n_links).map(|_| None).collect();
+            for (i, link) in links.iter_mut().enumerate() {
+                if link.poisoned {
+                    continue;
+                }
+                let (wtx, wrx) = std::sync::mpsc::channel::<(u64, Genome)>();
+                work_tx[i] = Some(wtx);
+                let etx = etx.clone();
+                let transport: &mut dyn Transport = link.transport.as_mut();
+                s.spawn(move || {
+                    for (seq, genome) in wrx.iter() {
+                        let gid = genome.id();
+                        let msg = WireMessage::Evaluate {
+                            generation: seq,
+                            master_seed,
+                            genomes: vec![genome.clone()],
+                        };
+                        let sent_floats = msg.modeled_floats();
+                        let t0 = Instant::now();
+                        let sent_bytes = match send_message(transport, &msg) {
+                            Ok(bytes) => bytes,
+                            Err(error) => {
+                                let _ = etx.send(StreamEvent::Failed {
+                                    agent: i,
+                                    genome: Box::new(genome),
+                                    error,
+                                });
+                                return;
+                            }
+                        };
+                        let event = match recv_message(transport) {
+                            Ok((reply @ WireMessage::Fitness(_), recv_bytes)) => {
+                                let recv_floats = reply.modeled_floats();
+                                let WireMessage::Fitness(batch) = reply else {
+                                    unreachable!("matched Fitness above")
+                                };
+                                match batch.as_slice() {
+                                    [(id, evaluation, gpa)] if *id == gid => StreamEvent::Done {
+                                        completion: StreamCompletion {
+                                            agent: i,
+                                            genome: gid,
+                                            evaluation: *evaluation,
+                                            genes_per_activation: *gpa,
+                                        },
+                                        elapsed_s: t0.elapsed().as_secs_f64(),
+                                        sent_floats,
+                                        sent_bytes,
+                                        recv_floats,
+                                        recv_bytes,
+                                    },
+                                    _ => StreamEvent::Hard {
+                                        error: ClanError::Protocol {
+                                            peer: transport.peer(),
+                                            reason: format!(
+                                                "streamed fitness does not match genome {gid}"
+                                            ),
+                                        },
+                                    },
+                                }
+                            }
+                            Ok((other, _)) => StreamEvent::Hard {
+                                error: ClanError::Protocol {
+                                    peer: transport.peer(),
+                                    reason: format!("expected Fitness, got {other:?}"),
+                                },
+                            },
+                            Err(error) if is_churn_error(&error) => StreamEvent::Failed {
+                                agent: i,
+                                genome: Box::new(genome),
+                                error,
+                            },
+                            Err(error) => StreamEvent::Hard { error },
+                        };
+                        let hard = matches!(event, StreamEvent::Hard { .. });
+                        let _ = etx.send(event);
+                        if hard {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(etx);
+            let mut pending: VecDeque<Genome> = initial.into();
+            let mut idle: VecDeque<usize> =
+                (0..n_links).filter(|&i| work_tx[i].is_some()).collect();
+            let mut in_flight = 0usize;
+            let mut live = idle.len();
+            let mut seq = 0u64;
+            loop {
+                // Feed every idle agent while work remains.
+                while !pending.is_empty() && !idle.is_empty() {
+                    let agent = idle.pop_front().expect("checked non-empty");
+                    let genome = pending.pop_front().expect("checked non-empty");
+                    match &work_tx[agent] {
+                        Some(tx) => match tx.send((seq, genome)) {
+                            Ok(()) => {
+                                seq += 1;
+                                in_flight += 1;
+                            }
+                            Err(std::sync::mpsc::SendError((_, genome))) => {
+                                // Worker already exited; its failure event
+                                // is (or will be) in the queue.
+                                work_tx[agent] = None;
+                                pending.push_front(genome);
+                            }
+                        },
+                        None => pending.push_front(genome),
+                    }
+                }
+                if in_flight == 0 {
+                    if !pending.is_empty() && outcome.is_ok() {
+                        outcome = Err(ClanError::Degraded {
+                            live,
+                            required: floor,
+                        });
+                    }
+                    break;
+                }
+                let Ok(event) = erx.recv() else { break };
+                match event {
+                    StreamEvent::Done {
+                        completion,
+                        elapsed_s,
+                        sent_floats,
+                        sent_bytes,
+                        recv_floats,
+                        recv_bytes,
+                    } => {
+                        let agent = completion.agent;
+                        ledger.record_agent_wire(
+                            agent,
+                            MessageKind::SendGenomes,
+                            sent_floats,
+                            sent_bytes,
+                        );
+                        ledger.record_agent_wire(
+                            agent,
+                            MessageKind::SendFitness,
+                            recv_floats,
+                            recv_bytes,
+                        );
+                        in_flight -= 1;
+                        stats.completions += 1;
+                        stats.busy_s += elapsed_s;
+                        stats.per_agent_busy_s[agent] += elapsed_s;
+                        stats.per_agent_completions[agent] += 1;
+                        succeeded[agent] = true;
+                        idle.push_back(agent);
+                        if let Some(next) = on_complete(&completion) {
+                            pending.push_back(next);
+                        }
+                    }
+                    StreamEvent::Failed {
+                        agent,
+                        genome,
+                        error,
+                    } => {
+                        in_flight -= 1;
+                        work_tx[agent] = None;
+                        live = live.saturating_sub(1);
+                        failures.push((agent, error));
+                        stats.redispatches += 1;
+                        pending.push_front(*genome);
+                        if live < floor {
+                            // Root cause stays visible in the membership
+                            // table via `note_link_failure` below.
+                            outcome = Err(ClanError::Degraded {
+                                live,
+                                required: floor,
+                            });
+                            break;
+                        }
+                    }
+                    StreamEvent::Hard { error } => {
+                        outcome = Err(error);
+                        break;
+                    }
+                }
+            }
+            // Closing the work channels lets every worker drain and exit.
+            drop(work_tx);
+        });
+        stats.makespan_s = started.elapsed().as_secs_f64();
+        for (i, error) in &failures {
+            Self::note_link_failure(links, recovery, *i, error);
+        }
+        for (i, link) in links.iter_mut().enumerate() {
+            if succeeded[i] && !link.poisoned {
+                link.health = link.health.on_success();
+                link.last_error = None;
+            }
+            let link_stats = link.transport.take_link_stats();
+            if link_stats.overhead_bytes() > 0 {
+                ledger.record_agent_retrans(i, link_stats.overhead_bytes());
+            }
+        }
+        outcome.map(|()| stats)
     }
 
     /// Distributed reproduction: ships child specs plus the needed

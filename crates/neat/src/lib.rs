@@ -128,6 +128,7 @@ pub mod rng;
 pub mod serde_util;
 pub mod species;
 pub mod stagnation;
+pub mod steady_state;
 pub mod visualize;
 
 pub use activation::{Activation, Aggregation};
@@ -142,4 +143,5 @@ pub use network::{FeedForwardNetwork, Scratch};
 pub use population::{FitnessStats, Population};
 pub use reproduction::{ChildSpec, GenerationPlan};
 pub use species::{Species, SpeciesSet};
+pub use steady_state::{steady_state_insert, InsertReport};
 pub use visualize::genome_to_dot;

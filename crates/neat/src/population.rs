@@ -542,6 +542,59 @@ impl Population {
         self.generation += 1;
     }
 
+    /// Allocates a fresh genome id (steady-state reproduction creates
+    /// children one at a time instead of through a [`GenerationPlan`]).
+    pub fn allocate_genome_id(&mut self) -> GenomeId {
+        let id = GenomeId(self.next_genome_id);
+        self.next_genome_id += 1;
+        id
+    }
+
+    /// Removes one genome (steady-state eviction).
+    ///
+    /// # Errors
+    ///
+    /// [`NeatError::UnknownGenome`] if `id` is not present.
+    pub fn remove_genome(&mut self, id: GenomeId) -> Result<Genome, NeatError> {
+        self.genomes
+            .remove(&id)
+            .ok_or(NeatError::UnknownGenome { genome: id.0 })
+    }
+
+    /// Inserts one genome (steady-state insertion). The id must have come
+    /// from [`allocate_genome_id`](Self::allocate_genome_id) so it cannot
+    /// collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a genome with the same id is already present.
+    pub fn insert_genome(&mut self, genome: Genome) {
+        self.next_genome_id = self.next_genome_id.max(genome.id().0 + 1);
+        let prev = self.genomes.insert(genome.id(), genome);
+        assert!(prev.is_none(), "duplicate genome id inserted");
+    }
+
+    /// Promotes the current best evaluated genome to `best_ever` if it
+    /// improves on it, returning `true` on improvement.
+    ///
+    /// Generational runs get this bookkeeping from
+    /// [`plan_generation`](Self::plan_generation); the steady-state loop
+    /// has no planning phase and calls this after every fitness arrival.
+    pub fn note_best_ever(&mut self) -> bool {
+        let Some(best) = self.best() else {
+            return false;
+        };
+        let improved = self
+            .best_ever
+            .as_ref()
+            .and_then(Genome::fitness)
+            .is_none_or(|b| best.fitness().expect("best is evaluated") > b);
+        if improved {
+            self.best_ever = Some(best.clone());
+        }
+        improved
+    }
+
     /// Replaces the current genomes without advancing the generation
     /// counter.
     ///

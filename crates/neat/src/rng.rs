@@ -63,6 +63,12 @@ pub enum OpTag {
     Speciation = 5,
     /// Environment stochasticity (initial state jitter).
     Environment = 6,
+    /// Steady-state tournament selection (async mode; the `generation`
+    /// tag carries the reproduction-event sequence number).
+    Tournament = 7,
+    /// Virtual-time latency sampling in the async simulation layer (the
+    /// tags carry the agent index and per-agent dispatch counter).
+    Latency = 8,
 }
 
 /// Builds a deterministic [`StdRng`] for an operation on an entity.

@@ -8,7 +8,10 @@
 //! Supported item shapes — the ones this workspace uses:
 //!
 //! - named-field structs (with optional per-field
-//!   `#[serde(serialize_with = "...", deserialize_with = "...")]`)
+//!   `#[serde(serialize_with = "...", deserialize_with = "...")]`,
+//!   `#[serde(skip)]`, `#[serde(rename = "...")]` for wire keys that
+//!   are Rust keywords, and `#[serde(default)]` for fields added after
+//!   older reports were written)
 //! - tuple structs (newtype ids like `GenomeId(pub u64)`)
 //! - unit structs
 //! - enums with unit, newtype/tuple, and struct variants
@@ -33,6 +36,19 @@ struct Field {
     /// `#[serde(skip)]`: omitted when serializing, `Default::default()`
     /// when deserializing (whether or not the field is present).
     skip: bool,
+    /// `#[serde(rename = "...")]`: the wire key to use instead of the
+    /// field name (e.g. Rust keywords like `async`).
+    rename: Option<String>,
+    /// `#[serde(default)]`: `Default::default()` when the key is absent
+    /// (older serialized reports stay readable after a field is added).
+    default: bool,
+}
+
+impl Field {
+    /// The key this field uses on the wire.
+    fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.name)
+    }
 }
 
 enum VariantKind {
@@ -237,12 +253,16 @@ fn push_param(params: &mut Vec<String>, args: &mut Vec<String>, current: &mut St
     current.clear();
 }
 
-/// Extracts `serialize_with` / `deserialize_with` paths and the `skip`
-/// marker from serde attribute contents.
-fn parse_field_attrs(attrs: &[TokenStream]) -> (Option<String>, Option<String>, bool) {
+/// Extracts `serialize_with` / `deserialize_with` / `rename` paths and
+/// the `skip` / `default` markers from serde attribute contents.
+fn parse_field_attrs(
+    attrs: &[TokenStream],
+) -> (Option<String>, Option<String>, bool, Option<String>, bool) {
     let mut ser = None;
     let mut de = None;
     let mut skip = false;
+    let mut rename = None;
+    let mut default = false;
     for attr in attrs {
         let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
         let mut i = 0;
@@ -254,17 +274,22 @@ fn parse_field_attrs(attrs: &[TokenStream]) -> (Option<String>, Option<String>, 
                     i += 1;
                     continue;
                 }
-                if key == "serialize_with" || key == "deserialize_with" {
+                if key == "default" {
+                    default = true;
+                    i += 1;
+                    continue;
+                }
+                if key == "serialize_with" || key == "deserialize_with" || key == "rename" {
                     // ident '=' "string"
                     let lit = match tokens.get(i + 2) {
                         Some(TokenTree::Literal(l)) => l.to_string(),
                         other => panic!("expected string after {key} =, got {other:?}"),
                     };
                     let path = lit.trim_matches('"').to_string();
-                    if key == "serialize_with" {
-                        ser = Some(path);
-                    } else {
-                        de = Some(path);
+                    match key.as_str() {
+                        "serialize_with" => ser = Some(path),
+                        "deserialize_with" => de = Some(path),
+                        _ => rename = Some(path),
                     }
                     i += 3;
                     continue;
@@ -273,7 +298,7 @@ fn parse_field_attrs(attrs: &[TokenStream]) -> (Option<String>, Option<String>, 
             i += 1;
         }
     }
-    (ser, de, skip)
+    (ser, de, skip, rename, default)
 }
 
 /// Parses named fields from the `{ ... }` group of a struct or variant.
@@ -292,12 +317,15 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("expected `:` after field `{name}`, got {other:?}"),
         }
         skip_type(&mut cur);
-        let (serialize_with, deserialize_with, skip) = parse_field_attrs(&serde_attrs);
+        let (serialize_with, deserialize_with, skip, rename, default) =
+            parse_field_attrs(&serde_attrs);
         fields.push(Field {
             name,
             serialize_with,
             deserialize_with,
             skip,
+            rename,
+            default,
         });
     }
     fields
@@ -436,7 +464,7 @@ fn gen_serialize(item: &Item) -> String {
                 };
                 pushes.push_str(&format!(
                     "__m.push((\"{n}\".to_string(), {expr}));\n",
-                    n = f.name
+                    n = f.key()
                 ));
             }
             format!(
@@ -514,14 +542,21 @@ fn gen_deserialize(item: &Item) -> String {
                 let expr = if f.skip {
                     "Default::default()".to_string()
                 } else {
-                    match &f.deserialize_with {
-                        Some(path) => {
-                            format!("{path}(serde::field(__m, \"{n}\")?)?", n = f.name)
-                        }
-                        None => format!(
-                            "serde::Deserialize::from_value(serde::field(__m, \"{n}\")?)?",
-                            n = f.name
-                        ),
+                    let from = |value: &str| match &f.deserialize_with {
+                        Some(path) => format!("{path}({value})?"),
+                        None => format!("serde::Deserialize::from_value({value})?"),
+                    };
+                    if f.default {
+                        format!(
+                            "match serde::field(__m, \"{n}\") {{\n\
+                                 Ok(__f) => {e},\n\
+                                 Err(_) => Default::default(),\n\
+                             }}",
+                            n = f.key(),
+                            e = from("__f")
+                        )
+                    } else {
+                        from(&format!("serde::field(__m, \"{n}\")?", n = f.key()))
                     }
                 };
                 inits.push_str(&format!("{n}: {expr},\n", n = f.name));

@@ -60,6 +60,8 @@ USAGE:
                  [--population N] [--seed N] [--platform P] [--single-step]
                  [--episodes N] [--eval-threads N]
                  [--batch-lanes N | --no-batch] [--no-cache]
+                 [--async [--total-evals N] [--tournament-size K]
+                  [--latency MS,MS,...] [--jitter-pct P] [--event-log FILE]]
   clan-cli solve [same flags; runs until the workload's solved score or
                  --max-generations N]
   clan-cli agent --listen ADDR [--delay-ms N] [--udp]
@@ -69,6 +71,8 @@ USAGE:
                  emulate a slower device; --udp serves the loss-tolerant
                  datagram transport instead of TCP)
   clan-cli coordinate [run flags] (--agents-at ADDR,ADDR,... | --loopback N)
+                 [--async [--total-evals N] [--tournament-size K]
+                  [--event-log FILE]]
                  [--agent-weights W,W,...] [--calibrate]
                  [--udp [--loss P] [--fault-seed S]]
                  [--max-retries N] [--min-agents N]
@@ -107,7 +111,17 @@ before round 4 (deterministic churn injection): the lost chunks are
 reassigned to survivors and the evolved result is still bit-identical,
 only the recovery overhead in the report grows. --spare-at names standby
 agents a revival may connect; --max-retries/--min-agents set the
-recovery policy (defaults 3 and 1).";
+recovery policy (defaults 3 and 1).
+
+--async switches to barrier-free steady-state evolution: every finished
+evaluation immediately triggers a tournament reproduction (size
+--tournament-size, default 3) that replaces the worst genome, until
+--total-evals evaluations (default 10x population) are spent. Local runs
+simulate agents under deterministic virtual time (--latency 5,20 sets
+per-agent service ms, --jitter-pct the seeded jitter): two runs with the
+same --seed and latency schedule produce byte-identical --event-log
+files. Over real agents (coordinate --async) the arrival order is
+wall-clock, so results are statistical rather than bit-identical.";
 
 struct Flags(Vec<String>);
 
@@ -233,9 +247,97 @@ fn build_driver(flags: &Flags) -> Result<(ClanDriverBuilder, Workload), String> 
     Ok((builder, workload))
 }
 
+/// Parses `--latency`'s comma-separated per-agent service times (ms).
+fn parse_latency_list(list: &str) -> Result<Vec<f64>, String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| format!("invalid latency `{s}` in --latency"))
+        })
+        .collect::<Result<Vec<f64>, String>>()
+        .and_then(|l| {
+            if l.is_empty() {
+                Err("--latency needs at least one per-agent time in ms".into())
+            } else {
+                Ok(l)
+            }
+        })
+}
+
+/// `--async` gate: the steady-state flags are meaningless (and therefore
+/// rejected) on generational runs.
+fn check_async_flags(flags: &Flags) -> Result<bool, String> {
+    let is_async = flags.has("--async");
+    if !is_async {
+        for f in [
+            "--total-evals",
+            "--tournament-size",
+            "--latency",
+            "--jitter-pct",
+            "--event-log",
+        ] {
+            if flags.get(f).is_some() {
+                return Err(format!("{f} requires --async"));
+            }
+        }
+    }
+    Ok(is_async)
+}
+
+/// Builds and runs an async steady-state deployment from an already
+/// backend-configured builder, prints the report, and writes the
+/// diffable event log when `--event-log FILE` asks for it.
+fn run_async(mut builder: ClanDriverBuilder, flags: &Flags) -> Result<(), String> {
+    if let Some(n) = flags.get("--total-evals") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("invalid value `{n}` for --total-evals"))?;
+        builder = builder.total_evals(n);
+    }
+    if let Some(k) = flags.get("--tournament-size") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| format!("invalid value `{k}` for --tournament-size"))?;
+        builder = builder.tournament_size(k);
+    }
+    if let Some(list) = flags.get("--latency") {
+        builder = builder.latency_ms(parse_latency_list(list)?);
+    }
+    if let Some(p) = flags.get("--jitter-pct") {
+        let p: u32 = p
+            .parse()
+            .map_err(|_| format!("invalid value `{p}` for --jitter-pct"))?;
+        builder = builder.latency_jitter_pct(p);
+    }
+    let driver = builder.build_async().map_err(|e| e.to_string())?;
+    match driver.schedule() {
+        Some(s) => println!(
+            "async steady-state run: deterministic virtual time, schedule {}",
+            s.describe()
+        ),
+        None => println!("async steady-state run: streaming over the live cluster"),
+    }
+    let outcome = driver.run().map_err(|e| e.to_string())?;
+    print_report(&outcome.report);
+    if let Some(path) = flags.get("--event-log") {
+        std::fs::write(path, &outcome.event_log).map_err(|e| e.to_string())?;
+        println!(
+            "  event log: {} line(s) written to {path}",
+            outcome.event_log.lines().count()
+        );
+    }
+    Ok(())
+}
+
 fn print_report(report: &RunReport) {
     print!("{}", report.summary());
     println!("  energy: {:.0} J total", report.total_energy_j);
+    // Async steady-state runs have no generations to tabulate.
+    if report.generations.is_empty() {
+        return;
+    }
     // Only show the cache column when the cache actually fielded lookups
     // (it is absent entirely under --no-cache).
     let caching = report.cache_lookups > 0;
@@ -271,6 +373,14 @@ fn print_report(report: &RunReport) {
 fn cmd_run(args: &[String], until_solved: bool) -> Result<(), String> {
     let flags = Flags(args.to_vec());
     let (builder, _) = build_driver(&flags)?;
+    if check_async_flags(&flags)? {
+        if until_solved {
+            return Err(
+                "--async runs to a fixed --total-evals budget; use `run`, not `solve`".into(),
+            );
+        }
+        return run_async(builder, &flags);
+    }
     let driver = builder.build().map_err(|e| e.to_string())?;
     let report = if until_solved {
         let max = flags.parse("--max-generations", 50u64)?;
@@ -419,6 +529,9 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("invalid value `{n}` for --min-agents"))?;
         builder = builder.min_agents(n);
+    }
+    if check_async_flags(&flags)? {
+        return run_async(builder, &flags);
     }
     let driver = builder.build().map_err(|e| e.to_string())?;
     let gens = flags.parse("--generations", 5u64)?;

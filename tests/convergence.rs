@@ -64,6 +64,38 @@ fn cartpole_solved_through_the_driver() {
 }
 
 #[test]
+fn async_steady_state_matches_the_sync_baseline() {
+    // The statistical-convergence gate for the barrier-free mode: a
+    // seeded async virtual-time run must reach the same solved
+    // threshold the generational baseline above clears (CartPole
+    // solves at 195), within a pinned evaluation budget comparable to
+    // the sync test's 30 generations x 96 genomes.
+    let outcome = ClanDriver::builder(Workload::CartPole)
+        .agents(4)
+        .population_size(96)
+        .seed(11)
+        .total_evals(2400)
+        .tournament_size(3)
+        .build_async()
+        .expect("config")
+        .run()
+        .expect("run");
+    let report = &outcome.report;
+    let stats = report.asynchronous.as_ref().expect("async stats");
+    assert_eq!(stats.total_evals, 2400);
+    assert!(
+        report.best_fitness >= 195.0,
+        "async steady-state must reach the sync solved threshold \
+         within 2400 evals, best {:.1}",
+        report.best_fitness
+    );
+    assert!(
+        report.solved_at_generation.is_some(),
+        "clearing the threshold must mark the run solved"
+    );
+}
+
+#[test]
 fn dda_also_learns_not_just_scales() {
     let report = ClanDriver::builder(Workload::CartPole)
         .topology(ClanTopology::dda(4))
