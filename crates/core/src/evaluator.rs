@@ -18,7 +18,7 @@ use clan_neat::{
     FeedForwardNetwork, FitnessCache, Genome, GenomeId, NeatConfig, Population, Scratch,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How many environment steps each genome gets per generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -375,7 +375,7 @@ impl Evaluator {
             nets.len()
         ];
         if self.options.batch_lanes > 1 && nets.len() > 1 {
-            let mut groups: HashMap<ShapeKey, Vec<usize>> = HashMap::new();
+            let mut groups: BTreeMap<ShapeKey, Vec<usize>> = BTreeMap::new();
             for (k, net) in nets.iter().enumerate() {
                 groups.entry(ShapeKey::of(net)).or_default().push(k);
             }

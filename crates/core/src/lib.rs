@@ -238,6 +238,45 @@
 //!   log hash; `bench_eval`'s `async` section compares sync-barrier vs
 //!   async makespan at 4× skew and re-runs it under injected mid-stream
 //!   death (numbers in ROADMAP.md).
+//!
+//! # Static contract enforcement
+//!
+//! The two contracts above — bit-identity determinism and hang-free
+//! liveness — are pinned by tests, but tests only catch a regression
+//! *after* someone writes one. `clan-lint` (`crates/lint`, run as
+//! `cargo run -p clan-lint --release`) rejects the hazardous *idioms*
+//! at review time with a dependency-free, comment/string/raw-string
+//! aware token scanner:
+//!
+//! - **D1** — no `HashMap`/`HashSet` in determinism-bearing code
+//!   (`clan-neat` plus the orchestrator/driver/async paths here):
+//!   iteration order must never depend on the hasher. Lookup-only maps
+//!   are waived, iteration-bearing ones migrate to `BTreeMap`.
+//! - **D2** — no ambient nondeterminism (`Instant::now`, `SystemTime`,
+//!   `thread_rng`, `from_entropy`) outside designated timing code; all
+//!   randomness flows from `(master_seed, …)` derivations.
+//! - **D3** — no float `.sum()`/`.fold` reassociation in the kernel
+//!   files (`network.rs`, `batch.rs`); the per-edge accumulation order
+//!   *is* the contract, so every kernel loop is written explicitly and
+//!   the one canonical fold carries a waiver naming itself as such.
+//! - **L1** — no `unwrap`/`expect`/`panic!`/wire-buffer indexing in
+//!   [`transport`], [`runtime`], and [`membership`]: a malformed frame
+//!   or lost peer must surface as [`error::FrameError`] /
+//!   [`ClanError`], never a panic (see the typed-error guarantees
+//!   above).
+//! - **L2** — every blocking `recv` in transport code must sit in a
+//!   function with a timeout/deadline path, so no silent peer can hang
+//!   a coordinator forever.
+//!
+//! Violations print `rule:file:line` and are waivable in place with
+//! `// clan-lint: allow(RULE, reason="…")` — the reason is mandatory
+//! (a reasonless waiver is its own finding, **W0**, and can never be
+//! baselined). Accepted debt lives in the committed
+//! `lint-baseline.txt` as `(rule, file, count)` entries; CI's
+//! `lint-contract` job fails on any NEW violation *and* on any STALE
+//! entry, so the count ratchets monotonically toward zero. Rule
+//! catalogue, waiver grammar, and the ratchet workflow are documented
+//! in ROADMAP.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -93,7 +93,7 @@ use clan_neat::cache::CachedEvaluation;
 use clan_neat::{FitnessCache, Genome, GenomeId, NeatConfig, Population};
 use clan_netsim::{CommLedger, MessageKind};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -315,6 +315,22 @@ type MintedAgent = (
     Option<LinkOrigin>,
 );
 
+/// Spawns a named agent-serving thread, surfacing OS thread exhaustion
+/// as a typed [`ClanError::WorkerFailure`] instead of a panic.
+fn spawn_agent_thread(
+    agent: usize,
+    name: String,
+    f: impl FnOnce() + Send + 'static,
+) -> Result<std::thread::JoinHandle<()>, ClanError> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .map_err(|e| ClanError::WorkerFailure {
+            agent,
+            reason: format!("cannot spawn agent thread: {e}"),
+        })
+}
+
 /// Splits `items` into consecutive slices of the given sizes.
 fn chunk_by_counts<'a, T>(items: &'a [T], counts: &[usize]) -> Vec<&'a [T]> {
     debug_assert_eq!(counts.iter().sum::<usize>(), items.len());
@@ -385,9 +401,8 @@ impl EdgeCluster {
     /// [`ClanError::InvalidSetup`] if `n_agents` is zero, and
     /// [`ClanError::Transport`] if an agent rejects configuration.
     ///
-    /// # Panics
-    ///
-    /// Panics if the OS cannot spawn a thread.
+    /// [`ClanError::WorkerFailure`] if the OS cannot spawn an agent
+    /// thread.
     pub fn spawn(
         n_agents: usize,
         workload: Workload,
@@ -407,9 +422,8 @@ impl EdgeCluster {
     /// the same contract as [`spawn_local_spec`](EdgeCluster::spawn_local_spec),
     /// so callers handle channel and TCP deployments identically.
     ///
-    /// # Panics
-    ///
-    /// Panics if the OS cannot spawn a thread.
+    /// [`ClanError::WorkerFailure`] if the OS cannot spawn an agent
+    /// thread.
     pub fn spawn_spec(n_agents: usize, spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
         if n_agents == 0 {
             return Err(ClanError::InvalidSetup {
@@ -419,17 +433,14 @@ impl EdgeCluster {
         let links = (0..n_agents)
             .map(|i| {
                 let (coord, mut agent_side) = channel_pair();
-                let handle = std::thread::Builder::new()
-                    .name(format!("clan-agent-{i}"))
-                    .spawn(move || {
-                        if let Err(e) = serve_session(&mut agent_side) {
-                            eprintln!("clan-agent-{i}: {e}");
-                        }
-                    })
-                    .expect("spawning agent thread");
-                AgentLink::new(Box::new(coord), Some(handle))
+                let handle = spawn_agent_thread(i, format!("clan-agent-{i}"), move || {
+                    if let Err(e) = serve_session(&mut agent_side) {
+                        eprintln!("clan-agent-{i}: {e}");
+                    }
+                })?;
+                Ok(AgentLink::new(Box::new(coord), Some(handle)))
             })
-            .collect();
+            .collect::<Result<Vec<_>, ClanError>>()?;
         Self::configured(links, spec, Respawn::Channel)
     }
 
@@ -442,9 +453,8 @@ impl EdgeCluster {
     /// [`ClanError::Transport`] if binding or connecting fails, and
     /// [`ClanError::InvalidSetup`] if `n_agents` is zero.
     ///
-    /// # Panics
-    ///
-    /// Panics if the OS cannot spawn a thread.
+    /// [`ClanError::WorkerFailure`] if the OS cannot spawn an agent
+    /// thread.
     pub fn spawn_local(
         n_agents: usize,
         workload: Workload,
@@ -462,9 +472,8 @@ impl EdgeCluster {
     /// [`ClanError::Transport`] if binding or connecting fails, and
     /// [`ClanError::InvalidSetup`] if `n_agents` is zero.
     ///
-    /// # Panics
-    ///
-    /// Panics if the OS cannot spawn a thread.
+    /// [`ClanError::WorkerFailure`] if the OS cannot spawn an agent
+    /// thread.
     pub fn spawn_local_spec(n_agents: usize, spec: ClusterSpec) -> Result<EdgeCluster, ClanError> {
         if n_agents == 0 {
             return Err(ClanError::InvalidSetup {
@@ -478,14 +487,11 @@ impl EdgeCluster {
             // connection waits in the listener's backlog, and a connect
             // failure leaves no thread parked forever in accept().
             let transport = TcpTransport::connect(server.local_addr())?;
-            let handle = std::thread::Builder::new()
-                .name(format!("clan-agent-{i}"))
-                .spawn(move || {
-                    if let Err(e) = server.serve_once() {
-                        eprintln!("clan-agent-{i}: {e}");
-                    }
-                })
-                .expect("spawning agent thread");
+            let handle = spawn_agent_thread(i, format!("clan-agent-{i}"), move || {
+                if let Err(e) = server.serve_once() {
+                    eprintln!("clan-agent-{i}: {e}");
+                }
+            })?;
             links.push(AgentLink::new(Box::new(transport), Some(handle)));
         }
         Self::configured(links, spec, Respawn::LoopbackTcp)
@@ -501,9 +507,8 @@ impl EdgeCluster {
     /// [`ClanError::Transport`] if binding or connecting fails, and
     /// [`ClanError::InvalidSetup`] if `n_agents` is zero.
     ///
-    /// # Panics
-    ///
-    /// Panics if the OS cannot spawn a thread.
+    /// [`ClanError::WorkerFailure`] if the OS cannot spawn an agent
+    /// thread.
     pub fn spawn_local_udp(
         n_agents: usize,
         workload: Workload,
@@ -520,9 +525,8 @@ impl EdgeCluster {
     ///
     /// See [`spawn_local_udp`](EdgeCluster::spawn_local_udp).
     ///
-    /// # Panics
-    ///
-    /// Panics if the OS cannot spawn a thread.
+    /// [`ClanError::WorkerFailure`] if the OS cannot spawn an agent
+    /// thread.
     pub fn spawn_local_udp_spec(
         n_agents: usize,
         spec: ClusterSpec,
@@ -543,9 +547,8 @@ impl EdgeCluster {
     ///
     /// See [`spawn_local_udp`](EdgeCluster::spawn_local_udp).
     ///
-    /// # Panics
-    ///
-    /// Panics if the OS cannot spawn a thread.
+    /// [`ClanError::WorkerFailure`] if the OS cannot spawn an agent
+    /// thread.
     pub fn spawn_local_udp_cfg(
         n_agents: usize,
         spec: ClusterSpec,
@@ -566,14 +569,11 @@ impl EdgeCluster {
         for i in 0..n_agents {
             let mut server = UdpAgentServer::bind("127.0.0.1:0")?.with_config(agent_udp.clone());
             let addr = server.local_addr();
-            let handle = std::thread::Builder::new()
-                .name(format!("clan-agent-{i}"))
-                .spawn(move || {
-                    if let Err(e) = server.serve_once() {
-                        eprintln!("clan-agent-{i}: {e}");
-                    }
-                })
-                .expect("spawning agent thread");
+            let handle = spawn_agent_thread(i, format!("clan-agent-{i}"), move || {
+                if let Err(e) = server.serve_once() {
+                    eprintln!("clan-agent-{i}: {e}");
+                }
+            })?;
             let transport = udp.transport_to(addr, i)?;
             links.push(AgentLink::new(transport, Some(handle)));
         }
@@ -958,12 +958,8 @@ impl EdgeCluster {
     /// cluster's respawn source (unconfigured — the caller pushes
     /// `Configure`).
     fn mint_agent(&mut self, slot: usize) -> Result<MintedAgent, ClanError> {
-        let spawn_thread = |name: String, f: Box<dyn FnOnce() + Send>| {
-            std::thread::Builder::new()
-                .name(name)
-                .spawn(f)
-                .expect("spawning agent thread")
-        };
+        let spawn_thread =
+            |name: String, f: Box<dyn FnOnce() + Send>| spawn_agent_thread(slot, name, f);
         match &mut self.respawn {
             Respawn::External => Err(ClanError::InvalidSetup {
                 reason: "this cluster cannot mint replacement agents \
@@ -979,7 +975,7 @@ impl EdgeCluster {
                             eprintln!("clan-agent-join-{slot}: {e}");
                         }
                     }),
-                );
+                )?;
                 Ok((Box::new(coord), Some(handle), None))
             }
             Respawn::LoopbackTcp => {
@@ -992,7 +988,7 @@ impl EdgeCluster {
                             eprintln!("clan-agent-join-{slot}: {e}");
                         }
                     }),
-                );
+                )?;
                 Ok((Box::new(transport), Some(handle), None))
             }
             Respawn::LoopbackUdp { coordinator, agent } => {
@@ -1006,7 +1002,7 @@ impl EdgeCluster {
                             eprintln!("clan-agent-join-{slot}: {e}");
                         }
                     }),
-                );
+                )?;
                 Ok((transport, Some(handle), None))
             }
             Respawn::RemoteTcp { spares } => {
@@ -1350,6 +1346,7 @@ impl EdgeCluster {
         }
         // Gather out of order: one reader thread per successfully sent
         // link.
+        // clan-lint: allow(D2, reason="GatherStats wall-clock measurement; reported, never fed back into evolution")
         let start = Instant::now();
         let mut slots: Vec<GatherSlot> = (0..links.len()).map(|_| None).collect();
         std::thread::scope(|s| {
@@ -1563,7 +1560,7 @@ impl EdgeCluster {
         // with the cache on or off.
         let mut hits: Vec<WireEvaluation> = Vec::new();
         let mut ids: Vec<GenomeId> = Vec::with_capacity(pop.genomes().len());
-        let mut hash_of: HashMap<GenomeId, u64> = HashMap::new();
+        let mut hash_of: BTreeMap<GenomeId, u64> = BTreeMap::new();
         match self.cache.as_mut() {
             Some(cache) => {
                 for (id, g) in pop.genomes() {
@@ -1711,6 +1708,7 @@ impl EdgeCluster {
         };
         let mut failures: Vec<(usize, ClanError)> = Vec::new();
         let mut succeeded = vec![false; n_links];
+        // clan-lint: allow(D2, reason="StreamStats makespan measurement; reported, never fed back into evolution")
         let started = Instant::now();
         let mut outcome: Result<(), ClanError> = Ok(());
         std::thread::scope(|s| {
@@ -1734,6 +1732,7 @@ impl EdgeCluster {
                             genomes: vec![genome.clone()],
                         };
                         let sent_floats = msg.modeled_floats();
+                        // clan-lint: allow(D2, reason="per-agent busy-time measurement for StreamStats; observability only")
                         let t0 = Instant::now();
                         let sent_bytes = match send_message(transport, &msg) {
                             Ok(bytes) => bytes,

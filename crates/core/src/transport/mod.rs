@@ -126,6 +126,7 @@ pub fn send_message(t: &mut dyn Transport, msg: &WireMessage) -> Result<u64, Cla
 ///
 /// Propagates transport failures and typed frame errors.
 pub fn recv_message(t: &mut dyn Transport) -> Result<(WireMessage, u64), ClanError> {
+    // clan-lint: allow(L2, reason="free-fn wrapper: the concrete transport's recv_frame owns the deadline (TCP read_timeout, UDP idle_timeout)")
     let frame = t.recv_frame()?;
     let msg = decode(&frame)?;
     Ok((msg, wire_bytes(&frame)))

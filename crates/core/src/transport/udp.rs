@@ -121,8 +121,10 @@ impl UdpLink {
                 reason: "udp resolve: no addresses".into(),
             })?;
         let local: std::net::SocketAddr = if resolved.is_ipv6() {
+            // clan-lint: allow(L1, reason="constant wildcard literal parses by construction; not wire-derived")
             "[::]:0".parse().expect("valid v6 wildcard")
         } else {
+            // clan-lint: allow(L1, reason="constant wildcard literal parses by construction; not wire-derived")
             "0.0.0.0:0".parse().expect("valid v4 wildcard")
         };
         let socket = UdpSocket::bind(local).map_err(|e| err("udp bind", e))?;
@@ -161,6 +163,7 @@ impl DatagramLink for UdpLink {
             })?;
         let mut buf = [0u8; 65_535];
         match self.socket.recv(&mut buf) {
+            // clan-lint: allow(L1, reason="n <= buf.len() by the recv(2) contract; a datagram never exceeds the 64 KiB stack buffer")
             Ok(n) => Ok(Some(buf[..n].to_vec())),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -282,24 +285,62 @@ fn encode_ack(seq: u64, index: u32) -> Vec<u8> {
     out
 }
 
-/// Decodes one datagram. `None` on malformation — a lossy medium can
-/// corrupt anything, so garbage is dropped silently like a bad checksum,
-/// never panicked on.
-fn decode_datagram(buf: &[u8]) -> Option<Datagram<'_>> {
-    if buf.len() < 5 || buf[..4] != DATAGRAM_MAGIC {
+/// Splits `n` leading bytes off a slice, or `None` — the panic-free
+/// cursor primitive the datagram decoder is built from.
+fn take_bytes(buf: &[u8], n: usize) -> Option<(&[u8], &[u8])> {
+    if buf.len() < n {
         return None;
     }
-    match buf[4] {
-        TYPE_DATA if buf.len() >= DATA_HEADER_BYTES => Some(Datagram::Data {
-            seq: u64::from_le_bytes(buf[5..13].try_into().ok()?),
-            index: u32::from_le_bytes(buf[13..17].try_into().ok()?),
-            count: u32::from_le_bytes(buf[17..21].try_into().ok()?),
-            payload: &buf[DATA_HEADER_BYTES..],
-        }),
-        TYPE_ACK if buf.len() == ACK_BYTES => Some(Datagram::Ack {
-            seq: u64::from_le_bytes(buf[5..13].try_into().ok()?),
-            index: u32::from_le_bytes(buf[13..17].try_into().ok()?),
-        }),
+    Some(buf.split_at(n))
+}
+
+/// Reads a little-endian `u64` off the front of a slice.
+fn take_u64(buf: &[u8]) -> Option<(u64, &[u8])> {
+    let (head, rest) = take_bytes(buf, 8)?;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(head);
+    Some((u64::from_le_bytes(a), rest))
+}
+
+/// Reads a little-endian `u32` off the front of a slice.
+fn take_u32(buf: &[u8]) -> Option<(u32, &[u8])> {
+    let (head, rest) = take_bytes(buf, 4)?;
+    let mut a = [0u8; 4];
+    a.copy_from_slice(head);
+    Some((u32::from_le_bytes(a), rest))
+}
+
+/// Decodes one datagram. `None` on malformation — a lossy medium can
+/// corrupt anything, so garbage is dropped silently like a bad checksum,
+/// never panicked on. Every read is bounds-checked through the `take_*`
+/// cursors: no index into the wire bytes can panic.
+fn decode_datagram(buf: &[u8]) -> Option<Datagram<'_>> {
+    let (magic, rest) = take_bytes(buf, 4)?;
+    if magic != DATAGRAM_MAGIC {
+        return None;
+    }
+    let (ty, rest) = take_bytes(rest, 1)?;
+    match ty[0] {
+        TYPE_DATA => {
+            let (seq, rest) = take_u64(rest)?;
+            let (index, rest) = take_u32(rest)?;
+            let (count, payload) = take_u32(rest)?;
+            Some(Datagram::Data {
+                seq,
+                index,
+                count,
+                payload,
+            })
+        }
+        TYPE_ACK => {
+            let (seq, rest) = take_u64(rest)?;
+            let (index, rest) = take_u32(rest)?;
+            // ACKs are fixed-size: trailing bytes mean corruption.
+            if !rest.is_empty() {
+                return None;
+            }
+            Some(Datagram::Ack { seq, index })
+        }
         _ => None,
     }
 }
@@ -608,13 +649,15 @@ impl<L: DatagramLink> UdpTransport<L> {
                 }
                 inc.frags.insert(index, payload.to_vec());
                 self.link.send(&encode_ack(seq, index))?;
-                // Promote every in-order complete frame.
-                while self
-                    .partial
-                    .get(&self.next_rx)
-                    .is_some_and(Incoming::is_complete)
-                {
-                    let done = self.partial.remove(&self.next_rx).expect("checked");
+                // Promote every in-order complete frame. The
+                // remove-after-check is written as a single `remove` +
+                // re-insert-on-incomplete so there is no panic path
+                // between the check and the take.
+                while let Some(done) = self.partial.remove(&self.next_rx) {
+                    if !done.is_complete() {
+                        self.partial.insert(self.next_rx, done);
+                        break;
+                    }
                     self.ready.push_back(done.assemble());
                     self.next_rx += 1;
                 }
@@ -714,8 +757,13 @@ impl<L: DatagramLink> Transport for UdpTransport<L> {
     }
 
     fn recv_frame(&mut self) -> Result<Vec<u8>, ClanError> {
+        // `pump` enforces the link's idle_timeout, so this cannot hang
+        // on a silent peer.
         self.pump(|t| !t.ready.is_empty())?;
-        Ok(self.ready.pop_front().expect("pump stopped on non-empty"))
+        self.ready.pop_front().ok_or_else(|| ClanError::Transport {
+            peer: self.link.peer(),
+            reason: "pump returned without a ready frame".into(),
+        })
     }
 
     fn peer(&self) -> String {

@@ -1,0 +1,208 @@
+//! The baseline ratchet.
+//!
+//! `lint-baseline.txt` records the violations the workspace is *known*
+//! to still carry, aggregated per `(rule, file)` — aggregation by count
+//! rather than by line number keeps the baseline stable under unrelated
+//! edits that shift lines. `--check` fails in **both** directions:
+//!
+//! - a count above the baseline is a **new violation** (fix or waive it),
+//! - a count below the baseline is a **stale entry** (regenerate the
+//!   baseline with `--write-baseline` and commit the smaller file).
+//!
+//! Failing on stale entries is what makes this a ratchet: every fix is
+//! locked in by the commit that shrinks the baseline, so the count can
+//! only go down.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-`(rule, file)` violation counts, ordered for stable rendering.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregates raw violations into baseline counts. `W0` (malformed
+/// waiver) is deliberately *not* baselineable: a broken waiver must be
+/// fixed in the same change that introduced it.
+pub fn count(violations: &[Violation]) -> Counts {
+    let mut c = Counts::new();
+    for v in violations {
+        if v.rule == "W0" {
+            continue;
+        }
+        *c.entry((v.rule.to_string(), v.path.clone())).or_insert(0) += 1;
+    }
+    c
+}
+
+/// Renders counts in the committed baseline format.
+pub fn render(counts: &Counts) -> String {
+    let mut s = String::from(
+        "# clan-lint baseline — known violations, per rule and file.\n\
+         # Regenerate (only ever smaller) with:\n\
+         #   cargo run -p clan-lint --release -- --write-baseline lint-baseline.txt\n",
+    );
+    for ((rule, path), n) in counts {
+        let _ = writeln!(s, "{rule}\t{path}\t{n}");
+    }
+    s
+}
+
+/// Parses a committed baseline file. Lines are `RULE\tpath\tcount`;
+/// `#` comments and blank lines are ignored.
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut c = Counts::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(path), Some(n)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "baseline line {}: expected RULE\\tpath\\tcount",
+                i + 1
+            ));
+        };
+        let n: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{n}`", i + 1))?;
+        if c.insert((rule.to_string(), path.to_string()), n).is_some() {
+            return Err(format!("baseline line {}: duplicate entry", i + 1));
+        }
+    }
+    Ok(c)
+}
+
+/// One ratchet discrepancy.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Drift {
+    /// Current count exceeds the baseline: new violations crept in.
+    New {
+        /// Rule id.
+        rule: String,
+        /// File path.
+        path: String,
+        /// Current count.
+        current: usize,
+        /// Baselined count.
+        baselined: usize,
+    },
+    /// Current count is below the baseline: the entry is stale and the
+    /// baseline must be regenerated (ratcheted down) in this change.
+    Stale {
+        /// Rule id.
+        rule: String,
+        /// File path.
+        path: String,
+        /// Current count.
+        current: usize,
+        /// Baselined count.
+        baselined: usize,
+    },
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drift::New {
+                rule,
+                path,
+                current,
+                baselined,
+            } => write!(
+                f,
+                "NEW  {rule} {path}: {current} violation(s), baseline allows {baselined}"
+            ),
+            Drift::Stale {
+                rule,
+                path,
+                current,
+                baselined,
+            } => write!(
+                f,
+                "STALE {rule} {path}: baseline says {baselined}, only {current} remain — \
+                 ratchet down with --write-baseline"
+            ),
+        }
+    }
+}
+
+/// Compares current counts against the committed baseline, returning
+/// every discrepancy in both directions (empty means the check passes).
+pub fn check(current: &Counts, baseline: &Counts) -> Vec<Drift> {
+    let mut drift = Vec::new();
+    let keys: std::collections::BTreeSet<_> = current.keys().chain(baseline.keys()).collect();
+    for key in keys {
+        let cur = current.get(key).copied().unwrap_or(0);
+        let base = baseline.get(key).copied().unwrap_or(0);
+        let (rule, path) = (key.0.clone(), key.1.clone());
+        if cur > base {
+            drift.push(Drift::New {
+                rule,
+                path,
+                current: cur,
+                baselined: base,
+            });
+        } else if cur < base {
+            drift.push(Drift::Stale {
+                rule,
+                path,
+                current: cur,
+                baselined: base,
+            });
+        }
+    }
+    drift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let counts = count(&[
+            v("L1", "crates/core/src/runtime.rs", 3),
+            v("L1", "crates/core/src/runtime.rs", 9),
+            v("D1", "crates/neat/src/cache.rs", 1),
+        ]);
+        let parsed = parse(&render(&counts)).expect("round trip");
+        assert_eq!(parsed, counts);
+    }
+
+    #[test]
+    fn w0_is_never_baselineable() {
+        let counts = count(&[v("W0", "crates/neat/src/cache.rs", 1)]);
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn check_flags_both_directions() {
+        let base = parse("L1\ta.rs\t2\nD1\tb.rs\t1\n").expect("parse");
+        let current = count(&[v("L1", "a.rs", 1), v("L1", "a.rs", 2), v("L1", "a.rs", 3)]);
+        let drift = check(&current, &base);
+        assert_eq!(drift.len(), 2);
+        assert!(matches!(&drift[0], Drift::Stale { rule, .. } if rule == "D1"));
+        assert!(matches!(&drift[1], Drift::New { rule, current: 3, .. } if rule == "L1"));
+    }
+
+    #[test]
+    fn equal_counts_pass() {
+        let current = count(&[v("L1", "a.rs", 1)]);
+        assert!(check(&current, &current.clone()).is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! `clan-lint`: workspace static analysis enforcing the determinism and
+//! liveness contracts the CLAN reproduction's claims rest on.
+//!
+//! The equivalence suites prove bit-identity *after the fact*; this
+//! crate stops the two hazard classes they can miss from creeping in at
+//! all:
+//!
+//! - **Determinism** (`D1`–`D3`): every execution mode must replay
+//!   bit-identically per `(seed, schedule)`. Iteration-order-varying
+//!   collections, ambient clocks/entropy, and FP-reassociating iterator
+//!   idioms silently break that without failing any one run.
+//! - **Liveness** (`L1`–`L2`): transport and session code must surface
+//!   typed `ClanError`/`FrameError` — never a panic on hostile bytes,
+//!   never a hang on a silent peer.
+//!
+//! The scanner is offline and dependency-free: a hand-rolled
+//! comment/string/raw-string-aware tokenizer ([`tokenizer`]) feeds a
+//! scoped rule catalogue ([`rules`]), findings are waivable inline with
+//! `// clan-lint: allow(RULE, reason="…")` (reason mandatory), and a
+//! committed per-`(rule, file)` baseline ([`baseline`]) ratchets the
+//! count monotonically toward zero. See the crate's `main.rs` for the
+//! CLI (`--check`, `--write-baseline`, `--list-rules`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod rules;
+pub mod tokenizer;
+
+pub use rules::{lint_source, Violation, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints every in-scope `.rs` file under `root` (a workspace checkout
+/// or any tree mirroring its `crates/…` layout), returning findings
+/// sorted by path, line, rule.
+///
+/// # Errors
+///
+/// Any I/O error walking or reading the tree.
+pub fn lint_root(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    let mut out = Vec::new();
+    for abs in files {
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if !rules::in_any_scope(&rel) {
+            continue;
+        }
+        let src = fs::read_to_string(&abs)?;
+        out.extend(rules::lint_source(&rel, &src));
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files, skipping build output and trees
+/// outside any rule's scope anyway (`target/`, fixtures).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! `clan-lint` CLI.
+//!
+//! ```text
+//! clan-lint [--root DIR]                      # scan, print all findings
+//! clan-lint --check --baseline FILE [--root DIR]
+//!     # exit 1 on any new violation OR any stale baseline entry
+//! clan-lint --write-baseline FILE [--root DIR]
+//! clan-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean / check passed, 1 findings / ratchet drift,
+//! 2 usage or I/O error.
+
+use clan_lint::{baseline, lint_root, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut check = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--check" => check = true,
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a file"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(v) => write_path = Some(PathBuf::from(v)),
+                None => return usage("--write-baseline needs a file"),
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if check && baseline_path.is_none() {
+        return usage("--check requires --baseline FILE");
+    }
+
+    let violations = match lint_root(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("clan-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let counts = baseline::count(&violations);
+
+    if let Some(path) = write_path {
+        if let Err(e) = std::fs::write(&path, baseline::render(&counts)) {
+            eprintln!("clan-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "clan-lint: wrote {} entries ({} violations) to {}",
+            counts.len(),
+            violations.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if check {
+        let path = baseline_path.expect("checked above");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("clan-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("clan-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // W0 findings are never baselineable: report and fail directly.
+        let w0: Vec<_> = violations.iter().filter(|v| v.rule == "W0").collect();
+        for v in &w0 {
+            println!("{v}");
+        }
+        let drift = baseline::check(&counts, &base);
+        for d in &drift {
+            println!("{d}");
+        }
+        // Print the concrete findings behind every NEW drift so the
+        // report names file:line, not just counts.
+        for d in &drift {
+            if let baseline::Drift::New { rule, path, .. } = d {
+                for v in violations
+                    .iter()
+                    .filter(|v| v.rule == rule && &v.path == path)
+                {
+                    println!("{v}");
+                }
+            }
+        }
+        return if drift.is_empty() && w0.is_empty() {
+            println!(
+                "clan-lint: check passed — {} baselined violation(s) across {} entries, none new",
+                counts.values().sum::<usize>(),
+                counts.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "clan-lint: {} violation(s) in {} (rule, file) group(s)",
+        violations.len(),
+        counts.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("clan-lint: {err}");
+    eprintln!(
+        "usage: clan-lint [--root DIR] [--check --baseline FILE] \
+         [--write-baseline FILE] [--list-rules]"
+    );
+    ExitCode::from(2)
+}

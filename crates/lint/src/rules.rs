@@ -1,0 +1,587 @@
+//! The rule catalogue: what each contract rule matches and where it
+//! applies.
+//!
+//! Every rule is scoped to the files whose contracts it defends —
+//! scoping is part of the rule, not a CLI flag, so the catalogue is the
+//! single source of truth for "which code is determinism-bearing" and
+//! "which code is liveness-bearing". Paths are workspace-relative with
+//! `/` separators.
+//!
+//! | Rule | Contract | Matches |
+//! |------|----------|---------|
+//! | `D1` | determinism | `HashMap`/`HashSet` in determinism-bearing crates |
+//! | `D2` | determinism | `Instant::now`/`SystemTime`/`thread_rng`/`from_entropy` outside the timing modules |
+//! | `D3` | determinism | `.sum()`/`.fold(` float-reassociation idioms in kernel files |
+//! | `L1` | liveness   | `.unwrap()`/`.expect(`/`panic!`/wire-buffer indexing in transport/session code |
+//! | `L2` | liveness   | `recv` in a transport fn with no timeout-bearing path |
+//! | `W0` | meta       | malformed waiver comments (missing reason, bad grammar) |
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt
+//! everywhere: panicking asserts and ad-hoc maps are what tests are
+//! made of.
+
+use crate::tokenizer::{tokenize, Tok, Tokenized};
+use std::fmt;
+
+/// One finding, formatted as `rule:file:line: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (`D1`…`L2`, `W0`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the hazard.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+/// Rule ids in catalogue order (useful for `--list-rules` and tests).
+pub const RULES: [&str; 6] = ["D1", "D2", "D3", "L1", "L2", "W0"];
+
+// ---------------------------------------------------------------------
+// Scoping: which files each rule defends.
+// ---------------------------------------------------------------------
+
+/// Determinism-bearing code: all of `clan-neat`, and all of `clan-core`
+/// except the transport layer (wire timers/ARQ are wall-clock by
+/// nature; determinism there is defended at the *message* level by the
+/// equivalence suites, not at the token level).
+fn determinism_scope(path: &str) -> bool {
+    (path.starts_with("crates/neat/src/") || path.starts_with("crates/core/src/"))
+        && !path.starts_with("crates/core/src/transport/")
+}
+
+/// Kernel files whose FP accumulation order is documented and must not
+/// drift: the scalar activation kernel and the SoA batch kernel.
+fn kernel_scope(path: &str) -> bool {
+    path == "crates/neat/src/network.rs" || path == "crates/neat/src/batch.rs"
+}
+
+/// Liveness-bearing code: everything that touches wire-derived data or
+/// runs a session loop. Contract: typed `ClanError`/`FrameError`, never
+/// a panic or a hang.
+fn liveness_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/transport/")
+        || path == "crates/core/src/runtime.rs"
+        || path == "crates/core/src/membership.rs"
+}
+
+/// Transport code proper, for the recv-timeout rule.
+fn transport_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/transport/")
+}
+
+/// Whether any rule applies to `path` at all (drives the file walk).
+pub fn in_any_scope(path: &str) -> bool {
+    determinism_scope(path) || kernel_scope(path) || liveness_scope(path)
+}
+
+// ---------------------------------------------------------------------
+// The linter.
+// ---------------------------------------------------------------------
+
+/// Lints one source file under the default catalogue. `path` must be
+/// workspace-relative with `/` separators — scoping keys off it.
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    let t = tokenize(src);
+    let in_test = mark_test_code(&t.toks);
+    let mut out = Vec::new();
+
+    // W0 first: a malformed waiver is a finding wherever it appears in
+    // a scoped file (it silently fails to waive, which is worse than no
+    // waiver at all).
+    if in_any_scope(path) {
+        for (line, what) in &t.malformed {
+            out.push(Violation {
+                rule: "W0",
+                path: path.to_string(),
+                line: *line,
+                message: what.clone(),
+            });
+        }
+    }
+
+    if determinism_scope(path) {
+        rule_d1(path, &t, &in_test, &mut out);
+        rule_d2(path, &t, &in_test, &mut out);
+    }
+    if kernel_scope(path) {
+        rule_d3(path, &t, &in_test, &mut out);
+    }
+    if liveness_scope(path) {
+        rule_l1(path, &t, &in_test, &mut out);
+    }
+    if transport_scope(path) {
+        rule_l2(path, &t, &in_test, &mut out);
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Pushes a violation unless an inline waiver covers it.
+fn push(
+    out: &mut Vec<Violation>,
+    t: &Tokenized,
+    rule: &'static str,
+    path: &str,
+    line: u32,
+    message: String,
+) {
+    if !t.is_waived(rule, line) {
+        out.push(Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+/// D1: iteration-order-nondeterministic collections.
+fn rule_d1(path: &str, t: &Tokenized, in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, tok) in t.toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = tok.ident() {
+            push(
+                out,
+                t,
+                "D1",
+                path,
+                tok.line(),
+                format!(
+                    "`{name}` in determinism-bearing code: iteration order varies \
+                     per process; use BTreeMap/BTreeSet or waive a lookup-only use"
+                ),
+            );
+        }
+    }
+}
+
+/// D2: ambient nondeterminism (wall clock, OS entropy).
+fn rule_d2(path: &str, t: &Tokenized, in_test: &[bool], out: &mut Vec<Violation>) {
+    let toks = &t.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        let hit = match name {
+            // `Instant::now(…)` — require the path form so a local
+            // variable named `now` never trips it.
+            "Instant" => {
+                toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 3).and_then(Tok::ident) == Some("now")
+            }
+            "SystemTime" | "thread_rng" | "from_entropy" => true,
+            _ => false,
+        };
+        if hit {
+            push(
+                out,
+                t,
+                "D2",
+                path,
+                tok.line(),
+                format!(
+                    "ambient nondeterminism (`{name}`) outside the designated timing \
+                     modules; derive from the seeded RNG or the virtual-time layer"
+                ),
+            );
+        }
+    }
+}
+
+/// D3: float-reassociation idioms in kernel files.
+fn rule_d3(path: &str, t: &Tokenized, in_test: &[bool], out: &mut Vec<Violation>) {
+    let toks = &t.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if in_test[i] || !tok.is_punct('.') {
+            continue;
+        }
+        if let Some(name @ ("sum" | "fold")) = toks.get(i + 1).and_then(Tok::ident) {
+            push(
+                out,
+                t,
+                "D3",
+                path,
+                tok.line(),
+                format!(
+                    "`.{name}(…)` in a kernel file: iterator accumulation hides the \
+                     FP term order the batch/scalar equivalence contract documents; \
+                     keep the explicit per-lane loop or waive the canonical site"
+                ),
+            );
+        }
+    }
+}
+
+/// Identifiers that (by local convention) hold wire-derived bytes;
+/// indexing them can panic on hostile input.
+const WIRE_BUFFER_NAMES: [&str; 4] = ["buf", "payload", "frags", "datagram"];
+
+/// L1: panic paths in liveness-bearing code.
+fn rule_l1(path: &str, t: &Tokenized, in_test: &[bool], out: &mut Vec<Violation>) {
+    let toks = &t.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — method position only, so
+        // `unwrap_or`/`expect_err` and free fns named `unwrap` don't trip.
+        if tok.is_punct('.') {
+            if let Some(name @ ("unwrap" | "expect")) = toks.get(i + 1).and_then(Tok::ident) {
+                if toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                    push(
+                        out,
+                        t,
+                        "L1",
+                        path,
+                        tok.line(),
+                        format!(
+                            "`.{name}(…)` on a liveness path: a malformed peer or lost \
+                             socket must surface a typed ClanError/FrameError, not a panic"
+                        ),
+                    );
+                }
+            }
+            continue;
+        }
+        if let Some(name) = tok.ident() {
+            // `panic!(` / `unreachable!(` / `todo!(`.
+            if matches!(name, "panic" | "unreachable" | "todo")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                push(
+                    out,
+                    t,
+                    "L1",
+                    path,
+                    tok.line(),
+                    format!("`{name}!` on a liveness path: return a typed error instead"),
+                );
+            }
+            // Indexing a wire-derived buffer: `buf[…]`, `payload[…]`.
+            // A preceding `.` (field access `self.buf[…]`) still lands
+            // here because the ident itself is what we key on.
+            if WIRE_BUFFER_NAMES.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            {
+                push(
+                    out,
+                    t,
+                    "L1",
+                    path,
+                    tok.line(),
+                    format!(
+                        "indexing wire-derived buffer `{name}[…]` can panic on hostile \
+                         input; bounds-check and return FrameError::Truncated, or waive \
+                         a checked site"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Names that count as receiving from a peer.
+const RECV_NAMES: [&str; 3] = ["recv", "recv_frame", "recv_message"];
+
+/// L2: every `recv` in transport code must sit in a function with a
+/// timeout-bearing path. Heuristic: the enclosing `fn`'s name or body
+/// must mention a timeout/deadline identifier; otherwise a silent peer
+/// can hang the call forever. Waivable for fns whose timeout lives one
+/// call down (document where).
+fn rule_l2(path: &str, t: &Tokenized, in_test: &[bool], out: &mut Vec<Violation>) {
+    let toks = &t.toks;
+    for f in functions(toks) {
+        if in_test.get(f.name_idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let body = &toks[f.body_start..f.body_end];
+        let timeout_bearing = ident_mentions_timeout(&f.name)
+            || body
+                .iter()
+                .any(|t| t.ident().is_some_and(ident_mentions_timeout));
+        if timeout_bearing {
+            continue;
+        }
+        for (j, tok) in body.iter().enumerate() {
+            let Some(name) = tok.ident() else { continue };
+            if RECV_NAMES.contains(&name) && body.get(j + 1).is_some_and(|t| t.is_punct('(')) {
+                push(
+                    out,
+                    t,
+                    "L2",
+                    path,
+                    tok.line(),
+                    format!(
+                        "`{name}(…)` in fn `{}` with no timeout-bearing path in sight: \
+                         a silent peer hangs this call; route through an idle-deadline \
+                         or waive with the location of the timeout",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn ident_mentions_timeout(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("timeout") || lower.contains("deadline")
+}
+
+// ---------------------------------------------------------------------
+// Structure passes: test-code ranges and function extents.
+// ---------------------------------------------------------------------
+
+/// Marks each token as test code if it falls inside a `#[cfg(test)]`
+/// module/function or a `#[test]` function.
+fn mark_test_code(toks: &[Tok]) -> Vec<bool> {
+    let mut test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(after_attr) = test_attr_end(toks, i) {
+            // Skip any further attributes between the marker and the
+            // item (`#[cfg(test)] #[allow(dead_code)] mod tests`).
+            let mut j = after_attr;
+            while toks.get(j).is_some_and(|t| t.is_punct('#')) {
+                j = skip_attr(toks, j);
+            }
+            // Find the item's body: first `{` before a terminating `;`
+            // (a `#[cfg(test)] use …;` has no body).
+            let mut k = j;
+            let mut body = None;
+            while let Some(t) = toks.get(k) {
+                if t.is_punct('{') {
+                    body = Some(k);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+                k += 1;
+            }
+            if let Some(open) = body {
+                let close = matching_brace(toks, open);
+                for slot in test.iter_mut().take(close).skip(i) {
+                    *slot = true;
+                }
+                i = close;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    test
+}
+
+/// If `i` starts a `#[cfg(test)]` or `#[test]` attribute, returns the
+/// index one past its closing `]`.
+fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks.get(i)?.is_punct('#') || !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let end = skip_attr(toks, i);
+    let inner = &toks[i + 2..end.saturating_sub(1)];
+    let is_test = match inner.first().and_then(Tok::ident) {
+        Some("test") => inner.len() == 1,
+        // `cfg(test)` / `cfg(any(test, …))` mark test code;
+        // `cfg(not(test))` is production and must stay linted.
+        Some("cfg") => {
+            inner.iter().any(|t| t.ident() == Some("test"))
+                && !inner.iter().any(|t| t.ident() == Some("not"))
+        }
+        _ => false,
+    };
+    is_test.then_some(end)
+}
+
+/// Returns the index one past an attribute's closing `]` (`i` points at
+/// `#`). Tolerates nested brackets.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index one past the brace matching the `{` at `open`.
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// One extracted function: name and body token range.
+struct Fn_ {
+    name: String,
+    name_idx: usize,
+    body_start: usize,
+    body_end: usize,
+}
+
+/// Extracts every `fn name … { body }` by brace matching. Trait-method
+/// *declarations* (`fn f(…);`) have no body and are skipped.
+fn functions(toks: &[Tok]) -> Vec<Fn_> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].ident() == Some("fn") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if let Some(name) = name_tok.ident() {
+                    // Scan to the body `{`, stopping at `;` (bodyless).
+                    let mut k = i + 2;
+                    let mut open = None;
+                    while let Some(t) = toks.get(k) {
+                        if t.is_punct('{') {
+                            open = Some(k);
+                            break;
+                        }
+                        if t.is_punct(';') {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    if let Some(open) = open {
+                        let close = matching_brace(toks, open);
+                        out.push(Fn_ {
+                            name: name.to_string(),
+                            name_idx: i + 1,
+                            body_start: open,
+                            body_end: close,
+                        });
+                        // Nested fns are rare and would be double-
+                        // counted; continue past the *header*, not the
+                        // body, so closures with `fn` in types are safe.
+                        i = open;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_at(path: &str, src: &str) -> Vec<String> {
+        lint_source(path, src)
+            .iter()
+            .map(|v| v.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn d1_flags_hashmap_in_scope_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_at("crates/neat/src/population.rs", src).len(), 1);
+        assert_eq!(lint_at("crates/envs/src/cartpole.rs", src).len(), 0);
+        assert_eq!(lint_at("crates/core/src/transport/udp.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn d1_respects_waivers_same_line_and_above() {
+        let same = "let m: HashMap<u32, u32> = HashMap::new(); // clan-lint: allow(D1, reason=\"lookup-only\")\n";
+        assert!(lint_at("crates/neat/src/cache.rs", same).is_empty());
+        let above = "// clan-lint: allow(D1, reason=\"lookup-only\")\nlet m: HashMap<u32, u32> = HashMap::new();\n";
+        assert!(lint_at("crates/neat/src/cache.rs", above).is_empty());
+    }
+
+    #[test]
+    fn w0_flags_reasonless_waiver_and_keeps_the_violation() {
+        let src = "// clan-lint: allow(D1)\nlet m = HashMap::new();\n";
+        let v = lint_source("crates/neat/src/cache.rs", src);
+        let rules: Vec<_> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"W0"), "{v:?}");
+        assert!(rules.contains(&"D1"), "{v:?}");
+    }
+
+    #[test]
+    fn d2_requires_path_form_for_instant() {
+        let src = "let t = Instant::now();\nlet now = 3;\n";
+        let v = lint_source("crates/core/src/driver.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn l1_method_position_only() {
+        let src = "let x = r.unwrap();\nlet y = r.unwrap_or(0);\nlet z = unwrap(r);\n";
+        let v = lint_source("crates/core/src/transport/tcp.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn l1_skips_test_modules() {
+        let src = "fn prod(r: Result<u8, ()>) { r.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t(r: Result<u8, ()>) { r.unwrap(); }\n}\n";
+        let v = lint_source("crates/core/src/transport/tcp.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn l2_flags_bare_recv_not_timeout_guarded() {
+        let bare = "fn pull(t: &mut T) -> Frame { t.recv() }\n";
+        assert_eq!(
+            lint_at("crates/core/src/transport/channel.rs", bare).len(),
+            1
+        );
+        let guarded =
+            "fn pull(t: &mut T) -> Frame { if idle > self.idle_timeout { fail() } t.recv() }\n";
+        assert!(lint_at("crates/core/src/transport/channel.rs", guarded).is_empty());
+        let named = "fn pull_with_timeout(t: &mut T) -> Frame { t.recv() }\n";
+        assert!(lint_at("crates/core/src/transport/channel.rs", named).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_sum_in_kernel_files_only() {
+        let src = "let s: f64 = xs.iter().sum();\n";
+        assert_eq!(lint_at("crates/neat/src/network.rs", src).len(), 1);
+        assert!(lint_at("crates/neat/src/genome.rs", src).is_empty());
+    }
+}

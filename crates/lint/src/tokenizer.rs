@@ -1,0 +1,473 @@
+//! A hand-rolled, comment/string/raw-string-aware Rust tokenizer.
+//!
+//! The rules in [`crate::rules`] match *token sequences*, never raw
+//! text, so a `HashMap` inside a doc comment, a `"…unwrap()…"` string
+//! literal, or an `r#"…panic!…"#` raw string can never produce a
+//! finding. The tokenizer follows the same discipline as the vendored
+//! `serde_derive` shim: no `syn`, no crates.io — just a byte scanner
+//! that understands exactly as much Rust lexical structure as the rule
+//! catalogue needs:
+//!
+//! - line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments
+//! - string literals with escapes, byte strings, raw strings with any
+//!   number of `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`)
+//! - char literals vs lifetimes (`'a'` vs `'a`)
+//! - identifiers, numeric literals (including `0x…`, `1_000`, `1.5e3`),
+//!   and single-char punctuation
+//!
+//! Line comments are additionally scanned for the waiver grammar
+//! `// clan-lint: allow(RULE, reason="…")`; see [`Waiver`].
+
+/// One lexical token. String/char literal *content* is deliberately
+/// dropped — rules must be blind to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident {
+        /// 1-based source line.
+        line: u32,
+        /// The identifier text.
+        name: String,
+    },
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct {
+        /// 1-based source line.
+        line: u32,
+        /// The character.
+        ch: char,
+    },
+    /// A numeric literal (value dropped).
+    Num {
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A string, byte-string, raw-string, or char literal (content
+    /// dropped).
+    Str {
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A lifetime (`'a`).
+    Lifetime {
+        /// 1-based source line.
+        line: u32,
+    },
+}
+
+impl Tok {
+    /// The 1-based source line the token starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tok::Ident { line, .. }
+            | Tok::Punct { line, .. }
+            | Tok::Num { line }
+            | Tok::Str { line }
+            | Tok::Lifetime { line } => *line,
+        }
+    }
+
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    pub fn is_punct(&self, want: char) -> bool {
+        matches!(self, Tok::Punct { ch, .. } if *ch == want)
+    }
+}
+
+/// A parsed `// clan-lint: allow(RULE, reason="…")` waiver comment.
+///
+/// A waiver suppresses violations of `rule` on the line it appears on
+/// and on the immediately following line — covering both the
+/// trailing-comment and comment-above styles. The reason is mandatory:
+/// a waiver without one is itself reported (rule `W0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based line the waiver comment is on.
+    pub line: u32,
+    /// The rule being waived (e.g. `"D1"`).
+    pub rule: String,
+    /// The mandatory justification. `None` means the waiver is
+    /// malformed and must be reported.
+    pub reason: Option<String>,
+}
+
+/// The result of tokenizing one source file.
+#[derive(Debug, Default)]
+pub struct Tokenized {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Well-formed and malformed waivers found in line comments.
+    pub waivers: Vec<Waiver>,
+    /// Lines holding a comment that *looks* like a waiver
+    /// (`clan-lint:` marker present) but does not parse, with a
+    /// description of what is wrong.
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl Tokenized {
+    /// Whether `rule` is waived on `line` (waivers cover their own line
+    /// and the next one).
+    pub fn is_waived(&self, rule: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.reason.is_some() && w.rule == rule && (w.line == line || w.line + 1 == line))
+    }
+}
+
+/// Tokenizes one Rust source file. Never fails: unrecognized bytes
+/// become punctuation tokens and an unterminated literal simply ends
+/// the stream at EOF.
+pub fn tokenize(src: &str) -> Tokenized {
+    let b = src.as_bytes();
+    let mut out = Tokenized::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_comment_for_waiver(&src[start..i], line, &mut out);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                i += 1;
+                skip_quoted(b, &mut i, &mut line);
+                out.toks.push(Tok::Str { line: tok_line });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let tok_line = line;
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if n.is_ascii_alphabetic() || n == b'_')
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    i += 2;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok::Lifetime { line: tok_line });
+                } else {
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 1;
+                        if i < b.len() {
+                            if b[i] == b'u' {
+                                while i < b.len() && b[i] != b'}' && b[i] != b'\'' {
+                                    i += 1;
+                                }
+                            }
+                            i += 1;
+                        }
+                    } else if i < b.len() {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    out.toks.push(Tok::Str { line: tok_line });
+                }
+            }
+            b'0'..=b'9' => {
+                let tok_line = line;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        // `1.5` consumes the dot; `1..x` leaves the
+                        // range operator alone.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok::Num { line: tok_line });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let tok_line = line;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let name = &src[start..i];
+                // Raw/byte string prefixes: the "identifier" is really
+                // the start of a literal.
+                let next = b.get(i).copied();
+                let starts_string = match name {
+                    "r" | "br" => next == Some(b'"') || next == Some(b'#'),
+                    "b" => next == Some(b'"'),
+                    _ => false,
+                };
+                let starts_byte_char = name == "b" && next == Some(b'\'');
+                if starts_string && name != "b" {
+                    // Raw string: count `#` guards, then scan for the
+                    // closing `"` followed by the same number of `#`s.
+                    let mut hashes = 0usize;
+                    while i < b.len() && b[i] == b'#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == b'"' {
+                        i += 1;
+                        'raw: while i < b.len() {
+                            if b[i] == b'\n' {
+                                line += 1;
+                                i += 1;
+                            } else if b[i] == b'"' {
+                                let mut j = i + 1;
+                                let mut seen = 0usize;
+                                while seen < hashes && j < b.len() && b[j] == b'#' {
+                                    seen += 1;
+                                    j += 1;
+                                }
+                                i = j;
+                                if seen == hashes {
+                                    break 'raw;
+                                }
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        out.toks.push(Tok::Str { line: tok_line });
+                    } else {
+                        // `r#ident` raw identifier or stray `r#`: emit
+                        // the prefix as an identifier and continue.
+                        out.toks.push(Tok::Ident {
+                            line: tok_line,
+                            name: name.to_string(),
+                        });
+                    }
+                } else if starts_string {
+                    // b"…" byte string: normal escape rules.
+                    i += 1;
+                    skip_quoted(b, &mut i, &mut line);
+                    out.toks.push(Tok::Str { line: tok_line });
+                } else if starts_byte_char {
+                    i += 1; // opening quote
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.toks.push(Tok::Str { line: tok_line });
+                } else {
+                    out.toks.push(Tok::Ident {
+                        line: tok_line,
+                        name: name.to_string(),
+                    });
+                }
+            }
+            _ => {
+                out.toks.push(Tok::Punct {
+                    line,
+                    ch: c as char,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Advances `*i` past a `"`-terminated literal body (opening quote
+/// already consumed), honoring `\` escapes and counting newlines.
+fn skip_quoted(b: &[u8], i: &mut usize, line: &mut u32) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => {
+                // A `\` escape consumes the next byte too — which may
+                // be a line-continuation newline that must be counted.
+                if b.get(*i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                *i += 2;
+            }
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Parses the waiver grammar out of one line comment, recording either
+/// a [`Waiver`] or a malformed-waiver diagnostic. Comments without the
+/// `clan-lint:` marker are ignored.
+fn scan_comment_for_waiver(comment: &str, line: u32, out: &mut Tokenized) {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let Some(rest) = body.strip_prefix("clan-lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        out.malformed.push((
+            line,
+            format!("expected `allow(RULE, reason=\"…\")`, got `{rest}`"),
+        ));
+        return;
+    };
+    let (rule, tail) = match args.split_once(',') {
+        Some((r, t)) => (r.trim(), t.trim()),
+        None => (args.trim(), ""),
+    };
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        out.malformed
+            .push((line, format!("bad rule name `{rule}` in waiver")));
+        return;
+    }
+    let reason = tail
+        .strip_prefix("reason=")
+        .map(str::trim)
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::trim)
+        .filter(|r| !r.is_empty());
+    if reason.is_none() {
+        out.malformed.push((
+            line,
+            format!("waiver for {rule} is missing its mandatory reason=\"…\""),
+        ));
+    }
+    out.waivers.push(Waiver {
+        line,
+        rule: rule.to_string(),
+        reason: reason.map(str::to_string),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r###"
+// HashMap in a comment
+/// HashMap in a doc comment
+/* HashMap /* nested */ still comment */
+let s = "HashMap::unwrap()";
+let r = r#"panic!("HashMap")"#;
+let c = 'H';
+let real = BTreeMap::new();
+"###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(!ids.iter().any(|i| i == "panic"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "BTreeMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = tokenize("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            t.toks
+                .iter()
+                .filter(|t| matches!(t, Tok::Lifetime { .. }))
+                .count(),
+            3
+        );
+        assert!(t.toks.iter().all(|t| !matches!(t, Tok::Str { .. })));
+    }
+
+    #[test]
+    fn lines_survive_multiline_literals() {
+        let src = "let s = \"a\nb\nc\";\nlet x = HashMap::new();";
+        let t = tokenize(src);
+        let h = t
+            .toks
+            .iter()
+            .find(|t| t.ident() == Some("HashMap"))
+            .expect("HashMap token");
+        assert_eq!(h.line(), 4);
+    }
+
+    #[test]
+    fn waiver_parses_with_reason() {
+        let t = tokenize("// clan-lint: allow(D1, reason=\"lookup-only\")\nlet m = 1;");
+        assert_eq!(t.waivers.len(), 1);
+        assert_eq!(t.waivers[0].rule, "D1");
+        assert_eq!(t.waivers[0].reason.as_deref(), Some("lookup-only"));
+        assert!(t.is_waived("D1", 1));
+        assert!(t.is_waived("D1", 2));
+        assert!(!t.is_waived("D1", 3));
+        assert!(!t.is_waived("L1", 2));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        let t = tokenize("// clan-lint: allow(D1)");
+        assert_eq!(t.malformed.len(), 1);
+        assert!(!t.is_waived("D1", 1), "reasonless waiver must not waive");
+    }
+
+    #[test]
+    fn raw_identifier_does_not_eat_the_file() {
+        let ids = idents("let r#type = 1; let after = HashMap::new();");
+        assert!(ids.iter().any(|i| i == "HashMap"));
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end fixture tests: known-violation snippets must produce
+//! exactly the expected `rule:file:line` diagnostics, known-clean
+//! snippets must produce none, and the baseline ratchet must fail the
+//! check in both drift directions.
+
+use clan_lint::{baseline, lint_root};
+use std::path::Path;
+
+fn fixture_root(which: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+}
+
+/// `rule:path:line` keys for every finding under a fixture root.
+fn keys(which: &str) -> Vec<String> {
+    lint_root(&fixture_root(which))
+        .expect("fixture tree scans")
+        .iter()
+        .map(|v| format!("{}:{}:{}", v.rule, v.path, v.line))
+        .collect()
+}
+
+#[test]
+fn violations_fixture_reports_exactly_the_injected_findings() {
+    let got = keys("violations");
+    let want = vec![
+        "D2:crates/core/src/evil_d2.rs:5".to_string(),
+        "L1:crates/core/src/transport/evil_l1.rs:4".to_string(),
+        "L2:crates/core/src/transport/evil_l2.rs:5".to_string(),
+        "D1:crates/neat/src/evil_d1.rs:6".to_string(),
+        "W0:crates/neat/src/evil_w0.rs:5".to_string(),
+        "D1:crates/neat/src/evil_w0.rs:6".to_string(),
+        "D3:crates/neat/src/network.rs:5".to_string(),
+    ];
+    assert_eq!(got, want, "one injected violation per rule, exact lines");
+}
+
+#[test]
+fn every_rule_fires_in_the_violations_fixture() {
+    let got = keys("violations");
+    for rule in clan_lint::RULES {
+        assert!(
+            got.iter().any(|k| k.starts_with(&format!("{rule}:"))),
+            "rule {rule} never fired: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    assert_eq!(keys("clean"), Vec::<String>::new());
+}
+
+#[test]
+fn check_fails_against_an_empty_baseline_with_new_drift() {
+    let violations = lint_root(&fixture_root("violations")).expect("scan");
+    let current = baseline::count(&violations);
+    let empty = baseline::parse("").expect("empty baseline parses");
+    let drift = baseline::check(&current, &empty);
+    assert!(!drift.is_empty());
+    assert!(
+        drift
+            .iter()
+            .all(|d| matches!(d, baseline::Drift::New { .. })),
+        "all drift vs empty baseline is NEW: {drift:?}"
+    );
+    // W0 findings exist but are never baselineable.
+    assert!(violations.iter().any(|v| v.rule == "W0"));
+    assert!(current.keys().all(|(rule, _)| rule != "W0"));
+}
+
+#[test]
+fn check_fails_on_stale_entries_after_a_fix() {
+    let violations = lint_root(&fixture_root("violations")).expect("scan");
+    let current = baseline::count(&violations);
+    // A baseline recorded when there was one extra L1: the entry is now
+    // stale and must fail the check until ratcheted down.
+    let mut inflated = current.clone();
+    *inflated
+        .entry((
+            "L1".to_string(),
+            "crates/core/src/transport/evil_l1.rs".to_string(),
+        ))
+        .or_insert(0) += 1;
+    let drift = baseline::check(&current, &inflated);
+    assert_eq!(drift.len(), 1);
+    assert!(matches!(&drift[0], baseline::Drift::Stale { rule, .. } if rule == "L1"));
+}
+
+#[test]
+fn check_passes_when_baseline_matches_exactly() {
+    let violations = lint_root(&fixture_root("violations")).expect("scan");
+    let current = baseline::count(&violations);
+    let committed = baseline::parse(&baseline::render(&current)).expect("round trip");
+    assert!(baseline::check(&current, &committed).is_empty());
+}
+
+/// The committed workspace baseline must stay in sync with the tree —
+/// the same assertion CI's `lint-contract` job makes, so a drift is
+/// caught by `cargo test` locally before it ever reaches CI. Skipped if
+/// the workspace root is not where the build put it (e.g. a vendored
+/// sub-checkout).
+#[test]
+fn workspace_scan_matches_the_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root");
+    let committed = root.join("lint-baseline.txt");
+    if !committed.exists() {
+        return;
+    }
+    let violations = lint_root(root).expect("workspace scans");
+    let current = baseline::count(&violations);
+    let base = baseline::parse(&std::fs::read_to_string(&committed).expect("readable"))
+        .expect("committed baseline parses");
+    let drift = baseline::check(&current, &base);
+    assert!(
+        drift.is_empty(),
+        "workspace drifted from lint-baseline.txt:\n{}",
+        drift
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let w0: Vec<_> = violations.iter().filter(|v| v.rule == "W0").collect();
+    assert!(w0.is_empty(), "malformed waivers in the tree: {w0:?}");
+}

@@ -1,0 +1,41 @@
+//! Fixture: every rule's trigger pattern, hidden where the tokenizer
+//! must never look — comments, doc comments, strings, raw strings, char
+//! literals — plus properly waived and test-module instances. Expected
+//! finding count: zero.
+//!
+//! Doc comment: HashMap, Instant::now(), .unwrap(), panic!, recv().
+
+// Line comment: HashSet and SystemTime and thread_rng().
+/* Block comment: HashMap::new().unwrap() /* nested: panic!("x") */ */
+
+pub fn strings() -> usize {
+    let a = "HashMap and .unwrap() and Instant::now()";
+    let b = r#"panic!("HashSet") and recv() and .expect("boom")"#;
+    let c = "multi
+line HashMap
+string";
+    let d = 'H';
+    a.len() + b.len() + c.len() + (d as usize)
+}
+
+// clan-lint: allow(D1, reason="fixture: waived lookup-only map")
+pub type Waived = std::collections::HashMap<u32, u32>;
+
+pub fn waived_trailing() {
+    let _m: std::collections::HashSet<u8> = Default::default(); // clan-lint: allow(D1, reason="fixture: trailing waiver")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_panic_and_hash() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        if m.is_empty() {
+            panic!("impossible");
+        }
+    }
+}

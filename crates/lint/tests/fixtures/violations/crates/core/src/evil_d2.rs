@@ -1,0 +1,6 @@
+//! Fixture: one D2 violation (ambient wall clock in determinism-bearing
+//! code).
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

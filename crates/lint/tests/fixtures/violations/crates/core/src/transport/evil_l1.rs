@@ -1,0 +1,5 @@
+//! Fixture: one L1 violation (panic path on wire-derived data).
+
+pub fn decode(bytes: Result<Vec<u8>, ()>) -> Vec<u8> {
+    bytes.unwrap()
+}

@@ -1,0 +1,6 @@
+//! Fixture: one L2 violation (a `recv` with no timeout-bearing path in
+//! the enclosing function).
+
+pub fn pull(rx: &std::sync::mpsc::Receiver<Vec<u8>>) -> Vec<u8> {
+    rx.recv().unwrap_or_default()
+}

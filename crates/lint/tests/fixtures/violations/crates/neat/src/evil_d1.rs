@@ -1,0 +1,11 @@
+//! Fixture: one D1 violation (iteration-order-nondeterministic map in a
+//! determinism-bearing crate). The commented/string mentions must stay
+//! silent.
+
+// A HashMap in a comment is fine.
+use std::collections::HashMap;
+
+pub fn noisy() -> usize {
+    let label = "HashMap inside a string literal";
+    label.len()
+}

@@ -1,0 +1,6 @@
+//! Fixture: one W0 violation (a waiver with no reason silently fails to
+//! waive — both the malformed waiver and the violation it meant to
+//! cover must be reported).
+
+// clan-lint: allow(D1)
+use std::collections::HashSet;

@@ -1,0 +1,6 @@
+//! Fixture mirroring the kernel file path: one D3 violation (iterator
+//! fold hides the documented FP term order).
+
+pub fn dot(xs: &[f64], ws: &[f64]) -> f64 {
+    xs.iter().zip(ws).map(|(x, w)| x * w).sum()
+}

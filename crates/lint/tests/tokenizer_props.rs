@@ -1,0 +1,97 @@
+//! Property tests: the tokenizer must never let a hazard pattern inside
+//! a string, comment, or doc comment reach the rule matchers — and must
+//! always flag the same pattern in code position.
+
+use clan_lint::lint_source;
+use proptest::prelude::*;
+
+/// Hazard snippets, one per rule family, that would fire if they
+/// appeared in code position in the right scope.
+const HAZARDS: [&str; 6] = [
+    "HashMap::new()",
+    "HashSet::with_capacity(4)",
+    "std::time::Instant::now()",
+    "value.unwrap()",
+    "result.expect(\"boom\")",
+    "panic!(\"dead\")",
+];
+
+/// Paths covering every scope so each hazard is matched by at least one
+/// active rule.
+const PATHS: [&str; 3] = [
+    "crates/neat/src/population.rs",
+    "crates/core/src/driver.rs",
+    "crates/core/src/transport/tcp.rs",
+];
+
+fn hazard() -> impl Strategy<Value = &'static str> {
+    (0usize..HAZARDS.len()).prop_map(|i| HAZARDS[i])
+}
+
+fn path() -> impl Strategy<Value = &'static str> {
+    (0usize..PATHS.len()).prop_map(|i| PATHS[i])
+}
+
+/// Wraps a hazard so it is lexically invisible: comments, doc comments,
+/// plain strings, raw strings with varying guards, byte strings.
+fn hide(hazard: &str, mode: usize, guards: usize) -> String {
+    let h = hazard;
+    let g = "#".repeat(guards.clamp(1, 3));
+    match mode % 7 {
+        0 => format!("// hidden: {h}\n"),
+        1 => format!("/// doc hidden: {h}\npub fn documented() {{}}\n"),
+        2 => format!("/* block {h} /* nested {h} */ tail */\n"),
+        3 => format!("pub fn s() -> usize {{ \"{h}\".len() }}\n"),
+        4 => format!("pub fn r() -> usize {{ r{g}\"{h}\"{g}.len() }}\n"),
+        5 => format!("pub fn b() -> usize {{ b\"hazard\".len() + \"{h}\".len() }}\n"),
+        _ => format!("//! module doc: {h}\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hidden_hazards_never_flag(
+        hz in hazard(),
+        p in path(),
+        mode in 0usize..7,
+        guards in 1usize..3,
+        salt in 0u32..1000,
+    ) {
+        // Surround with harmless code so the hazard is not the whole
+        // file, and salt an ident so cases differ structurally.
+        let src = format!(
+            "pub fn ok_{salt}() -> u32 {{ {salt} }}\n{}pub fn tail() {{}}\n",
+            hide(hz, mode, guards),
+        );
+        let findings = lint_source(p, &src);
+        prop_assert!(
+            findings.is_empty(),
+            "hidden hazard {hz:?} flagged via mode {mode} in {p}: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn code_position_hazards_do_flag(
+        mode in 0usize..7,
+        guards in 1usize..3,
+        salt in 0u32..1000,
+    ) {
+        // The same file plus ONE hazard in real code position: the
+        // hidden copies must contribute nothing — exactly one finding.
+        let hidden = hide("HashMap::new()", mode, guards);
+        let src = format!(
+            "pub fn ok_{salt}() -> u32 {{ {salt} }}\n{hidden}\
+             pub fn real() {{ let _m = std::collections::HashMap::<u8, u8>::new(); }}\n",
+        );
+        let findings = lint_source("crates/neat/src/population.rs", &src);
+        prop_assert_eq!(
+            findings.len(),
+            1,
+            "exactly the code-position HashMap flags: {:?}",
+            findings
+        );
+        prop_assert_eq!(findings[0].rule, "D1");
+    }
+}

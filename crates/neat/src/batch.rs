@@ -40,7 +40,7 @@ use crate::network::FeedForwardNetwork;
 /// differ only in weights, biases, and responses. Equality is exact
 /// (token-sequence comparison), never a hash, so grouping by `ShapeKey`
 /// can never alias two distinct topologies.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ShapeKey(Vec<u64>);
 
 impl ShapeKey {
@@ -48,6 +48,7 @@ impl ShapeKey {
     pub fn of(net: &FeedForwardNetwork) -> ShapeKey {
         let nodes = net.eval_nodes();
         let mut tokens = Vec::with_capacity(
+            // clan-lint: allow(D3, reason="integer capacity arithmetic, not FP accumulation")
             4 + nodes.iter().map(|n| 3 + n.incoming.len()).sum::<usize>()
                 + net.output_slot_list().len(),
         );

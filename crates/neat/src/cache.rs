@@ -25,6 +25,7 @@
 
 use crate::population::Evaluation;
 use serde::{Deserialize, Serialize};
+// clan-lint: allow(D1, reason="lookup-only store keyed by (seed, content_hash): never iterated, so hash order cannot leak into results")
 use std::collections::HashMap;
 
 /// A cached evaluation: the outcome plus the compiled network's
@@ -47,6 +48,7 @@ pub struct CachedEvaluation {
 /// miss re-derives the identical result).
 #[derive(Debug, Clone, Default)]
 pub struct FitnessCache {
+    // clan-lint: allow(D1, reason="lookup-only: get/insert/clear, no iteration; eviction clears wholesale")
     entries: HashMap<(u64, u64), CachedEvaluation>,
     capacity: usize,
     hits_window: u64,
@@ -69,6 +71,7 @@ impl FitnessCache {
     /// `capacity` entries.
     pub fn with_capacity(capacity: usize) -> FitnessCache {
         FitnessCache {
+            // clan-lint: allow(D1, reason="lookup-only: see the field declaration above")
             entries: HashMap::new(),
             capacity: capacity.max(1),
             hits_window: 0,

@@ -369,6 +369,7 @@ impl FeedForwardNetwork {
                     .incoming
                     .iter()
                     .map(|&(slot, w)| values[slot] * w)
+                    // clan-lint: allow(D3, reason="THE canonical per-edge order: Aggregation::apply and the SoA batch kernel both match this exact fold")
                     .sum(),
                 _ => {
                     weighted.clear();
