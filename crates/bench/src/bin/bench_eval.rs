@@ -152,6 +152,18 @@ fn main() -> std::io::Result<()> {
         "  churn variant: {} re-dispatch(es), {}/{} evals still completed",
         a.churn_redispatches, a.churn_total_evals, a.total_evals
     );
+    let t = &report.telemetry;
+    println!(
+        "telemetry ({} generations, 4-agent DCS): {} logical + {} timing event(s), {:.0} events/s",
+        t.generations, t.logical_events, t.timing_events, t.events_per_s
+    );
+    println!(
+        "  wall-clock: {:.1} ms untraced | {:.1} ms traced ({:+.1}% overhead), bit-identical: {}",
+        t.untraced_s * 1e3,
+        t.traced_s * 1e3,
+        t.overhead_pct,
+        t.bit_identical
+    );
     println!("wrote BENCH_eval.json");
     Ok(())
 }

@@ -394,6 +394,32 @@ pub struct BatchRow {
     pub speedup_vs_scalar: f64,
 }
 
+/// Tracing-overhead section: the same seeded DCS run twice, tracer off
+/// then on. The logical stream is part of the determinism contract, so
+/// the traced run must reproduce the untraced result bit-for-bit; the
+/// overhead column is the wall-clock price of recording it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryBench {
+    /// Generations in each measured run.
+    pub generations: u64,
+    /// Logical (deterministic-stream) events the traced run recorded.
+    pub logical_events: u64,
+    /// Timing (wall-clock annotation) events the traced run recorded.
+    pub timing_events: u64,
+    /// Events recorded per wall-clock second of the traced run.
+    pub events_per_s: f64,
+    /// Untraced run wall-clock, seconds.
+    pub untraced_s: f64,
+    /// Traced run wall-clock, seconds.
+    pub traced_s: f64,
+    /// `100 * (traced_s - untraced_s) / untraced_s`. Noisy at smoke
+    /// scale; meaningful on the full profile.
+    pub overhead_pct: f64,
+    /// Whether the traced run evolved the exact same result as the
+    /// untraced one. Must always be true.
+    pub bit_identical: bool,
+}
+
 /// Fitness-cache effectiveness over a default NEAT run: elites and
 /// unmutated survivors recur across generations, so a content-addressed
 /// cache should field hits from generation 1 on — without changing a
@@ -471,6 +497,11 @@ pub struct EvalPerfReport {
     /// section when absent from older reports.
     #[serde(rename = "async", default)]
     pub async_steady: AsyncBench,
+    /// Tracing overhead: events/sec and the wall-clock delta of running
+    /// the same seeded evolution with the tracer on vs. off. Defaults to
+    /// an all-zero section when absent from older reports.
+    #[serde(default)]
+    pub telemetry: TelemetryBench,
 }
 
 /// Cache-off cluster spec: the transport benches re-evaluate one fixed
@@ -1087,6 +1118,46 @@ fn cache_bench(workload: Workload, population: usize, generations: u64) -> Cache
     }
 }
 
+/// Measures tracing overhead (see [`TelemetryBench`]): the same seeded
+/// 4-agent DCS run untraced and traced, comparing wall-clock and
+/// checking the traced run changed nothing about the evolution.
+fn telemetry_bench(population: usize, generations: u64) -> TelemetryBench {
+    use clan_core::{ClanDriver, ClanTopology};
+    const AGENTS: usize = 4;
+    let build = |tracing: bool| {
+        ClanDriver::builder(Workload::CartPole)
+            .topology(ClanTopology::dcs())
+            .agents(AGENTS)
+            .population_size(population)
+            .seed(7)
+            .tracing(tracing)
+            .build()
+            .expect("driver builds")
+    };
+
+    let start = Instant::now();
+    let untraced = build(false).run(generations).expect("untraced run");
+    let untraced_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let start = Instant::now();
+    let (traced, trace) = build(true).run_with_trace(generations).expect("traced run");
+    let traced_s = start.elapsed().as_secs_f64().max(1e-9);
+    let (logical_events, timing_events) = trace.expect("tracing was enabled").counts();
+
+    TelemetryBench {
+        generations,
+        logical_events,
+        timing_events,
+        events_per_s: (logical_events + timing_events) as f64 / traced_s,
+        untraced_s,
+        traced_s,
+        overhead_pct: 100.0 * (traced_s - untraced_s) / untraced_s,
+        bit_identical: untraced.best_fitness == traced.best_fitness
+            && untraced.generations.last().map(|g| &g.costs)
+                == traced.generations.last().map(|g| &g.costs),
+    }
+}
+
 /// Runs `one(threads)` for 1/2/4/8 threads, turning the `(genomes/s,
 /// per-work-unit/s)` pairs into rows via `make_row`; the last argument
 /// flags rows whose thread count exceeds `host_cpus`.
@@ -1173,6 +1244,7 @@ pub fn measure(
         batched: batched_bench(Workload::MountainCar, population, eval_rounds.max(1)),
         cache: cache_bench(workload, population, 10),
         async_steady: async_bench(population, generations.clamp(2, 5)),
+        telemetry: telemetry_bench(population, generations.clamp(2, 10)),
     }
 }
 
@@ -1293,6 +1365,13 @@ mod tests {
             "the injected death must force a re-dispatch: {a:?}"
         );
         assert_eq!(a.churn_total_evals, a.total_evals, "{a:?}");
+        // Telemetry section: the traced run recorded a real stream and
+        // reproduced the untraced evolution bit-for-bit.
+        let tel = &report.telemetry;
+        assert!(tel.logical_events > 0, "{tel:?}");
+        assert!(tel.events_per_s > 0.0);
+        assert!(tel.untraced_s > 0.0 && tel.traced_s > 0.0);
+        assert!(tel.bit_identical, "tracing changed the trajectory");
         // Thread rows beyond the host's cores are flagged, within not.
         for t in &report.evaluation {
             assert_eq!(t.flat_expected, t.threads > report.host_cpus);

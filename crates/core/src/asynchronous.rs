@@ -40,7 +40,8 @@
 
 use crate::error::ClanError;
 use crate::evaluator::Evaluator;
-use crate::runtime::StreamCompletion;
+use crate::runtime::{StreamCompletion, StreamStats};
+use crate::telemetry::EventKind;
 use clan_neat::rng::{derive_seed, splitmix64, OpTag};
 use clan_neat::steady_state::{steady_state_insert, InsertReport};
 use clan_neat::{Genome, GenomeId, Population};
@@ -301,6 +302,7 @@ pub struct AsyncOrchestrator {
     tournament_size: usize,
     events: Vec<AsyncEvent>,
     stats: Option<AsyncStats>,
+    stream: Option<StreamStats>,
 }
 
 impl AsyncOrchestrator {
@@ -339,6 +341,7 @@ impl AsyncOrchestrator {
             tournament_size,
             events: Vec::new(),
             stats: None,
+            stream: None,
         })
     }
 
@@ -368,6 +371,12 @@ impl AsyncOrchestrator {
         self.stats.as_ref()
     }
 
+    /// The last streamed run's per-agent transport stats (`None` for
+    /// virtual-time runs, which have no real cluster).
+    pub fn stream_stats(&self) -> Option<&StreamStats> {
+        self.stream.as_ref()
+    }
+
     /// The diffable event log: one stable line per completion. Two
     /// virtual-time runs with identical `(seed, schedule)` produce
     /// byte-identical logs — `diff` clean, as CI asserts.
@@ -390,6 +399,15 @@ impl AsyncOrchestrator {
     /// the evaluator.
     pub fn into_parts(self) -> (Population, Evaluator) {
         (self.pop, self.evaluator)
+    }
+
+    /// Installs a telemetry tracer. Virtual-time runs record logical
+    /// dispatch/completion events (deterministic per `(seed,
+    /// schedule)`, a strict superset of
+    /// [`event_log_text`](Self::event_log_text)); streamed runs record
+    /// wall-clock annotations only.
+    pub fn install_tracer(&mut self, tracer: crate::telemetry::Tracer) {
+        self.evaluator.set_tracer(tracer);
     }
 
     /// Runs the steady-state loop under deterministic virtual time:
@@ -418,12 +436,17 @@ impl AsyncOrchestrator {
         let cfg = self.pop.config().clone();
         let master_seed = self.pop.master_seed();
         self.events.clear();
+        self.stream = None;
+        let tracer = self.evaluator.tracer().clone();
         let mut queue: VecDeque<GenomeId> = self.pop.genomes().keys().copied().collect();
         // Min-heap of in-flight work: (completion time, agent, dispatch
         // sequence, genome). The tuple order is the tie-break rule.
         let mut in_flight: BinaryHeap<Reverse<(u64, usize, u64, GenomeId)>> = BinaryHeap::new();
         let mut per_agent_k = vec![0u64; agents];
         let mut busy_us = vec![0u64; agents];
+        // One eval in flight per agent, so a scalar dispatch time per
+        // agent suffices to compute completion spans.
+        let mut dispatched_at = vec![0u64; agents];
         let mut dispatched = 0u64;
         let mut loop_state = SteadyStateLoop::new(self.tournament_size);
         let mut makespan_us = 0u64;
@@ -432,11 +455,20 @@ impl AsyncOrchestrator {
                         genome: GenomeId,
                         per_agent_k: &mut [u64],
                         busy_us: &mut [u64],
+                        dispatched_at: &mut [u64],
                         in_flight: &mut BinaryHeap<Reverse<(u64, usize, u64, GenomeId)>>,
                         dispatched: &mut u64| {
             let service = schedule.service_us(agent, per_agent_k[agent]);
             per_agent_k[agent] += 1;
             busy_us[agent] += service;
+            dispatched_at[agent] = now_us;
+            // Logical: dispatch order and virtual times are pure in
+            // (seed, schedule), the async determinism contract.
+            tracer.logical(EventKind::Dispatch, |ev| {
+                ev.vtime_us = Some(now_us);
+                ev.agent = Some(agent as u64);
+                ev.genome = Some(genome.0);
+            });
             in_flight.push(Reverse((now_us + service, agent, *dispatched, genome)));
             *dispatched += 1;
         };
@@ -453,6 +485,7 @@ impl AsyncOrchestrator {
                 genome,
                 &mut per_agent_k,
                 &mut busy_us,
+                &mut dispatched_at,
                 &mut in_flight,
                 &mut dispatched,
             );
@@ -483,8 +516,26 @@ impl AsyncOrchestrator {
                         budget_left,
                     )
                 };
+            let aseq = self.events.len() as u64;
+            // Logical completion: mirrors the AsyncEvent log line
+            // one-for-one (the --trace stream is a strict superset of
+            // --event-log), plus the deterministic service-time span.
+            tracer.logical(EventKind::Completion, |ev| {
+                ev.aseq = Some(aseq);
+                ev.vtime_us = Some(now_us);
+                ev.agent = Some(agent as u64);
+                ev.genome = Some(genome.0);
+                ev.fitness_bits = Some(eval.fitness.to_bits());
+                ev.dur_us = Some(now_us - dispatched_at[agent]);
+                if let Some(r) = &insert {
+                    ev.child = Some(r.child.0);
+                    ev.evicted = Some(r.evicted.0);
+                    ev.p1 = Some(r.parent1.0);
+                    ev.p2 = Some(r.parent2.0);
+                }
+            });
             self.events.push(AsyncEvent {
-                seq: self.events.len() as u64,
+                seq: aseq,
                 vtime_us: now_us,
                 agent,
                 genome: genome.0,
@@ -498,6 +549,7 @@ impl AsyncOrchestrator {
                     next,
                     &mut per_agent_k,
                     &mut busy_us,
+                    &mut dispatched_at,
                     &mut in_flight,
                     &mut dispatched,
                 );
@@ -574,6 +626,10 @@ impl AsyncOrchestrator {
         let initial: Vec<Genome> = pop.genomes().values().cloned().collect();
         let mut dispatched = initial.len() as u64;
         let mut loop_state = SteadyStateLoop::new(tournament_size);
+        // Streamed arrival order is wall-clock nondeterministic, so
+        // insertions are recorded as Timing annotations (the cluster's
+        // evaluate_stream already records the per-completion spans).
+        let tracer = evaluator.tracer().clone();
         let cluster = evaluator.remote_mut().expect("remote_agents > 0");
         let stream =
             cluster.evaluate_stream(master_seed, initial, &mut |c: &StreamCompletion| {
@@ -587,6 +643,16 @@ impl AsyncOrchestrator {
                 );
                 if next.is_some() {
                     dispatched += 1;
+                }
+                if let Some(r) = &insert {
+                    tracer.timing(EventKind::Insertion, |ev| {
+                        ev.agent = Some(c.agent as u64);
+                        ev.genome = Some(c.genome.0);
+                        ev.child = Some(r.child.0);
+                        ev.evicted = Some(r.evicted.0);
+                        ev.p1 = Some(r.parent1.0);
+                        ev.p2 = Some(r.parent2.0);
+                    });
                 }
                 events.push(AsyncEvent {
                     seq: events.len() as u64,
@@ -621,6 +687,7 @@ impl AsyncOrchestrator {
                 .and_then(Genome::fitness)
                 .unwrap_or(f64::NEG_INFINITY),
         });
+        self.stream = Some(stream);
         Ok(())
     }
 }

@@ -10,8 +10,8 @@
 use crate::error::ClanError;
 use crate::evaluator::Evaluator;
 use crate::orchestra::{
-    central_evolution, evaluate_partitioned, genome_payload, track_best, Comm, GenerationReport,
-    Orchestrator, FITNESS_ENTRY_FLOATS,
+    central_evolution, emit_generation_end, evaluate_partitioned, genome_payload, track_best, Comm,
+    GenerationReport, Orchestrator, FITNESS_ENTRY_FLOATS,
 };
 use crate::topology::ClanTopology;
 use clan_distsim::{Cluster, TimelineRecorder};
@@ -99,7 +99,7 @@ impl Orchestrator for DcsOrchestrator {
             .add_evolution(center.evolution_time_s(evo.speciation_genes + evo.reproduction_genes));
 
         let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
-        Ok(GenerationReport {
+        let report = GenerationReport {
             generation,
             best_fitness,
             num_species: evo.num_species,
@@ -108,7 +108,9 @@ impl Orchestrator for DcsOrchestrator {
             extinction: evo.extinction,
             cache_hits,
             cache_lookups,
-        })
+        };
+        emit_generation_end(self.evaluator.tracer(), &report);
+        Ok(report)
     }
 
     fn best_ever(&self) -> Option<&Genome> {
@@ -137,6 +139,10 @@ impl Orchestrator for DcsOrchestrator {
 
     fn population_size(&self) -> usize {
         self.pop.config().population_size
+    }
+
+    fn install_tracer(&mut self, tracer: crate::telemetry::Tracer) {
+        self.evaluator.set_tracer(tracer);
     }
 }
 

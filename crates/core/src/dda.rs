@@ -19,8 +19,8 @@
 use crate::error::ClanError;
 use crate::evaluator::Evaluator;
 use crate::orchestra::{
-    central_evolution, evaluate_partitioned, genome_payload, track_best, Comm, GenerationReport,
-    Orchestrator,
+    central_evolution, emit_generation_end, evaluate_partitioned, genome_payload, track_best, Comm,
+    GenerationReport, Orchestrator,
 };
 use crate::topology::ClanTopology;
 use clan_distsim::{Cluster, TimelineRecorder};
@@ -225,7 +225,7 @@ impl Orchestrator for DdaOrchestrator {
         }
 
         let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
-        Ok(GenerationReport {
+        let report = GenerationReport {
             generation,
             best_fitness,
             num_species,
@@ -234,7 +234,9 @@ impl Orchestrator for DdaOrchestrator {
             extinction,
             cache_hits,
             cache_lookups,
-        })
+        };
+        emit_generation_end(self.evaluator.tracer(), &report);
+        Ok(report)
     }
 
     fn best_ever(&self) -> Option<&Genome> {
@@ -263,6 +265,10 @@ impl Orchestrator for DdaOrchestrator {
 
     fn population_size(&self) -> usize {
         self.total_population
+    }
+
+    fn install_tracer(&mut self, tracer: crate::telemetry::Tracer) {
+        self.evaluator.set_tracer(tracer);
     }
 }
 

@@ -15,8 +15,8 @@
 use crate::error::ClanError;
 use crate::evaluator::Evaluator;
 use crate::orchestra::{
-    evaluate_partitioned, genome_payload, track_best, Comm, GenerationReport, Orchestrator,
-    FITNESS_ENTRY_FLOATS, PARENT_LIST_ENTRY_FLOATS, SPAWN_ENTRY_FLOATS,
+    emit_generation_end, evaluate_partitioned, genome_payload, track_best, Comm, GenerationReport,
+    Orchestrator, FITNESS_ENTRY_FLOATS, PARENT_LIST_ENTRY_FLOATS, SPAWN_ENTRY_FLOATS,
 };
 use crate::topology::ClanTopology;
 use clan_distsim::{Cluster, TimelineRecorder};
@@ -115,7 +115,7 @@ impl Orchestrator for DdsOrchestrator {
                 }
                 self.pop.reset_population();
                 let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
-                return Ok(GenerationReport {
+                let report = GenerationReport {
                     generation,
                     best_fitness,
                     num_species: 0,
@@ -124,7 +124,9 @@ impl Orchestrator for DdsOrchestrator {
                     extinction: true,
                     cache_hits,
                     cache_lookups,
-                });
+                };
+                emit_generation_end(self.evaluator.tracer(), &report);
+                return Ok(report);
             }
             Err(e) => return Err(e.into()),
         };
@@ -203,7 +205,7 @@ impl Orchestrator for DdsOrchestrator {
         self.pop.install_next_generation(children);
 
         let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
-        Ok(GenerationReport {
+        let report = GenerationReport {
             generation,
             best_fitness,
             num_species: speciation.species_count,
@@ -212,7 +214,9 @@ impl Orchestrator for DdsOrchestrator {
             extinction: false,
             cache_hits,
             cache_lookups,
-        })
+        };
+        emit_generation_end(self.evaluator.tracer(), &report);
+        Ok(report)
     }
 
     fn best_ever(&self) -> Option<&Genome> {
@@ -241,6 +245,10 @@ impl Orchestrator for DdsOrchestrator {
 
     fn population_size(&self) -> usize {
         self.pop.config().population_size
+    }
+
+    fn install_tracer(&mut self, tracer: crate::telemetry::Tracer) {
+        self.evaluator.set_tracer(tracer);
     }
 }
 

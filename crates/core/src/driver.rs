@@ -28,6 +28,7 @@ use crate::evaluator::{EngineOptions, Evaluator, InferenceMode};
 use crate::orchestra::{GenerationReport, Orchestrator};
 use crate::report::RunReport;
 use crate::serial::SerialOrchestrator;
+use crate::telemetry::{EventKind, RunTrace, TelemetryReport, Tracer};
 use crate::topology::{ClanTopology, SpeciationMode};
 use clan_distsim::Cluster;
 use clan_envs::Workload;
@@ -84,12 +85,18 @@ pub struct DriverConfig {
     /// any setting; only wall-clock time changes.
     #[serde(default)]
     pub engine: EngineOptions,
+    /// Whether the run records a structured telemetry trace (the
+    /// logical stream stays byte-identical per seed whether or not this
+    /// is on; only wall-clock time changes).
+    #[serde(default)]
+    pub tracing: bool,
 }
 
 /// A configured, ready-to-run CLAN deployment.
 pub struct ClanDriver {
     config: DriverConfig,
     orchestrator: Box<dyn Orchestrator>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for ClanDriver {
@@ -121,6 +128,24 @@ impl ClanDriver {
         for _ in 0..generations {
             reports.push(self.orchestrator.step_generation()?);
         }
+        Ok(self.into_report(reports).0)
+    }
+
+    /// Like [`run`](Self::run), but also returns the recorded
+    /// [`RunTrace`] when the builder enabled
+    /// [`tracing`](ClanDriverBuilder::tracing) (`None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator failures ([`ClanError`]).
+    pub fn run_with_trace(
+        mut self,
+        generations: u64,
+    ) -> Result<(RunReport, Option<RunTrace>), ClanError> {
+        let mut reports: Vec<GenerationReport> = Vec::with_capacity(generations as usize);
+        for _ in 0..generations {
+            reports.push(self.orchestrator.step_generation()?);
+        }
         Ok(self.into_report(reports))
     }
 
@@ -130,7 +155,21 @@ impl ClanDriver {
     /// # Errors
     ///
     /// Propagates orchestrator failures ([`ClanError`]).
-    pub fn run_until_solved(mut self, max_generations: u64) -> Result<RunReport, ClanError> {
+    pub fn run_until_solved(self, max_generations: u64) -> Result<RunReport, ClanError> {
+        Ok(self.run_until_solved_with_trace(max_generations)?.0)
+    }
+
+    /// Like [`run_until_solved`](Self::run_until_solved), but also
+    /// returns the recorded [`RunTrace`] when the builder enabled
+    /// [`tracing`](ClanDriverBuilder::tracing) (`None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator failures ([`ClanError`]).
+    pub fn run_until_solved_with_trace(
+        mut self,
+        max_generations: u64,
+    ) -> Result<(RunReport, Option<RunTrace>), ClanError> {
         let threshold = self.config.workload.solved_at();
         let mut reports = Vec::new();
         for _ in 0..max_generations {
@@ -144,8 +183,19 @@ impl ClanDriver {
         Ok(self.into_report(reports))
     }
 
-    fn into_report(self, generations: Vec<GenerationReport>) -> RunReport {
-        RunReport::from_parts(
+    fn into_report(self, generations: Vec<GenerationReport>) -> (RunReport, Option<RunTrace>) {
+        self.tracer.logical(EventKind::RunEnd, |ev| {
+            ev.generation = Some(generations.len() as u64);
+        });
+        let trace = self.tracer.finish();
+        let recovery = self.orchestrator.recovery_stats();
+        let telemetry = TelemetryReport::from_sources(
+            trace.as_ref(),
+            self.orchestrator.transport_ledger(),
+            recovery.as_ref(),
+            None,
+        );
+        let report = RunReport::from_parts(
             self.config.workload,
             self.config.topology.name(),
             self.config.n_agents,
@@ -154,8 +204,10 @@ impl ClanDriver {
         )
         .with_transport(self.orchestrator.transport_ledger().cloned())
         .with_gather(self.orchestrator.gather_stats())
-        .with_recovery(self.orchestrator.recovery_stats())
+        .with_recovery(recovery)
         .with_energy(clan_hw::EnergyModel::for_kind(self.config.platform))
+        .with_telemetry(telemetry);
+        (report, trace)
     }
 }
 
@@ -182,6 +234,7 @@ pub struct ClanDriverBuilder {
     churn: Option<crate::transport::ChurnSchedule>,
     spare_agents: Vec<String>,
     engine: EngineOptions,
+    tracing: bool,
     total_evals: Option<u64>,
     tournament_size: usize,
     latency_ms: Option<Vec<f64>>,
@@ -239,6 +292,7 @@ impl ClanDriverBuilder {
             churn: None,
             spare_agents: Vec::new(),
             engine: EngineOptions::default(),
+            tracing: false,
             total_evals: None,
             tournament_size: 3,
             latency_ms: None,
@@ -431,6 +485,17 @@ impl ClanDriverBuilder {
         self
     }
 
+    /// Enables structured run tracing (default off): the driver records
+    /// a deterministic logical event stream plus wall-clock annotations
+    /// and attaches a telemetry section to the report. Retrieve the
+    /// trace with [`ClanDriver::run_with_trace`] (or
+    /// [`AsyncRunOutcome::trace`]). Evolutionary results are
+    /// bit-identical with tracing on or off.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
     /// Async steady-state only: fixes the total evaluation budget (the
     /// run dispatches exactly this many evaluations, bootstrap wave
     /// included). Defaults to 10x the population size.
@@ -611,7 +676,7 @@ impl ClanDriverBuilder {
         let platform = Platform::new(self.platform);
         let cluster = Cluster::homogeneous(platform, self.n_agents, self.net);
 
-        let orchestrator: Box<dyn Orchestrator> = match (
+        let mut orchestrator: Box<dyn Orchestrator> = match (
             self.topology == ClanTopology::serial(),
             self.topology.speciation,
         ) {
@@ -648,6 +713,11 @@ impl ClanDriverBuilder {
             }
         };
 
+        let tracer = self.make_tracer(cfg.population_size, self.topology.name());
+        if tracer.is_enabled() {
+            orchestrator.install_tracer(tracer.clone());
+        }
+
         Ok(ClanDriver {
             config: DriverConfig {
                 workload: self.workload,
@@ -668,9 +738,32 @@ impl ClanDriverBuilder {
                 churn: self.churn,
                 spare_agents: self.spare_agents,
                 engine: self.engine,
+                tracing: self.tracing,
             },
             orchestrator,
+            tracer,
         })
+    }
+
+    /// A live tracer preloaded with the run preamble when tracing is
+    /// enabled; the no-op handle otherwise.
+    fn make_tracer(&self, population: usize, topology_name: String) -> Tracer {
+        if !self.tracing {
+            return Tracer::disabled();
+        }
+        let tracer = Tracer::new();
+        tracer.logical(EventKind::RunStart, |ev| {
+            ev.seed = Some(self.seed);
+            ev.label = Some(self.workload.to_string());
+            ev.population = Some(population as u64);
+        });
+        // Cluster shape is a Timing annotation: the logical stream must
+        // not vary with agent counts or transport flavor.
+        tracer.timing(EventKind::ClusterInfo, |ev| {
+            ev.items = Some(self.n_agents as u64);
+            ev.label = Some(topology_name);
+        });
+        tracer
     }
 
     /// Validates and constructs an **async steady-state** driver
@@ -747,14 +840,24 @@ impl ClanDriverBuilder {
             )?)
         };
         let total = self.total_evals.unwrap_or(10 * cfg.population_size as u64);
+        let name = if schedule.is_some() {
+            "ASYNC_VIRTUAL"
+        } else {
+            "ASYNC_STREAM"
+        };
+        let tracer = self.make_tracer(cfg.population_size, name.to_string());
         let pop = Population::new(cfg, self.seed);
-        let orchestrator = AsyncOrchestrator::new(pop, evaluator, total, self.tournament_size)?;
+        let mut orchestrator = AsyncOrchestrator::new(pop, evaluator, total, self.tournament_size)?;
+        if tracer.is_enabled() {
+            orchestrator.install_tracer(tracer.clone());
+        }
         Ok(AsyncClanDriver {
             workload: self.workload,
             n_agents: agents,
             platform: self.platform,
             orchestrator,
             schedule,
+            tracer,
         })
     }
 }
@@ -767,6 +870,7 @@ pub struct AsyncClanDriver {
     platform: PlatformKind,
     orchestrator: AsyncOrchestrator,
     schedule: Option<LatencySchedule>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for AsyncClanDriver {
@@ -790,6 +894,12 @@ pub struct AsyncRunOutcome {
     /// One stable line per completion (`clan-cli run --event-log FILE`
     /// writes exactly this text).
     pub event_log: String,
+    /// The structured trace, when the builder enabled
+    /// [`tracing`](ClanDriverBuilder::tracing). For virtual-time runs
+    /// its `Completion` events reconstruct `event_log` exactly
+    /// ([`TraceEvent::async_log_line`](crate::TraceEvent::async_log_line)),
+    /// making the trace a strict superset of the event log.
+    pub trace: Option<RunTrace>,
 }
 
 impl AsyncClanDriver {
@@ -822,6 +932,17 @@ impl AsyncClanDriver {
         } else {
             "ASYNC_STREAM"
         };
+        self.tracer.logical(EventKind::RunEnd, |ev| {
+            ev.items = Some(stats.total_evals);
+        });
+        let trace = self.tracer.finish();
+        let recovery = self.orchestrator.evaluator().remote_recovery_stats();
+        let telemetry = TelemetryReport::from_sources(
+            trace.as_ref(),
+            self.orchestrator.evaluator().remote_ledger(),
+            recovery.as_ref(),
+            self.orchestrator.stream_stats(),
+        );
         let report = RunReport::from_parts(
             self.workload,
             name.to_string(),
@@ -830,10 +951,15 @@ impl AsyncClanDriver {
             CommLedger::default(),
         )
         .with_transport(self.orchestrator.evaluator().remote_ledger().cloned())
-        .with_recovery(self.orchestrator.evaluator().remote_recovery_stats())
+        .with_recovery(recovery)
         .with_energy(clan_hw::EnergyModel::for_kind(self.platform))
-        .with_async(stats);
-        Ok(AsyncRunOutcome { report, event_log })
+        .with_async(stats)
+        .with_telemetry(telemetry);
+        Ok(AsyncRunOutcome {
+            report,
+            event_log,
+            trace,
+        })
     }
 }
 

@@ -100,6 +100,10 @@ pub struct Evaluator {
     cache: Option<FitnessCache>,
     pool: Option<ParallelEvaluator>,
     remote: Option<EdgeCluster>,
+    /// Telemetry handle (no-op unless the driver installs a live one);
+    /// shared with the attached cluster so runtime timing events land
+    /// in the same stream as the orchestrators' logical events.
+    tracer: crate::telemetry::Tracer,
 }
 
 impl std::fmt::Debug for Evaluator {
@@ -189,6 +193,7 @@ impl Evaluator {
             cache: options.cache.then(FitnessCache::new),
             pool,
             remote: None,
+            tracer: crate::telemetry::Tracer::default(),
         }
     }
 
@@ -199,7 +204,27 @@ impl Evaluator {
     /// A remote cluster takes precedence over a local thread pool.
     pub fn with_remote(mut self, cluster: EdgeCluster) -> Evaluator {
         self.remote = Some(cluster);
+        if self.tracer.is_enabled() {
+            if let Some(c) = self.remote.as_mut() {
+                c.set_tracer(self.tracer.clone());
+            }
+        }
         self
+    }
+
+    /// Installs a telemetry handle, sharing it with the attached
+    /// cluster (present or future) so runtime timing events join the
+    /// same stream. The default handle is disabled and records nothing.
+    pub fn set_tracer(&mut self, tracer: crate::telemetry::Tracer) {
+        self.tracer = tracer.clone();
+        if let Some(c) = self.remote.as_mut() {
+            c.set_tracer(tracer);
+        }
+    }
+
+    /// The installed telemetry handle (disabled by default).
+    pub fn tracer(&self) -> &crate::telemetry::Tracer {
+        &self.tracer
     }
 
     /// Worker threads evaluating in parallel (1 = serial).
@@ -584,6 +609,11 @@ impl Evaluator {
             let (h, l) = cluster.take_cache_window();
             hits += h;
             lookups += l;
+        }
+        if let Some(cache) = &self.cache {
+            self.tracer
+                .set_gauge("cache.hit_rate", cache.hit_rate_total());
+            self.tracer.set_gauge("cache.entries", cache.len() as f64);
         }
         (hits, lookups)
     }

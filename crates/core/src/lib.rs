@@ -239,6 +239,45 @@
 //!   async makespan at 4× skew and re-runs it under injected mid-stream
 //!   death (numbers in ROADMAP.md).
 //!
+//! # Telemetry
+//!
+//! [`telemetry`] unifies the fragmented observability surfaces
+//! ([`CommLedger`](clan_netsim::CommLedger), [`GatherStats`],
+//! [`RecoveryStats`], [`AsyncStats`], the
+//! async-only event log) behind one structured event stream with a
+//! **two-clock design**:
+//!
+//! - **Logical events** carry logical time only (their own sequence
+//!   counter, generation indices, virtual microseconds where a mode has
+//!   them) and are emitted from the id-ordered replay loops that
+//!   already pin fitness equivalence. The determinism contract: for a
+//!   given seed the serialized logical stream
+//!   ([`RunTrace::logical_text`](telemetry::RunTrace::logical_text)) is
+//!   **byte-identical** across serial, loopback-TCP, 20 %-lossy-UDP,
+//!   and churned runs on all four topologies
+//!   (`tests/trace_equivalence.rs`), and an async virtual run's stream
+//!   is byte-identical per `(seed, schedule)` — so traces from
+//!   different transports can be `diff`ed directly to localize a
+//!   divergence.
+//! - **Timing events** (per-link gather spans, retransmissions, churn
+//!   transitions, streamed completions) live in a separate wall-clock
+//!   annotation channel that never enters the logical stream; every
+//!   wall timestamp is captured in [`telemetry::clock`], the single
+//!   `Instant::now` site the `clan-lint` D2 rule audits.
+//!
+//! A [`Tracer`] handle (no-op unless enabled —
+//! `bench_eval`'s `telemetry` section tracks its overhead) is installed
+//! by the driver via `ClanDriverBuilder::tracing` (`clan-cli run/
+//! coordinate --trace FILE [--trace-chrome FILE]`); the recorded
+//! [`RunTrace`] exports as JSONL
+//! ([`telemetry::to_jsonl`], a strict superset of the async
+//! `--event-log` format) and Chrome trace-event JSON
+//! ([`telemetry::to_chrome_json`], per-agent tracks viewable in
+//! Perfetto), while the accompanying
+//! [`MetricsRegistry`] and unified
+//! per-agent table land in `RunReport.telemetry`
+//! ([`telemetry::TelemetryReport`]).
+//!
 //! # Static contract enforcement
 //!
 //! The two contracts above — bit-identity determinism and hang-free
@@ -295,6 +334,7 @@ pub mod parallel;
 pub mod report;
 pub mod runtime;
 pub mod serial;
+pub mod telemetry;
 pub mod topology;
 pub mod transport;
 
@@ -312,5 +352,8 @@ pub use parallel::ParallelEvaluator;
 pub use report::RunReport;
 pub use runtime::{EdgeCluster, GatherStats, StreamCompletion, StreamStats};
 pub use serial::SerialOrchestrator;
+pub use telemetry::{
+    Determinism, EventKind, MetricsRegistry, RunTrace, TelemetryReport, TraceEvent, Tracer,
+};
 pub use topology::{ClanTopology, Placement, SpeciationMode};
 pub use transport::{ClusterSpec, Transport};

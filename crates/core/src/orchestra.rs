@@ -4,6 +4,7 @@
 
 use crate::error::ClanError;
 use crate::evaluator::Evaluator;
+use crate::telemetry::EventKind;
 use crate::topology::ClanTopology;
 use clan_distsim::{Cluster, GenerationTimeline, TimelineRecorder};
 use clan_neat::counters::GenerationCosts;
@@ -108,6 +109,14 @@ pub trait Orchestrator {
 
     /// Total genomes under evolution.
     fn population_size(&self) -> usize;
+
+    /// Installs a telemetry tracer: generation and evaluation events are
+    /// recorded into it from the same deterministic replay loops that
+    /// pin fitness equivalence. Default: no-op (tracing unsupported or
+    /// disabled).
+    fn install_tracer(&mut self, tracer: crate::telemetry::Tracer) {
+        let _ = tracer;
+    }
 }
 
 /// Splits the ordered id list into contiguous per-agent chunks of the
@@ -182,6 +191,16 @@ pub(crate) fn evaluate_partitioned(
 ) -> Result<Vec<u64>, ClanError> {
     let ids: Vec<GenomeId> = pop.genomes().keys().copied().collect();
     let chunks = chunk_ids(&ids, counts);
+    // Generation-start is logical: emitted before any transport work so
+    // the pinned stream is independent of how inference is dispatched.
+    // It deliberately excludes the partition layout (serial and cluster
+    // runs differ there); agent counts live in Timing-class events.
+    evaluator
+        .tracer()
+        .logical(EventKind::GenerationStart, |ev| {
+            ev.generation = Some(pop.generation());
+            ev.population = Some(ids.len() as u64);
+        });
     // Compute every evaluation first, in genome-id order — remotely over
     // the attached cluster, across the local thread pool, or serially
     // (batched by shape, cache-filtered) on this thread — leaving all
@@ -203,12 +222,32 @@ pub(crate) fn evaluate_partitioned(
             agent_genes += genes;
             pop.counters_mut().record_inference(genes);
             pop.counters_mut().record_episode();
+            // Logical: flattened chunk iteration is genome-id order for
+            // any partition, so this stream is partition-independent.
+            // No agent index here — that would differ across variants.
+            evaluator.tracer().logical(EventKind::EvalResult, |ev| {
+                ev.genome = Some(id.0);
+                ev.fitness_bits = Some(eval.fitness.to_bits());
+            });
             pop.set_fitness(id, eval.fitness)
                 .expect("id comes from population");
         }
         genes_per_agent.push(agent_genes);
     }
     Ok(genes_per_agent)
+}
+
+/// Emits the logical generation-end event shared by all orchestrators:
+/// best fitness (bit-exact), surviving species, and the cache window —
+/// every field equivalence-pinned across execution modes.
+pub(crate) fn emit_generation_end(tracer: &crate::telemetry::Tracer, report: &GenerationReport) {
+    tracer.logical(EventKind::GenerationEnd, |ev| {
+        ev.generation = Some(report.generation);
+        ev.fitness_bits = Some(report.best_fitness.to_bits());
+        ev.species = Some(report.num_species as u64);
+        ev.cache_hits = Some(report.cache_hits);
+        ev.cache_lookups = Some(report.cache_lookups);
+    });
 }
 
 /// Outcome of running speciation + planning + reproduction centrally.

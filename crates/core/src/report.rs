@@ -61,6 +61,12 @@ pub struct RunReport {
     /// the event-log fingerprint. `None` for generational runs.
     #[serde(default)]
     pub asynchronous: Option<crate::asynchronous::AsyncStats>,
+    /// Unified telemetry when the run was traced (`--trace`): event
+    /// counts per class, the logical-stream fingerprint, the metrics
+    /// registry, and one aligned per-agent row set. Empty (default)
+    /// when tracing was off.
+    #[serde(default)]
+    pub telemetry: crate::telemetry::TelemetryReport,
 }
 
 impl RunReport {
@@ -108,6 +114,7 @@ impl RunReport {
             cache_hits,
             cache_lookups,
             asynchronous: None,
+            telemetry: crate::telemetry::TelemetryReport::default(),
         }
     }
 
@@ -152,6 +159,12 @@ impl RunReport {
             self.solved_at_generation.get_or_insert(0);
         }
         self.asynchronous = Some(stats);
+        self
+    }
+
+    /// Attaches the unified telemetry section of a traced run.
+    pub fn with_telemetry(mut self, telemetry: crate::telemetry::TelemetryReport) -> RunReport {
+        self.telemetry = telemetry;
         self
     }
 
@@ -206,12 +219,17 @@ impl RunReport {
             self.ledger.total_messages()
         );
         if let Some(t) = &self.transport {
+            // framing_overhead is None on modeled-only ledgers (zero
+            // denominator); print n/a instead of a NaN ratio.
+            let framing = t
+                .framing_overhead()
+                .map_or_else(|| "n/a vs".into(), |x| format!("{x:.2}x"));
             let _ = writeln!(
                 s,
-                "  wire (measured): {} bytes in {} messages ({:.2}x the 4-byte/gene model)",
+                "  wire (measured): {} bytes in {} messages ({} the 4-byte/gene model)",
                 t.total_wire_bytes(),
                 t.total_messages(),
-                t.framing_overhead().unwrap_or(f64::NAN)
+                framing
             );
             if t.total_retrans_bytes() > 0 {
                 let _ = writeln!(
@@ -224,13 +242,13 @@ impl RunReport {
         }
         if let Some(g) = &self.gather {
             if g.gathers > 0 {
+                let overlap = g
+                    .overlap()
+                    .map_or_else(|| "n/a".into(), |x| format!("{x:.2}x"));
                 let _ = writeln!(
                     s,
-                    "  gather (measured): {} rounds, makespan {:.3} s vs per-agent busy {:.3} s (overlap {:.2}x)",
-                    g.gathers,
-                    g.makespan_s,
-                    g.busy_s,
-                    g.overlap().unwrap_or(f64::NAN)
+                    "  gather (measured): {} rounds, makespan {:.3} s vs per-agent busy {:.3} s (overlap {})",
+                    g.gathers, g.makespan_s, g.busy_s, overlap
                 );
             }
         }
@@ -267,6 +285,18 @@ impl RunReport {
                 a.insertions, a.best_improvements, a.redispatches
             );
             let _ = writeln!(s, "  async event log hash: {:#018X}", a.event_log_hash);
+        }
+        if !self.telemetry.is_empty() {
+            let _ = writeln!(
+                s,
+                "  telemetry: {} logical + {} timing event(s), logical hash {:#018X}",
+                self.telemetry.logical_events,
+                self.telemetry.timing_events,
+                self.telemetry.logical_hash
+            );
+            for line in self.telemetry.agent_table().lines() {
+                let _ = writeln!(s, "    {line}");
+            }
         }
         if let Some(r) = &self.recovery {
             if r.any_recovery() {

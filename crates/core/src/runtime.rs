@@ -81,6 +81,7 @@
 use crate::error::ClanError;
 use crate::evaluator::InferenceMode;
 use crate::membership::{is_churn_error, AgentHealth, LinkHealth, RecoveryPolicy, RecoveryStats};
+use crate::telemetry::{EventKind, Tracer};
 use crate::transport::agent::{serve_session, AgentServer, UdpAgentServer};
 use crate::transport::churn::{ChurnAction, ChurnSchedule, DeadTransport};
 use crate::transport::{
@@ -381,6 +382,11 @@ pub struct EdgeCluster {
     /// so every remote surface — DCS, DDS, TCP, UDP, churned — gets the
     /// same elision for free.
     cache: Option<FitnessCache>,
+    /// Telemetry handle (no-op unless installed): the runtime records
+    /// Timing-class events only — per-link gather spans,
+    /// retransmissions, churn transitions — never anything that enters
+    /// the deterministic logical stream.
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for EdgeCluster {
@@ -716,6 +722,7 @@ impl EdgeCluster {
             round: 0,
             respawn,
             cache,
+            tracer: Tracer::default(),
         })
     }
 
@@ -843,6 +850,14 @@ impl EdgeCluster {
     /// Measured scatter/gather timing accumulated so far.
     pub fn gather_stats(&self) -> GatherStats {
         self.gather
+    }
+
+    /// Installs a telemetry handle. The runtime emits Timing-class
+    /// annotations only (per-link spans, retransmissions, churn
+    /// transitions); the deterministic logical stream is produced by
+    /// the orchestrators.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Sets the recovery policy (retry budget, live-agent floor).
@@ -1057,6 +1072,9 @@ impl EdgeCluster {
         // Detach: a UDP loopback agent only notices the death at its
         // idle deadline, and shutdown must not wait for that.
         drop(link.handle.take());
+        self.tracer.timing(EventKind::AgentKilled, |ev| {
+            ev.agent = Some(slot as u64);
+        });
         Ok(())
     }
 
@@ -1090,6 +1108,9 @@ impl EdgeCluster {
         link.measured = None;
         link.poisoned = false;
         link.origin = origin;
+        self.tracer.timing(EventKind::AgentRevived, |ev| {
+            ev.agent = Some(slot as u64);
+        });
         Ok(())
     }
 
@@ -1122,7 +1143,11 @@ impl EdgeCluster {
         link.weight = weight;
         self.links.push(link);
         self.recovery.joins += 1;
-        Ok(self.links.len() - 1)
+        let slot = self.links.len() - 1;
+        self.tracer.timing(EventKind::AgentJoined, |ev| {
+            ev.agent = Some(slot as u64);
+        });
+        Ok(slot)
     }
 
     /// [`admit_transport_weighted`](EdgeCluster::admit_transport_weighted)
@@ -1153,6 +1178,9 @@ impl EdgeCluster {
         link.origin = origin;
         self.links.push(link);
         self.recovery.joins += 1;
+        self.tracer.timing(EventKind::AgentJoined, |ev| {
+            ev.agent = Some(slot as u64);
+        });
         Ok(slot)
     }
 
@@ -1315,12 +1343,14 @@ impl EdgeCluster {
         requests: &[Option<(WireMessage, u64)>],
         calibrate_throughput: bool,
     ) -> Result<ExchangeOutcome, ClanError> {
+        let round = self.round;
         let EdgeCluster {
             links,
             ledger,
             gather,
             calibrate,
             recovery,
+            tracer,
             ..
         } = self;
         debug_assert_eq!(requests.len(), links.len());
@@ -1338,6 +1368,10 @@ impl EdgeCluster {
                     }
                     Err(e) if is_churn_error(&e) => {
                         Self::note_link_failure(links, recovery, i, &e);
+                        tracer.timing(EventKind::AgentFailure, |ev| {
+                            ev.agent = Some(i as u64);
+                            ev.label = Some(e.to_string());
+                        });
                         responses[i] = Some(Err(e));
                     }
                     Err(e) => return Err(e),
@@ -1380,6 +1414,11 @@ impl EdgeCluster {
                     ledger.record_agent_wire(i, recv_kind, msg.modeled_floats(), bytes);
                     makespan = makespan.max(elapsed);
                     busy += elapsed;
+                    tracer.timing(EventKind::AgentExchange, |ev| {
+                        ev.agent = Some(i as u64);
+                        ev.dur_us = Some((elapsed * 1e6) as u64);
+                        ev.items = requests[i].as_ref().map(|(_, work)| *work);
+                    });
                     if calibrate_throughput && *calibrate {
                         if let Some((_, work)) = &requests[i] {
                             if *work > 0 {
@@ -1401,6 +1440,10 @@ impl EdgeCluster {
                 }
                 Some((Err(e), _)) if is_churn_error(&e) => {
                     Self::note_link_failure(links, recovery, i, &e);
+                    tracer.timing(EventKind::AgentFailure, |ev| {
+                        ev.agent = Some(i as u64);
+                        ev.label = Some(e.to_string());
+                    });
                     responses[i] = Some(Err(e));
                 }
                 Some((Err(e), _)) if hard_err.is_none() => hard_err = Some(e),
@@ -1417,11 +1460,19 @@ impl EdgeCluster {
             let stats = link.transport.take_link_stats();
             if stats.overhead_bytes() > 0 {
                 ledger.record_agent_retrans(i, stats.overhead_bytes());
+                tracer.timing(EventKind::Retransmission, |ev| {
+                    ev.agent = Some(i as u64);
+                    ev.bytes = Some(stats.overhead_bytes());
+                });
             }
         }
         gather.gathers += 1;
         gather.makespan_s += makespan;
         gather.busy_s += busy;
+        tracer.timing(EventKind::GatherRound, |ev| {
+            ev.items = Some(round);
+            ev.dur_us = Some((makespan * 1e6) as u64);
+        });
         Ok(ExchangeOutcome {
             responses,
             makespan_s: makespan,
@@ -1509,6 +1560,10 @@ impl EdgeCluster {
                         failed_this_round[i] = true;
                         self.recovery.reassigned_chunks += 1;
                         self.recovery.reassigned_items += chunk.len() as u64;
+                        self.tracer.timing(EventKind::ChunkReassigned, |ev| {
+                            ev.agent = Some(i as u64);
+                            ev.items = Some(chunk.len() as u64);
+                        });
                         last_err = Some(e);
                         next_pending.extend_from_slice(chunk);
                     }
@@ -1632,6 +1687,11 @@ impl EdgeCluster {
 
     /// Drains this cluster's fitness-cache `(hits, lookups)` window.
     pub fn take_cache_window(&mut self) -> (u64, u64) {
+        if let Some(cache) = &self.cache {
+            self.tracer
+                .set_gauge("cache.hit_rate", cache.hit_rate_total());
+            self.tracer.set_gauge("cache.entries", cache.len() as f64);
+        }
         self.cache
             .as_mut()
             .map_or((0, 0), FitnessCache::take_window)
@@ -1698,6 +1758,7 @@ impl EdgeCluster {
             links,
             ledger,
             recovery,
+            tracer,
             ..
         } = self;
         let n_links = links.len();
@@ -1862,6 +1923,12 @@ impl EdgeCluster {
                         stats.per_agent_busy_s[agent] += elapsed_s;
                         stats.per_agent_completions[agent] += 1;
                         succeeded[agent] = true;
+                        tracer.timing(EventKind::Completion, |ev| {
+                            ev.agent = Some(agent as u64);
+                            ev.genome = Some(completion.genome.0);
+                            ev.fitness_bits = Some(completion.evaluation.fitness.to_bits());
+                            ev.dur_us = Some((elapsed_s * 1e6) as u64);
+                        });
                         idle.push_back(agent);
                         if let Some(next) = on_complete(&completion) {
                             pending.push_back(next);
@@ -1875,6 +1942,10 @@ impl EdgeCluster {
                         in_flight -= 1;
                         work_tx[agent] = None;
                         live = live.saturating_sub(1);
+                        tracer.timing(EventKind::AgentFailure, |ev| {
+                            ev.agent = Some(agent as u64);
+                            ev.label = Some(error.to_string());
+                        });
                         failures.push((agent, error));
                         stats.redispatches += 1;
                         pending.push_front(*genome);
@@ -1909,6 +1980,10 @@ impl EdgeCluster {
             let link_stats = link.transport.take_link_stats();
             if link_stats.overhead_bytes() > 0 {
                 ledger.record_agent_retrans(i, link_stats.overhead_bytes());
+                tracer.timing(EventKind::Retransmission, |ev| {
+                    ev.agent = Some(i as u64);
+                    ev.bytes = Some(link_stats.overhead_bytes());
+                });
             }
         }
         outcome.map(|()| stats)

@@ -7,7 +7,8 @@
 use crate::error::ClanError;
 use crate::evaluator::Evaluator;
 use crate::orchestra::{
-    central_evolution, evaluate_partitioned, track_best, GenerationReport, Orchestrator,
+    central_evolution, emit_generation_end, evaluate_partitioned, track_best, GenerationReport,
+    Orchestrator,
 };
 use crate::topology::ClanTopology;
 use clan_distsim::{Cluster, GenerationTimeline, TimelineRecorder};
@@ -77,7 +78,7 @@ impl Orchestrator for SerialOrchestrator {
 
         let timeline: GenerationTimeline = self.recorder.finish_generation();
         let (cache_hits, cache_lookups) = self.evaluator.take_cache_window();
-        Ok(GenerationReport {
+        let report = GenerationReport {
             generation,
             best_fitness,
             num_species: evo.num_species,
@@ -86,7 +87,9 @@ impl Orchestrator for SerialOrchestrator {
             extinction: evo.extinction,
             cache_hits,
             cache_lookups,
-        })
+        };
+        emit_generation_end(self.evaluator.tracer(), &report);
+        Ok(report)
     }
 
     fn best_ever(&self) -> Option<&Genome> {
@@ -115,6 +118,10 @@ impl Orchestrator for SerialOrchestrator {
 
     fn population_size(&self) -> usize {
         self.pop.config().population_size
+    }
+
+    fn install_tracer(&mut self, tracer: crate::telemetry::Tracer) {
+        self.evaluator.set_tracer(tracer);
     }
 }
 

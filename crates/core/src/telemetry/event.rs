@@ -1,0 +1,533 @@
+//! The structured event model: one flat, serializable record per
+//! observable step of a run, split into two determinism classes.
+//!
+//! **Logical** events form the deterministic stream: they carry logical
+//! time only (their own `lseq` counter, generation indices, virtual
+//! microseconds where a mode has them) and are byte-identical per seed
+//! across every synchronous execution surface — serial, loopback TCP,
+//! lossy UDP, churned — because they are emitted from the id-ordered
+//! replay loops that already pin fitness equivalence. **Timing** events
+//! are the annotation channel: wall-clock spans, per-link waits,
+//! retransmissions, churn transitions — everything that legitimately
+//! differs between transports lives here and never contaminates the
+//! logical stream.
+
+use super::clock::WallClock;
+use super::metrics::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// Which channel an event belongs to (fixed at record time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Determinism {
+    /// Part of the deterministic stream: byte-identical per seed across
+    /// execution surfaces (and per `(seed, schedule)` in virtual-time
+    /// async runs).
+    Logical,
+    /// Wall-clock / transport annotation: excluded from the pinned
+    /// stream, free to differ between runs and modes.
+    Timing,
+}
+
+/// What happened. Payload fields live on [`TraceEvent`] (sparse, all
+/// optional) so the record stays flat for the vendored serde shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Run preamble: seed, workload, population size.
+    RunStart,
+    /// A generation's evaluation is about to begin.
+    GenerationStart,
+    /// One genome's evaluation replayed in id order (fitness bits).
+    EvalResult,
+    /// A generation finished: best fitness, species, cache window.
+    GenerationEnd,
+    /// Async steady-state: a genome was put in flight on an agent.
+    Dispatch,
+    /// Async steady-state: an evaluation finished (mirrors one
+    /// `--event-log` line; `aseq` is that log's `e=` index).
+    Completion,
+    /// Async steady-state: a child was inserted into the population.
+    Insertion,
+    /// Cluster shape annotation (agent count, transport flavor).
+    ClusterInfo,
+    /// One scatter/gather round's measured makespan and busy time.
+    GatherRound,
+    /// One link's round-trip within a gather (per-agent span).
+    AgentExchange,
+    /// Loss-recovery overhead drained from one link (retransmitted and
+    /// duplicate datagram bytes).
+    Retransmission,
+    /// A churn-class link failure was recorded against an agent.
+    AgentFailure,
+    /// A failed link's chunk was reassigned to the survivors.
+    ChunkReassigned,
+    /// Deterministic churn schedule (or caller) killed an agent.
+    AgentKilled,
+    /// A previously killed agent slot was revived.
+    AgentRevived,
+    /// A new agent was admitted mid-run (spare or local).
+    AgentJoined,
+    /// Run postamble: generations completed.
+    RunEnd,
+}
+
+impl EventKind {
+    /// Stable snake_case label used in the logical stream text, JSONL
+    /// consumers, and Chrome track names.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::RunStart => "run_start",
+            EventKind::GenerationStart => "gen_start",
+            EventKind::EvalResult => "eval",
+            EventKind::GenerationEnd => "gen_end",
+            EventKind::Dispatch => "dispatch",
+            EventKind::Completion => "async",
+            EventKind::Insertion => "insert",
+            EventKind::ClusterInfo => "cluster",
+            EventKind::GatherRound => "gather",
+            EventKind::AgentExchange => "exchange",
+            EventKind::Retransmission => "retrans",
+            EventKind::AgentFailure => "agent_fail",
+            EventKind::ChunkReassigned => "reassign",
+            EventKind::AgentKilled => "kill",
+            EventKind::AgentRevived => "revive",
+            EventKind::AgentJoined => "join",
+            EventKind::RunEnd => "run_end",
+        }
+    }
+}
+
+/// One trace record. Flat and sparse: every payload slot is optional so
+/// a single struct serializes every kind through the vendored serde
+/// shim, and unknown-to-a-kind fields simply stay `None`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Position in the full stream (Logical and Timing interleaved).
+    pub seq: u64,
+    /// Determinism class, fixed at record time.
+    pub class: Determinism,
+    /// What happened.
+    pub kind: EventKind,
+    /// Position in the logical stream (Logical events only); this — not
+    /// `seq` — is what stays identical across execution surfaces.
+    pub lseq: Option<u64>,
+    /// Agent slot the event concerns, when attributable.
+    pub agent: Option<u64>,
+    /// Virtual time, microseconds (async virtual mode).
+    pub vtime_us: Option<u64>,
+    /// Wall-clock timestamp, microseconds since the trace epoch
+    /// (Timing events; captured by [`super::clock::WallClock`]).
+    pub wall_us: Option<u64>,
+    /// Duration in microseconds (wall for Timing spans, virtual for
+    /// async completions).
+    pub dur_us: Option<u64>,
+    /// Generation index.
+    pub generation: Option<u64>,
+    /// Genome id.
+    pub genome: Option<u64>,
+    /// Fitness as IEEE-754 bits (exact, no decimal round trip).
+    pub fitness_bits: Option<u64>,
+    /// Master seed (`RunStart`).
+    pub seed: Option<u64>,
+    /// Population size (`RunStart`).
+    pub population: Option<u64>,
+    /// Species alive (`GenerationEnd`).
+    pub species: Option<u64>,
+    /// Fitness-cache hits in the window (`GenerationEnd`).
+    pub cache_hits: Option<u64>,
+    /// Fitness-cache lookups in the window (`GenerationEnd`).
+    pub cache_lookups: Option<u64>,
+    /// Async event-log sequence (`e=` index) for `Completion` events.
+    pub aseq: Option<u64>,
+    /// Inserted child's genome id (`Completion`/`Insertion`).
+    pub child: Option<u64>,
+    /// Evicted genome id (`Completion`/`Insertion`).
+    pub evicted: Option<u64>,
+    /// First parent id (`Completion`/`Insertion`).
+    pub p1: Option<u64>,
+    /// Second parent id (`Completion`/`Insertion`).
+    pub p2: Option<u64>,
+    /// Generic count payload (items reassigned, agents, completions).
+    pub items: Option<u64>,
+    /// Byte count payload (retransmission overhead).
+    pub bytes: Option<u64>,
+    /// Free-form annotation (workload name, message kind, error text).
+    pub label: Option<String>,
+}
+
+impl TraceEvent {
+    /// A bare event of the given class and kind; every payload slot
+    /// starts empty and `seq`/`lseq` are assigned by the tracer.
+    pub fn base(class: Determinism, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            class,
+            kind,
+            lseq: None,
+            agent: None,
+            vtime_us: None,
+            wall_us: None,
+            dur_us: None,
+            generation: None,
+            genome: None,
+            fitness_bits: None,
+            seed: None,
+            population: None,
+            species: None,
+            cache_hits: None,
+            cache_lookups: None,
+            aseq: None,
+            child: None,
+            evicted: None,
+            p1: None,
+            p2: None,
+            items: None,
+            bytes: None,
+            label: None,
+        }
+    }
+
+    /// The event's line in the deterministic stream text, or `None` for
+    /// Timing events. Only logical payload slots are rendered — never
+    /// `seq`, wall timestamps, or durations — so the text is invariant
+    /// across execution surfaces.
+    pub fn logical_line(&self) -> Option<String> {
+        if self.class != Determinism::Logical {
+            return None;
+        }
+        let mut line = format!("l={} k={}", self.lseq.unwrap_or(0), self.kind.label());
+        if let Some(seed) = self.seed {
+            line.push_str(&format!(" seed={seed}"));
+        }
+        if let Some(w) = &self.label {
+            line.push_str(&format!(" w={w}"));
+        }
+        if let Some(p) = self.population {
+            line.push_str(&format!(" pop={p}"));
+        }
+        if let Some(g) = self.generation {
+            line.push_str(&format!(" gen={g}"));
+        }
+        if let Some(t) = self.vtime_us {
+            line.push_str(&format!(" t={t}us"));
+        }
+        if let Some(a) = self.agent {
+            line.push_str(&format!(" a={a}"));
+        }
+        if let Some(g) = self.genome {
+            line.push_str(&format!(" g={g}"));
+        }
+        if let Some(f) = self.fitness_bits {
+            line.push_str(&format!(" f={f:#018X}"));
+        }
+        if let Some(s) = self.species {
+            line.push_str(&format!(" sp={s}"));
+        }
+        if self.cache_lookups.is_some() || self.cache_hits.is_some() {
+            line.push_str(&format!(
+                " ch={} cl={}",
+                self.cache_hits.unwrap_or(0),
+                self.cache_lookups.unwrap_or(0)
+            ));
+        }
+        if self.kind == EventKind::Completion || self.kind == EventKind::Insertion {
+            match (self.child, self.p1, self.p2) {
+                (Some(c), Some(p1), Some(p2)) => {
+                    let evicted = match self.evicted {
+                        Some(e) => e.to_string(),
+                        None => "-".into(),
+                    };
+                    line.push_str(&format!(" child={c} evicted={evicted} p={p1},{p2}"));
+                }
+                _ => line.push_str(" child=- evicted=- p=-"),
+            }
+        }
+        if let Some(n) = self.items {
+            line.push_str(&format!(" n={n}"));
+        }
+        Some(line)
+    }
+
+    /// For async `Completion` events: the exact `--event-log` line the
+    /// same completion produced (PR 7 format), letting a trace be
+    /// checked as a strict superset of the event log.
+    pub fn async_log_line(&self) -> Option<String> {
+        if self.kind != EventKind::Completion {
+            return None;
+        }
+        let (aseq, vtime, agent, genome, fitness) = (
+            self.aseq?,
+            self.vtime_us?,
+            self.agent?,
+            self.genome?,
+            self.fitness_bits?,
+        );
+        let tail = match (self.child, self.p1, self.p2) {
+            (Some(c), Some(p1), Some(p2)) => {
+                let evicted = match self.evicted {
+                    Some(e) => e.to_string(),
+                    None => "-".into(),
+                };
+                format!("child={c} evicted={evicted} p={p1},{p2}")
+            }
+            _ => "child=- evicted=- p=-".into(),
+        };
+        Some(format!(
+            "e={aseq} t={vtime}us a={agent} g={genome} f={fitness:#018X} {tail}"
+        ))
+    }
+}
+
+/// splitmix64 — the same mix the async event-log hash uses, local so
+/// the telemetry layer has no RNG dependency.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of the logical-stream fold hash (mirrors the async log's).
+const LOGICAL_HASH_SEED: u64 = 0x00A5_15C0_0000_0002;
+
+/// A finished run's collected events plus the metrics the tracer
+/// accumulated alongside them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTrace {
+    /// Every recorded event, in record order.
+    pub events: Vec<TraceEvent>,
+    /// Counters/gauges/histograms maintained while recording.
+    pub metrics: MetricsRegistry,
+}
+
+impl RunTrace {
+    /// The deterministic stream: one line per Logical event, newline
+    /// terminated. Byte-identical per seed across execution surfaces.
+    pub fn logical_text(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            if let Some(line) = ev.logical_line() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Order-sensitive fold hash of [`logical_text`](RunTrace::logical_text).
+    pub fn logical_hash(&self) -> u64 {
+        let mut h = LOGICAL_HASH_SEED;
+        for &b in self.logical_text().as_bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h
+    }
+
+    /// `(logical, timing)` event counts.
+    pub fn counts(&self) -> (u64, u64) {
+        let logical = self
+            .events
+            .iter()
+            .filter(|e| e.class == Determinism::Logical)
+            .count() as u64;
+        (logical, self.events.len() as u64 - logical)
+    }
+}
+
+/// Interior state behind a live tracer.
+#[derive(Debug)]
+struct Sink {
+    events: Vec<TraceEvent>,
+    seq: u64,
+    lseq: u64,
+    clock: WallClock,
+    metrics: MetricsRegistry,
+}
+
+/// A cheap-to-clone recording handle. The default tracer is disabled
+/// and every emit is a no-op costing one branch, so instrumented code
+/// paths stay free when tracing is off; [`Tracer::new`] turns recording
+/// on. Clones share one sink, which is how the evaluator, the edge
+/// cluster, and the orchestrators all feed a single stream.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Sink>>>,
+}
+
+impl Tracer {
+    /// A live tracer recording into a fresh sink (wall epoch = now).
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(Sink {
+                events: Vec::new(),
+                seq: 0,
+                lseq: 0,
+                clock: WallClock::start(),
+                metrics: MetricsRegistry::default(),
+            }))),
+        }
+    }
+
+    /// The no-op handle (same as `Tracer::default()`).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether emits are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event: assigns `seq` (and `lseq` for Logical
+    /// events), stamps Timing events with the wall clock, and updates
+    /// the per-kind metrics. No-op when disabled; `fill` never runs in
+    /// that case.
+    pub fn emit(&self, class: Determinism, kind: EventKind, fill: impl FnOnce(&mut TraceEvent)) {
+        let Some(inner) = &self.inner else { return };
+        let Ok(mut sink) = inner.lock() else { return };
+        let mut ev = TraceEvent::base(class, kind);
+        fill(&mut ev);
+        ev.seq = sink.seq;
+        sink.seq += 1;
+        if class == Determinism::Logical {
+            ev.lseq = Some(sink.lseq);
+            sink.lseq += 1;
+        } else if ev.wall_us.is_none() {
+            ev.wall_us = Some(sink.clock.elapsed_us());
+        }
+        sink.metrics.inc(&format!("events.{}", kind.label()), 1);
+        if let Some(d) = ev.dur_us {
+            if kind == EventKind::GatherRound || kind == EventKind::AgentExchange {
+                sink.metrics
+                    .observe_duration(&format!("dur_s.{}", kind.label()), d as f64 / 1e6);
+            }
+        }
+        if let Some(b) = ev.bytes {
+            sink.metrics.inc("retrans.bytes", b);
+        }
+        if let Some(h) = ev.cache_hits {
+            sink.metrics.inc("cache.hits", h);
+        }
+        if let Some(l) = ev.cache_lookups {
+            sink.metrics.inc("cache.lookups", l);
+        }
+        sink.events.push(ev);
+    }
+
+    /// Sets a gauge in the attached metrics registry without recording
+    /// an event (gauges are annotations, never part of the logical
+    /// stream). No-op when disabled.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let Ok(mut sink) = inner.lock() else { return };
+        sink.metrics.set_gauge(name, value);
+    }
+
+    /// Shorthand for a Logical emit.
+    pub fn logical(&self, kind: EventKind, fill: impl FnOnce(&mut TraceEvent)) {
+        self.emit(Determinism::Logical, kind, fill);
+    }
+
+    /// Shorthand for a Timing emit.
+    pub fn timing(&self, kind: EventKind, fill: impl FnOnce(&mut TraceEvent)) {
+        self.emit(Determinism::Timing, kind, fill);
+    }
+
+    /// Wall timestamp on this tracer's epoch (for span starts computed
+    /// by callers that know a duration). Zero when disabled.
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => match inner.lock() {
+                Ok(sink) => sink.clock.elapsed_us(),
+                Err(_) => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Drains everything recorded so far into a [`RunTrace`], leaving
+    /// the tracer running with empty buffers. `None` when disabled.
+    pub fn finish(&self) -> Option<RunTrace> {
+        let inner = self.inner.as_ref()?;
+        let mut sink = inner.lock().ok()?;
+        Some(RunTrace {
+            events: std::mem::take(&mut sink.events),
+            metrics: std::mem::take(&mut sink.metrics),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.logical(EventKind::RunStart, |e| e.seed = Some(1));
+        assert!(!t.is_enabled());
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn sequences_and_classes_are_assigned() {
+        let t = Tracer::new();
+        t.logical(EventKind::RunStart, |e| e.seed = Some(7));
+        t.timing(EventKind::GatherRound, |e| e.dur_us = Some(10));
+        t.logical(EventKind::RunEnd, |_| {});
+        let trace = t.finish().unwrap();
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(trace.events[0].lseq, Some(0));
+        assert_eq!(trace.events[1].lseq, None);
+        assert!(trace.events[1].wall_us.is_some());
+        assert_eq!(trace.events[2].lseq, Some(1));
+        assert_eq!(trace.counts(), (2, 1));
+    }
+
+    #[test]
+    fn logical_text_excludes_timing_events() {
+        let t = Tracer::new();
+        t.logical(EventKind::GenerationStart, |e| e.generation = Some(0));
+        t.timing(EventKind::Retransmission, |e| {
+            e.agent = Some(1);
+            e.bytes = Some(512);
+        });
+        let trace = t.finish().unwrap();
+        let text = trace.logical_text();
+        assert_eq!(text, "l=0 k=gen_start gen=0\n");
+        assert_ne!(trace.logical_hash(), LOGICAL_HASH_SEED);
+    }
+
+    #[test]
+    fn async_log_line_round_trips_format() {
+        let mut ev = TraceEvent::base(Determinism::Logical, EventKind::Completion);
+        ev.aseq = Some(3);
+        ev.vtime_us = Some(4200);
+        ev.agent = Some(1);
+        ev.genome = Some(17);
+        ev.fitness_bits = Some(0x40590000_00000000);
+        ev.child = Some(21);
+        ev.p1 = Some(17);
+        ev.p2 = Some(4);
+        assert_eq!(
+            ev.async_log_line().unwrap(),
+            "e=3 t=4200us a=1 g=17 f=0x4059000000000000 child=21 evicted=- p=17,4"
+        );
+        ev.child = None;
+        assert_eq!(
+            ev.async_log_line().unwrap(),
+            "e=3 t=4200us a=1 g=17 f=0x4059000000000000 child=- evicted=- p=-"
+        );
+    }
+
+    #[test]
+    fn finish_drains_but_keeps_recording() {
+        let t = Tracer::new();
+        t.logical(EventKind::RunStart, |_| {});
+        assert_eq!(t.finish().unwrap().events.len(), 1);
+        t.logical(EventKind::RunEnd, |_| {});
+        let again = t.finish().unwrap();
+        assert_eq!(again.events.len(), 1);
+        assert_eq!(again.events[0].kind, EventKind::RunEnd);
+    }
+}

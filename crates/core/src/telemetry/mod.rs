@@ -1,0 +1,44 @@
+//! Unified deterministic run tracing: a structured event stream, a
+//! typed metrics registry, and exporters, shared by every execution
+//! mode.
+//!
+//! # The two-clock design
+//!
+//! A run observes two different notions of time and this module keeps
+//! them strictly apart:
+//!
+//! - **Logical time** — generation indices, the id-ordered evaluation
+//!   replay, and (in async virtual runs) virtual microseconds. Events
+//!   on this clock form the *deterministic stream*: for a given seed it
+//!   is byte-identical whether inference ran serially, over loopback
+//!   TCP, over 20%-lossy UDP, or through a churn schedule, because it
+//!   is emitted from the same replay loops that pin fitness
+//!   equivalence. [`RunTrace::logical_text`] serializes exactly this
+//!   stream, so two runs can be `diff`ed across transports as a
+//!   debugging tool.
+//! - **Wall-clock time** — per-link waits, gather makespans,
+//!   retransmissions, churn transitions. These are recorded as
+//!   [`Determinism::Timing`] events in a separate annotation channel
+//!   that never contaminates the logical stream, and every wall
+//!   timestamp is captured in [`clock`] (the single `Instant::now`
+//!   site the `clan-lint` D2 rule audits).
+//!
+//! The [`Tracer`] is a cheap-clonable handle that is a no-op until
+//! enabled, so instrumented hot paths cost one branch when tracing is
+//! off. The driver installs one tracer per run; the evaluator, the
+//! edge runtime, and the orchestrators all record into it, and the
+//! result is exported as JSONL ([`to_jsonl`], a superset of the async
+//! `--event-log`) or Chrome trace-event JSON ([`to_chrome_json`],
+//! per-agent tracks viewable in Perfetto).
+
+pub mod clock;
+mod event;
+mod export;
+mod metrics;
+
+pub use event::{Determinism, EventKind, RunTrace, TraceEvent, Tracer};
+pub use export::{
+    chrome_tracks_match, from_jsonl, parse_chrome_json, to_chrome_json, to_jsonl, ChromeArgs,
+    ChromeDoc, ChromeEvent,
+};
+pub use metrics::{AgentRow, Histogram, MetricsRegistry, TelemetryReport, DURATION_BOUNDS_S};

@@ -10,7 +10,7 @@
 //! | Rule | Contract | Matches |
 //! |------|----------|---------|
 //! | `D1` | determinism | `HashMap`/`HashSet` in determinism-bearing crates |
-//! | `D2` | determinism | `Instant::now`/`SystemTime`/`thread_rng`/`from_entropy` outside the timing modules |
+//! | `D2` | determinism | `Instant::now`/`SystemTime`/`thread_rng`/`from_entropy` outside the designated timing module (`telemetry/clock.rs`) |
 //! | `D3` | determinism | `.sum()`/`.fold(` float-reassociation idioms in kernel files |
 //! | `L1` | liveness   | `.unwrap()`/`.expect(`/`panic!`/wire-buffer indexing in transport/session code |
 //! | `L2` | liveness   | `recv` in a transport fn with no timeout-bearing path |
@@ -77,6 +77,13 @@ fn liveness_scope(path: &str) -> bool {
         || path == "crates/core/src/membership.rs"
 }
 
+/// The designated wall-clock capture point: the telemetry clock is the
+/// one module in determinism scope allowed to call `Instant::now`, so
+/// every wall timestamp in a trace flows through a single audited site.
+fn timing_scope(path: &str) -> bool {
+    path == "crates/core/src/telemetry/clock.rs"
+}
+
 /// Transport code proper, for the recv-timeout rule.
 fn transport_scope(path: &str) -> bool {
     path.starts_with("crates/core/src/transport/")
@@ -114,7 +121,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
 
     if determinism_scope(path) {
         rule_d1(path, &t, &in_test, &mut out);
-        rule_d2(path, &t, &in_test, &mut out);
+        if !timing_scope(path) {
+            rule_d2(path, &t, &in_test, &mut out);
+        }
     }
     if kernel_scope(path) {
         rule_d3(path, &t, &in_test, &mut out);
@@ -546,6 +555,18 @@ mod tests {
         let v = lint_source("crates/core/src/driver.rs", src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn d2_exempts_the_telemetry_clock_only() {
+        let src = "let t = Instant::now();\n";
+        assert!(lint_at("crates/core/src/telemetry/clock.rs", src).is_empty());
+        // The rest of the telemetry module stays under D2: wall time
+        // must flow through the clock, not be captured ad hoc.
+        assert_eq!(lint_at("crates/core/src/telemetry/event.rs", src).len(), 1);
+        // And D1 still applies inside the clock file.
+        let map = "use std::collections::HashMap;\n";
+        assert_eq!(lint_at("crates/core/src/telemetry/clock.rs", map).len(), 1);
     }
 
     #[test]

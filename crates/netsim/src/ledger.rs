@@ -311,6 +311,41 @@ mod tests {
     }
 
     #[test]
+    fn overhead_ratios_guard_zero_denominators() {
+        // Empty ledger: no traffic at all — both ratios are None, never
+        // NaN or inf.
+        let empty = CommLedger::new();
+        assert_eq!(empty.framing_overhead(), None);
+        assert_eq!(empty.retrans_overhead(), None);
+
+        // Modeled-only run: floats recorded, zero wire bytes. The
+        // framing ratio would divide wire/modeled = 0/600 (misleading,
+        // not undefined) and retrans would divide by zero wire bytes.
+        let mut modeled = CommLedger::new();
+        modeled.record(MessageKind::SendGenomes, 150);
+        assert_eq!(modeled.modeled_bytes(), 600);
+        assert_eq!(modeled.framing_overhead(), None);
+        assert_eq!(modeled.retrans_overhead(), None);
+
+        // Retransmissions without measured first-transmission bytes
+        // (pathological, but reachable if only record_agent_retrans ran):
+        // the retrans ratio's denominator is zero, so it must stay None.
+        let mut retrans_only = CommLedger::new();
+        retrans_only.record_agent_retrans(0, 512);
+        assert_eq!(retrans_only.total_retrans_bytes(), 512);
+        assert_eq!(retrans_only.retrans_overhead(), None);
+
+        // Measured wire traffic turns both ratios on, and they are finite.
+        let mut wire = CommLedger::new();
+        wire.record_agent_wire(0, MessageKind::SendGenomes, 100, 800);
+        wire.record_agent_retrans(0, 200);
+        assert!((wire.framing_overhead().unwrap() - 2.0).abs() < 1e-12);
+        assert!((wire.retrans_overhead().unwrap() - 0.25).abs() < 1e-12);
+        assert!(wire.framing_overhead().unwrap().is_finite());
+        assert!(wire.retrans_overhead().unwrap().is_finite());
+    }
+
+    #[test]
     fn merge_extends_per_agent_rows() {
         let mut a = CommLedger::new();
         let mut b = CommLedger::new();

@@ -13,9 +13,10 @@
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has a
 //! sensible default so `clan-cli run` alone works.
 
+use clan::core::telemetry::{to_chrome_json, to_jsonl};
 use clan::core::transport::agent::{AgentServer, UdpAgentServer};
 use clan::core::transport::{ChurnSchedule, FaultConfig, UdpConfig};
-use clan::core::{ClanDriver, ClanDriverBuilder, ClanTopology, RunReport};
+use clan::core::{ClanDriver, ClanDriverBuilder, ClanTopology, RunReport, RunTrace};
 use clan::envs::Workload;
 use clan::hw::PlatformKind;
 use clan::neat::{genome_to_dot, FeedForwardNetwork, NeatConfig, Population};
@@ -60,6 +61,7 @@ USAGE:
                  [--population N] [--seed N] [--platform P] [--single-step]
                  [--episodes N] [--eval-threads N]
                  [--batch-lanes N | --no-batch] [--no-cache]
+                 [--trace FILE] [--trace-chrome FILE]
                  [--async [--total-evals N] [--tournament-size K]
                   [--latency MS,MS,...] [--jitter-pct P] [--event-log FILE]]
   clan-cli solve [same flags; runs until the workload's solved score or
@@ -77,6 +79,7 @@ USAGE:
                  [--udp [--loss P] [--fault-seed S]]
                  [--max-retries N] [--min-agents N]
                  [--churn EVENTS] [--spare-at ADDR,ADDR,...]
+                 [--trace FILE] [--trace-chrome FILE]
                  (drive a run over real TCP agents; bit-identical to the
                  same run executed locally under any weights. --udp speaks
                  reliable datagrams instead; --loss injects seeded drop
@@ -112,6 +115,14 @@ reassigned to survivors and the evolved result is still bit-identical,
 only the recovery overhead in the report grows. --spare-at names standby
 agents a revival may connect; --max-retries/--min-agents set the
 recovery policy (defaults 3 and 1).
+
+--trace FILE records a structured run trace as JSONL: a deterministic
+logical event stream (byte-identical per seed across serial, TCP, lossy
+UDP, and churned runs; a strict superset of --event-log in async mode)
+plus wall-clock annotations in a separate channel. --trace-chrome FILE
+writes the same trace as Chrome trace-event JSON with one track per
+agent (open in Perfetto or chrome://tracing). Tracing never changes the
+evolved result.
 
 --async switches to barrier-free steady-state evolution: every finished
 evaluation immediately triggers a tournament reproduction (size
@@ -244,7 +255,32 @@ fn build_driver(flags: &Flags) -> Result<(ClanDriverBuilder, Workload), String> 
     if flags.has("--no-cache") {
         builder = builder.fitness_cache(false);
     }
+    if flags.get("--trace").is_some() || flags.get("--trace-chrome").is_some() {
+        builder = builder.tracing(true);
+    }
     Ok((builder, workload))
+}
+
+/// Writes the recorded trace to the files `--trace` (JSONL event
+/// stream) and `--trace-chrome` (Chrome trace-event JSON, viewable in
+/// Perfetto or `chrome://tracing`) name, when tracing was enabled.
+fn write_trace_outputs(
+    trace: Option<&RunTrace>,
+    flags: &Flags,
+    n_agents: usize,
+) -> Result<(), String> {
+    let Some(trace) = trace else { return Ok(()) };
+    if let Some(path) = flags.get("--trace") {
+        let jsonl = to_jsonl(trace).map_err(|e| e.to_string())?;
+        std::fs::write(path, jsonl).map_err(|e| e.to_string())?;
+        let (logical, timing) = trace.counts();
+        println!("  trace: {logical} logical + {timing} timing event(s) written to {path}");
+    }
+    if let Some(path) = flags.get("--trace-chrome") {
+        std::fs::write(path, to_chrome_json(trace, n_agents)).map_err(|e| e.to_string())?;
+        println!("  chrome trace: {n_agents} agent track(s) written to {path}");
+    }
+    Ok(())
 }
 
 /// Parses `--latency`'s comma-separated per-agent service times (ms).
@@ -328,6 +364,7 @@ fn run_async(mut builder: ClanDriverBuilder, flags: &Flags) -> Result<(), String
             outcome.event_log.lines().count()
         );
     }
+    write_trace_outputs(outcome.trace.as_ref(), flags, outcome.report.n_agents)?;
     Ok(())
 }
 
@@ -382,14 +419,17 @@ fn cmd_run(args: &[String], until_solved: bool) -> Result<(), String> {
         return run_async(builder, &flags);
     }
     let driver = builder.build().map_err(|e| e.to_string())?;
-    let report = if until_solved {
+    let (report, trace) = if until_solved {
         let max = flags.parse("--max-generations", 50u64)?;
-        driver.run_until_solved(max).map_err(|e| e.to_string())?
+        driver
+            .run_until_solved_with_trace(max)
+            .map_err(|e| e.to_string())?
     } else {
         let gens = flags.parse("--generations", 5u64)?;
-        driver.run(gens).map_err(|e| e.to_string())?
+        driver.run_with_trace(gens).map_err(|e| e.to_string())?
     };
     print_report(&report);
+    write_trace_outputs(trace.as_ref(), &flags, report.n_agents)?;
     Ok(())
 }
 
@@ -535,8 +575,9 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
     }
     let driver = builder.build().map_err(|e| e.to_string())?;
     let gens = flags.parse("--generations", 5u64)?;
-    let report = driver.run(gens).map_err(|e| e.to_string())?;
+    let (report, trace) = driver.run_with_trace(gens).map_err(|e| e.to_string())?;
     print_report(&report);
+    write_trace_outputs(trace.as_ref(), &flags, report.n_agents)?;
     if let Some(t) = &report.transport {
         println!(
             "\n  measured wire traffic: {} bytes in {} messages",
@@ -556,25 +597,24 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
                 100.0 * t.retrans_overhead().unwrap_or(0.0)
             );
         }
-        let per_agent = t.agent_entries();
-        if !per_agent.is_empty() {
-            println!("  per-agent wire bytes:");
-            for (i, row) in per_agent.iter().enumerate() {
-                println!(
-                    "    agent {i}: {:>10} bytes in {:>4} messages ({} retrans)",
-                    row.wire_bytes, row.messages, row.retrans_wire_bytes
-                );
-            }
+    }
+    // One aligned per-agent table unifying wire, retransmission,
+    // failure, and completion numbers (replaces the old ad-hoc rows).
+    let table = report.telemetry.agent_table();
+    if !table.is_empty() {
+        println!("  per-agent:");
+        for line in table.lines() {
+            println!("    {line}");
         }
     }
     if let Some(g) = &report.gather {
         if g.gathers > 0 {
+            let overlap = g
+                .overlap()
+                .map_or_else(|| "n/a".into(), |x| format!("{x:.2}x"));
             println!(
-                "  gather timing: {} rounds, makespan {:.3} s vs per-agent busy {:.3} s (overlap {:.2}x)",
-                g.gathers,
-                g.makespan_s,
-                g.busy_s,
-                g.overlap().unwrap_or(f64::NAN)
+                "  gather timing: {} rounds, makespan {:.3} s vs per-agent busy {:.3} s (overlap {overlap})",
+                g.gathers, g.makespan_s, g.busy_s
             );
         }
     }

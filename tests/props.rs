@@ -330,4 +330,91 @@ proptest! {
             }
         }
     }
+
+    // ---------------- telemetry exporters ----------------
+
+    #[test]
+    fn arbitrary_event_sequences_export_without_panic(
+        events in proptest::collection::vec(arb_trace_event(), 0..40),
+        n_agents in 0usize..8,
+    ) {
+        use clan::core::telemetry::{from_jsonl, parse_chrome_json, to_chrome_json, to_jsonl};
+        let trace = clan::core::RunTrace { events, ..clan::core::RunTrace::default() };
+        // JSONL round-trips every event bit-exactly (floats are stored
+        // as IEEE-754 bits, so there is no decimal detour to lose).
+        let jsonl = to_jsonl(&trace).expect("any event serializes");
+        prop_assert_eq!(from_jsonl(&jsonl).expect("parses back"), trace.events.clone());
+        // Chrome export stays valid trace-event JSON (required keys
+        // ph/ts/pid/tid/name) for any event soup and any agent count.
+        let chrome = to_chrome_json(&trace, n_agents);
+        let doc = parse_chrome_json(&chrome).expect("valid Chrome trace JSON");
+        prop_assert!(clan::core::telemetry::chrome_tracks_match(&doc, n_agents));
+        // The logical text and hash are total functions of the events.
+        let _ = trace.logical_text();
+        let _ = trace.logical_hash();
+    }
+}
+
+/// Strategy for one arbitrary [`clan::core::TraceEvent`]: any
+/// determinism class, any kind, any sparse payload combination
+/// (including nonsense ones no real emitter produces).
+fn arb_trace_event() -> impl Strategy<Value = clan::core::TraceEvent> {
+    use clan::core::{Determinism, EventKind, TraceEvent};
+    const KINDS: [EventKind; 17] = [
+        EventKind::RunStart,
+        EventKind::GenerationStart,
+        EventKind::EvalResult,
+        EventKind::GenerationEnd,
+        EventKind::Dispatch,
+        EventKind::Completion,
+        EventKind::Insertion,
+        EventKind::ClusterInfo,
+        EventKind::GatherRound,
+        EventKind::AgentExchange,
+        EventKind::Retransmission,
+        EventKind::AgentFailure,
+        EventKind::ChunkReassigned,
+        EventKind::AgentKilled,
+        EventKind::AgentRevived,
+        EventKind::AgentJoined,
+        EventKind::RunEnd,
+    ];
+    // Optional fields are (present, value) pairs; the label is carved
+    // out of raw bits so it covers empty, short, and punctuation-heavy
+    // printable strings without a regex strategy.
+    (
+        any::<u64>(),
+        any::<bool>(),
+        0usize..KINDS.len(),
+        proptest::collection::vec((any::<bool>(), any::<u64>()), 8..9),
+        (any::<bool>(), any::<u64>()),
+    )
+        .prop_map(move |(seq, logical, kind, nums, (has_label, lbits))| {
+            let class = if logical {
+                Determinism::Logical
+            } else {
+                Determinism::Timing
+            };
+            let opt = |i: usize| nums[i].0.then_some(nums[i].1);
+            let mut ev = TraceEvent::base(class, KINDS[kind]);
+            ev.seq = seq;
+            ev.lseq = opt(0);
+            ev.agent = opt(1);
+            ev.vtime_us = opt(2);
+            ev.wall_us = opt(3);
+            ev.dur_us = opt(4);
+            ev.genome = opt(5);
+            ev.fitness_bits = opt(6);
+            ev.child = opt(7);
+            ev.label = has_label.then(|| {
+                let len = (lbits % 25) as usize;
+                (0..len)
+                    .map(|i| {
+                        let byte = (lbits.rotate_left(7 * i as u32) & 0xFF) as u8;
+                        char::from(b' ' + byte % 95)
+                    })
+                    .collect()
+            });
+            ev
+        })
 }

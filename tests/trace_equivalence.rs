@@ -1,0 +1,243 @@
+//! The telemetry headline: the **logical event stream is part of the
+//! determinism contract**.
+//!
+//! For every CLAN topology (Serial / DCS / DDS / DDA), the trace's
+//! logical text — run preamble, generation starts, the id-ordered
+//! per-genome evaluation replay, generation ends, run end — must be
+//! **byte-identical** for a given seed whether inference ran locally,
+//! over loopback TCP, over UDP with 20 % injected datagram loss, or
+//! through a deterministic churn schedule. Wall-clock reality
+//! (retransmissions, failures, reassignments) is recorded in the
+//! Timing channel and must never leak into the logical stream.
+//!
+//! Async virtual-time runs extend the contract: their trace is a
+//! *strict superset* of the existing `--event-log` — every Completion
+//! event reconstructs its event-log line exactly — and the logical
+//! stream is fixed by `(seed, latency schedule)`.
+
+use clan::core::telemetry::{from_jsonl, parse_chrome_json, to_chrome_json, to_jsonl};
+use clan::core::transport::{ChurnSchedule, FaultConfig, UdpConfig};
+use clan::core::{ClanDriver, ClanDriverBuilder, ClanTopology, Determinism, EventKind, RunTrace};
+use clan::envs::Workload;
+
+const POP: usize = 20;
+const SIM_AGENTS: usize = 4;
+const GENERATIONS: u64 = 4;
+const SEED: u64 = 13;
+const LOSS: f64 = 0.2;
+
+fn topologies() -> [ClanTopology; 4] {
+    [
+        ClanTopology::serial(),
+        ClanTopology::dcs(),
+        ClanTopology::dds(),
+        ClanTopology::dda(SIM_AGENTS),
+    ]
+}
+
+fn base_builder(topology: ClanTopology) -> ClanDriverBuilder {
+    let agents = if topology == ClanTopology::serial() {
+        1
+    } else {
+        SIM_AGENTS
+    };
+    ClanDriver::builder(Workload::CartPole)
+        .topology(topology)
+        .agents(agents)
+        .population_size(POP)
+        .seed(SEED)
+        .tracing(true)
+}
+
+/// A small MTU (forcing real fragmentation of every genome frame) and a
+/// fast retransmit timer so 20 % loss costs milliseconds, not seconds.
+fn lossy_udp() -> UdpConfig {
+    UdpConfig::default()
+        .with_mtu(256)
+        .with_retransmit_interval_s(0.01)
+        .with_idle_timeout_s(10.0)
+        .with_faults(FaultConfig::loss(LOSS).with_seed(5))
+}
+
+fn traced_run(builder: ClanDriverBuilder) -> RunTrace {
+    let (_, trace) = builder
+        .build()
+        .expect("driver builds")
+        .run_with_trace(GENERATIONS)
+        .expect("run completes");
+    trace.expect("tracing was enabled")
+}
+
+#[test]
+fn logical_stream_is_byte_identical_across_transports_on_all_topologies() {
+    for topology in topologies() {
+        let local = traced_run(base_builder(topology));
+        let baseline = local.logical_text();
+        assert!(
+            !baseline.is_empty(),
+            "{topology}: logical stream must not be empty"
+        );
+        // Preamble, per-generation markers, replayed evals, postamble.
+        assert!(baseline.starts_with("l=0 k=run_start seed=13"));
+        assert!(baseline.contains("k=gen_start"));
+        assert!(baseline.contains("k=eval"));
+        assert!(baseline.contains("k=gen_end"));
+        assert!(baseline.ends_with("k=run_end gen=4\n"));
+
+        let tcp = traced_run(base_builder(topology).loopback_agents(2));
+        assert_eq!(
+            baseline,
+            tcp.logical_text(),
+            "{topology} over loopback TCP: logical stream diverged"
+        );
+
+        let udp = traced_run(
+            base_builder(topology)
+                .loopback_udp_agents(2)
+                .udp_config(lossy_udp()),
+        );
+        assert_eq!(
+            baseline,
+            udp.logical_text(),
+            "{topology} over 20%-lossy UDP: logical stream diverged"
+        );
+
+        let churned = traced_run(
+            base_builder(topology)
+                .loopback_agents(3)
+                .churn(ChurnSchedule::new().kill(1, 1).revive(1, 3)),
+        );
+        assert_eq!(
+            baseline,
+            churned.logical_text(),
+            "{topology} through churn: logical stream diverged"
+        );
+        // The churn was real: the Timing channel saw it, the logical
+        // channel did not.
+        assert!(
+            churned
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::AgentKilled),
+            "{topology}: churn schedule must surface as Timing events"
+        );
+        assert_eq!(local.logical_hash(), churned.logical_hash());
+    }
+}
+
+#[test]
+fn timing_events_differ_while_logical_hash_does_not() {
+    let local = traced_run(base_builder(ClanTopology::dcs()));
+    let udp = traced_run(
+        base_builder(ClanTopology::dcs())
+            .loopback_udp_agents(2)
+            .udp_config(lossy_udp()),
+    );
+    let (local_logical, local_timing) = local.counts();
+    let (udp_logical, udp_timing) = udp.counts();
+    assert_eq!(local_logical, udp_logical);
+    assert!(
+        udp_timing > local_timing,
+        "a lossy transport records more annotations ({udp_timing} vs {local_timing})"
+    );
+    assert!(
+        udp.events
+            .iter()
+            .any(|e| e.kind == EventKind::Retransmission && e.class == Determinism::Timing),
+        "20% loss must surface Retransmission annotations"
+    );
+    assert_eq!(local.logical_hash(), udp.logical_hash());
+    // The metrics registry counted the retransmitted bytes.
+    assert!(udp.metrics.counter("retrans.bytes") > 0);
+    // It also absorbed the fitness-cache numbers (counters fed from the
+    // generation-end events, gauges from the cache itself) — and since
+    // cache hits are content-addressed, they are transport-invariant.
+    assert!(local.metrics.counter("cache.lookups") > 0);
+    assert_eq!(
+        local.metrics.counter("cache.hits"),
+        udp.metrics.counter("cache.hits")
+    );
+    assert!(local.metrics.gauges.contains_key("cache.hit_rate"));
+}
+
+#[test]
+fn tracing_never_changes_the_evolved_result() {
+    let run = |tracing: bool| {
+        ClanDriver::builder(Workload::CartPole)
+            .topology(ClanTopology::dcs())
+            .agents(SIM_AGENTS)
+            .population_size(POP)
+            .seed(SEED)
+            .tracing(tracing)
+            .build()
+            .unwrap()
+            .run(GENERATIONS)
+            .unwrap()
+    };
+    let untraced = run(false);
+    let traced = run(true);
+    assert_eq!(untraced.best_fitness, traced.best_fitness);
+    assert_eq!(
+        untraced.generations.last().unwrap().costs,
+        traced.generations.last().unwrap().costs
+    );
+    assert!(untraced.telemetry.logical_events == 0);
+    assert!(traced.telemetry.logical_events > 0);
+}
+
+#[test]
+fn async_trace_is_a_strict_superset_of_the_event_log() {
+    let run = || {
+        ClanDriver::builder(Workload::CartPole)
+            .agents(3)
+            .population_size(12)
+            .seed(9)
+            .total_evals(40)
+            .latency_ms(vec![2.0, 8.0, 2.0])
+            .tracing(true)
+            .build_async()
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let trace = a.trace.as_ref().expect("tracing was enabled");
+    // Every Completion event reconstructs its --event-log line exactly,
+    // in order: the trace strictly contains the event log.
+    let reconstructed: String = trace
+        .events
+        .iter()
+        .filter_map(|e| e.async_log_line().map(|l| l + "\n"))
+        .collect();
+    assert_eq!(reconstructed, a.event_log);
+    assert!(!a.event_log.is_empty());
+    assert!(
+        trace.events.len() > a.event_log.lines().count(),
+        "the trace carries dispatches and the run frame on top of completions"
+    );
+    // Virtual-time determinism extends to the logical stream.
+    let b = run();
+    assert_eq!(
+        trace.logical_text(),
+        b.trace.as_ref().unwrap().logical_text()
+    );
+    assert_eq!(a.event_log, b.event_log);
+}
+
+#[test]
+fn exporters_round_trip_a_real_trace() {
+    let trace = traced_run(
+        base_builder(ClanTopology::dcs())
+            .loopback_udp_agents(2)
+            .udp_config(lossy_udp()),
+    );
+    // JSONL: parse back every event bit-exactly.
+    let jsonl = to_jsonl(&trace).expect("serializes");
+    let events = from_jsonl(&jsonl).expect("parses back");
+    assert_eq!(events, trace.events);
+    // Chrome: valid trace-event JSON with one track per agent plus the
+    // coordinator.
+    let chrome = to_chrome_json(&trace, SIM_AGENTS);
+    let doc = parse_chrome_json(&chrome).expect("valid Chrome trace JSON");
+    assert!(clan::core::telemetry::chrome_tracks_match(&doc, SIM_AGENTS));
+}
