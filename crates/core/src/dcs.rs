@@ -133,6 +133,10 @@ impl Orchestrator for DcsOrchestrator {
         self.evaluator.remote_recovery_stats()
     }
 
+    fn membership(&self) -> Option<Vec<crate::membership::AgentHealth>> {
+        self.evaluator.remote_membership()
+    }
+
     fn recorder(&self) -> &TimelineRecorder {
         &self.recorder
     }

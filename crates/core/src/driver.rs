@@ -28,6 +28,7 @@ use crate::evaluator::{EngineOptions, Evaluator, InferenceMode};
 use crate::orchestra::{GenerationReport, Orchestrator};
 use crate::report::RunReport;
 use crate::serial::SerialOrchestrator;
+use crate::status::{StatusHandle, StatusServer, StatusSnapshot};
 use crate::telemetry::{EventKind, RunTrace, TelemetryReport, Tracer};
 use crate::topology::{ClanTopology, SpeciationMode};
 use clan_distsim::Cluster;
@@ -90,6 +91,21 @@ pub struct DriverConfig {
     /// is on; only wall-clock time changes).
     #[serde(default)]
     pub tracing: bool,
+    /// Flight-recorder mode: keep only the last N trace events in a
+    /// bounded ring (implies tracing). `None` records unbounded.
+    #[serde(default)]
+    pub trace_ring: Option<usize>,
+    /// Address the live introspection endpoint binds
+    /// (`/metrics`/`/health`/`/progress`); `None` serves nothing.
+    #[serde(default)]
+    pub status_addr: Option<String>,
+}
+
+/// The live introspection endpoint attached to a running driver: the
+/// snapshot slot the run publishes into plus the serving thread.
+struct StatusState {
+    handle: StatusHandle,
+    server: StatusServer,
 }
 
 /// A configured, ready-to-run CLAN deployment.
@@ -97,6 +113,7 @@ pub struct ClanDriver {
     config: DriverConfig,
     orchestrator: Box<dyn Orchestrator>,
     tracer: Tracer,
+    status: Option<StatusState>,
 }
 
 impl std::fmt::Debug for ClanDriver {
@@ -118,17 +135,45 @@ impl ClanDriver {
         &self.config
     }
 
+    /// A clone of the run's tracer handle (clones share one sink).
+    /// Lets a caller keep reading after the driver is consumed — in
+    /// particular, dump the flight-recorder ring to a postmortem file
+    /// when a run returns an error. The disabled no-op handle when
+    /// tracing is off.
+    pub fn tracer_handle(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// The live introspection endpoint's bound address (resolving port
+    /// 0 to the actual port), when one was configured.
+    pub fn status_local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.status.as_ref().map(|s| s.server.local_addr())
+    }
+
+    /// Publishes a fresh snapshot to the introspection endpoint; no-op
+    /// when none is attached. Called between generations only — it
+    /// copies already-gathered state and never touches the exchange hot
+    /// path, so polling cannot perturb the run.
+    fn publish_status(&self, phase: &str, generations: u64, solved: bool) {
+        let Some(status) = &self.status else { return };
+        status.handle.publish(StatusSnapshot {
+            phase: phase.into(),
+            generation: Some(generations),
+            evals: None,
+            best_fitness: self.orchestrator.best_ever().and_then(|g| g.fitness()),
+            solved,
+            agents: self.orchestrator.membership().unwrap_or_default(),
+            metrics: self.tracer.metrics_snapshot().unwrap_or_default(),
+        });
+    }
+
     /// Runs `generations` generations and reports.
     ///
     /// # Errors
     ///
     /// Propagates orchestrator failures ([`ClanError`]).
-    pub fn run(mut self, generations: u64) -> Result<RunReport, ClanError> {
-        let mut reports: Vec<GenerationReport> = Vec::with_capacity(generations as usize);
-        for _ in 0..generations {
-            reports.push(self.orchestrator.step_generation()?);
-        }
-        Ok(self.into_report(reports).0)
+    pub fn run(self, generations: u64) -> Result<RunReport, ClanError> {
+        Ok(self.run_with_trace(generations)?.0)
     }
 
     /// Like [`run`](Self::run), but also returns the recorded
@@ -144,7 +189,16 @@ impl ClanDriver {
     ) -> Result<(RunReport, Option<RunTrace>), ClanError> {
         let mut reports: Vec<GenerationReport> = Vec::with_capacity(generations as usize);
         for _ in 0..generations {
-            reports.push(self.orchestrator.step_generation()?);
+            match self.orchestrator.step_generation() {
+                Ok(r) => {
+                    reports.push(r);
+                    self.publish_status("running", reports.len() as u64, false);
+                }
+                Err(e) => {
+                    self.publish_status("failed", reports.len() as u64, false);
+                    return Err(e);
+                }
+            }
         }
         Ok(self.into_report(reports))
     }
@@ -173,9 +227,16 @@ impl ClanDriver {
         let threshold = self.config.workload.solved_at();
         let mut reports = Vec::new();
         for _ in 0..max_generations {
-            let r = self.orchestrator.step_generation()?;
+            let r = match self.orchestrator.step_generation() {
+                Ok(r) => r,
+                Err(e) => {
+                    self.publish_status("failed", reports.len() as u64, false);
+                    return Err(e);
+                }
+            };
             let solved = r.best_fitness >= threshold;
             reports.push(r);
+            self.publish_status("running", reports.len() as u64, solved);
             if solved {
                 break;
             }
@@ -184,6 +245,10 @@ impl ClanDriver {
     }
 
     fn into_report(self, generations: Vec<GenerationReport>) -> (RunReport, Option<RunTrace>) {
+        let solved = generations
+            .last()
+            .is_some_and(|r| r.best_fitness >= self.config.workload.solved_at());
+        self.publish_status("finished", generations.len() as u64, solved);
         self.tracer.logical(EventKind::RunEnd, |ev| {
             ev.generation = Some(generations.len() as u64);
         });
@@ -235,6 +300,8 @@ pub struct ClanDriverBuilder {
     spare_agents: Vec<String>,
     engine: EngineOptions,
     tracing: bool,
+    trace_ring: Option<usize>,
+    status_addr: Option<String>,
     total_evals: Option<u64>,
     tournament_size: usize,
     latency_ms: Option<Vec<f64>>,
@@ -293,6 +360,8 @@ impl ClanDriverBuilder {
             spare_agents: Vec::new(),
             engine: EngineOptions::default(),
             tracing: false,
+            trace_ring: None,
+            status_addr: None,
             total_evals: None,
             tournament_size: 3,
             latency_ms: None,
@@ -493,6 +562,29 @@ impl ClanDriverBuilder {
     /// bit-identical with tracing on or off.
     pub fn tracing(mut self, enabled: bool) -> Self {
         self.tracing = enabled;
+        self
+    }
+
+    /// Flight-recorder mode (implies tracing): keep only the last
+    /// `capacity` trace events in a bounded in-memory ring instead of
+    /// the full unbounded trace. `seq`/`lseq` keep counting across
+    /// drops, so the retained tail reads exactly like the end of an
+    /// unbounded trace; metrics still cover the whole run. Pair with
+    /// [`ClanDriver::tracer_handle`] to dump the tail when a run fails.
+    pub fn trace_ring(mut self, capacity: usize) -> Self {
+        self.trace_ring = Some(capacity);
+        self
+    }
+
+    /// Serves the live introspection endpoint on `addr` (e.g.
+    /// `127.0.0.1:9090`; port 0 picks a free port): `/metrics`
+    /// (Prometheus text exposition), `/health` (per-agent membership),
+    /// `/progress` (generation / eval count, best fitness). The run
+    /// publishes snapshots at generation boundaries only, so polling
+    /// never perturbs the run — the deterministic stream stays
+    /// bit-identical with the endpoint enabled.
+    pub fn status_addr(mut self, addr: impl Into<String>) -> Self {
+        self.status_addr = Some(addr.into());
         self
     }
 
@@ -717,6 +809,19 @@ impl ClanDriverBuilder {
         if tracer.is_enabled() {
             orchestrator.install_tracer(tracer.clone());
         }
+        let status = match &self.status_addr {
+            Some(addr) => {
+                let handle = StatusHandle::new();
+                handle.publish(StatusSnapshot {
+                    phase: "starting".into(),
+                    agents: orchestrator.membership().unwrap_or_default(),
+                    ..StatusSnapshot::default()
+                });
+                let server = StatusServer::bind(addr, handle.clone())?;
+                Some(StatusState { handle, server })
+            }
+            None => None,
+        };
 
         Ok(ClanDriver {
             config: DriverConfig {
@@ -739,19 +844,24 @@ impl ClanDriverBuilder {
                 spare_agents: self.spare_agents,
                 engine: self.engine,
                 tracing: self.tracing,
+                trace_ring: self.trace_ring,
+                status_addr: self.status_addr,
             },
             orchestrator,
             tracer,
+            status,
         })
     }
 
     /// A live tracer preloaded with the run preamble when tracing is
-    /// enabled; the no-op handle otherwise.
+    /// enabled — unbounded normally, a bounded ring in flight-recorder
+    /// mode; the no-op handle otherwise.
     fn make_tracer(&self, population: usize, topology_name: String) -> Tracer {
-        if !self.tracing {
-            return Tracer::disabled();
-        }
-        let tracer = Tracer::new();
+        let tracer = match self.trace_ring {
+            Some(capacity) => Tracer::with_ring(capacity),
+            None if self.tracing => Tracer::new(),
+            None => return Tracer::disabled(),
+        };
         tracer.logical(EventKind::RunStart, |ev| {
             ev.seed = Some(self.seed);
             ev.label = Some(self.workload.to_string());
@@ -851,6 +961,22 @@ impl ClanDriverBuilder {
         if tracer.is_enabled() {
             orchestrator.install_tracer(tracer.clone());
         }
+        let status = match &self.status_addr {
+            Some(addr) => {
+                let handle = StatusHandle::new();
+                handle.publish(StatusSnapshot {
+                    phase: "starting".into(),
+                    agents: orchestrator
+                        .evaluator()
+                        .remote_membership()
+                        .unwrap_or_default(),
+                    ..StatusSnapshot::default()
+                });
+                let server = StatusServer::bind(addr, handle.clone())?;
+                Some(StatusState { handle, server })
+            }
+            None => None,
+        };
         Ok(AsyncClanDriver {
             workload: self.workload,
             n_agents: agents,
@@ -858,6 +984,7 @@ impl ClanDriverBuilder {
             orchestrator,
             schedule,
             tracer,
+            status,
         })
     }
 }
@@ -871,6 +998,7 @@ pub struct AsyncClanDriver {
     orchestrator: AsyncOrchestrator,
     schedule: Option<LatencySchedule>,
     tracer: Tracer,
+    status: Option<StatusState>,
 }
 
 impl std::fmt::Debug for AsyncClanDriver {
@@ -909,6 +1037,38 @@ impl AsyncClanDriver {
         self.schedule.as_ref()
     }
 
+    /// A clone of the run's tracer handle (clones share one sink); see
+    /// [`ClanDriver::tracer_handle`].
+    pub fn tracer_handle(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// The live introspection endpoint's bound address (resolving port
+    /// 0 to the actual port), when one was configured.
+    pub fn status_local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.status.as_ref().map(|s| s.server.local_addr())
+    }
+
+    /// Publishes a snapshot at a run transition (async modes have no
+    /// generation boundaries; the endpoint reports eval totals at the
+    /// start and end of the steady-state loop).
+    fn publish_status(&self, phase: &str, evals: Option<u64>, best_fitness: Option<f64>) {
+        let Some(status) = &self.status else { return };
+        status.handle.publish(StatusSnapshot {
+            phase: phase.into(),
+            generation: None,
+            evals,
+            best_fitness,
+            solved: false,
+            agents: self
+                .orchestrator
+                .evaluator()
+                .remote_membership()
+                .unwrap_or_default(),
+            metrics: self.tracer.metrics_snapshot().unwrap_or_default(),
+        });
+    }
+
     /// Runs the steady-state loop to its evaluation budget.
     ///
     /// # Errors
@@ -917,9 +1077,14 @@ impl AsyncClanDriver {
     /// failures, protocol violations, or a cluster drained below the
     /// recovery floor.
     pub fn run(mut self) -> Result<AsyncRunOutcome, ClanError> {
-        match &self.schedule {
-            Some(s) => self.orchestrator.run_virtual(s)?,
-            None => self.orchestrator.run_streamed()?,
+        self.publish_status("running", Some(0), None);
+        let outcome = match &self.schedule {
+            Some(s) => self.orchestrator.run_virtual(s),
+            None => self.orchestrator.run_streamed(),
+        };
+        if let Err(e) = outcome {
+            self.publish_status("failed", None, None);
+            return Err(e);
         }
         let stats = self
             .orchestrator
@@ -935,6 +1100,11 @@ impl AsyncClanDriver {
         self.tracer.logical(EventKind::RunEnd, |ev| {
             ev.items = Some(stats.total_evals);
         });
+        self.publish_status(
+            "finished",
+            Some(stats.total_evals),
+            Some(stats.best_fitness),
+        );
         let trace = self.tracer.finish();
         let recovery = self.orchestrator.evaluator().remote_recovery_stats();
         let telemetry = TelemetryReport::from_sources(

@@ -262,6 +262,12 @@ impl Evaluator {
         self.remote.as_ref().map(EdgeCluster::recovery_stats)
     }
 
+    /// The attached cluster's per-link membership snapshot, when a
+    /// cluster is attached.
+    pub fn remote_membership(&self) -> Option<Vec<crate::membership::AgentHealth>> {
+        self.remote.as_ref().map(EdgeCluster::membership)
+    }
+
     /// Agents in the attached cluster (0 = local evaluation).
     pub fn remote_agents(&self) -> usize {
         self.remote.as_ref().map_or(0, EdgeCluster::n_agents)

@@ -278,6 +278,47 @@
 //! per-agent table land in `RunReport.telemetry`
 //! ([`telemetry::TelemetryReport`]).
 //!
+//! # Trace analysis & live introspection
+//!
+//! The trace above is raw material; three consumers turn it into
+//! answers:
+//!
+//! - **`clan-trace`** (`crates/trace-tools`, dependency-free like
+//!   `clan-lint`) analyzes recorded traces *offline*:
+//!   `analyze --trace FILE` reconstructs the per-round critical path
+//!   from the Timing spans — per-agent busy time, per-round critical
+//!   agent, straggler ranking with slowdown factors, retransmission
+//!   and recovery attribution, and a wasted-idle total that
+//!   reproduces the run's own accounting ([`GatherStats`] for
+//!   scatter/gather rounds, [`AsyncStats`] exactly in virtual time;
+//!   `tests/trace_intelligence.rs` cross-checks both).
+//!   `diff LEFT RIGHT` compares two *logical* streams and reports the
+//!   first divergent event framed in run terms (`gen 7, eval of
+//!   genome 1234`) — by the equivalence contract above, two same-seed
+//!   runs diff clean across transports, so the first divergence *is*
+//!   the bug's location. `summarize` renders the per-agent
+//!   utilization table alone. Exit codes: 0 clean/identical,
+//!   1 divergence found, 2 usage/I-O.
+//! - **Live status endpoint** ([`status`], enabled with
+//!   [`ClanDriverBuilder::status_addr`] / `clan-cli --status-addr
+//!   ADDR`): a `std::net` HTTP thread serving `/metrics` (Prometheus
+//!   text exposition from the [`MetricsRegistry`]), `/health`
+//!   (per-agent alive/suspected/dead from [`membership`]), and
+//!   `/progress` (generation, eval count, best fitness). It reads
+//!   atomic [`StatusSnapshot`]s published between rounds — never the
+//!   hot path — so the equivalence suites stay bit-identical with the
+//!   endpoint enabled (pinned by `tests/trace_intelligence.rs`;
+//!   measured wall-clock overhead ≈ 2 %, within run-to-run noise).
+//! - **Flight recorder** ([`Tracer::with_ring`] /
+//!   [`ClanDriverBuilder::trace_ring`] / `clan-cli --trace-ring N
+//!   [--postmortem FILE]`): tracing into a bounded ring that keeps
+//!   the last N events (the retained logical lines are a byte-exact
+//!   suffix of the unbounded stream). When a run dies — typed error,
+//!   transport failure, or panic (a hook dumps on unwind) — the ring
+//!   is written as a postmortem JSONL that `clan-trace analyze`
+//!   attributes; CI's `flight-recorder` job kills a cluster below
+//!   `--min-agents` and asserts the postmortem names the kills.
+//!
 //! # Static contract enforcement
 //!
 //! The two contracts above — bit-identity determinism and hang-free
@@ -334,6 +375,7 @@ pub mod parallel;
 pub mod report;
 pub mod runtime;
 pub mod serial;
+pub mod status;
 pub mod telemetry;
 pub mod topology;
 pub mod transport;
@@ -352,6 +394,7 @@ pub use parallel::ParallelEvaluator;
 pub use report::RunReport;
 pub use runtime::{EdgeCluster, GatherStats, StreamCompletion, StreamStats};
 pub use serial::SerialOrchestrator;
+pub use status::{StatusHandle, StatusServer, StatusSnapshot};
 pub use telemetry::{
     Determinism, EventKind, MetricsRegistry, RunTrace, TelemetryReport, TraceEvent, Tracer,
 };

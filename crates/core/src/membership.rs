@@ -80,6 +80,16 @@ impl LinkHealth {
     pub fn is_live(self) -> bool {
         self != LinkHealth::Dead
     }
+
+    /// Stable lowercase label used by the `/health` introspection
+    /// endpoint and human-facing listings.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkHealth::Alive => "alive",
+            LinkHealth::Suspected => "suspected",
+            LinkHealth::Dead => "dead",
+        }
+    }
 }
 
 /// Snapshot of one agent link's membership state.

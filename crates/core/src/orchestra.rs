@@ -104,6 +104,15 @@ pub trait Orchestrator {
         None
     }
 
+    /// Per-agent link membership of the attached real transport
+    /// (alive/suspected/dead, failure counts — see
+    /// [`AgentHealth`](crate::membership::AgentHealth)), as served by
+    /// the live `/health` introspection endpoint. `None` for purely
+    /// simulated runs.
+    fn membership(&self) -> Option<Vec<crate::membership::AgentHealth>> {
+        None
+    }
+
     /// Timeline recorder for the run so far.
     fn recorder(&self) -> &TimelineRecorder;
 

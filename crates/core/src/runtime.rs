@@ -1189,13 +1189,10 @@ impl EdgeCluster {
         let round = self.round;
         self.round += 1;
         self.recovery.rounds += 1;
-        if self.churn.is_none() {
+        let Some(churn) = &self.churn else {
             return Ok(());
-        }
-        let due: Vec<(usize, ChurnAction)> = self
-            .churn
-            .as_ref()
-            .expect("checked above")
+        };
+        let due: Vec<(usize, ChurnAction)> = churn
             .events_at(round)
             .map(|e| (e.agent, e.action))
             .collect();
@@ -1641,6 +1638,7 @@ impl EdgeCluster {
                 master_seed,
                 genomes: chunk
                     .iter()
+                    // clan-lint: allow(L1, reason="chunk ids come from partitioning this same population; a miss is a planner bug the process cannot recover from")
                     .map(|id| pop.genome(*id).expect("id from population").clone())
                     .collect(),
             },
@@ -1807,41 +1805,42 @@ impl EdgeCluster {
                             }
                         };
                         let event = match recv_message(transport) {
-                            Ok((reply @ WireMessage::Fitness(_), recv_bytes)) => {
+                            Ok((reply, recv_bytes)) => {
                                 let recv_floats = reply.modeled_floats();
-                                let WireMessage::Fitness(batch) = reply else {
-                                    unreachable!("matched Fitness above")
-                                };
-                                match batch.as_slice() {
-                                    [(id, evaluation, gpa)] if *id == gid => StreamEvent::Done {
-                                        completion: StreamCompletion {
-                                            agent: i,
-                                            genome: gid,
-                                            evaluation: *evaluation,
-                                            genes_per_activation: *gpa,
+                                match reply {
+                                    WireMessage::Fitness(batch) => match batch.as_slice() {
+                                        [(id, evaluation, gpa)] if *id == gid => {
+                                            StreamEvent::Done {
+                                                completion: StreamCompletion {
+                                                    agent: i,
+                                                    genome: gid,
+                                                    evaluation: *evaluation,
+                                                    genes_per_activation: *gpa,
+                                                },
+                                                elapsed_s: t0.elapsed().as_secs_f64(),
+                                                sent_floats,
+                                                sent_bytes,
+                                                recv_floats,
+                                                recv_bytes,
+                                            }
+                                        }
+                                        _ => StreamEvent::Hard {
+                                            error: ClanError::Protocol {
+                                                peer: transport.peer(),
+                                                reason: format!(
+                                                    "streamed fitness does not match genome {gid}"
+                                                ),
+                                            },
                                         },
-                                        elapsed_s: t0.elapsed().as_secs_f64(),
-                                        sent_floats,
-                                        sent_bytes,
-                                        recv_floats,
-                                        recv_bytes,
                                     },
-                                    _ => StreamEvent::Hard {
+                                    other => StreamEvent::Hard {
                                         error: ClanError::Protocol {
                                             peer: transport.peer(),
-                                            reason: format!(
-                                                "streamed fitness does not match genome {gid}"
-                                            ),
+                                            reason: format!("expected Fitness, got {other:?}"),
                                         },
                                     },
                                 }
                             }
-                            Ok((other, _)) => StreamEvent::Hard {
-                                error: ClanError::Protocol {
-                                    peer: transport.peer(),
-                                    reason: format!("expected Fitness, got {other:?}"),
-                                },
-                            },
                             Err(error) if is_churn_error(&error) => StreamEvent::Failed {
                                 agent: i,
                                 genome: Box::new(genome),
@@ -1867,8 +1866,10 @@ impl EdgeCluster {
             loop {
                 // Feed every idle agent while work remains.
                 while !pending.is_empty() && !idle.is_empty() {
-                    let agent = idle.pop_front().expect("checked non-empty");
-                    let genome = pending.pop_front().expect("checked non-empty");
+                    let (Some(agent), Some(genome)) = (idle.pop_front(), pending.pop_front())
+                    else {
+                        break; // unreachable: both checked non-empty by the loop guard
+                    };
                     match &work_tx[agent] {
                         Some(tx) => match tx.send((seq, genome)) {
                             Ok(()) => {
@@ -2024,6 +2025,7 @@ impl EdgeCluster {
                     specs: chunk.to_vec(),
                     parents: parent_ids
                         .iter()
+                        // clan-lint: allow(L1, reason="parent ids come from the reproduction plan built over this same population; a miss is a planner bug the process cannot recover from")
                         .map(|id| pop.genome(*id).expect("parent resident").clone())
                         .collect(),
                 }
@@ -2083,7 +2085,9 @@ impl EdgeCluster {
         let best = pop
             .best()
             .and_then(Genome::fitness)
-            .expect("population was just evaluated");
+            .ok_or_else(|| ClanError::InvalidSetup {
+                reason: "no evaluated fitness in population after evaluate()".into(),
+            })?;
         crate::orchestra::central_evolution(pop)?;
         Ok(best)
     }
@@ -2099,7 +2103,9 @@ impl EdgeCluster {
         let best = pop
             .best()
             .and_then(Genome::fitness)
-            .expect("population was just evaluated");
+            .ok_or_else(|| ClanError::InvalidSetup {
+                reason: "no evaluated fitness in population after evaluate()".into(),
+            })?;
         pop.speciate();
         match pop.plan_generation() {
             Ok(plan) => {

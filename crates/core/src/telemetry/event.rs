@@ -15,6 +15,7 @@
 use super::clock::WallClock;
 use super::metrics::MetricsRegistry;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 /// Which channel an event belongs to (fixed at record time).
@@ -337,7 +338,13 @@ impl RunTrace {
 /// Interior state behind a live tracer.
 #[derive(Debug)]
 struct Sink {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
+    /// Flight-recorder bound: `Some(n)` keeps only the last `n` events
+    /// (oldest are dropped; `seq`/`lseq` keep counting so the retained
+    /// tail is still globally positioned). `None` is unbounded.
+    ring_capacity: Option<usize>,
+    /// Events discarded by the ring so far.
+    dropped: u64,
     seq: u64,
     lseq: u64,
     clock: WallClock,
@@ -359,7 +366,29 @@ impl Tracer {
     pub fn new() -> Tracer {
         Tracer {
             inner: Some(Arc::new(Mutex::new(Sink {
-                events: Vec::new(),
+                events: VecDeque::new(),
+                ring_capacity: None,
+                dropped: 0,
+                seq: 0,
+                lseq: 0,
+                clock: WallClock::start(),
+                metrics: MetricsRegistry::default(),
+            }))),
+        }
+    }
+
+    /// A live tracer in flight-recorder mode: only the last `capacity`
+    /// events are kept in memory (oldest dropped, `capacity` clamped to
+    /// at least 1). `seq`/`lseq` assignment, metrics, and the wall epoch
+    /// behave exactly as in [`Tracer::new`], so the retained tail reads
+    /// like the end of an unbounded trace — the logical stream text of
+    /// the tail is a suffix of the full run's.
+    pub fn with_ring(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(Sink {
+                events: VecDeque::with_capacity(capacity.clamp(1, 65_536)),
+                ring_capacity: Some(capacity.max(1)),
+                dropped: 0,
                 seq: 0,
                 lseq: 0,
                 clock: WallClock::start(),
@@ -411,7 +440,14 @@ impl Tracer {
         if let Some(l) = ev.cache_lookups {
             sink.metrics.inc("cache.lookups", l);
         }
-        sink.events.push(ev);
+        sink.events.push_back(ev);
+        if let Some(cap) = sink.ring_capacity {
+            while sink.events.len() > cap {
+                sink.events.pop_front();
+                sink.dropped += 1;
+                sink.metrics.inc("ring.dropped", 1);
+            }
+        }
     }
 
     /// Sets a gauge in the attached metrics registry without recording
@@ -445,13 +481,34 @@ impl Tracer {
         }
     }
 
+    /// A copy of the accumulated metrics without draining the event
+    /// buffer (what the live `/metrics` endpoint publishes between
+    /// generations). `None` when disabled.
+    pub fn metrics_snapshot(&self) -> Option<MetricsRegistry> {
+        let inner = self.inner.as_ref()?;
+        let sink = inner.lock().ok()?;
+        Some(sink.metrics.clone())
+    }
+
+    /// Events the flight-recorder ring has discarded so far (always 0
+    /// for unbounded tracers and when disabled).
+    pub fn ring_dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => match inner.lock() {
+                Ok(sink) => sink.dropped,
+                Err(_) => 0,
+            },
+            None => 0,
+        }
+    }
+
     /// Drains everything recorded so far into a [`RunTrace`], leaving
     /// the tracer running with empty buffers. `None` when disabled.
     pub fn finish(&self) -> Option<RunTrace> {
         let inner = self.inner.as_ref()?;
         let mut sink = inner.lock().ok()?;
         Some(RunTrace {
-            events: std::mem::take(&mut sink.events),
+            events: std::mem::take(&mut sink.events).into(),
             metrics: std::mem::take(&mut sink.metrics),
         })
     }
@@ -518,6 +575,55 @@ mod tests {
             ev.async_log_line().unwrap(),
             "e=3 t=4200us a=1 g=17 f=0x4059000000000000 child=- evicted=- p=-"
         );
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n_events_with_global_positions() {
+        let t = Tracer::with_ring(3);
+        for g in 0..10u64 {
+            t.logical(EventKind::EvalResult, |e| {
+                e.genome = Some(g);
+                e.fitness_bits = Some(g);
+            });
+        }
+        assert_eq!(t.ring_dropped(), 7);
+        let trace = t.finish().unwrap();
+        assert_eq!(trace.events.len(), 3);
+        // seq/lseq keep counting across drops: the tail is globally
+        // positioned exactly as in an unbounded trace.
+        assert_eq!(trace.events[0].seq, 7);
+        assert_eq!(trace.events[0].lseq, Some(7));
+        assert_eq!(trace.events[2].seq, 9);
+        assert_eq!(trace.events[2].genome, Some(9));
+        assert_eq!(trace.metrics.counter("ring.dropped"), 7);
+        assert_eq!(trace.metrics.counter("events.eval"), 10);
+    }
+
+    #[test]
+    fn ring_tail_is_a_suffix_of_the_unbounded_logical_stream() {
+        let full = Tracer::new();
+        let ring = Tracer::with_ring(4);
+        for t in [&full, &ring] {
+            t.logical(EventKind::RunStart, |e| e.seed = Some(3));
+            for g in 0..8u64 {
+                t.logical(EventKind::EvalResult, |e| e.genome = Some(g));
+            }
+            t.logical(EventKind::RunEnd, |_| {});
+        }
+        let full_text = full.finish().unwrap().logical_text();
+        let tail_text = ring.finish().unwrap().logical_text();
+        assert!(full_text.ends_with(&tail_text));
+        assert_eq!(tail_text.lines().count(), 4);
+    }
+
+    #[test]
+    fn ring_capacity_zero_is_clamped_to_one() {
+        let t = Tracer::with_ring(0);
+        t.logical(EventKind::RunStart, |_| {});
+        t.logical(EventKind::RunEnd, |_| {});
+        let trace = t.finish().unwrap();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].kind, EventKind::RunEnd);
     }
 
     #[test]

@@ -108,6 +108,62 @@ impl MetricsRegistry {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4), as served by the live `/metrics` endpoint.
+    ///
+    /// Names are prefixed `clan_` and sanitized (`.` and any other
+    /// non-`[a-zA-Z0-9_]` become `_`); counters get the conventional
+    /// `_total` suffix, histograms render cumulative `_bucket{le="…"}`
+    /// series ending in `le="+Inf"` plus `_sum`/`_count`. BTreeMap
+    /// iteration keeps the exposition deterministic for a given
+    /// registry state.
+    pub fn prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 5);
+            out.push_str("clan_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        fn fmt_f64(v: f64) -> String {
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{v:.0}")
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n}_total counter\n{n}_total {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", fmt_f64(*value)));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    fmt_f64(*bound)
+                ));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.total));
+            out.push_str(&format!("{n}_sum {}\n", fmt_f64(h.sum)));
+            out.push_str(&format!("{n}_count {}\n", h.total));
+        }
+        out
+    }
 }
 
 /// One agent's row in the unified per-agent table.
@@ -261,6 +317,31 @@ mod tests {
         assert_eq!(m.counter("missing"), 0);
         assert_eq!(m.histograms["dur_s.gather"].total, 1);
         assert_eq!(m.gauges["overlap"], 3.5);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_three_families() {
+        let mut m = MetricsRegistry::default();
+        m.inc("events.eval", 12);
+        m.set_gauge("progress.best_fitness", 42.5);
+        m.observe_duration("dur_s.gather", 0.02);
+        m.observe_duration("dur_s.gather", 2.0);
+        let text = m.prometheus_text();
+        assert!(text.contains("# TYPE clan_events_eval_total counter\n"));
+        assert!(text.contains("clan_events_eval_total 12\n"));
+        assert!(text.contains("clan_progress_best_fitness 42.5\n"));
+        assert!(text.contains("# TYPE clan_dur_s_gather histogram\n"));
+        // Buckets are cumulative: the 0.02 sample lands in le="0.01"'s
+        // successor, so le="0.1" and every later bound count it.
+        assert!(text.contains("clan_dur_s_gather_bucket{le=\"0.1\"} 1\n"));
+        assert!(text.contains("clan_dur_s_gather_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("clan_dur_s_gather_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("clan_dur_s_gather_count 2\n"));
+        assert!(text.contains("clan_dur_s_gather_sum 2.02\n"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad line: {line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Critical-path and straggler analysis over a recorded trace.
+//!
+//! Two execution shapes are recognized automatically:
+//!
+//! - **Round-based** (the synchronous orchestrators): Timing
+//!   `AgentExchange` spans grouped into scatter/gather rounds by the
+//!   `GatherRound` markers. Each round's critical path is the link the
+//!   gather waited on; per-agent idle is the gap between a link's own
+//!   busy time and the round makespan it had to sit through.
+//! - **Steady-state** (async modes): `Completion` spans per agent under
+//!   virtual (or wall) time. The totals use the same definitions as
+//!   `AsyncStats` — makespan = latest completion time, busy = summed
+//!   service spans, wasted idle = `agents × makespan − busy` — so the
+//!   report cross-checks against the run's own summary.
+
+use crate::event::{Class, Event};
+
+/// How the trace's time accounting was reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisMode {
+    /// Scatter/gather rounds from Timing spans.
+    Rounds,
+    /// Async steady-state completions (virtual or wall time).
+    SteadyState,
+    /// No span-bearing events found.
+    Empty,
+}
+
+/// Per-agent accounting over the whole trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AgentStat {
+    /// Agent slot.
+    pub agent: u64,
+    /// Spans attributed to the agent (exchanges or completions).
+    pub spans: u64,
+    /// Summed span time, microseconds.
+    pub busy_us: u64,
+    /// Mean span, microseconds (0 when no spans).
+    pub mean_us: f64,
+    /// Rounds in which this agent was the critical path (round mode).
+    pub critical_rounds: u64,
+    /// Loss-recovery overhead bytes attributed to the agent.
+    pub retrans_bytes: u64,
+    /// Churn-class failures recorded against the agent.
+    pub failures: u64,
+    /// Mean-span slowdown vs the fastest agent (1.0 = fastest).
+    pub slowdown: f64,
+}
+
+/// One scatter/gather round (round mode only).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundStat {
+    /// Round index in trace order.
+    pub round: u64,
+    /// Measured round makespan, microseconds.
+    pub makespan_us: u64,
+    /// Summed per-link busy time in the round, microseconds.
+    pub busy_us: u64,
+    /// The agent the round waited on, with its span.
+    pub critical_agent: Option<u64>,
+    /// The critical agent's span, microseconds.
+    pub critical_span_us: u64,
+}
+
+/// Churn/recovery event counts over the trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounts {
+    /// `AgentFailure` events.
+    pub failures: u64,
+    /// `ChunkReassigned` events.
+    pub reassigns: u64,
+    /// Work items inside reassigned chunks.
+    pub reassigned_items: u64,
+    /// `AgentKilled` events.
+    pub kills: u64,
+    /// `AgentRevived` events.
+    pub revives: u64,
+    /// `AgentJoined` events.
+    pub joins: u64,
+}
+
+/// The full analysis result; [`Analysis::render`] is the CLI report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Reconstruction mode.
+    pub mode: AnalysisMode,
+    /// Events in the trace (logical, timing).
+    pub counts: (u64, u64),
+    /// Agents in the cluster (from the `ClusterInfo` annotation, else
+    /// the highest agent slot seen + 1).
+    pub n_agents: u64,
+    /// Per-agent accounting, by slot.
+    pub agents: Vec<AgentStat>,
+    /// Per-round accounting (round mode only).
+    pub rounds: Vec<RoundStat>,
+    /// Total makespan, microseconds (summed round makespans in round
+    /// mode; latest completion time in steady-state mode).
+    pub makespan_us: u64,
+    /// Total busy time across agents, microseconds.
+    pub busy_us: u64,
+    /// `n_agents × makespan − busy`, clamped at 0 — the `AsyncStats`
+    /// wasted-idle definition.
+    pub wasted_idle_us: u64,
+    /// Total retransmission overhead bytes.
+    pub retrans_bytes: u64,
+    /// Churn/recovery counts.
+    pub recovery: RecoveryCounts,
+    /// The critical-path straggler: most critical rounds (round mode)
+    /// or slowest mean span (steady-state), when any spans exist.
+    pub straggler: Option<u64>,
+}
+
+fn agent_slot(stats: &mut Vec<AgentStat>, agent: u64) -> &mut AgentStat {
+    let idx = agent as usize;
+    if stats.len() <= idx {
+        for a in stats.len()..=idx {
+            stats.push(AgentStat {
+                agent: a as u64,
+                ..AgentStat::default()
+            });
+        }
+    }
+    &mut stats[idx]
+}
+
+/// Analyzes a parsed trace. Events must be in record order (as written
+/// by the JSONL exporter).
+pub fn analyze(events: &[Event]) -> Analysis {
+    let logical = events.iter().filter(|e| e.class == Class::Logical).count() as u64;
+    let counts = (logical, events.len() as u64 - logical);
+    let mut agents: Vec<AgentStat> = Vec::new();
+    let mut rounds: Vec<RoundStat> = Vec::new();
+    let mut recovery = RecoveryCounts::default();
+    let mut retrans_bytes = 0u64;
+    let mut cluster_agents: Option<u64> = None;
+
+    // Spans of the round currently being gathered: (agent, dur_us).
+    let mut open_round: Vec<(u64, u64)> = Vec::new();
+    let mut steady_makespan_us = 0u64;
+    let mut has_completion_spans = false;
+
+    for ev in events {
+        match ev.kind.as_str() {
+            "ClusterInfo" => cluster_agents = ev.items.or(cluster_agents),
+            "AgentExchange" => {
+                if let (Some(agent), Some(dur)) = (ev.agent, ev.dur_us) {
+                    open_round.push((agent, dur));
+                    let slot = agent_slot(&mut agents, agent);
+                    slot.spans += 1;
+                    slot.busy_us += dur;
+                }
+            }
+            "GatherRound" => {
+                let makespan_us = ev.dur_us.unwrap_or(0);
+                let busy_us = open_round.iter().map(|(_, d)| d).sum();
+                let critical = open_round.iter().max_by_key(|(a, d)| (*d, *a)).copied();
+                if let Some((agent, _)) = critical {
+                    agent_slot(&mut agents, agent).critical_rounds += 1;
+                }
+                rounds.push(RoundStat {
+                    round: rounds.len() as u64,
+                    makespan_us,
+                    busy_us,
+                    critical_agent: critical.map(|(a, _)| a),
+                    critical_span_us: critical.map_or(0, |(_, d)| d),
+                });
+                open_round.clear();
+            }
+            "Completion" => {
+                if let (Some(agent), Some(dur)) = (ev.agent, ev.dur_us) {
+                    has_completion_spans = true;
+                    let slot = agent_slot(&mut agents, agent);
+                    slot.spans += 1;
+                    slot.busy_us += dur;
+                }
+                if let Some(t) = ev.vtime_us.or(ev.wall_us) {
+                    steady_makespan_us = steady_makespan_us.max(t);
+                }
+            }
+            "Retransmission" => {
+                let bytes = ev.bytes.unwrap_or(0);
+                retrans_bytes += bytes;
+                if let Some(agent) = ev.agent {
+                    agent_slot(&mut agents, agent).retrans_bytes += bytes;
+                }
+            }
+            "AgentFailure" => {
+                recovery.failures += 1;
+                if let Some(agent) = ev.agent {
+                    agent_slot(&mut agents, agent).failures += 1;
+                }
+            }
+            "ChunkReassigned" => {
+                recovery.reassigns += 1;
+                recovery.reassigned_items += ev.items.unwrap_or(0);
+            }
+            "AgentKilled" => recovery.kills += 1,
+            "AgentRevived" => recovery.revives += 1,
+            "AgentJoined" => recovery.joins += 1,
+            _ => {}
+        }
+    }
+
+    let mode = if !rounds.is_empty() {
+        AnalysisMode::Rounds
+    } else if has_completion_spans {
+        AnalysisMode::SteadyState
+    } else {
+        AnalysisMode::Empty
+    };
+    let makespan_us = match mode {
+        AnalysisMode::Rounds => rounds.iter().map(|r| r.makespan_us).sum(),
+        AnalysisMode::SteadyState => steady_makespan_us,
+        AnalysisMode::Empty => 0,
+    };
+    let busy_us: u64 = agents.iter().map(|a| a.busy_us).sum();
+    let n_agents = cluster_agents.unwrap_or(agents.len() as u64);
+    let wasted_idle_us = (n_agents * makespan_us).saturating_sub(busy_us);
+
+    for a in &mut agents {
+        a.mean_us = if a.spans == 0 {
+            0.0
+        } else {
+            a.busy_us as f64 / a.spans as f64
+        };
+    }
+    let fastest_mean = agents
+        .iter()
+        .filter(|a| a.spans > 0)
+        .map(|a| a.mean_us)
+        .fold(f64::INFINITY, f64::min);
+    for a in &mut agents {
+        a.slowdown = if a.spans == 0 || !fastest_mean.is_finite() || fastest_mean <= 0.0 {
+            0.0
+        } else {
+            a.mean_us / fastest_mean
+        };
+    }
+    let straggler = match mode {
+        AnalysisMode::Rounds => agents
+            .iter()
+            .filter(|a| a.spans > 0)
+            .max_by(|x, y| {
+                (x.critical_rounds, x.mean_us)
+                    .partial_cmp(&(y.critical_rounds, y.mean_us))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|a| a.agent),
+        AnalysisMode::SteadyState => agents
+            .iter()
+            .filter(|a| a.spans > 0)
+            .max_by(|x, y| {
+                x.mean_us
+                    .partial_cmp(&y.mean_us)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|a| a.agent),
+        AnalysisMode::Empty => None,
+    };
+
+    Analysis {
+        mode,
+        counts,
+        n_agents,
+        agents,
+        rounds,
+        makespan_us,
+        busy_us,
+        wasted_idle_us,
+        retrans_bytes,
+        recovery,
+        straggler,
+    }
+}
+
+fn seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+impl Analysis {
+    /// Renders the per-agent utilization table (the `summarize` verb's
+    /// whole output, and part of the full `analyze` report).
+    pub fn render_agent_table(&self) -> String {
+        let mut out = String::from("per-agent:\n");
+        out.push_str("  agent  spans  busy_s    mean_ms   critical  retrans_B  fails  slowdown\n");
+        for a in &self.agents {
+            out.push_str(&format!(
+                "  {:<5}  {:<5}  {:<8.3}  {:<8.3}  {:<8}  {:<9}  {:<5}  {:.2}x\n",
+                a.agent,
+                a.spans,
+                seconds(a.busy_us),
+                a.mean_us / 1e3,
+                a.critical_rounds,
+                a.retrans_bytes,
+                a.failures,
+                a.slowdown,
+            ));
+        }
+        out
+    }
+
+    /// Renders the `summarize` report: utilization header plus the
+    /// per-agent table.
+    pub fn render_summary(&self) -> String {
+        if self.mode == AnalysisMode::Empty {
+            return "no span-bearing events; nothing to summarize\n".to_string();
+        }
+        let mut out = format!(
+            "agents: {}  makespan: {:.3}s  busy: {:.3}s  wasted idle: {:.3}s\n",
+            self.n_agents,
+            seconds(self.makespan_us),
+            seconds(self.busy_us),
+            seconds(self.wasted_idle_us),
+        );
+        out.push_str(&self.render_agent_table());
+        out
+    }
+
+    /// Renders the human-readable `clan-trace analyze` report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "events: {} logical + {} timing\n",
+            self.counts.0, self.counts.1
+        ));
+        match self.mode {
+            AnalysisMode::Empty => {
+                out.push_str("no span-bearing events; nothing to analyze\n");
+                return out;
+            }
+            AnalysisMode::Rounds => out.push_str(&format!(
+                "mode: scatter/gather rounds ({} rounds)\n",
+                self.rounds.len()
+            )),
+            AnalysisMode::SteadyState => out.push_str("mode: async steady-state\n"),
+        }
+        out.push_str(&format!(
+            "agents: {}  makespan: {:.3}s  busy: {:.3}s  wasted idle: {:.3}s ({:.1}% of capacity)\n",
+            self.n_agents,
+            seconds(self.makespan_us),
+            seconds(self.busy_us),
+            seconds(self.wasted_idle_us),
+            if self.n_agents * self.makespan_us == 0 {
+                0.0
+            } else {
+                100.0 * self.wasted_idle_us as f64 / (self.n_agents * self.makespan_us) as f64
+            },
+        ));
+        out.push_str(&self.render_agent_table());
+        if let Some(s) = self.straggler {
+            let stat = &self.agents[s as usize];
+            match self.mode {
+                AnalysisMode::Rounds => out.push_str(&format!(
+                    "critical-path straggler: agent {s} — critical in {}/{} rounds, \
+                     mean span {:.3}ms, slowdown {:.2}x\n",
+                    stat.critical_rounds,
+                    self.rounds.len(),
+                    stat.mean_us / 1e3,
+                    stat.slowdown,
+                )),
+                AnalysisMode::SteadyState => out.push_str(&format!(
+                    "critical-path straggler: agent {s} — mean service {:.3}ms, slowdown {:.2}x\n",
+                    stat.mean_us / 1e3,
+                    stat.slowdown,
+                )),
+                AnalysisMode::Empty => {}
+            }
+        }
+        if self.retrans_bytes > 0 {
+            out.push_str(&format!(
+                "retransmission overhead: {} bytes\n",
+                self.retrans_bytes
+            ));
+        }
+        let r = &self.recovery;
+        if r.failures + r.reassigns + r.kills + r.revives + r.joins > 0 {
+            out.push_str(&format!(
+                "recovery: {} failure(s), {} reassigned chunk(s) ({} item(s)), \
+                 {} kill(s), {} revive(s), {} join(s)\n",
+                r.failures, r.reassigns, r.reassigned_items, r.kills, r.revives, r.joins
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_jsonl;
+
+    fn ev(seq: u64, class: &str, kind: &str, extra: &str) -> String {
+        format!("{{\"seq\":{seq},\"class\":\"{class}\",\"kind\":\"{kind}\"{extra}}}")
+    }
+
+    #[test]
+    fn rounds_mode_finds_the_critical_agent() {
+        let lines = [
+            ev(0, "Timing", "ClusterInfo", ",\"items\":3"),
+            ev(1, "Timing", "AgentExchange", ",\"agent\":0,\"dur_us\":1000"),
+            ev(2, "Timing", "AgentExchange", ",\"agent\":1,\"dur_us\":4000"),
+            ev(3, "Timing", "AgentExchange", ",\"agent\":2,\"dur_us\":900"),
+            ev(4, "Timing", "GatherRound", ",\"dur_us\":4200"),
+            ev(5, "Timing", "AgentExchange", ",\"agent\":0,\"dur_us\":1100"),
+            ev(6, "Timing", "AgentExchange", ",\"agent\":1,\"dur_us\":3900"),
+            ev(7, "Timing", "AgentExchange", ",\"agent\":2,\"dur_us\":1000"),
+            ev(8, "Timing", "GatherRound", ",\"dur_us\":4100"),
+            ev(9, "Timing", "Retransmission", ",\"agent\":1,\"bytes\":768"),
+        ]
+        .join("\n");
+        let a = analyze(&parse_jsonl(&lines).unwrap());
+        assert_eq!(a.mode, AnalysisMode::Rounds);
+        assert_eq!(a.n_agents, 3);
+        assert_eq!(a.rounds.len(), 2);
+        assert_eq!(a.rounds[0].critical_agent, Some(1));
+        assert_eq!(a.rounds[0].makespan_us, 4200);
+        assert_eq!(a.straggler, Some(1));
+        assert_eq!(a.agents[1].critical_rounds, 2);
+        assert_eq!(a.makespan_us, 8300);
+        assert_eq!(a.busy_us, 11_900);
+        assert_eq!(a.wasted_idle_us, 3 * 8300 - 11_900);
+        assert_eq!(a.retrans_bytes, 768);
+        assert_eq!(a.agents[1].retrans_bytes, 768);
+        // Slowdown vs fastest mean (agent 2: mean 950us): agent 1 mean
+        // 3950us -> ~4.16x.
+        assert!((a.agents[1].slowdown - 3950.0 / 950.0).abs() < 1e-9);
+        let text = a.render();
+        assert!(text.contains("critical-path straggler: agent 1"), "{text}");
+    }
+
+    #[test]
+    fn steady_state_mode_matches_async_stats_definitions() {
+        let lines = [
+            ev(0, "Timing", "ClusterInfo", ",\"items\":2"),
+            ev(
+                1,
+                "Logical",
+                "Completion",
+                ",\"lseq\":0,\"agent\":0,\"vtime_us\":5000,\"dur_us\":5000,\"genome\":1,\"fitness_bits\":0,\"aseq\":0",
+            ),
+            ev(
+                2,
+                "Logical",
+                "Completion",
+                ",\"lseq\":1,\"agent\":1,\"vtime_us\":20000,\"dur_us\":20000,\"genome\":2,\"fitness_bits\":0,\"aseq\":1",
+            ),
+            ev(
+                3,
+                "Logical",
+                "Completion",
+                ",\"lseq\":2,\"agent\":0,\"vtime_us\":10500,\"dur_us\":5500,\"genome\":3,\"fitness_bits\":0,\"aseq\":2",
+            ),
+        ]
+        .join("\n");
+        let a = analyze(&parse_jsonl(&lines).unwrap());
+        assert_eq!(a.mode, AnalysisMode::SteadyState);
+        assert_eq!(a.makespan_us, 20_000);
+        assert_eq!(a.busy_us, 30_500);
+        assert_eq!(a.wasted_idle_us, 2 * 20_000 - 30_500);
+        assert_eq!(a.straggler, Some(1));
+        assert!((a.agents[1].slowdown - 20_000.0 / 5250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_empty_mode() {
+        let a = analyze(&[]);
+        assert_eq!(a.mode, AnalysisMode::Empty);
+        assert_eq!(a.straggler, None);
+        assert!(a.render().contains("nothing to analyze"));
+    }
+}

@@ -1,0 +1,299 @@
+//! A minimal JSON reader for trace files.
+//!
+//! `clan-trace` deliberately does not link the workspace's serde shim:
+//! an analyzer that shares parsing code with the writer it audits would
+//! inherit the writer's bugs. This reader covers the full JSON grammar
+//! the trace exporters emit — flat objects of nullable integers and
+//! strings — plus arrays and nesting for robustness, and keeps `u64`
+//! integers exact (fitness bits do not survive an `f64` round trip).
+
+/// A parsed JSON value. Integers stay exact: digits without a fraction
+/// or exponent parse as [`Json::UInt`] (or [`Json::Int`] when
+/// negative), never as a float.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer, exact.
+    UInt(u64),
+    /// Negative integer, exact.
+    Int(i64),
+    /// Number with a fraction or exponent.
+    Float(f64),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+/// Parses one complete JSON value (trailing whitespace allowed,
+/// trailing garbage rejected).
+///
+/// # Errors
+///
+/// [`JsonError`] with the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after value"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: &str) -> JsonError {
+    JsonError {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, lit: &str) -> bool {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') if eat(b, pos, "null") => Ok(Json::Null),
+        Some(b't') if eat(b, pos, "true") => Ok(Json::Bool(true)),
+        Some(b'f') if eat(b, pos, "false") => Ok(Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(err(*pos, &format!("unexpected byte {:?}", *c as char))),
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // {
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected string key in object"));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected `:` after object key"));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}` in object")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "bad \\u escape"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| err(*pos, "invalid UTF-8 in string"))?;
+                let c = rest.chars().next().ok_or_else(|| err(*pos, "empty"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while b
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    let is_integer = !text.contains(['.', 'e', 'E']);
+    if is_integer {
+        if let Some(rest) = text.strip_prefix('-') {
+            let _ = rest;
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| err(start, "malformed number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_integers_stay_exact() {
+        // 0x3FF0000000000000 — above 2^53, would corrupt through f64.
+        let v = parse("{\"fitness_bits\":4607182418800017408}").unwrap();
+        assert_eq!(
+            v.get("fitness_bits").unwrap().as_u64(),
+            Some(4607182418800017408)
+        );
+    }
+
+    #[test]
+    fn full_grammar_round_trip() {
+        let v =
+            parse(r#"{"a":[1,-2,3.5,null,true],"s":"hi \"x\"\n","o":{"k":"Logical"}}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi \"x\"\n"));
+        assert_eq!(
+            v.get("o").unwrap().get("k").unwrap().as_str(),
+            Some("Logical")
+        );
+        match v.get("a") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[0], Json::UInt(1));
+                assert_eq!(items[1], Json::Int(-2));
+                assert_eq!(items[2], Json::Float(3.5));
+                assert_eq!(items[3], Json::Null);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse("{\"a\":}").unwrap_err();
+        assert_eq!(e.offset, 5);
+        assert!(parse("[1,2").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("").is_err());
+    }
+}

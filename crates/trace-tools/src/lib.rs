@@ -1,0 +1,64 @@
+//! # clan-trace-tools — offline trace intelligence for CLAN runs
+//!
+//! The runtime's two-channel tracer records everything needed to audit a
+//! run after the fact: the deterministic **Logical** stream (byte-stable
+//! per seed across execution surfaces) and the wall-stamped **Timing**
+//! stream (spans, retransmissions, churn). This crate turns those JSONL
+//! files into answers:
+//!
+//! - [`analyze`](analyze::analyze) — reconstructs per-round critical
+//!   paths (or async steady-state utilization), ranks stragglers with
+//!   slowdown factors, attributes retransmission/recovery overhead, and
+//!   totals wasted idle time with the same definitions `AsyncStats`
+//!   uses, so the numbers cross-check against the run's own summary.
+//! - [`diff`](diff::diff) — compares the Logical streams of two traces
+//!   and pinpoints the **first** divergent event with human framing
+//!   ("gen 7, eval of genome 1234, fitness 0x…"), ignoring Timing noise.
+//! - `summarize` (CLI) — the per-agent utilization table alone.
+//!
+//! Like `clan-lint`, the crate is **dependency-free by design**: it
+//! carries its own exact-integer JSON reader ([`json`]) rather than
+//! linking the workspace serde shim, so the auditor cannot inherit the
+//! writer's parsing bugs, and `u64` fitness bits never round-trip
+//! through an `f64`.
+//!
+//! The `clan-trace` binary fronts all three verbs; exit codes follow the
+//! lint convention (0 clean/identical, 1 findings/divergence, 2 usage).
+
+pub mod analyze;
+pub mod diff;
+pub mod event;
+pub mod json;
+
+pub use analyze::{Analysis, AnalysisMode};
+pub use diff::{diff as diff_events, DiffOutcome};
+pub use event::{parse_event, parse_jsonl, Class, Event};
+
+/// Parses a trace file from disk.
+///
+/// # Errors
+///
+/// IO failure or the first malformed line (1-based) with its parse
+/// error.
+pub fn load_trace(path: &str) -> Result<Vec<Event>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Runs the analyzer over a trace file.
+///
+/// # Errors
+///
+/// Propagates [`load_trace`] failures.
+pub fn analyze_file(path: &str) -> Result<Analysis, String> {
+    Ok(analyze::analyze(&load_trace(path)?))
+}
+
+/// Diffs the logical streams of two trace files.
+///
+/// # Errors
+///
+/// Propagates [`load_trace`] failures.
+pub fn diff_files(left: &str, right: &str) -> Result<DiffOutcome, String> {
+    Ok(diff::diff(&load_trace(left)?, &load_trace(right)?))
+}

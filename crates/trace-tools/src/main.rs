@@ -1,0 +1,93 @@
+//! `clan-trace` CLI.
+//!
+//! ```text
+//! clan-trace analyze --trace FILE     # critical path, stragglers, recovery
+//! clan-trace summarize --trace FILE   # per-agent utilization table only
+//! clan-trace diff LEFT RIGHT          # first logical divergence, framed
+//! ```
+//!
+//! Exit codes: 0 analyzed / identical, 1 divergence or truncation found,
+//! 2 usage or I/O error.
+
+use clan_trace_tools::{analyze_file, diff_files};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => run_analysis(&args[1..], false),
+        Some("summarize") => run_analysis(&args[1..], true),
+        Some("diff") => run_diff(&args[1..]),
+        Some(other) => usage(&format!("unknown command `{other}`")),
+        None => usage("missing command"),
+    }
+}
+
+fn trace_arg(args: &[String]) -> Result<String, String> {
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => match it.next() {
+                Some(v) => path = Some(v.clone()),
+                None => return Err("--trace needs a file".into()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    path.ok_or_else(|| "--trace FILE is required".into())
+}
+
+fn run_analysis(args: &[String], summary_only: bool) -> ExitCode {
+    let path = match trace_arg(args) {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+    match analyze_file(&path) {
+        Ok(a) => {
+            print!(
+                "{}",
+                if summary_only {
+                    a.render_summary()
+                } else {
+                    a.render()
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clan-trace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let (left, right) = match args {
+        [l, r] => (l, r),
+        _ => return usage("diff needs exactly two trace files"),
+    };
+    match diff_files(left, right) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if outcome.is_identical() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("clan-trace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("clan-trace: {err}");
+    eprintln!(
+        "usage: clan-trace analyze --trace FILE | clan-trace summarize --trace FILE \
+         | clan-trace diff LEFT RIGHT"
+    );
+    ExitCode::from(2)
+}

@@ -13,7 +13,7 @@
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has a
 //! sensible default so `clan-cli run` alone works.
 
-use clan::core::telemetry::{to_chrome_json, to_jsonl};
+use clan::core::telemetry::{to_chrome_json, to_jsonl, Tracer};
 use clan::core::transport::agent::{AgentServer, UdpAgentServer};
 use clan::core::transport::{ChurnSchedule, FaultConfig, UdpConfig};
 use clan::core::{ClanDriver, ClanDriverBuilder, ClanTopology, RunReport, RunTrace};
@@ -28,6 +28,11 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if let Err(UsageError(msg)) = validate_flags(command, &Flags(args[1..].to_vec())) {
+        eprintln!("usage error: {msg}");
+        eprintln!("(see `clan-cli help`)");
+        return ExitCode::from(2);
+    }
     let result = match command.as_str() {
         "run" => cmd_run(&args[1..], false),
         "solve" => cmd_run(&args[1..], true),
@@ -62,6 +67,7 @@ USAGE:
                  [--episodes N] [--eval-threads N]
                  [--batch-lanes N | --no-batch] [--no-cache]
                  [--trace FILE] [--trace-chrome FILE]
+                 [--trace-ring N [--postmortem FILE]] [--status-addr ADDR]
                  [--async [--total-evals N] [--tournament-size K]
                   [--latency MS,MS,...] [--jitter-pct P] [--event-log FILE]]
   clan-cli solve [same flags; runs until the workload's solved score or
@@ -80,6 +86,7 @@ USAGE:
                  [--max-retries N] [--min-agents N]
                  [--churn EVENTS] [--spare-at ADDR,ADDR,...]
                  [--trace FILE] [--trace-chrome FILE]
+                 [--trace-ring N [--postmortem FILE]] [--status-addr ADDR]
                  (drive a run over real TCP agents; bit-identical to the
                  same run executed locally under any weights. --udp speaks
                  reliable datagrams instead; --loss injects seeded drop
@@ -122,7 +129,20 @@ UDP, and churned runs; a strict superset of --event-log in async mode)
 plus wall-clock annotations in a separate channel. --trace-chrome FILE
 writes the same trace as Chrome trace-event JSON with one track per
 agent (open in Perfetto or chrome://tracing). Tracing never changes the
-evolved result.
+evolved result. Analyze recorded traces offline with `clan-trace`
+(critical path, stragglers, divergence diff).
+
+--trace-ring N arms the flight recorder: tracing runs in a bounded ring
+that keeps only the last N events, and if the run fails (error or
+panic) the ring is dumped to --postmortem FILE (default
+clan-postmortem.jsonl) for offline analysis. Combine with --trace FILE
+to also write the retained tail on success.
+
+--status-addr ADDR serves a live introspection endpoint over HTTP while
+the run executes: /metrics (Prometheus text), /health (per-agent
+alive/suspected/dead), /progress (generation or eval counts, best
+fitness). It publishes snapshots at generation boundaries only — the
+logical event stream stays byte-identical with the endpoint enabled.
 
 --async switches to barrier-free steady-state evolution: every finished
 evaluation immediately triggers a tournament reproduction (size
@@ -133,6 +153,48 @@ per-agent service ms, --jitter-pct the seeded jitter): two runs with the
 same --seed and latency schedule produce byte-identical --event-log
 files. Over real agents (coordinate --async) the arrival order is
 wall-clock, so results are statistical rather than bit-identical.";
+
+/// Where the flight recorder dumps the ring when no `--postmortem FILE`
+/// overrides it.
+const POSTMORTEM_DEFAULT: &str = "clan-postmortem.jsonl";
+
+/// A command-line misuse caught before any work starts. Rendered with a
+/// pointer at the usage text and exit code 2, distinct from runtime
+/// failures (exit 1), so scripts can tell "you called it wrong" from
+/// "the run failed".
+#[derive(Debug, PartialEq, Eq)]
+struct UsageError(String);
+
+/// Cross-flag validation that runs before command dispatch. Per-flag
+/// value parsing stays with each command; this pass catches
+/// combinations that are individually valid but jointly meaningless.
+fn validate_flags(command: &str, flags: &Flags) -> Result<(), UsageError> {
+    if command == "agent" {
+        for f in ["--status-addr", "--trace-ring", "--postmortem"] {
+            if flags.get(f).is_some() {
+                return Err(UsageError(format!(
+                    "{f} is a coordinator-side flag; `agent` has no driver to \
+                     introspect (use it on run/solve/coordinate)"
+                )));
+            }
+        }
+    }
+    if flags.get("--postmortem").is_some() && flags.get("--trace-ring").is_none() {
+        return Err(UsageError(
+            "--postmortem names the flight-recorder dump file and requires --trace-ring N".into(),
+        ));
+    }
+    if flags.get("--trace-ring").is_some() {
+        let postmortem = flags.get("--postmortem").unwrap_or(POSTMORTEM_DEFAULT);
+        if flags.get("--trace") == Some(postmortem) {
+            return Err(UsageError(format!(
+                "--trace and the flight-recorder postmortem dump both target `{postmortem}`; \
+                 point --postmortem (or --trace) at a different file"
+            )));
+        }
+    }
+    Ok(())
+}
 
 struct Flags(Vec<String>);
 
@@ -258,7 +320,70 @@ fn build_driver(flags: &Flags) -> Result<(ClanDriverBuilder, Workload), String> 
     if flags.get("--trace").is_some() || flags.get("--trace-chrome").is_some() {
         builder = builder.tracing(true);
     }
+    if let Some(n) = flags.get("--trace-ring") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("invalid value `{n}` for --trace-ring"))?;
+        builder = builder.trace_ring(n);
+    }
+    if let Some(addr) = flags.get("--status-addr") {
+        builder = builder.status_addr(addr);
+    }
     Ok((builder, workload))
+}
+
+/// The flight recorder armed for this invocation, as the postmortem
+/// dump path: `Some` exactly when `--trace-ring N` bounded the tracer.
+fn postmortem_path(flags: &Flags) -> Option<String> {
+    flags.get("--trace-ring").map(|_| {
+        flags
+            .get("--postmortem")
+            .unwrap_or(POSTMORTEM_DEFAULT)
+            .to_string()
+    })
+}
+
+/// Drains the flight-recorder ring into a postmortem JSONL file. Called
+/// only on failure paths (run error or panic); best-effort by design —
+/// the original error stays the headline, so dump problems go to stderr
+/// and are never propagated.
+fn dump_postmortem(tracer: &Tracer, path: &str) {
+    let dropped = tracer.ring_dropped();
+    let Some(trace) = tracer.finish() else { return };
+    if trace.events.is_empty() {
+        return;
+    }
+    match to_jsonl(&trace) {
+        Ok(jsonl) => match std::fs::write(path, jsonl) {
+            Ok(()) => eprintln!(
+                "flight recorder: last {} event(s) dumped to {path} \
+                 ({dropped} older event(s) had rolled off the ring)",
+                trace.events.len()
+            ),
+            Err(e) => eprintln!("flight recorder: cannot write {path}: {e}"),
+        },
+        Err(e) => eprintln!("flight recorder: cannot serialize postmortem: {e}"),
+    }
+}
+
+/// Installs a panic hook that dumps the flight-recorder ring before the
+/// default handler runs, so even a crash leaves a postmortem trail. A
+/// clean run drains the sink on completion, after which the hook finds
+/// nothing to dump.
+fn arm_panic_recorder(tracer: Tracer, path: String) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        dump_postmortem(&tracer, &path);
+        prev(info);
+    }));
+}
+
+/// Prints the live introspection endpoint's bound address when
+/// `--status-addr` attached one to the driver.
+fn announce_status(addr: Option<std::net::SocketAddr>) {
+    if let Some(addr) = addr {
+        println!("  status endpoint: http://{addr} (/metrics /health /progress)");
+    }
 }
 
 /// Writes the recorded trace to the files `--trace` (JSONL event
@@ -355,7 +480,21 @@ fn run_async(mut builder: ClanDriverBuilder, flags: &Flags) -> Result<(), String
         ),
         None => println!("async steady-state run: streaming over the live cluster"),
     }
-    let outcome = driver.run().map_err(|e| e.to_string())?;
+    announce_status(driver.status_local_addr());
+    let postmortem = postmortem_path(flags);
+    let recorder = driver.tracer_handle();
+    if let Some(path) = &postmortem {
+        arm_panic_recorder(recorder.clone(), path.clone());
+    }
+    let outcome = match driver.run() {
+        Ok(o) => o,
+        Err(e) => {
+            if let Some(path) = &postmortem {
+                dump_postmortem(&recorder, path);
+            }
+            return Err(e.to_string());
+        }
+    };
     print_report(&outcome.report);
     if let Some(path) = flags.get("--event-log") {
         std::fs::write(path, &outcome.event_log).map_err(|e| e.to_string())?;
@@ -419,14 +558,27 @@ fn cmd_run(args: &[String], until_solved: bool) -> Result<(), String> {
         return run_async(builder, &flags);
     }
     let driver = builder.build().map_err(|e| e.to_string())?;
-    let (report, trace) = if until_solved {
+    announce_status(driver.status_local_addr());
+    let postmortem = postmortem_path(&flags);
+    let recorder = driver.tracer_handle();
+    if let Some(path) = &postmortem {
+        arm_panic_recorder(recorder.clone(), path.clone());
+    }
+    let result = if until_solved {
         let max = flags.parse("--max-generations", 50u64)?;
-        driver
-            .run_until_solved_with_trace(max)
-            .map_err(|e| e.to_string())?
+        driver.run_until_solved_with_trace(max)
     } else {
         let gens = flags.parse("--generations", 5u64)?;
-        driver.run_with_trace(gens).map_err(|e| e.to_string())?
+        driver.run_with_trace(gens)
+    };
+    let (report, trace) = match result {
+        Ok(v) => v,
+        Err(e) => {
+            if let Some(path) = &postmortem {
+                dump_postmortem(&recorder, path);
+            }
+            return Err(e.to_string());
+        }
     };
     print_report(&report);
     write_trace_outputs(trace.as_ref(), &flags, report.n_agents)?;
@@ -574,8 +726,22 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
         return run_async(builder, &flags);
     }
     let driver = builder.build().map_err(|e| e.to_string())?;
+    announce_status(driver.status_local_addr());
+    let postmortem = postmortem_path(&flags);
+    let recorder = driver.tracer_handle();
+    if let Some(path) = &postmortem {
+        arm_panic_recorder(recorder.clone(), path.clone());
+    }
     let gens = flags.parse("--generations", 5u64)?;
-    let (report, trace) = driver.run_with_trace(gens).map_err(|e| e.to_string())?;
+    let (report, trace) = match driver.run_with_trace(gens) {
+        Ok(v) => v,
+        Err(e) => {
+            if let Some(path) = &postmortem {
+                dump_postmortem(&recorder, path);
+            }
+            return Err(e.to_string());
+        }
+    };
     print_report(&report);
     write_trace_outputs(trace.as_ref(), &flags, report.n_agents)?;
     if let Some(t) = &report.transport {
@@ -718,6 +884,77 @@ mod tests {
         let err = parse_agent_list("a:1,b:2, a:1").unwrap_err();
         assert!(err.contains("duplicate"), "{err}");
         assert!(err.contains("a:1"), "{err}");
+    }
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn status_addr_on_agent_is_a_usage_error() {
+        let err = validate_flags("agent", &flags(&["--status-addr", "127.0.0.1:0"])).unwrap_err();
+        assert!(err.0.contains("--status-addr"), "{err:?}");
+        assert!(validate_flags("coordinate", &flags(&["--status-addr", "127.0.0.1:0"])).is_ok());
+        assert!(validate_flags("run", &flags(&["--status-addr", "127.0.0.1:0"])).is_ok());
+    }
+
+    #[test]
+    fn postmortem_requires_the_ring() {
+        let err = validate_flags("run", &flags(&["--postmortem", "pm.jsonl"])).unwrap_err();
+        assert!(err.0.contains("--trace-ring"), "{err:?}");
+        assert!(validate_flags(
+            "run",
+            &flags(&["--trace-ring", "64", "--postmortem", "pm.jsonl"])
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn trace_and_postmortem_must_differ() {
+        let err = validate_flags(
+            "run",
+            &flags(&["--trace-ring", "64", "--trace", "clan-postmortem.jsonl"]),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("both target"), "default collision: {err:?}");
+        let err = validate_flags(
+            "run",
+            &flags(&[
+                "--trace-ring",
+                "64",
+                "--trace",
+                "t.jsonl",
+                "--postmortem",
+                "t.jsonl",
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("t.jsonl"), "{err:?}");
+        assert!(validate_flags(
+            "run",
+            &flags(&[
+                "--trace-ring",
+                "64",
+                "--trace",
+                "t.jsonl",
+                "--postmortem",
+                "pm.jsonl"
+            ]),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn postmortem_path_is_some_exactly_when_the_ring_is_armed() {
+        assert_eq!(postmortem_path(&flags(&["--trace", "t.jsonl"])), None);
+        assert_eq!(
+            postmortem_path(&flags(&["--trace-ring", "64"])),
+            Some(POSTMORTEM_DEFAULT.to_string())
+        );
+        assert_eq!(
+            postmortem_path(&flags(&["--trace-ring", "64", "--postmortem", "pm.jsonl"])),
+            Some("pm.jsonl".to_string())
+        );
     }
 
     #[test]
